@@ -1,0 +1,260 @@
+// Benchmarks regenerating each paper artifact at reduced size, one
+// family per table/figure. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The full paper-shaped sweeps (with the paper's k and d grids) live in
+// cmd/spkadd-bench; these testing.B benchmarks are the quick,
+// regression-trackable counterparts.
+package spkadd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"spkadd"
+	"spkadd/internal/cachesim"
+	"spkadd/internal/core"
+	"spkadd/internal/generate"
+	"spkadd/internal/matrix"
+)
+
+const benchRows = 1 << 16
+
+func benchAlgorithms() []spkadd.Algorithm {
+	return []spkadd.Algorithm{
+		spkadd.TwoWayIncremental, spkadd.TwoWayTree, spkadd.Heap,
+		spkadd.SPA, spkadd.Hash, spkadd.SlidingHash,
+	}
+}
+
+func addLoop(b *testing.B, as []*spkadd.Matrix, opt spkadd.Options) {
+	b.Helper()
+	in := 0
+	for _, a := range as {
+		in += a.NNZ()
+	}
+	b.SetBytes(int64(in) * 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spkadd.Add(as, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 covers Table III: ER collections across (d, k) for
+// every algorithm.
+func BenchmarkTable3(b *testing.B) {
+	for _, d := range []int{16, 256} {
+		for _, k := range []int{4, 32} {
+			as := generate.ERCollection(k, generate.Opts{Rows: benchRows, Cols: 32, NNZPerCol: d, Seed: 1})
+			for _, alg := range benchAlgorithms() {
+				b.Run(fmt.Sprintf("d=%d/k=%d/%v", d, k, alg), func(b *testing.B) {
+					addLoop(b, as, spkadd.Options{Algorithm: alg})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable4 covers Table IV: RMAT collections (column-split
+// construction) across (d, k).
+func BenchmarkTable4(b *testing.B) {
+	for _, d := range []int{16, 256} {
+		for _, k := range []int{4, 32} {
+			as := generate.RMATCollection(k, generate.Opts{Rows: benchRows, Cols: 32, NNZPerCol: d, Seed: 2}, generate.Graph500)
+			for _, alg := range benchAlgorithms() {
+				b.Run(fmt.Sprintf("d=%d/k=%d/%v", d, k, alg), func(b *testing.B) {
+					addLoop(b, as, spkadd.Options{Algorithm: alg})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig2 covers the Fig 2 winner-grid workloads at the grid
+// corners for both sparsity patterns (the full sweep is
+// `spkadd-bench -exp fig2er/fig2rmat`).
+func BenchmarkFig2(b *testing.B) {
+	cases := []struct {
+		pattern string
+		k, d    int
+	}{
+		{"ER", 4, 16}, {"ER", 128, 16}, {"ER", 4, 1024}, {"ER", 64, 512},
+		{"RMAT", 4, 16}, {"RMAT", 64, 64},
+	}
+	for _, c := range cases {
+		var as []*matrix.CSC
+		o := generate.Opts{Rows: benchRows, Cols: 16, NNZPerCol: c.d, Seed: 3}
+		if c.pattern == "ER" {
+			as = generate.ERCollection(c.k, o)
+		} else {
+			as = generate.RMATCollection(c.k, o, generate.Graph500)
+		}
+		for _, alg := range []spkadd.Algorithm{spkadd.Hash, spkadd.SlidingHash, spkadd.Heap, spkadd.TwoWayTree} {
+			b.Run(fmt.Sprintf("%s/k=%d/d=%d/%v", c.pattern, c.k, c.d, alg), func(b *testing.B) {
+				addLoop(b, as, spkadd.Options{Algorithm: alg})
+			})
+		}
+	}
+}
+
+// BenchmarkFig3Scaling covers the strong-scaling panels: the hash
+// algorithm at increasing thread counts on ER, RMAT and
+// Eukarya-intermediate-like inputs.
+func BenchmarkFig3Scaling(b *testing.B) {
+	panels := map[string][]*matrix.CSC{
+		"ER":      generate.ERCollection(32, generate.Opts{Rows: benchRows, Cols: 32, NNZPerCol: 128, Seed: 4}),
+		"RMAT":    generate.RMATCollection(32, generate.Opts{Rows: benchRows, Cols: 32, NNZPerCol: 128, Seed: 5}, generate.Graph500),
+		"Eukarya": generate.ClusteredCollection(64, generate.Opts{Rows: benchRows, Cols: 16, NNZPerCol: 240, Seed: 6}, 22),
+	}
+	for name, as := range panels {
+		for _, t := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/threads=%d", name, t), func(b *testing.B) {
+				addLoop(b, as, spkadd.Options{Algorithm: spkadd.Hash, Threads: t})
+			})
+		}
+	}
+}
+
+// BenchmarkFig4TableSize covers the hash-table-size sweep: sliding
+// hash with explicit table caps on the Fig 4(b)-like workload.
+func BenchmarkFig4TableSize(b *testing.B) {
+	as := generate.ERCollection(64, generate.Opts{Rows: benchRows, Cols: 16, NNZPerCol: 512, Seed: 7})
+	for _, size := range []int{256, 1024, 4096, 16384, 65536} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			addLoop(b, as, spkadd.Options{Algorithm: spkadd.SlidingHash, MaxTableEntries: size})
+		})
+	}
+}
+
+// BenchmarkTable5Trace covers the cache-simulation path behind
+// Table V.
+func BenchmarkTable5Trace(b *testing.B) {
+	as := generate.ERCollection(32, generate.Opts{Rows: benchRows, Cols: 8, NNZPerCol: 512, Seed: 8})
+	for _, sliding := range []bool{false, true} {
+		b.Run(fmt.Sprintf("sliding=%v", sliding), func(b *testing.B) {
+			cfg := cachesim.TraceConfig{CacheBytes: 1 << 20, Threads: 8, Sliding: sliding}
+			for i := 0; i < b.N; i++ {
+				cachesim.TraceSpKAdd(as, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkFig6Summa covers the distributed-SpGEMM experiment: the
+// three SpKAdd variants inside a simulated SUMMA run.
+func BenchmarkFig6Summa(b *testing.B) {
+	a := generate.ProteinLike(1500, 128, 96, 9)
+	bb := generate.ProteinLike(1500, 128, 96, 10)
+	variants := []struct {
+		name string
+		alg  spkadd.Algorithm
+		sort bool
+	}{
+		{"Heap", spkadd.Heap, true},
+		{"SortedHash", spkadd.Hash, true},
+		{"UnsortedHash", spkadd.Hash, false},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := spkadd.RunSumma(a, bb, spkadd.SummaConfig{
+					Grid: 8, SpKAdd: v.alg, SortIntermediates: v.sort, Sequential: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLoadFactor quantifies the hash-table load-factor
+// choice (DESIGN.md §2: the paper packs tables to ~1.0, this library
+// defaults to 0.5).
+func BenchmarkAblationLoadFactor(b *testing.B) {
+	as := generate.ERCollection(32, generate.Opts{Rows: benchRows, Cols: 32, NNZPerCol: 256, Seed: 11})
+	for _, lf := range []float64{0.25, 0.5, 0.75, 0.95} {
+		b.Run(fmt.Sprintf("lf=%.2f", lf), func(b *testing.B) {
+			addLoop(b, as, spkadd.Options{Algorithm: spkadd.Hash, LoadFactor: lf})
+		})
+	}
+}
+
+// BenchmarkAblationSchedule quantifies the scheduling strategies of
+// §III-A on a skewed workload.
+func BenchmarkAblationSchedule(b *testing.B) {
+	as := generate.RMATCollection(32, generate.Opts{Rows: benchRows, Cols: 64, NNZPerCol: 128, Seed: 12}, generate.Graph500)
+	for name, s := range map[string]spkadd.Schedule{
+		"weighted": spkadd.ScheduleWeighted,
+		"static":   spkadd.ScheduleStatic,
+		"dynamic":  spkadd.ScheduleDynamic,
+	} {
+		b.Run(name, func(b *testing.B) {
+			addLoop(b, as, spkadd.Options{Algorithm: spkadd.Hash, Schedule: s, Threads: 4})
+		})
+	}
+}
+
+// BenchmarkAblationSortedOutput quantifies the cost of sorted output
+// for the hash algorithm (the sorted-vs-unsorted hash gap of Fig 6).
+func BenchmarkAblationSortedOutput(b *testing.B) {
+	as := generate.ERCollection(32, generate.Opts{Rows: benchRows, Cols: 32, NNZPerCol: 256, Seed: 13})
+	for _, sorted := range []bool{false, true} {
+		b.Run(fmt.Sprintf("sorted=%v", sorted), func(b *testing.B) {
+			addLoop(b, as, spkadd.Options{Algorithm: spkadd.Hash, SortedOutput: sorted})
+		})
+	}
+}
+
+// BenchmarkColAdd benchmarks the 2-way merge kernel in isolation, the
+// building block of Algorithm 1.
+func BenchmarkColAdd(b *testing.B) {
+	x := generate.ER(generate.Opts{Rows: benchRows, Cols: 64, NNZPerCol: 512, Seed: 14})
+	y := generate.ER(generate.Opts{Rows: benchRows, Cols: 64, NNZPerCol: 512, Seed: 15})
+	b.SetBytes(int64(x.NNZ()+y.NNZ()) * 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spkadd.Add([]*spkadd.Matrix{x, y}, spkadd.Options{Algorithm: spkadd.TwoWayIncremental}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpGEMM benchmarks the local multiply kernel, sorted vs
+// unsorted output (the 20%-faster-multiply claim of Fig 6).
+func BenchmarkSpGEMM(b *testing.B) {
+	a := generate.ProteinLike(4000, 128, 64, 16)
+	c := generate.ProteinLike(4000, 128, 64, 17)
+	for _, sorted := range []bool{true, false} {
+		b.Run(fmt.Sprintf("sorted=%v", sorted), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := spkadd.Multiply(a, c, spkadd.MulOptions{SortOutput: sorted}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSymbolicVsNumeric reports the phase split of the hash
+// algorithm (the two series of Fig 4) at a high compression factor,
+// where the symbolic phase dominates.
+func BenchmarkSymbolicVsNumeric(b *testing.B) {
+	as := generate.ClusteredCollection(64, generate.Opts{Rows: benchRows, Cols: 16, NNZPerCol: 240, Seed: 18}, 22)
+	b.Run("symbolic+numeric", func(b *testing.B) {
+		var sym, num int64
+		for i := 0; i < b.N; i++ {
+			_, pt, err := core.AddTimed(as, core.Options{Algorithm: core.Hash})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sym += pt.Symbolic.Nanoseconds()
+			num += pt.Numeric.Nanoseconds()
+		}
+		b.ReportMetric(float64(sym)/float64(b.N), "sym-ns/op")
+		b.ReportMetric(float64(num)/float64(b.N), "num-ns/op")
+	})
+}

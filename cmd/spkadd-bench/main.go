@@ -1,0 +1,44 @@
+// Command spkadd-bench regenerates the paper's tables and figures.
+//
+//	spkadd-bench -exp table3            # one experiment
+//	spkadd-bench -exp all -scale 2      # everything, half-size workloads
+//
+// Experiments: fig2er, fig2rmat, table3, table4, fig3, fig4, table5,
+// fig6, all. See EXPERIMENTS.md for the workload mapping and expected
+// shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+
+	"spkadd/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spkadd-bench: ")
+	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(bench.Experiments, ", ")+", or all")
+	reps := flag.Int("reps", 1, "timed repetitions per cell (minimum reported)")
+	threads := flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	scale := flag.Int("scale", 1, "divide workload sizes by this factor")
+	cacheMB := flag.Int64("cache-mb", 32, "modelled last-level cache in MB")
+	flag.Parse()
+
+	fmt.Printf("spkadd-bench: GOMAXPROCS=%d, reps=%d, scale=1/%d, cache=%dMB\n\n",
+		runtime.GOMAXPROCS(0), *reps, *scale, *cacheMB)
+	cfg := bench.Config{
+		Out:        os.Stdout,
+		Reps:       *reps,
+		Threads:    *threads,
+		Scale:      *scale,
+		CacheBytes: *cacheMB << 20,
+	}
+	if err := bench.Run(*exp, cfg); err != nil {
+		log.Fatal(err)
+	}
+}

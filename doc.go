@@ -1,0 +1,40 @@
+// Package spkadd adds collections of sparse matrices: B = Σ_{i=1..k} A_i.
+//
+// It is a Go implementation of "Parallel Algorithms for Adding a
+// Collection of Sparse Matrices" (Hussain, Abhishek, Buluç, Azad;
+// IPDPSW 2022, arXiv:2112.10223). Adding two sparse matrices is a
+// staple of every sparse library, but repeatedly using pairwise
+// addition to reduce k matrices is not work-efficient: the paper — and
+// this library — provide k-way algorithms based on heaps, sparse
+// accumulators (SPA), hash tables and cache-sized sliding hash tables
+// that meet the lower bounds on both computation and memory traffic,
+// plus the classic 2-way incremental and 2-way tree baselines.
+//
+// # Quick start
+//
+//	a := spkadd.RandomER(1<<20, 1024, 64, 1)   // rows, cols, nnz/col, seed
+//	b := spkadd.RandomER(1<<20, 1024, 64, 2)
+//	sum, err := spkadd.Add([]*spkadd.Matrix{a, b}, spkadd.Options{})
+//
+// The zero Options value selects the Auto algorithm (hash or sliding
+// hash, depending on the estimated table footprint versus the
+// last-level cache), GOMAXPROCS worker goroutines, and unsorted output
+// columns.
+//
+// # Choosing an algorithm
+//
+// Hash is the best performer across matrix shapes and sparsity
+// patterns; SlidingHash overtakes it when k·d (input nonzeros per
+// column) is large enough that per-thread hash tables spill out of the
+// last-level cache. Heap uses the least memory and needs sorted
+// inputs; SPA is competitive only when output columns are dense and
+// degrades with thread count (it needs O(rows) memory per worker).
+// TwoWayIncremental and TwoWayTree exist as baselines and for adding
+// very few matrices. See DESIGN.md and EXPERIMENTS.md for measured
+// comparisons.
+//
+// Matrices are in compressed sparse column (CSC) form with 32-bit
+// indices and float64 values; everything applies symmetrically to CSR
+// (transpose the interpretation). Inputs may have unsorted columns for
+// the SPA, Hash and SlidingHash algorithms.
+package spkadd

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"spkadd/internal/core"
+	"strings"
+	"testing"
+)
+
+func smokeConfig(buf *bytes.Buffer) Config {
+	return Config{Out: buf, Reps: 1, Scale: 8, Threads: 1}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", smokeConfig(&buf)); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTable5Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table5", smokeConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table V", "Sliding Hash", "Eukarya-like"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("summa simulation in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Run("fig6", smokeConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 6", "Heap", "Unsorted Hash", "Local Multiply"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSkipEstimate(t *testing.T) {
+	// Huge pairwise cells are skipped; k-way algorithms never are.
+	if !skipEstimate(core.MapIncremental, 128, 1024, 8192) {
+		t.Error("giant MapIncremental cell not skipped")
+	}
+	if skipEstimate(core.MapIncremental, 4, 64, 16) {
+		t.Error("tiny MapIncremental cell skipped")
+	}
+	if skipEstimate(core.Hash, 128, 1024, 8192) || skipEstimate(core.Heap, 128, 1024, 8192) {
+		t.Error("k-way algorithms must never be skipped")
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	if got := fmtDur(1234567890); got != "1.2346" {
+		t.Errorf("fmtDur = %q", got)
+	}
+}
+
+func TestTuneAndAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweeps in -short mode")
+	}
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, Reps: 1, Scale: 16, Threads: 1}
+	if err := Run("tune", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "best table size") {
+		t.Error("tuner output incomplete")
+	}
+	buf.Reset()
+	if err := Run("ablation", cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"load factor", "scheduling", "sorted"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package cachesim provides a trace-driven set-associative LRU cache
+// model and instrumented replicas of the hash and sliding-hash SpKAdd
+// kernels. It stands in for the Cachegrind profiling of §IV-D: the
+// paper's Table V counts last-level cache misses of hash vs sliding
+// hash; here the same access streams (streamed inputs, randomly probed
+// hash tables, streamed output) are replayed through the model.
+package cachesim
+
+// Cache is a set-associative cache with LRU replacement.
+type Cache struct {
+	lineBits uint
+	setMask  uint64
+	ways     int
+	// tags[set] holds up to `ways` line tags, most recently used first.
+	tags [][]uint64
+
+	accesses int64
+	misses   int64
+}
+
+// New returns a cache of totalBytes capacity with the given
+// associativity and line size (both powers of two; lineSize in bytes).
+func New(totalBytes int64, ways, lineSize int) *Cache {
+	if ways < 1 {
+		ways = 1
+	}
+	if lineSize < 1 {
+		lineSize = 64
+	}
+	lineBits := uint(0)
+	for (1 << lineBits) < lineSize {
+		lineBits++
+	}
+	lines := totalBytes / int64(lineSize)
+	sets := lines / int64(ways)
+	if sets < 1 {
+		sets = 1
+	}
+	// Round sets down to a power of two for mask indexing.
+	p := uint64(1)
+	for p*2 <= uint64(sets) {
+		p *= 2
+	}
+	c := &Cache{
+		lineBits: lineBits,
+		setMask:  p - 1,
+		ways:     ways,
+		tags:     make([][]uint64, p),
+	}
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, 0, ways)
+	}
+	return c
+}
+
+// Access touches one byte at addr.
+func (c *Cache) Access(addr uint64) {
+	c.accesses++
+	line := addr >> c.lineBits
+	set := c.tags[line&c.setMask]
+	for i, tag := range set {
+		if tag == line {
+			// Hit: move to front.
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return
+		}
+	}
+	c.misses++
+	if len(set) < c.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	c.tags[line&c.setMask] = set
+}
+
+// AccessRange touches every cache line in [addr, addr+size).
+func (c *Cache) AccessRange(addr uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	first := addr >> c.lineBits
+	last := (addr + uint64(size) - 1) >> c.lineBits
+	for line := first; line <= last; line++ {
+		c.Access(line << c.lineBits)
+	}
+}
+
+// Accesses returns the number of byte/line touches replayed.
+func (c *Cache) Accesses() int64 { return c.accesses }
+
+// Misses returns the number of line misses.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = c.tags[i][:0]
+	}
+	c.accesses = 0
+	c.misses = 0
+}

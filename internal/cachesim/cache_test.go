@@ -1,0 +1,129 @@
+package cachesim
+
+import (
+	"testing"
+
+	"spkadd/internal/generate"
+)
+
+func TestSequentialStreamMissesOncePerLine(t *testing.T) {
+	c := New(1<<20, 16, 64)
+	for addr := uint64(0); addr < 64*100; addr++ {
+		c.Access(addr)
+	}
+	if c.Misses() != 100 {
+		t.Errorf("misses = %d, want 100 (one per line)", c.Misses())
+	}
+	if c.Accesses() != 6400 {
+		t.Errorf("accesses = %d", c.Accesses())
+	}
+}
+
+func TestRepeatedAccessHits(t *testing.T) {
+	c := New(1<<16, 8, 64)
+	c.Access(0x1000)
+	before := c.Misses()
+	for i := 0; i < 50; i++ {
+		c.Access(0x1000 + uint64(i%64))
+	}
+	if c.Misses() != before {
+		t.Error("same-line accesses should all hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped-ish: 2 ways, force 3 conflicting lines.
+	c := New(128, 2, 64) // 2 lines total, 1 set of 2 ways
+	a, b, d := uint64(0), uint64(64), uint64(128)
+	c.Access(a) // miss
+	c.Access(b) // miss
+	c.Access(a) // hit, a is MRU
+	c.Access(d) // miss, evicts b (LRU)
+	c.Access(a) // hit
+	if c.Misses() != 3 {
+		t.Errorf("misses = %d, want 3", c.Misses())
+	}
+	c.Access(b) // miss again (was evicted)
+	if c.Misses() != 4 {
+		t.Errorf("misses = %d, want 4 after re-touching evicted line", c.Misses())
+	}
+}
+
+func TestWorkingSetFitVsSpill(t *testing.T) {
+	// A working set that fits misses only on the first pass; one that
+	// spills misses every pass.
+	small := New(1<<14, 16, 64) // 16KB
+	for pass := 0; pass < 3; pass++ {
+		for addr := uint64(0); addr < 1<<13; addr += 64 {
+			small.Access(addr) // 8KB working set: fits
+		}
+	}
+	if small.Misses() != 128 {
+		t.Errorf("fitting set: misses = %d, want 128 (first pass only)", small.Misses())
+	}
+
+	big := New(1<<14, 16, 64)
+	for pass := 0; pass < 3; pass++ {
+		for addr := uint64(0); addr < 1<<16; addr += 64 { // 64KB: spills
+			big.Access(addr)
+		}
+	}
+	if big.Misses() < 3*800 {
+		t.Errorf("spilling set: misses = %d, want ~3072", big.Misses())
+	}
+}
+
+func TestAccessRangeCrossesLines(t *testing.T) {
+	c := New(1<<16, 8, 64)
+	c.AccessRange(60, 8) // straddles the line boundary at 64
+	if c.Misses() != 2 {
+		t.Errorf("straddling access missed %d lines, want 2", c.Misses())
+	}
+	c.Reset()
+	if c.Misses() != 0 || c.Accesses() != 0 {
+		t.Error("Reset did not clear counters")
+	}
+	c.AccessRange(0, 0)
+	if c.Accesses() != 0 {
+		t.Error("zero-size range should not touch")
+	}
+}
+
+func TestTraceSlidingReducesMissesWhenTablesSpill(t *testing.T) {
+	// Dense-ish output columns with a tiny modelled LLC: plain hash
+	// tables spill, sliding tables fit. This is the Table V case (b)
+	// regime.
+	as := generate.ERCollection(32, generate.Opts{Rows: 1 << 16, Cols: 8, NNZPerCol: 2048, Seed: 1})
+	cfg := TraceConfig{CacheBytes: 64 << 10, Threads: 1}
+	plain := TraceSpKAdd(as, cfg)
+	cfgS := cfg
+	cfgS.Sliding = true
+	sliding := TraceSpKAdd(as, cfgS)
+	if sliding.TotalMisses() >= plain.TotalMisses() {
+		t.Errorf("sliding misses %d not below hash misses %d despite spilling tables",
+			sliding.TotalMisses(), plain.TotalMisses())
+	}
+}
+
+func TestTraceSlidingNoBenefitWhenTablesFit(t *testing.T) {
+	// Small tables: sliding degenerates to parts=1 and the traces
+	// match exactly (Table V cases (a)/(d)).
+	as := generate.ERCollection(8, generate.Opts{Rows: 4096, Cols: 16, NNZPerCol: 16, Seed: 2})
+	cfg := TraceConfig{CacheBytes: 32 << 20, Threads: 1}
+	plain := TraceSpKAdd(as, cfg)
+	cfgS := cfg
+	cfgS.Sliding = true
+	sliding := TraceSpKAdd(as, cfgS)
+	if plain.TotalMisses() != sliding.TotalMisses() {
+		t.Errorf("fitting tables: hash %d vs sliding %d, want equal",
+			plain.TotalMisses(), sliding.TotalMisses())
+	}
+}
+
+func TestTracePhasesNonZero(t *testing.T) {
+	as := generate.ERCollection(4, generate.Opts{Rows: 2048, Cols: 8, NNZPerCol: 32, Seed: 3})
+	res := TraceSpKAdd(as, TraceConfig{CacheBytes: 1 << 20, Threads: 4})
+	if res.SymbolicMisses <= 0 || res.NumericMisses <= 0 || res.Accesses <= 0 {
+		t.Errorf("trace result %+v has empty phases", res)
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spkadd/internal/matrix"
+	"spkadd/internal/sched"
+)
+
+// ErrNoInputs is returned when the input collection is empty.
+var ErrNoInputs = errors.New("spkadd: no input matrices")
+
+// ErrDimMismatch is returned when inputs do not share dimensions.
+var ErrDimMismatch = errors.New("spkadd: input dimension mismatch")
+
+// ErrUnsortedInput is returned when an algorithm that requires sorted
+// columns (2-way merge, heap; Table I) receives unsorted input.
+var ErrUnsortedInput = errors.New("spkadd: algorithm requires columns sorted by row index")
+
+// Add computes B = Σ A_i with the configured algorithm.
+func Add(as []*matrix.CSC, opt Options) (*matrix.CSC, error) {
+	b, _, err := AddTimed(as, opt)
+	return b, err
+}
+
+// AddTimed is Add, additionally reporting the wall-clock split between
+// the symbolic and numeric phases (the separate series of Fig 4).
+// 2-way algorithms have no symbolic phase; their full time is reported
+// as Numeric.
+func AddTimed(as []*matrix.CSC, opt Options) (*matrix.CSC, PhaseTimings, error) {
+	var pt PhaseTimings
+	if len(as) == 0 {
+		return nil, pt, ErrNoInputs
+	}
+	rows, cols := as[0].Rows, as[0].Cols
+	for i, a := range as {
+		if a.Rows != rows || a.Cols != cols {
+			return nil, pt, fmt.Errorf("%w: matrix %d is %dx%d, want %dx%d",
+				ErrDimMismatch, i, a.Rows, a.Cols, rows, cols)
+		}
+	}
+	if len(as) == 1 {
+		out := as[0].Clone()
+		if opt.SortedOutput && !out.IsColumnSorted() {
+			out.SortColumns()
+		}
+		return out, pt, nil
+	}
+
+	sortedIn := allColumnsSorted(as)
+	alg := opt.Algorithm
+	if alg == Auto {
+		alg = autoSelect(as, opt, sortedIn)
+	}
+	switch alg {
+	case TwoWayIncremental, TwoWayTree, Heap:
+		if !sortedIn {
+			return nil, pt, fmt.Errorf("%w: %v", ErrUnsortedInput, alg)
+		}
+	}
+
+	return addDispatch(as, alg, opt, sortedIn, nil)
+}
+
+// AddScaled computes the weighted sum B = Σ coeffs[i] * A_i, the form
+// gradient averaging and linear combinations need. Only the k-way
+// algorithms support coefficients (the 2-way baselines would need
+// coefficient bookkeeping at every tree level); Auto resolves to a
+// k-way algorithm, so the zero Options value works.
+func AddScaled(as []*matrix.CSC, coeffs []matrix.Value, opt Options) (*matrix.CSC, error) {
+	if len(coeffs) != len(as) {
+		return nil, fmt.Errorf("%w: %d coefficients for %d matrices", ErrDimMismatch, len(coeffs), len(as))
+	}
+	if len(as) == 0 {
+		return nil, ErrNoInputs
+	}
+	rows, cols := as[0].Rows, as[0].Cols
+	for i, a := range as {
+		if a.Rows != rows || a.Cols != cols {
+			return nil, fmt.Errorf("%w: matrix %d is %dx%d, want %dx%d",
+				ErrDimMismatch, i, a.Rows, a.Cols, rows, cols)
+		}
+	}
+	sortedIn := allColumnsSorted(as)
+	alg := opt.Algorithm
+	if alg == Auto {
+		alg = autoSelect(as, opt, sortedIn)
+	}
+	switch alg {
+	case Heap:
+		if !sortedIn {
+			return nil, fmt.Errorf("%w: %v", ErrUnsortedInput, alg)
+		}
+	case SPA, Hash, SlidingHash:
+	default:
+		return nil, fmt.Errorf("spkadd: AddScaled supports k-way algorithms only, got %v", alg)
+	}
+	b, _, err := addKWay(as, alg, opt, sortedIn, coeffs)
+	return b, err
+}
+
+func addDispatch(as []*matrix.CSC, alg Algorithm, opt Options, sortedIn bool, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
+	var pt PhaseTimings
+	switch alg {
+	case TwoWayIncremental, TwoWayTree, MapIncremental, MapTree:
+		start := time.Now()
+		var b *matrix.CSC
+		switch alg {
+		case TwoWayIncremental:
+			b = addIncremental(as, opt, pairAddMerge)
+		case TwoWayTree:
+			b = addTree(as, opt, pairAddMerge)
+		case MapIncremental:
+			b = addIncremental(as, opt, pairAddMap)
+		case MapTree:
+			b = addTree(as, opt, pairAddMap)
+		}
+		pt.Numeric = time.Since(start)
+		return b, pt, nil
+	default:
+		return addKWay(as, alg, opt, sortedIn, coeffs)
+	}
+}
+
+// allColumnsSorted reports whether every input has sorted columns.
+// The scan is linear in the total input nnz, far below the cost of the
+// addition itself.
+func allColumnsSorted(as []*matrix.CSC) bool {
+	for _, a := range as {
+		if !a.IsColumnSorted() {
+			return false
+		}
+	}
+	return true
+}
+
+// autoSelect implements the paper's practical guidance (Fig 2): the
+// hash family wins across shapes and sparsities; choose SlidingHash
+// once the estimated per-thread symbolic tables spill out of the
+// last-level cache, and plain Hash otherwise.
+func autoSelect(as []*matrix.CSC, opt Options, sortedIn bool) Algorithm {
+	t := sched.Threads(opt.Threads)
+	n := as[0].Cols
+	if n == 0 {
+		return Hash
+	}
+	total := 0
+	for _, a := range as {
+		total += a.NNZ()
+	}
+	avgColInz := total / n
+	memSym := int64(avgColInz) * BytesPerSymbolicEntry * int64(t)
+	if memSym > opt.cacheBytes() {
+		return SlidingHash
+	}
+	return Hash
+}
+
+// addKWay runs the two-phase k-way driver: a symbolic phase computes
+// nnz(B(:,j)) for every column (load-balanced by input nnz), the
+// output is allocated in one shot, and the numeric phase fills each
+// column independently (load-balanced by output nnz). This is the
+// parallelization strategy of §III-A: thread-private data structures,
+// no synchronization inside a column.
+func addKWay(as []*matrix.CSC, alg Algorithm, opt Options, sortedIn bool, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
+	var pt PhaseTimings
+	n := as[0].Cols
+	k := len(as)
+	t := sched.Threads(opt.Threads)
+	lf := opt.loadFactor()
+	cache := opt.cacheBytes()
+
+	workers := make([]*workerState, t)
+	// Worker ids handed out by sched are distinct among concurrently
+	// running goroutines, so lazily creating state per id is race-free.
+	getWorker := func(w int) *workerState {
+		if workers[w] == nil {
+			workers[w] = newWorkerState(k, lf)
+		}
+		return workers[w]
+	}
+
+	// Symbolic phase: per-column output sizes, balanced by input nnz.
+	weightsIn := make([]int64, n)
+	for j := range weightsIn {
+		weightsIn[j] = int64(colInputNNZ(as, j))
+	}
+	counts := make([]int64, n)
+	symStart := time.Now()
+	runCols(n, t, opt.Schedule, weightsIn, func(w, lo, hi int) {
+		ws := getWorker(w)
+		for j := lo; j < hi; j++ {
+			switch alg {
+			case Hash:
+				counts[j] = int64(hashSymbolicCol(ws, as, j))
+			case SlidingHash:
+				counts[j] = int64(slidingSymbolicCol(ws, as, j, t, cache, opt.MaxTableEntries, sortedIn))
+			case Heap:
+				counts[j] = int64(heapSymbolicCol(ws, as, j))
+			case SPA:
+				counts[j] = int64(spaSymbolicCol(ws, as, j))
+			}
+		}
+		ws.flushStats(opt.Stats)
+	})
+	pt.Symbolic = time.Since(symStart)
+
+	// Allocate the output in one shot from the symbolic counts.
+	b := &matrix.CSC{Rows: as[0].Rows, Cols: n, ColPtr: make([]int64, n+1)}
+	for j := 0; j < n; j++ {
+		b.ColPtr[j+1] = b.ColPtr[j] + counts[j]
+	}
+	nnz := b.ColPtr[n]
+	b.RowIdx = make([]matrix.Index, nnz)
+	b.Val = make([]matrix.Value, nnz)
+
+	// Numeric phase: fill columns, balanced by output nnz.
+	numStart := time.Now()
+	runCols(n, t, opt.Schedule, counts, func(w, lo, hi int) {
+		ws := getWorker(w)
+		for j := lo; j < hi; j++ {
+			outRows := b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]]
+			outVals := b.Val[b.ColPtr[j]:b.ColPtr[j+1]]
+			switch alg {
+			case Hash:
+				hashAddCol(ws, as, j, outRows, outVals, opt.SortedOutput, coeffs)
+			case SlidingHash:
+				slidingHashAddCol(ws, as, j, outRows, outVals, opt.SortedOutput, t, cache, opt.MaxTableEntries, sortedIn, coeffs)
+			case Heap:
+				heapAddCol(ws, as, j, outRows, outVals, coeffs)
+			case SPA:
+				spaAddCol(ws, as, j, outRows, outVals, opt.SortedOutput, coeffs)
+			}
+		}
+		ws.flushStats(opt.Stats)
+	})
+	pt.Numeric = time.Since(numStart)
+	if opt.Stats != nil {
+		opt.Stats.EntriesMoved.Add(nnz)
+	}
+	return b, pt, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import "spkadd/internal/matrix"
+
+// mergeCount returns the number of distinct row indices in the union
+// of two sorted, duplicate-free columns — the symbolic half of the
+// paper's ColAdd (Algorithm 1, line 5).
+func mergeCount(ar, br []matrix.Index) int {
+	i, j, n := 0, 0, 0
+	for i < len(ar) && j < len(br) {
+		n++
+		switch {
+		case ar[i] < br[j]:
+			i++
+		case ar[i] > br[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return n + (len(ar) - i) + (len(br) - j)
+}
+
+// mergeInto merges two sorted columns into out slices of exactly the
+// right length (as returned by mergeCount), summing values on equal
+// row indices. It returns the number of entries written.
+func mergeInto(ar []matrix.Index, av []matrix.Value, br []matrix.Index, bv []matrix.Value, or []matrix.Index, ov []matrix.Value) int {
+	i, j, o := 0, 0, 0
+	for i < len(ar) && j < len(br) {
+		switch {
+		case ar[i] < br[j]:
+			or[o], ov[o] = ar[i], av[i]
+			i++
+		case ar[i] > br[j]:
+			or[o], ov[o] = br[j], bv[j]
+			j++
+		default:
+			or[o], ov[o] = ar[i], av[i]+bv[j]
+			i++
+			j++
+		}
+		o++
+	}
+	for i < len(ar) {
+		or[o], ov[o] = ar[i], av[i]
+		i++
+		o++
+	}
+	for j < len(br) {
+		or[o], ov[o] = br[j], bv[j]
+		j++
+		o++
+	}
+	return o
+}
+
+// sortPairs sorts (rows, vals) jointly by ascending row index. Used by
+// the hash algorithm when sorted output is requested (Algorithm 5,
+// line 15).
+func sortPairs(rows []matrix.Index, vals []matrix.Value) {
+	var qs func(lo, hi int)
+	qs = func(lo, hi int) {
+		for hi-lo > 12 {
+			p := partitionPairs(rows, vals, lo, hi)
+			if p-lo < hi-p {
+				qs(lo, p)
+				lo = p + 1
+			} else {
+				qs(p+1, hi)
+				hi = p
+			}
+		}
+		for i := lo + 1; i <= hi; i++ {
+			for j := i; j > lo && rows[j] < rows[j-1]; j-- {
+				rows[j], rows[j-1] = rows[j-1], rows[j]
+				vals[j], vals[j-1] = vals[j-1], vals[j]
+			}
+		}
+	}
+	if len(rows) > 1 {
+		qs(0, len(rows)-1)
+	}
+}
+
+func partitionPairs(rows []matrix.Index, vals []matrix.Value, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if rows[mid] < rows[lo] {
+		swapPair(rows, vals, mid, lo)
+	}
+	if rows[hi] < rows[lo] {
+		swapPair(rows, vals, hi, lo)
+	}
+	if rows[hi] < rows[mid] {
+		swapPair(rows, vals, hi, mid)
+	}
+	pivot := rows[mid]
+	swapPair(rows, vals, mid, hi-1)
+	i, j := lo, hi-1
+	for {
+		for i++; rows[i] < pivot; i++ {
+		}
+		for j--; rows[j] > pivot; j-- {
+		}
+		if i >= j {
+			break
+		}
+		swapPair(rows, vals, i, j)
+	}
+	swapPair(rows, vals, i, hi-1)
+	return i
+}
+
+func swapPair(rows []matrix.Index, vals []matrix.Value, i, j int) {
+	rows[i], rows[j] = rows[j], rows[i]
+	vals[i], vals[j] = vals[j], vals[i]
+}

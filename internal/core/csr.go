@@ -1,0 +1,32 @@
+package core
+
+import "spkadd/internal/matrix"
+
+// AddCSR computes B = Σ A_i over CSR matrices. The paper notes (§II-A)
+// that every SpKAdd algorithm applies unchanged to CSR: a CSR matrix
+// is the CSC representation of its transpose, so the addition runs on
+// zero-copy transposed views — rows play the role of columns — and the
+// result is re-viewed as CSR. No data is copied or converted.
+func AddCSR(as []*matrix.CSR, opt Options) (*matrix.CSR, error) {
+	views := make([]*matrix.CSC, len(as))
+	for i, a := range as {
+		views[i] = &matrix.CSC{
+			Rows:   a.Cols,
+			Cols:   a.Rows,
+			ColPtr: a.RowPtr,
+			RowIdx: a.ColIdx,
+			Val:    a.Val,
+		}
+	}
+	sum, err := Add(views, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &matrix.CSR{
+		Rows:   sum.Cols,
+		Cols:   sum.Rows,
+		RowPtr: sum.ColPtr,
+		ColIdx: sum.RowIdx,
+		Val:    sum.Val,
+	}, nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"spkadd/internal/matrix"
+)
+
+func TestAddCSRMatchesCSC(t *testing.T) {
+	as := erInputs(6, 200, 24, 10, 31)
+	want := matrix.ReferenceAdd(as)
+	csrs := make([]*matrix.CSR, len(as))
+	for i, a := range as {
+		csrs[i] = a.ToCSR()
+	}
+	for _, alg := range []Algorithm{Hash, Heap, SPA, SlidingHash, TwoWayTree} {
+		got, err := AddCSR(csrs, Options{Algorithm: alg, SortedOutput: true})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		back := got.ToCSC()
+		if !back.Equal(want) {
+			t.Errorf("%v: CSR addition differs from CSC reference", alg)
+		}
+	}
+}
+
+func TestAddCSRZeroCopyDoesNotMutate(t *testing.T) {
+	as := erInputs(3, 100, 10, 6, 32)
+	csrs := make([]*matrix.CSR, len(as))
+	snaps := make([]*matrix.CSC, len(as))
+	for i, a := range as {
+		csrs[i] = a.ToCSR()
+		snaps[i] = csrs[i].ToCSC()
+	}
+	if _, err := AddCSR(csrs, Options{Algorithm: Hash}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range csrs {
+		if !csrs[i].ToCSC().Equal(snaps[i]) {
+			t.Fatalf("input %d mutated", i)
+		}
+	}
+}
+
+func TestAddCSRErrors(t *testing.T) {
+	if _, err := AddCSR(nil, Options{}); err == nil {
+		t.Error("empty CSR input accepted")
+	}
+	a := matrix.FromTriples(3, 4, nil).ToCSR()
+	b := matrix.FromTriples(4, 4, nil).ToCSR()
+	if _, err := AddCSR([]*matrix.CSR{a, b}, Options{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

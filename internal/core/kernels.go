@@ -1,0 +1,391 @@
+package core
+
+import (
+	"spkadd/internal/hashtab"
+	"spkadd/internal/kheap"
+	"spkadd/internal/matrix"
+	"spkadd/internal/spa"
+)
+
+// workerState holds the thread-private data structures of one worker:
+// the paper's design keeps one heap / SPA / hash table per thread and
+// reuses it across all columns the thread processes (§III-A).
+type workerState struct {
+	table *hashtab.Table
+	sym   *hashtab.Symbolic
+	heap  *kheap.Heap
+	acc   *spa.SPA
+	pos   []int64 // per-matrix cursors for the heap kernel
+	lf    float64
+}
+
+func newWorkerState(k int, lf float64) *workerState {
+	return &workerState{lf: lf, pos: make([]int64, k)}
+}
+
+func (w *workerState) hashTable(n int) *hashtab.Table {
+	if w.table == nil {
+		w.table = hashtab.NewTable(n, w.lf)
+		return w.table
+	}
+	w.table.Grow(n, w.lf)
+	return w.table
+}
+
+func (w *workerState) symTable(n int) *hashtab.Symbolic {
+	if w.sym == nil {
+		w.sym = hashtab.NewSymbolic(n, w.lf)
+		return w.sym
+	}
+	w.sym.Grow(n, w.lf)
+	return w.sym
+}
+
+func (w *workerState) kheap(k int) *kheap.Heap {
+	if w.heap == nil {
+		w.heap = kheap.New(k)
+		return w.heap
+	}
+	w.heap.Reset()
+	return w.heap
+}
+
+func (w *workerState) spa(m int) *spa.SPA {
+	if w.acc == nil || w.acc.Rows() < m {
+		w.acc = spa.New(m)
+	}
+	return w.acc
+}
+
+// flushStats adds the worker's structure counters into s and resets
+// them so repeated phases don't double count.
+func (w *workerState) flushStats(s *OpStats) {
+	if s == nil {
+		return
+	}
+	if w.table != nil {
+		s.HashProbes.Add(w.table.Probes)
+		w.table.Probes = 0
+	}
+	if w.sym != nil {
+		s.HashProbes.Add(w.sym.Probes)
+		w.sym.Probes = 0
+	}
+	if w.heap != nil {
+		s.HeapOps.Add(w.heap.Ops)
+		w.heap.Ops = 0
+	}
+	if w.acc != nil {
+		s.SPATouches.Add(w.acc.Touches)
+		w.acc.Touches = 0
+	}
+}
+
+// colInputNNZ returns Σ_i nnz(A_i(:,j)).
+func colInputNNZ(as []*matrix.CSC, j int) int {
+	n := 0
+	for _, a := range as {
+		n += a.ColNNZ(j)
+	}
+	return n
+}
+
+// --- Symbolic kernels: nnz(B(:,j)) per algorithm ---
+
+// hashSymbolicCol is Algorithm 6: count distinct row indices with an
+// index-only hash table sized by the input nnz of the column.
+func hashSymbolicCol(w *workerState, as []*matrix.CSC, j int) int {
+	inz := colInputNNZ(as, j)
+	if inz == 0 {
+		return 0
+	}
+	tab := w.symTable(inz)
+	for _, a := range as {
+		for _, r := range a.ColRows(j) {
+			tab.Insert(r)
+		}
+	}
+	return tab.Len()
+}
+
+// slidingParts computes the partition count of Algorithms 7-8:
+// ceil(nnz*b*T/M), or ceil(nnz/maxEntries) when an explicit table cap
+// is set (the Fig 4 sweep knob).
+func slidingParts(nnz, bytesPerEntry, threads int, cacheBytes int64, maxEntries int) int {
+	if nnz <= 0 {
+		return 1
+	}
+	var parts int
+	if maxEntries > 0 {
+		parts = (nnz + maxEntries - 1) / maxEntries
+	} else {
+		need := int64(nnz) * int64(bytesPerEntry) * int64(threads)
+		parts = int((need + cacheBytes - 1) / cacheBytes)
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	return parts
+}
+
+// slidingSymbolicCol is Algorithm 7: when the symbolic table would
+// spill out of cache, count over row ranges [r1, r2), one in-cache
+// table at a time. Row ranges are located by binary search when
+// columns are sorted (the paper's implementation) and by a filtering
+// scan otherwise (Table I lists sliding hash as not requiring sorted
+// inputs).
+func slidingSymbolicCol(w *workerState, as []*matrix.CSC, j, threads int, cacheBytes int64, maxEntries int, sortedIn bool) int {
+	inz := colInputNNZ(as, j)
+	if inz == 0 {
+		return 0
+	}
+	parts := slidingParts(inz, BytesPerSymbolicEntry, threads, cacheBytes, maxEntries)
+	if parts == 1 {
+		return hashSymbolicCol(w, as, j)
+	}
+	m := as[0].Rows
+	nz := 0
+	for part := 0; part < parts; part++ {
+		r1 := matrix.Index(part * m / parts)
+		r2 := matrix.Index((part + 1) * m / parts)
+		partInz := 0
+		for _, a := range as {
+			partInz += colRangeNNZ(a, j, r1, r2, sortedIn)
+		}
+		if partInz == 0 {
+			continue
+		}
+		tab := w.symTable(partInz)
+		for _, a := range as {
+			forEachInRange(a, j, r1, r2, sortedIn, func(r matrix.Index, _ matrix.Value) {
+				tab.Insert(r)
+			})
+		}
+		nz += tab.Len()
+	}
+	return nz
+}
+
+// colRangeNNZ counts entries of column j with row in [r1, r2), by
+// binary search on sorted columns or a scan otherwise.
+func colRangeNNZ(a *matrix.CSC, j int, r1, r2 matrix.Index, sortedIn bool) int {
+	if sortedIn {
+		return a.ColRangeNNZ(j, r1, r2)
+	}
+	n := 0
+	for _, r := range a.ColRows(j) {
+		if r >= r1 && r < r2 {
+			n++
+		}
+	}
+	return n
+}
+
+// forEachInRange visits the entries of column j with row in [r1, r2).
+func forEachInRange(a *matrix.CSC, j int, r1, r2 matrix.Index, sortedIn bool, visit func(matrix.Index, matrix.Value)) {
+	if sortedIn {
+		rows, vals := a.ColRange(j, r1, r2)
+		for p := range rows {
+			visit(rows[p], vals[p])
+		}
+		return
+	}
+	rows, vals := a.ColRows(j), a.ColVals(j)
+	for p := range rows {
+		if rows[p] >= r1 && rows[p] < r2 {
+			visit(rows[p], vals[p])
+		}
+	}
+}
+
+// heapSymbolicCol counts distinct rows with the k-way heap merge, the
+// "heap could also be used" variant the paper mentions in §II-D.
+func heapSymbolicCol(w *workerState, as []*matrix.CSC, j int) int {
+	h := w.kheap(len(as))
+	pos := w.pos
+	for i, a := range as {
+		pos[i] = a.ColPtr[j]
+		if pos[i] < a.ColPtr[j+1] {
+			h.Push(kheap.Tuple{Row: a.RowIdx[pos[i]], Mat: int32(i)})
+			pos[i]++
+		}
+	}
+	nz := 0
+	last := matrix.Index(-1)
+	for h.Len() > 0 {
+		top := h.Min()
+		if top.Row != last {
+			nz++
+			last = top.Row
+		}
+		i := top.Mat
+		a := as[i]
+		if pos[i] < a.ColPtr[j+1] {
+			h.ReplaceMin(kheap.Tuple{Row: a.RowIdx[pos[i]], Mat: i})
+			pos[i]++
+		} else {
+			h.Pop()
+		}
+	}
+	return nz
+}
+
+// spaSymbolicCol counts distinct rows with the SPA.
+func spaSymbolicCol(w *workerState, as []*matrix.CSC, j int) int {
+	acc := w.spa(as[0].Rows)
+	for _, a := range as {
+		for _, r := range a.ColRows(j) {
+			acc.Add(r, 0)
+		}
+	}
+	nz := acc.Len()
+	acc.Clear()
+	return nz
+}
+
+// --- Numeric kernels: fill B(:,j) into preallocated slices ---
+
+// hashAddCol is Algorithm 5. outRows/outVals have exactly nnz(B(:,j))
+// elements.
+func hashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, coeffs []matrix.Value) {
+	need := len(outRows)
+	if need == 0 {
+		return
+	}
+	tab := w.hashTable(need)
+	for i, a := range as {
+		c := coeff(coeffs, i)
+		rows, vals := a.ColRows(j), a.ColVals(j)
+		for p := range rows {
+			tab.Add(rows[p], vals[p]*c)
+		}
+	}
+	// Three-index slices cap appends at the column's allocation: a
+	// symbolic/numeric disagreement reallocates instead of corrupting
+	// the next column, and the length check below catches it.
+	r, v := tab.AppendEntries(outRows[:0:need], outVals[:0:need])
+	if len(r) != need || &r[0] != &outRows[0] {
+		panic("core: symbolic nnz disagrees with numeric nnz")
+	}
+	if sorted {
+		sortPairs(r, v)
+	}
+}
+
+// slidingHashAddCol is Algorithm 8: hash addition over row ranges
+// whose tables fit the per-thread cache share. Parts are emitted in
+// ascending row ranges, so sorting within parts yields a fully sorted
+// column.
+func slidingHashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, threads int, cacheBytes int64, maxEntries int, sortedIn bool, coeffs []matrix.Value) {
+	onz := len(outRows)
+	if onz == 0 {
+		return
+	}
+	parts := slidingParts(onz, BytesPerAddEntry, threads, cacheBytes, maxEntries)
+	if parts == 1 {
+		hashAddCol(w, as, j, outRows, outVals, sorted, coeffs)
+		return
+	}
+	m := as[0].Rows
+	out := 0
+	for part := 0; part < parts; part++ {
+		r1 := matrix.Index(part * m / parts)
+		r2 := matrix.Index((part + 1) * m / parts)
+		partInz := 0
+		for _, a := range as {
+			partInz += colRangeNNZ(a, j, r1, r2, sortedIn)
+		}
+		if partInz == 0 {
+			continue
+		}
+		tab := w.hashTable(partInz)
+		for i, a := range as {
+			c := coeff(coeffs, i)
+			forEachInRange(a, j, r1, r2, sortedIn, func(r matrix.Index, v matrix.Value) {
+				tab.Add(r, v*c)
+			})
+		}
+		r, v := tab.AppendEntries(outRows[out:out:onz], outVals[out:out:onz])
+		if out+len(r) > onz || (len(r) > 0 && &r[0] != &outRows[out]) {
+			panic("core: sliding symbolic nnz disagrees with numeric nnz")
+		}
+		if sorted {
+			sortPairs(r, v)
+		}
+		out += len(r)
+	}
+	if out != onz {
+		panic("core: sliding symbolic nnz disagrees with numeric nnz")
+	}
+}
+
+// heapAddCol is Algorithm 3: k-way merge through the min-heap,
+// appending to the output on first sight of a row and accumulating
+// otherwise. Output is produced in ascending row order.
+func heapAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, coeffs []matrix.Value) {
+	h := w.kheap(len(as))
+	pos := w.pos
+	for i, a := range as {
+		pos[i] = a.ColPtr[j]
+		if pos[i] < a.ColPtr[j+1] {
+			h.Push(kheap.Tuple{Row: a.RowIdx[pos[i]], Mat: int32(i), Val: a.Val[pos[i]] * coeff(coeffs, i)})
+			pos[i]++
+		}
+	}
+	out := -1
+	for h.Len() > 0 {
+		top := h.Min()
+		if out >= 0 && outRows[out] == top.Row {
+			outVals[out] += top.Val
+		} else {
+			out++
+			outRows[out] = top.Row
+			outVals[out] = top.Val
+		}
+		i := top.Mat
+		a := as[i]
+		if pos[i] < a.ColPtr[j+1] {
+			h.ReplaceMin(kheap.Tuple{Row: a.RowIdx[pos[i]], Mat: i, Val: a.Val[pos[i]] * coeff(coeffs, int(i))})
+			pos[i]++
+		} else {
+			h.Pop()
+		}
+	}
+	if out+1 != len(outRows) {
+		panic("core: heap symbolic nnz disagrees with numeric nnz")
+	}
+}
+
+// spaAddCol is Algorithm 4: accumulate into the dense SPA, then emit
+// (sorted when requested) and sparsely clear.
+func spaAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, coeffs []matrix.Value) {
+	acc := w.spa(as[0].Rows)
+	for i, a := range as {
+		c := coeff(coeffs, i)
+		rows, vals := a.ColRows(j), a.ColVals(j)
+		for p := range rows {
+			acc.Add(rows[p], vals[p]*c)
+		}
+	}
+	need := len(outRows)
+	var r []matrix.Index
+	if sorted {
+		r, _ = acc.AppendSorted(outRows[:0:need], outVals[:0:need])
+	} else {
+		r, _ = acc.AppendUnsorted(outRows[:0:need], outVals[:0:need])
+	}
+	if len(r) != need || (need > 0 && &r[0] != &outRows[0]) {
+		panic("core: SPA symbolic nnz disagrees with numeric nnz")
+	}
+	acc.Clear()
+}
+
+// coeff returns the scaling coefficient for input matrix i; a nil
+// slice means unscaled addition. Multiplying by the default 1.0 is
+// exact under IEEE-754, so the unscaled path needs no branch.
+func coeff(coeffs []matrix.Value, i int) matrix.Value {
+	if coeffs == nil {
+		return 1
+	}
+	return coeffs[i]
+}

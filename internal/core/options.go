@@ -1,0 +1,170 @@
+// Package core implements the paper's SpKAdd operation: computing
+// B = Σ_{i=1..k} A_i over k sparse CSC matrices, with the full family
+// of algorithms evaluated in the paper — 2-way incremental and 2-way
+// tree additions (Algorithm 1 and its balanced variant), map-based
+// 2-way baselines standing in for MKL, and the k-way heap, SPA, hash
+// and sliding-hash algorithms (Algorithms 3-8).
+//
+// All algorithms are parallel over output columns with thread-private
+// data structures and no synchronization inside a column (§III-A).
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Algorithm selects the SpKAdd implementation.
+type Algorithm int
+
+const (
+	// Auto picks between Hash and SlidingHash from the estimated
+	// hash-table footprint versus CacheBytes (the paper's guidance in
+	// Fig 2: hash-family algorithms dominate, sliding once tables
+	// spill out of the last-level cache).
+	Auto Algorithm = iota
+	// TwoWayIncremental adds matrices in pairs, left to right
+	// (Algorithm 1): O(k^2 nd) work on ER inputs.
+	TwoWayIncremental
+	// TwoWayTree adds matrices pairwise up a balanced binary tree:
+	// O(knd lg k) work.
+	TwoWayTree
+	// MapIncremental is TwoWayIncremental with a generic map-based
+	// pair addition, the stand-in for the paper's MKL baseline rows.
+	MapIncremental
+	// MapTree is TwoWayTree over the map-based pair addition.
+	MapTree
+	// Heap is the k-way min-heap merge (Algorithm 3): O(knd lg k)
+	// work, O(knd) I/O, O(Tk) memory. Requires sorted inputs.
+	Heap
+	// SPA is the sparse-accumulator algorithm (Algorithm 4): O(knd)
+	// work, O(Tm) memory. Accepts unsorted inputs.
+	SPA
+	// Hash is the hash-table algorithm (Algorithm 5 with the symbolic
+	// phase of Algorithm 6): O(knd) work, O(T·nnz(B(:,j))) memory.
+	// Accepts unsorted inputs.
+	Hash
+	// SlidingHash is Hash with tables capped to the last-level cache,
+	// sliding over row ranges (Algorithms 7-8). Requires sorted
+	// inputs for the binary-search row partitioning.
+	SlidingHash
+)
+
+var algoNames = map[Algorithm]string{
+	Auto:              "Auto",
+	TwoWayIncremental: "2-way Incremental",
+	TwoWayTree:        "2-way Tree",
+	MapIncremental:    "Map Incremental",
+	MapTree:           "Map Tree",
+	Heap:              "Heap",
+	SPA:               "SPA",
+	Hash:              "Hash",
+	SlidingHash:       "Sliding Hash",
+}
+
+// String returns the display name used in the paper's tables.
+func (a Algorithm) String() string {
+	if s, ok := algoNames[a]; ok {
+		return s
+	}
+	return "Unknown"
+}
+
+// Algorithms lists every concrete implementation (everything but
+// Auto), in the row order of the paper's Tables III-IV.
+var Algorithms = []Algorithm{
+	TwoWayIncremental, MapIncremental, TwoWayTree, MapTree,
+	Heap, SPA, Hash, SlidingHash,
+}
+
+// Schedule selects how output columns are distributed over workers.
+type Schedule int
+
+const (
+	// ScheduleWeighted partitions columns by per-column nonzero
+	// weight (the paper's load-balancing: input nnz in the symbolic
+	// phase, output nnz in the addition phase). The default.
+	ScheduleWeighted Schedule = iota
+	// ScheduleStatic uses equal-width contiguous column blocks.
+	ScheduleStatic
+	// ScheduleDynamic uses atomic chunk claiming.
+	ScheduleDynamic
+)
+
+const (
+	// BytesPerSymbolicEntry is b in Algorithm 7: a symbolic hash-table
+	// slot holds one 32-bit row index.
+	BytesPerSymbolicEntry = 4
+	// BytesPerAddEntry is b in Algorithm 8: an addition-phase slot
+	// holds a 32-bit row index and a 64-bit value.
+	BytesPerAddEntry = 12
+	// DefaultCacheBytes is the default last-level cache budget M
+	// (the paper's Intel Skylake has a 32MB LLC).
+	DefaultCacheBytes = 32 << 20
+)
+
+// Options configure an SpKAdd call. The zero value is valid: Auto
+// algorithm, GOMAXPROCS threads, weighted scheduling, sorted output
+// off, Skylake-like cache budget.
+type Options struct {
+	Algorithm Algorithm
+	// Threads is the worker count T; <1 means GOMAXPROCS.
+	Threads int
+	// SortedOutput requests ascending row order within each output
+	// column. Heap, SPA, sliding-hash and the 2-way algorithms
+	// produce sorted output essentially for free; Hash pays a
+	// per-column sort (the paper's sorted-vs-unsorted hash gap in
+	// Fig 6).
+	SortedOutput bool
+	// CacheBytes is M, the total last-level cache shared by the
+	// workers, used by SlidingHash and Auto. <=0 means
+	// DefaultCacheBytes.
+	CacheBytes int64
+	// LoadFactor bounds hash-table occupancy; <=0 means 0.5.
+	LoadFactor float64
+	// Schedule selects the column scheduling strategy.
+	Schedule Schedule
+	// MaxTableEntries, when positive, caps sliding-hash tables at the
+	// given entry count instead of deriving the cap from CacheBytes.
+	// This is the knob behind the paper's Fig 4 table-size sweeps.
+	MaxTableEntries int
+	// Stats, when non-nil, accumulates work counters (hash probes,
+	// heap ops, SPA touches, entries moved) for complexity tests and
+	// the ablation benches.
+	Stats *OpStats
+}
+
+func (o Options) cacheBytes() int64 {
+	if o.CacheBytes <= 0 {
+		return DefaultCacheBytes
+	}
+	return o.CacheBytes
+}
+
+func (o Options) loadFactor() float64 {
+	if o.LoadFactor <= 0 || o.LoadFactor > 1 {
+		return 0.5
+	}
+	return o.LoadFactor
+}
+
+// OpStats aggregates work counters across workers. All fields are
+// updated atomically at phase boundaries, so the overhead inside
+// kernels is zero.
+type OpStats struct {
+	HashProbes   atomic.Int64
+	HeapOps      atomic.Int64
+	SPATouches   atomic.Int64
+	EntriesMoved atomic.Int64 // entries written to intermediate or final storage
+}
+
+// PhaseTimings reports the wall-clock split between the symbolic
+// (output-size) phase and the numeric addition phase, the series shown
+// separately in the paper's Fig 4.
+type PhaseTimings struct {
+	Symbolic time.Duration
+	Numeric  time.Duration
+}
+
+// Total returns the summed phase time.
+func (p PhaseTimings) Total() time.Duration { return p.Symbolic + p.Numeric }

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spkadd/internal/matrix"
+)
+
+func TestAddScaledBasic(t *testing.T) {
+	a := matrix.FromTriples(4, 2, []matrix.Triple{{Row: 0, Col: 0, Val: 2}, {Row: 3, Col: 1, Val: 4}})
+	b := matrix.FromTriples(4, 2, []matrix.Triple{{Row: 0, Col: 0, Val: 1}, {Row: 2, Col: 0, Val: 6}})
+	for _, alg := range []Algorithm{Hash, SPA, SlidingHash, Heap} {
+		got, err := AddScaled([]*matrix.CSC{a, b}, []matrix.Value{0.5, 2}, Options{Algorithm: alg, SortedOutput: true})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if got.At(0, 0) != 0.5*2+2*1 {
+			t.Errorf("%v: At(0,0) = %v, want 3", alg, got.At(0, 0))
+		}
+		if got.At(3, 1) != 2 {
+			t.Errorf("%v: At(3,1) = %v, want 2", alg, got.At(3, 1))
+		}
+		if got.At(2, 0) != 12 {
+			t.Errorf("%v: At(2,0) = %v, want 12", alg, got.At(2, 0))
+		}
+	}
+}
+
+func TestAddScaledAveraging(t *testing.T) {
+	// The gradient-averaging form: B = (1/k) Σ A_i.
+	k := 8
+	as := erInputs(k, 300, 8, 10, 61)
+	coeffs := make([]matrix.Value, k)
+	for i := range coeffs {
+		coeffs[i] = 1.0 / float64(k)
+	}
+	avg, err := AddScaled(as, coeffs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := matrix.ReferenceAdd(as)
+	if avg.NNZ() != sum.NNZ() {
+		t.Fatalf("averaged nnz %d != sum nnz %d", avg.NNZ(), sum.NNZ())
+	}
+	for _, tr := range sum.Triples() {
+		if got := avg.At(int(tr.Row), int(tr.Col)); got != tr.Val/float64(k) {
+			t.Fatalf("At(%d,%d) = %v, want %v", tr.Row, tr.Col, got, tr.Val/float64(k))
+		}
+	}
+}
+
+func TestAddScaledUnitCoeffsMatchAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(6) + 2
+		as := erInputs(k, rng.Intn(200)+10, rng.Intn(8)+1, rng.Intn(12)+1, uint64(seed))
+		ones := make([]matrix.Value, k)
+		for i := range ones {
+			ones[i] = 1
+		}
+		scaled, err := AddScaled(as, ones, Options{Algorithm: Hash, SortedOutput: true})
+		if err != nil {
+			return false
+		}
+		plain, err := Add(as, Options{Algorithm: Hash, SortedOutput: true})
+		if err != nil {
+			return false
+		}
+		return scaled.Equal(plain)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddScaledErrors(t *testing.T) {
+	a := matrix.FromTriples(3, 3, nil)
+	if _, err := AddScaled([]*matrix.CSC{a}, []matrix.Value{1, 2}, Options{}); !errors.Is(err, ErrDimMismatch) {
+		t.Error("coefficient count mismatch accepted")
+	}
+	if _, err := AddScaled(nil, nil, Options{}); !errors.Is(err, ErrNoInputs) {
+		t.Error("empty input accepted")
+	}
+	if _, err := AddScaled([]*matrix.CSC{a, a.Clone()}, []matrix.Value{1, 2}, Options{Algorithm: TwoWayTree}); err == nil {
+		t.Error("2-way algorithm accepted for scaled addition")
+	}
+	b := matrix.FromTriples(4, 3, nil)
+	if _, err := AddScaled([]*matrix.CSC{a, b}, []matrix.Value{1, 2}, Options{}); !errors.Is(err, ErrDimMismatch) {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestAddScaledZeroCoefficient(t *testing.T) {
+	// A zero coefficient keeps the structural union (explicit zeros)
+	// but contributes nothing numerically.
+	a := matrix.FromTriples(4, 1, []matrix.Triple{{Row: 1, Col: 0, Val: 5}})
+	b := matrix.FromTriples(4, 1, []matrix.Triple{{Row: 2, Col: 0, Val: 7}})
+	got, err := AddScaled([]*matrix.CSC{a, b}, []matrix.Value{1, 0}, Options{Algorithm: Hash, SortedOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2 (structure preserved)", got.NNZ())
+	}
+	if got.At(1, 0) != 5 || got.At(2, 0) != 0 {
+		t.Errorf("values: At(1,0)=%v At(2,0)=%v", got.At(1, 0), got.At(2, 0))
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"spkadd/internal/matrix"
+)
+
+// Accumulator implements the batched SpKAdd the paper proposes for
+// inputs that do not fit in memory simultaneously or that arrive over
+// time (§V: "we can still arrange input matrices in multiple batches
+// and then use SpKAdd for each batch"; streaming SpKAdd is the paper's
+// stated future work). Matrices are buffered until the configured
+// memory budget fills, then reduced into the running sum with one
+// k-way addition, so the reduction work stays k-way rather than
+// degenerating to the pairwise O(k²nd) regime.
+//
+// An Accumulator is not safe for concurrent use; each addition it
+// performs is internally parallel per the configured Options.
+type Accumulator struct {
+	rows, cols int
+	opt        Options
+	budget     int64
+
+	sum          *matrix.CSC
+	pending      []*matrix.CSC
+	pendingBytes int64
+	absorbed     int
+	reductions   int
+}
+
+// entryBytes is the in-memory footprint of one stored entry
+// (4-byte index + 8-byte value).
+const entryBytes = 12
+
+// NewAccumulator returns an accumulator for rows x cols matrices that
+// reduces its buffer whenever the buffered inputs exceed budgetBytes
+// (<=0 means 256MB). The paper's batching argument applies verbatim:
+// the batch size only affects memory, not the asymptotic work, as long
+// as each reduction is k-way.
+func NewAccumulator(rows, cols int, budgetBytes int64, opt Options) *Accumulator {
+	if budgetBytes <= 0 {
+		budgetBytes = 256 << 20
+	}
+	return &Accumulator{rows: rows, cols: cols, opt: opt, budget: budgetBytes}
+}
+
+// Push buffers one matrix, reducing the buffer first if adding it
+// would exceed the budget. The accumulator keeps a reference to a
+// until the next reduction; callers must not mutate it meanwhile.
+func (ac *Accumulator) Push(a *matrix.CSC) error {
+	if a.Rows != ac.rows || a.Cols != ac.cols {
+		return fmt.Errorf("%w: pushed %dx%d, accumulator is %dx%d",
+			ErrDimMismatch, a.Rows, a.Cols, ac.rows, ac.cols)
+	}
+	bytes := int64(a.NNZ()) * entryBytes
+	if ac.pendingBytes > 0 && ac.pendingBytes+bytes > ac.budget {
+		if err := ac.Flush(); err != nil {
+			return err
+		}
+	}
+	ac.pending = append(ac.pending, a)
+	ac.pendingBytes += bytes
+	ac.absorbed++
+	return nil
+}
+
+// Flush reduces all buffered matrices into the running sum.
+func (ac *Accumulator) Flush() error {
+	if len(ac.pending) == 0 {
+		return nil
+	}
+	batch := ac.pending
+	if ac.sum != nil {
+		batch = append([]*matrix.CSC{ac.sum}, batch...)
+	}
+	var err error
+	if len(batch) == 1 {
+		ac.sum = batch[0].Clone()
+	} else {
+		ac.sum, err = Add(batch, ac.opt)
+		if err != nil {
+			return err
+		}
+	}
+	ac.pending = ac.pending[:0]
+	ac.pendingBytes = 0
+	ac.reductions++
+	return nil
+}
+
+// Sum flushes and returns the current total. The returned matrix is
+// owned by the accumulator; it remains valid (and unmodified) until
+// further Push calls, after which callers should re-request it.
+func (ac *Accumulator) Sum() (*matrix.CSC, error) {
+	if err := ac.Flush(); err != nil {
+		return nil, err
+	}
+	if ac.sum == nil {
+		return matrix.NewCSC(ac.rows, ac.cols, 0), nil
+	}
+	return ac.sum, nil
+}
+
+// K returns the number of matrices absorbed so far.
+func (ac *Accumulator) K() int { return ac.absorbed }
+
+// Reductions returns how many k-way additions have run, a measure of
+// how the budget translated into batching.
+func (ac *Accumulator) Reductions() int { return ac.reductions }

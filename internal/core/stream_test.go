@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spkadd/internal/matrix"
+)
+
+func TestAccumulatorMatchesOneShot(t *testing.T) {
+	as := erInputs(20, 800, 16, 12, 51)
+	want := matrix.ReferenceAdd(as)
+	// Budgets from "reduce every push" to "one big reduction".
+	for _, budget := range []int64{1, 10 * entryBytes, 1 << 20} {
+		ac := NewAccumulator(800, 16, budget, Options{Algorithm: Hash, SortedOutput: true})
+		for _, a := range as {
+			if err := ac.Push(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := ac.Sum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("budget=%d: streaming sum differs from one-shot sum", budget)
+		}
+		if ac.K() != len(as) {
+			t.Errorf("budget=%d: K=%d, want %d", budget, ac.K(), len(as))
+		}
+	}
+}
+
+func TestAccumulatorBatching(t *testing.T) {
+	// A budget of ~4 matrices should produce ~k/4 reductions, far
+	// fewer than k (which is what pairwise incremental would do).
+	as := erInputs(16, 500, 8, 10, 52)
+	per := int64(as[0].NNZ()) * entryBytes
+	ac := NewAccumulator(500, 8, 4*per+1, Options{Algorithm: Hash})
+	for _, a := range as {
+		if err := ac.Push(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ac.Sum(); err != nil {
+		t.Fatal(err)
+	}
+	if r := ac.Reductions(); r < 3 || r > 6 {
+		t.Errorf("reductions = %d, want ~4 for a 4-matrix budget over k=16", r)
+	}
+}
+
+func TestAccumulatorIncrementalQueries(t *testing.T) {
+	// Sum may be requested between pushes; later pushes keep working.
+	a := matrix.FromTriples(4, 2, []matrix.Triple{{Row: 1, Col: 0, Val: 1}})
+	b := matrix.FromTriples(4, 2, []matrix.Triple{{Row: 1, Col: 0, Val: 2}, {Row: 3, Col: 1, Val: 5}})
+	ac := NewAccumulator(4, 2, 0, Options{Algorithm: Hash, SortedOutput: true})
+	if err := ac.Push(a); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := ac.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.At(1, 0) != 1 {
+		t.Errorf("partial sum At(1,0) = %v", s1.At(1, 0))
+	}
+	if err := ac.Push(b); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ac.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.At(1, 0) != 3 || s2.At(3, 1) != 5 {
+		t.Errorf("final sum wrong: At(1,0)=%v At(3,1)=%v", s2.At(1, 0), s2.At(3, 1))
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	ac := NewAccumulator(5, 5, 0, Options{})
+	got, err := ac.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 0 || got.Rows != 5 || got.Cols != 5 {
+		t.Errorf("empty accumulator sum = %v", got)
+	}
+}
+
+func TestAccumulatorDimCheck(t *testing.T) {
+	ac := NewAccumulator(4, 4, 0, Options{})
+	bad := matrix.NewCSC(5, 4, 0)
+	if err := ac.Push(bad); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("dim mismatch not rejected: %v", err)
+	}
+}
+
+func TestQuickAccumulatorAnyBudget(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(12) + 1
+		rows, cols := rng.Intn(50)+1, rng.Intn(6)+1
+		as := make([]*matrix.CSC, k)
+		for i := range as {
+			coo := matrix.NewCOO(rows, cols)
+			for e := 0; e < rng.Intn(30); e++ {
+				coo.Append(matrix.Index(rng.Intn(rows)), matrix.Index(rng.Intn(cols)), float64(rng.Intn(5)+1))
+			}
+			as[i] = coo.ToCSC()
+		}
+		want := matrix.ReferenceAdd(as)
+		ac := NewAccumulator(rows, cols, int64(rng.Intn(2000)+1), Options{Algorithm: Hash, SortedOutput: true})
+		for _, a := range as {
+			if ac.Push(a) != nil {
+				return false
+			}
+		}
+		got, err := ac.Sum()
+		return err == nil && got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import "spkadd/internal/matrix"
+
+// pairAdder is a 2-way addition routine: merge-based (specialised) or
+// map-based (library stand-in).
+type pairAdder func(a, b *matrix.CSC, opt Options) *matrix.CSC
+
+// addIncremental implements Algorithm 1: B <- A1, then B <- B + A_i
+// for i = 2..k. The i-th step costs the cumulative nnz, giving the
+// O(k^2 nd) behaviour of Table I.
+func addIncremental(as []*matrix.CSC, opt Options, add pairAdder) *matrix.CSC {
+	b := as[0]
+	owned := false // don't mutate the caller's first matrix
+	for i := 1; i < len(as); i++ {
+		b = add(b, as[i], opt)
+		owned = true
+	}
+	if !owned {
+		b = b.Clone()
+	}
+	return b
+}
+
+// addTree implements the balanced 2-way tree of Fig 1(c): inputs at
+// the leaves, pairwise additions up lg k levels, O(knd lg k) work.
+func addTree(as []*matrix.CSC, opt Options, add pairAdder) *matrix.CSC {
+	level := make([]*matrix.CSC, len(as))
+	copy(level, as)
+	owned := make([]bool, len(as)) // whether level[i] is an intermediate we created
+	for len(level) > 1 {
+		half := (len(level) + 1) / 2
+		next := make([]*matrix.CSC, half)
+		nextOwned := make([]bool, half)
+		for i := 0; i < len(level)/2; i++ {
+			next[i] = add(level[2*i], level[2*i+1], opt)
+			nextOwned[i] = true
+		}
+		if len(level)%2 == 1 {
+			next[half-1] = level[len(level)-1]
+			nextOwned[half-1] = owned[len(level)-1]
+		}
+		level, owned = next, nextOwned
+	}
+	if !owned[0] {
+		return level[0].Clone()
+	}
+	return level[0]
+}

@@ -1,0 +1,99 @@
+package generate
+
+import (
+	"spkadd/internal/matrix"
+)
+
+// ClusteredCollection generates k matrices whose columns draw row
+// indices from a shared per-column pool, giving the collection a
+// controllable compression factor cf ≈ k*d/poolSize. This is the
+// stand-in for the intermediate matrices a distributed SpGEMM produces
+// (e.g. the Eukarya intermediates of Fig 3(c)/Fig 4(d), which have
+// cf ≈ 22.6): the k intermediate products of one output block overlap
+// heavily in their row support.
+//
+// cf is clamped to [1, k]; cf=1 reproduces independent ER-like inputs,
+// cf=k makes all k inputs share exactly the same support.
+func ClusteredCollection(k int, o Opts, cf float64) []*matrix.CSC {
+	if cf < 1 {
+		cf = 1
+	}
+	if cf > float64(k) {
+		cf = float64(k)
+	}
+	poolSize := int(float64(k*o.NNZPerCol) / cf)
+	if poolSize < o.NNZPerCol {
+		poolSize = o.NNZPerCol
+	}
+	if poolSize > o.Rows {
+		poolSize = o.Rows
+	}
+	return clustered(k, o, poolSize)
+}
+
+func clustered(k int, o Opts, poolSize int) []*matrix.CSC {
+	coos := make([]*matrix.COO, k)
+	for i := range coos {
+		coos[i] = matrix.NewCOO(o.Rows, o.Cols)
+		coos[i].Entries = make([]matrix.Triple, 0, o.totalDraws())
+	}
+	pool := make([]matrix.Index, poolSize)
+	for j := 0; j < o.Cols; j++ {
+		pr := newRNG(o.Seed, uint64(j)+0x200000)
+		for t := range pool {
+			pool[t] = matrix.Index(pr.intn(o.Rows))
+		}
+		for i := 0; i < k; i++ {
+			r := newRNG(o.Seed, uint64(j)*uint64(k)+uint64(i)+0x300000)
+			for t := 0; t < o.NNZPerCol; t++ {
+				coos[i].Append(pool[r.intn(poolSize)], matrix.Index(j), 1)
+			}
+		}
+	}
+	out := make([]*matrix.CSC, k)
+	for i := range out {
+		out[i] = coos[i].ToCSC()
+	}
+	return out
+}
+
+// ProteinLike generates a square similarity-network-like matrix:
+// vertices are grouped into clusters with dense in-cluster similarity
+// edges plus sparse power-law cross-cluster noise. It stands in for the
+// Eukarya/Isolates/Metaclust50 protein networks in the SUMMA
+// experiments; what matters there is a symmetric-ish, clustered,
+// skewed square matrix.
+func ProteinLike(n, clusterSize, avgDeg int, seed uint64) *matrix.CSC {
+	if clusterSize < 2 {
+		clusterSize = 2
+	}
+	coo := matrix.NewCOO(n, n)
+	inCluster := avgDeg * 3 / 4
+	if inCluster < 1 {
+		inCluster = 1
+	}
+	cross := avgDeg - inCluster
+	for v := 0; v < n; v++ {
+		r := newRNG(seed, uint64(v)+0x400000)
+		base := (v / clusterSize) * clusterSize
+		span := clusterSize
+		if base+span > n {
+			span = n - base
+		}
+		for t := 0; t < inCluster; t++ {
+			u := base + r.intn(span)
+			coo.Append(matrix.Index(v), matrix.Index(u), 1+r.float64())
+		}
+		for t := 0; t < cross; t++ {
+			// Skewed cross edges: square the uniform draw to bias
+			// toward low vertex ids (hub-like structure).
+			f := r.float64()
+			u := int(f * f * float64(n))
+			if u >= n {
+				u = n - 1
+			}
+			coo.Append(matrix.Index(v), matrix.Index(u), r.float64())
+		}
+	}
+	return coo.ToCSC()
+}

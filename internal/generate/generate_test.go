@@ -1,0 +1,219 @@
+package generate
+
+import (
+	"testing"
+
+	"spkadd/internal/matrix"
+)
+
+func TestERShapeAndLoad(t *testing.T) {
+	o := Opts{Rows: 1000, Cols: 32, NNZPerCol: 50, Seed: 1}
+	a := ER(o)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 1000 || a.Cols != 32 {
+		t.Fatalf("shape %dx%d", a.Rows, a.Cols)
+	}
+	// Duplicate merging can only lose a few entries at this density.
+	if a.NNZ() < 32*45 || a.NNZ() > 32*50 {
+		t.Errorf("nnz = %d, want close to %d", a.NNZ(), 32*50)
+	}
+	// Per-column load should be nearly uniform.
+	for j := 0; j < a.Cols; j++ {
+		if c := a.ColNNZ(j); c < 40 || c > 50 {
+			t.Errorf("column %d has %d entries, want ~50", j, c)
+		}
+	}
+	if !a.IsColumnSorted() {
+		t.Error("generator output should be sorted")
+	}
+}
+
+func TestERDeterministic(t *testing.T) {
+	o := Opts{Rows: 500, Cols: 8, NNZPerCol: 20, Seed: 42}
+	a, b := ER(o), ER(o)
+	if !a.Equal(b) {
+		t.Error("same seed should reproduce the same matrix")
+	}
+	o2 := o
+	o2.Seed = 43
+	c := ER(o2)
+	if a.Equal(c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	o := Opts{Rows: 1 << 12, Cols: 1 << 8, NNZPerCol: 64, Seed: 3}
+	a := RMAT(o, Graph500)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	er := ER(o)
+	// Skew check: the heaviest RMAT column should be far heavier than
+	// the heaviest ER column.
+	maxCol := func(m *matrix.CSC) int {
+		best := 0
+		for j := 0; j < m.Cols; j++ {
+			if c := m.ColNNZ(j); c > best {
+				best = c
+			}
+		}
+		return best
+	}
+	if rm, em := maxCol(a), maxCol(er); rm <= em {
+		t.Errorf("RMAT max column %d not heavier than ER max column %d", rm, em)
+	}
+	// Row skew: max row degree should far exceed the mean.
+	rowDeg := make([]int, a.Rows)
+	for _, r := range a.RowIdx {
+		rowDeg[r]++
+	}
+	maxRow := 0
+	for _, d := range rowDeg {
+		if d > maxRow {
+			maxRow = d
+		}
+	}
+	mean := float64(a.NNZ()) / float64(a.Rows)
+	if float64(maxRow) < 10*mean {
+		t.Errorf("RMAT max row degree %d not skewed vs mean %.1f", maxRow, mean)
+	}
+}
+
+func TestRMATRespectsDimensions(t *testing.T) {
+	// Non-power-of-two dimensions must be honored via rejection.
+	o := Opts{Rows: 1000, Cols: 37, NNZPerCol: 11, Seed: 9}
+	a := RMAT(o, Graph500)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 1000 || a.Cols != 37 {
+		t.Fatalf("shape %dx%d", a.Rows, a.Cols)
+	}
+}
+
+func TestERCollection(t *testing.T) {
+	mats := ERCollection(5, Opts{Rows: 200, Cols: 10, NNZPerCol: 8, Seed: 7})
+	if len(mats) != 5 {
+		t.Fatalf("got %d matrices", len(mats))
+	}
+	for i, m := range mats {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("matrix %d: %v", i, err)
+		}
+		if m.Rows != 200 || m.Cols != 10 {
+			t.Fatalf("matrix %d shape %dx%d", i, m.Rows, m.Cols)
+		}
+	}
+	if mats[0].Equal(mats[1]) {
+		t.Error("collection members should be independent")
+	}
+}
+
+func TestRMATCollection(t *testing.T) {
+	k := 4
+	mats := RMATCollection(k, Opts{Rows: 512, Cols: 64, NNZPerCol: 16, Seed: 5}, Graph500)
+	if len(mats) != k {
+		t.Fatalf("got %d matrices, want %d", len(mats), k)
+	}
+	total := 0
+	for _, m := range mats {
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if m.Cols != 64 || m.Rows != 512 {
+			t.Fatalf("piece shape %dx%d", m.Rows, m.Cols)
+		}
+		total += m.NNZ()
+	}
+	if total == 0 {
+		t.Fatal("empty collection")
+	}
+}
+
+func TestClusteredCompressionFactor(t *testing.T) {
+	k, d := 16, 32
+	o := Opts{Rows: 1 << 16, Cols: 32, NNZPerCol: d, Seed: 11}
+	for _, wantCF := range []float64{1, 4, 12} {
+		mats := ClusteredCollection(k, o, wantCF)
+		sum := matrix.ReferenceAdd(mats)
+		in := 0
+		for _, m := range mats {
+			in += m.NNZ()
+		}
+		got := float64(in) / float64(sum.NNZ())
+		// Duplicate merging and pool collisions blur cf; accept 40%.
+		if got < wantCF*0.6 || got > wantCF*1.8 {
+			t.Errorf("cf target %.1f: measured %.2f", wantCF, got)
+		}
+	}
+}
+
+func TestProteinLike(t *testing.T) {
+	a := ProteinLike(2000, 50, 12, 13)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 2000 || a.Cols != 2000 {
+		t.Fatalf("shape %dx%d", a.Rows, a.Cols)
+	}
+	if a.NNZ() < 2000*6 {
+		t.Errorf("too sparse: nnz=%d", a.NNZ())
+	}
+	// Clustered structure: a healthy majority of edges stay in-cluster.
+	in := 0
+	for j := 0; j < a.Cols; j++ {
+		cl := j / 50
+		for _, r := range a.ColRows(j) {
+			if int(r)/50 == cl {
+				in++
+			}
+		}
+	}
+	if frac := float64(in) / float64(a.NNZ()); frac < 0.5 {
+		t.Errorf("in-cluster fraction %.2f, want > 0.5", frac)
+	}
+}
+
+func TestERCollectionIndependence(t *testing.T) {
+	// Regression test for a stream-correlation bug: matrices generated
+	// from adjacent seeds must be statistically independent, so the
+	// compression factor of their sum stays near 1 when d << rows.
+	k := 16
+	mats := ERCollection(k, Opts{Rows: 1 << 16, Cols: 16, NNZPerCol: 64, Seed: 100})
+	sum := matrix.ReferenceAdd(mats)
+	in := 0
+	for _, m := range mats {
+		in += m.NNZ()
+	}
+	cf := float64(in) / float64(sum.NNZ())
+	if cf > 1.05 {
+		t.Errorf("compression factor %.3f for independent sparse ER inputs, want ~1.01 (correlated streams?)", cf)
+	}
+}
+
+func TestAdjacentSeedsUncorrelated(t *testing.T) {
+	o := Opts{Rows: 1 << 14, Cols: 8, NNZPerCol: 32, Seed: 7}
+	a := ER(o)
+	o.Seed = 8
+	b := ER(o)
+	shared := 0
+	for j := 0; j < a.Cols; j++ {
+		set := map[matrix.Index]bool{}
+		for _, r := range a.ColRows(j) {
+			set[r] = true
+		}
+		for _, r := range b.ColRows(j) {
+			if set[r] {
+				shared++
+			}
+		}
+	}
+	// Expected collisions per column: 32*32/16384 ≈ 0.0625; across 8
+	// columns well under 10 even with slack.
+	if shared > 10 {
+		t.Errorf("%d shared positions between adjacent-seed matrices, want ~0", shared)
+	}
+}

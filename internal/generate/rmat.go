@@ -1,0 +1,140 @@
+package generate
+
+import (
+	"spkadd/internal/matrix"
+)
+
+// RMATParams are the recursive quadrant probabilities of the R-MAT
+// generator. They must be non-negative and sum to 1.
+type RMATParams struct {
+	A, B, C, D float64
+}
+
+// Graph500 is the seed parameter set the paper uses for skewed (RMAT)
+// matrices: a=0.57, b=c=0.19, d=0.05.
+var Graph500 = RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05}
+
+// Uniform is the parameter set for Erdős–Rényi matrices
+// (a=b=c=d=0.25); ER uses a direct uniform sampler for speed, but the
+// distribution is the same.
+var Uniform = RMATParams{A: 0.25, B: 0.25, C: 0.25, D: 0.25}
+
+// Opts describe one synthetic matrix.
+type Opts struct {
+	Rows, Cols int
+	// NNZPerCol is the average number of nonzeros per column (the
+	// paper's d); the generator draws Cols*NNZPerCol entries before
+	// duplicate merging.
+	NNZPerCol int
+	Seed      uint64
+}
+
+func (o Opts) totalDraws() int { return o.Cols * o.NNZPerCol }
+
+// ER generates an Erdős–Rényi matrix: entries uniformly distributed
+// over the m x n index space, values 1. Duplicates are merged, so the
+// final nnz can be slightly below Cols*NNZPerCol.
+func ER(o Opts) *matrix.CSC {
+	coo := matrix.NewCOO(o.Rows, o.Cols)
+	coo.Entries = make([]matrix.Triple, 0, o.totalDraws())
+	// Draw exactly NNZPerCol entries per column so the per-column load
+	// is uniform, matching the paper's "d nonzeros per column" model.
+	for j := 0; j < o.Cols; j++ {
+		r := newRNG(o.Seed, uint64(j))
+		for t := 0; t < o.NNZPerCol; t++ {
+			coo.Append(matrix.Index(r.intn(o.Rows)), matrix.Index(j), 1)
+		}
+	}
+	return coo.ToCSC()
+}
+
+// RMAT generates a power-law matrix with the given quadrant parameters.
+// The index space is padded to powers of two internally; out-of-range
+// draws are retried, so the requested dimensions are honored exactly.
+func RMAT(o Opts, p RMATParams) *matrix.CSC {
+	rbits := bitsFor(o.Rows)
+	cbits := bitsFor(o.Cols)
+	coo := matrix.NewCOO(o.Rows, o.Cols)
+	coo.Entries = make([]matrix.Triple, 0, o.totalDraws())
+	total := o.totalDraws()
+	const chunk = 1 << 14
+	for start := 0; start < total; start += chunk {
+		n := chunk
+		if start+n > total {
+			n = total - start
+		}
+		r := newRNG(o.Seed, uint64(start/chunk)+0x100000)
+		for t := 0; t < n; t++ {
+			row, col := rmatDraw(r, rbits, cbits, o.Rows, o.Cols, p)
+			coo.Append(matrix.Index(row), matrix.Index(col), 1)
+		}
+	}
+	return coo.ToCSC()
+}
+
+// rmatDraw samples one (row, col) pair by recursive quadrant descent,
+// rejecting coordinates outside the requested (possibly non-power-of-
+// two) dimensions.
+func rmatDraw(r *rng, rbits, cbits, rows, cols int, p RMATParams) (int, int) {
+	for {
+		row, col := 0, 0
+		levels := rbits
+		if cbits > levels {
+			levels = cbits
+		}
+		for l := 0; l < levels; l++ {
+			u := r.float64()
+			var rbit, cbit int
+			switch {
+			case u < p.A:
+				rbit, cbit = 0, 0
+			case u < p.A+p.B:
+				rbit, cbit = 0, 1
+			case u < p.A+p.B+p.C:
+				rbit, cbit = 1, 0
+			default:
+				rbit, cbit = 1, 1
+			}
+			if l < rbits {
+				row = row<<1 | rbit
+			}
+			if l < cbits {
+				col = col<<1 | cbit
+			}
+		}
+		if row < rows && col < cols {
+			return row, col
+		}
+	}
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}
+
+// ERCollection generates k independent ER matrices of identical shape,
+// the input collections of Tables III and Fig 2 (left).
+func ERCollection(k int, o Opts) []*matrix.CSC {
+	out := make([]*matrix.CSC, k)
+	for i := range out {
+		oi := o
+		oi.Seed = o.Seed + uint64(i)*0x51_7C_C1B7_2722_0A95
+		out[i] = ER(oi)
+	}
+	return out
+}
+
+// RMATCollection generates k RMAT inputs using the paper's
+// construction: one wide m x (k*Cols) matrix is generated and split
+// along columns into k m x Cols pieces, so the pieces share the skewed
+// column structure (§IV-A).
+func RMATCollection(k int, o Opts, p RMATParams) []*matrix.CSC {
+	wide := o
+	wide.Cols = o.Cols * k
+	m := RMAT(wide, p)
+	return m.ColSplit(k)
+}

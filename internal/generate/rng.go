@@ -1,0 +1,47 @@
+// Package generate produces the synthetic matrices used by the paper's
+// evaluation: Erdős–Rényi (ER) uniform random matrices, R-MAT power-law
+// matrices (Graph500 parameters), the column-split construction that
+// turns one wide matrix into a collection of k SpKAdd inputs, clustered
+// collections with a controllable compression factor (standing in for
+// the SpGEMM intermediate matrices of the protein networks), and a
+// protein-similarity-like generator for the SUMMA experiments.
+package generate
+
+// rng is a small splitmix64 PRNG. Each column or chunk of generated
+// entries gets its own stream derived from (seed, stream id), so
+// generation is deterministic regardless of how work is divided among
+// goroutines.
+type rng struct{ state uint64 }
+
+func newRNG(seed, stream uint64) *rng {
+	// Avalanche-mix seed and stream together (murmur3 finalizer) so
+	// that nearby (seed, stream) pairs start at unrelated states.
+	// Deriving the state linearly (seed*φ + stream) is a trap: seeds
+	// differing by 1 would yield sequences shifted by exactly one
+	// step, making "independent" matrices near-copies of each other.
+	z := seed ^ (stream * 0xD2B74407B1CE6E93)
+	z ^= z >> 33
+	z *= 0xFF51AFD7ED558CCD
+	z ^= z >> 33
+	z *= 0xC4CEB9FE1A85EC53
+	z ^= z >> 33
+	return &rng{state: z}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// float64 returns a uniform float in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

@@ -1,0 +1,219 @@
+// Package hashtab implements the open-addressing hash tables at the
+// heart of the paper's HashSpKAdd (Algorithm 5) and its symbolic phase
+// (Algorithm 6): power-of-two sized tables with the multiplicative
+// masking hash HASH(r) = (a*r) & (2^q - 1) and linear probing.
+//
+// Two variants are provided: Table stores (row, value) pairs and
+// accumulates values on duplicate insert (the numeric addition phase);
+// Symbolic stores row indices only and counts distinct keys (the
+// symbolic phase, 4 bytes per entry instead of 12).
+//
+// A worker reuses one table across every column it processes, so Reset
+// must not cost O(capacity): slots carry an epoch stamp and Reset just
+// bumps the epoch. Grow additionally narrows the probe mask to the
+// size the current column needs, so a huge column early on does not
+// condemn every later small column to probing (and wiping) a huge
+// table — that would silently destroy the cache behaviour the sliding
+// hash algorithm is built around.
+//
+// Tables are not safe for concurrent use; the parallel SpKAdd driver
+// gives each worker its own table, exactly as the paper's
+// thread-private data structures (§III-A).
+package hashtab
+
+import "spkadd/internal/matrix"
+
+// hashMul is the multiplicative constant `a` of the paper's
+// HASH(r) = (a*r) & (2^q - 1). Knuth's golden-ratio prime spreads
+// consecutive row indices well under the power-of-two mask.
+const hashMul uint32 = 2654435761
+
+// DefaultLoadFactor bounds table occupancy. The paper sizes tables as
+// "a power of two greater than nnz"; we keep the power-of-two sizing
+// but reserve headroom so linear probing stays O(1) in expectation.
+const DefaultLoadFactor = 0.5
+
+// SizeFor returns the table capacity (a power of two) used for n keys
+// at the given load factor (<=0 means DefaultLoadFactor).
+func SizeFor(n int, loadFactor float64) int {
+	if loadFactor <= 0 || loadFactor > 1 {
+		loadFactor = DefaultLoadFactor
+	}
+	need := int(float64(n)/loadFactor) + 1
+	p := 1
+	for p < need {
+		p <<= 1
+	}
+	return p
+}
+
+// Table is the numeric-phase hash table holding (row, value) entries.
+type Table struct {
+	keys   []matrix.Index
+	vals   []matrix.Value
+	stamps []uint32
+	epoch  uint32
+	mask   uint32 // active window size - 1 (window may be smaller than storage)
+	n      int
+
+	// Probes counts total probe steps, for the work-complexity tests
+	// backing Table I. It survives Reset/Grow so a worker can
+	// accumulate across the many columns it processes; callers zero it
+	// explicitly when flushing.
+	Probes int64
+}
+
+// NewTable returns a table with capacity for at least n keys.
+func NewTable(n int, loadFactor float64) *Table {
+	t := &Table{}
+	t.Grow(n, loadFactor)
+	return t
+}
+
+// Cap returns the active window size (a power of two).
+func (t *Table) Cap() int { return int(t.mask) + 1 }
+
+// Len returns the number of distinct keys stored.
+func (t *Table) Len() int { return t.n }
+
+// Reset clears the table for reuse in O(1) by bumping the epoch.
+func (t *Table) Reset() {
+	t.n = 0
+	t.epoch++
+	if t.epoch == 0 { // stamp wraparound: restore the invariant
+		for i := range t.stamps {
+			t.stamps[i] = 0
+		}
+		t.epoch = 1
+	}
+}
+
+// Grow clears the table and sets the active probe window to hold at
+// least n keys, enlarging storage only when needed.
+func (t *Table) Grow(n int, loadFactor float64) {
+	size := SizeFor(n, loadFactor)
+	if size > len(t.keys) {
+		t.keys = make([]matrix.Index, size)
+		t.vals = make([]matrix.Value, size)
+		t.stamps = make([]uint32, size)
+		t.epoch = 0
+	}
+	t.mask = uint32(size - 1)
+	t.Reset()
+}
+
+// Add inserts (r, v), accumulating v if r is already present
+// (lines 5-12 of Algorithm 5).
+func (t *Table) Add(r matrix.Index, v matrix.Value) {
+	h := (hashMul * uint32(r)) & t.mask
+	for {
+		t.Probes++
+		if t.stamps[h] != t.epoch { // empty slot
+			t.stamps[h] = t.epoch
+			t.keys[h] = r
+			t.vals[h] = v
+			t.n++
+			return
+		}
+		if t.keys[h] == r {
+			t.vals[h] += v
+			return
+		}
+		h = (h + 1) & t.mask // linear probing
+	}
+}
+
+// Get returns the accumulated value for r and whether r is present.
+func (t *Table) Get(r matrix.Index) (matrix.Value, bool) {
+	h := (hashMul * uint32(r)) & t.mask
+	for {
+		if t.stamps[h] != t.epoch {
+			return 0, false
+		}
+		if t.keys[h] == r {
+			return t.vals[h], true
+		}
+		h = (h + 1) & t.mask
+	}
+}
+
+// AppendEntries appends all valid (row, value) pairs to rows/vals in
+// table order (lines 13-14 of Algorithm 5) and returns the extended
+// slices. Table order is not sorted; callers sort afterwards if needed.
+func (t *Table) AppendEntries(rows []matrix.Index, vals []matrix.Value) ([]matrix.Index, []matrix.Value) {
+	for h := 0; h <= int(t.mask); h++ {
+		if t.stamps[h] == t.epoch {
+			rows = append(rows, t.keys[h])
+			vals = append(vals, t.vals[h])
+		}
+	}
+	return rows, vals
+}
+
+// Symbolic is the index-only table of Algorithm 6, used to count the
+// distinct row indices of an output column before allocation.
+type Symbolic struct {
+	keys   []matrix.Index
+	stamps []uint32
+	epoch  uint32
+	mask   uint32
+	n      int
+
+	Probes int64
+}
+
+// NewSymbolic returns a symbolic table with capacity for n keys.
+func NewSymbolic(n int, loadFactor float64) *Symbolic {
+	s := &Symbolic{}
+	s.Grow(n, loadFactor)
+	return s
+}
+
+// Cap returns the active window size.
+func (s *Symbolic) Cap() int { return int(s.mask) + 1 }
+
+// Len returns the number of distinct keys inserted.
+func (s *Symbolic) Len() int { return s.n }
+
+// Reset clears the table for reuse in O(1).
+func (s *Symbolic) Reset() {
+	s.n = 0
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.stamps {
+			s.stamps[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// Grow clears the table and sets the active window for n keys.
+func (s *Symbolic) Grow(n int, loadFactor float64) {
+	size := SizeFor(n, loadFactor)
+	if size > len(s.keys) {
+		s.keys = make([]matrix.Index, size)
+		s.stamps = make([]uint32, size)
+		s.epoch = 0
+	}
+	s.mask = uint32(size - 1)
+	s.Reset()
+}
+
+// Insert records r; it returns true when r was new (lines 7-12 of
+// Algorithm 6: the nonzero counter increments on first sight only).
+func (s *Symbolic) Insert(r matrix.Index) bool {
+	h := (hashMul * uint32(r)) & s.mask
+	for {
+		s.Probes++
+		if s.stamps[h] != s.epoch {
+			s.stamps[h] = s.epoch
+			s.keys[h] = r
+			s.n++
+			return true
+		}
+		if s.keys[h] == r {
+			return false
+		}
+		h = (h + 1) & s.mask
+	}
+}

@@ -1,0 +1,181 @@
+package hashtab
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"spkadd/internal/matrix"
+)
+
+func TestSizeFor(t *testing.T) {
+	cases := []struct {
+		n    int
+		lf   float64
+		want int
+	}{
+		{0, 0.5, 1},
+		{1, 0.5, 4},
+		{3, 0.5, 8},
+		{100, 0.5, 256},
+		{100, 1.0, 128},
+		{100, 0, 256}, // default load factor
+	}
+	for _, c := range cases {
+		if got := SizeFor(c.n, c.lf); got != c.want {
+			t.Errorf("SizeFor(%d, %v) = %d, want %d", c.n, c.lf, got, c.want)
+		}
+		if got := SizeFor(c.n, c.lf); got&(got-1) != 0 {
+			t.Errorf("SizeFor(%d, %v) = %d not a power of two", c.n, c.lf, got)
+		}
+	}
+}
+
+func TestTableAccumulates(t *testing.T) {
+	tab := NewTable(10, 0.5)
+	tab.Add(5, 1.5)
+	tab.Add(7, 2)
+	tab.Add(5, 3)
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if v, ok := tab.Get(5); !ok || v != 4.5 {
+		t.Errorf("Get(5) = %v,%v want 4.5,true", v, ok)
+	}
+	if v, ok := tab.Get(7); !ok || v != 2 {
+		t.Errorf("Get(7) = %v,%v want 2,true", v, ok)
+	}
+	if _, ok := tab.Get(6); ok {
+		t.Error("Get(6) should miss")
+	}
+}
+
+func TestTableCollisionsResolve(t *testing.T) {
+	// Force collisions with a tiny table at load factor 1.
+	tab := NewTable(4, 1.0)
+	keys := []matrix.Index{0, 4, 8, 12} // likely collide under mask
+	for i, k := range keys {
+		tab.Add(k, float64(i+1))
+	}
+	for i, k := range keys {
+		if v, ok := tab.Get(k); !ok || v != float64(i+1) {
+			t.Errorf("Get(%d) = %v,%v want %d,true", k, v, ok, i+1)
+		}
+	}
+}
+
+func TestAppendEntriesRoundTrip(t *testing.T) {
+	tab := NewTable(64, 0.5)
+	want := map[matrix.Index]matrix.Value{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		r := matrix.Index(rng.Intn(50))
+		v := float64(rng.Intn(10))
+		tab.Add(r, v)
+		want[r] += v
+	}
+	rows, vals := tab.AppendEntries(nil, nil)
+	if len(rows) != len(want) || tab.Len() != len(want) {
+		t.Fatalf("got %d entries, want %d", len(rows), len(want))
+	}
+	for i, r := range rows {
+		if vals[i] != want[r] {
+			t.Errorf("row %d: got %v want %v", r, vals[i], want[r])
+		}
+	}
+	// Entries must be extractable in sorted order after an explicit sort.
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	for i := 1; i < len(rows); i++ {
+		if rows[i] == rows[i-1] {
+			t.Error("duplicate key extracted")
+		}
+	}
+}
+
+func TestTableResetAndGrow(t *testing.T) {
+	tab := NewTable(8, 0.5)
+	tab.Add(1, 1)
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+	if _, ok := tab.Get(1); ok {
+		t.Error("entry survived Reset")
+	}
+	tab.Grow(4, 0.5)
+	if tab.Cap() != SizeFor(4, 0.5) {
+		t.Errorf("Grow must narrow the active window: cap=%d want %d", tab.Cap(), SizeFor(4, 0.5))
+	}
+	tab.Grow(10_000, 0.5)
+	if tab.Cap() < 20_000 {
+		t.Errorf("Grow(10000) cap = %d", tab.Cap())
+	}
+	tab.Add(9999, 3)
+	if v, _ := tab.Get(9999); v != 3 {
+		t.Error("table broken after Grow")
+	}
+}
+
+func TestSymbolicCountsDistinct(t *testing.T) {
+	s := NewSymbolic(100, 0.5)
+	seen := map[matrix.Index]bool{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		r := matrix.Index(rng.Intn(80))
+		isNew := s.Insert(r)
+		if isNew == seen[r] {
+			t.Fatalf("Insert(%d) new=%v but seen=%v", r, isNew, seen[r])
+		}
+		seen[r] = true
+	}
+	if s.Len() != len(seen) {
+		t.Errorf("Len = %d, want %d", s.Len(), len(seen))
+	}
+}
+
+func TestQuickTableMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 1
+		tab := NewTable(n/4+1, 0.5) // deliberately small: exercise Grow? no, collision paths
+		want := map[matrix.Index]matrix.Value{}
+		for i := 0; i < n; i++ {
+			r := matrix.Index(rng.Intn(64))
+			v := float64(rng.Intn(20) - 10)
+			tab.Grow(len(want)+1+i, 0) // keep capacity ahead of inserts
+			// Grow clears; rebuild from the map to mimic steady state.
+			tab.Reset()
+			for kr, kv := range want {
+				tab.Add(kr, kv)
+			}
+			tab.Add(r, v)
+			want[r] += v
+		}
+		if tab.Len() != len(want) {
+			return false
+		}
+		for kr, kv := range want {
+			if v, ok := tab.Get(kr); !ok || v != kv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbeCounterMonotone(t *testing.T) {
+	tab := NewTable(16, 0.5)
+	tab.Add(1, 1)
+	if tab.Probes < 1 {
+		t.Error("probe counter not advancing")
+	}
+	p := tab.Probes
+	tab.Add(2, 1)
+	if tab.Probes <= p {
+		t.Error("probe counter not monotone")
+	}
+}

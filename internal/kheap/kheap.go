@@ -1,0 +1,105 @@
+// Package kheap implements the k-way merge min-heap of the paper's
+// HeapSpKAdd (Algorithm 3): a binary heap over (row, matrix, value)
+// tuples, keyed by row index, holding at most one tuple per input
+// matrix. Extract-min and insert cost O(lg k).
+//
+// The heap is specialised rather than built on container/heap: the
+// interface-based stdlib heap costs an indirect call per comparison,
+// which is measurable in this hot loop, and a fixed-capacity slice heap
+// matches the paper's O(k) memory claim exactly.
+package kheap
+
+import "spkadd/internal/matrix"
+
+// Tuple is one heap element: value v = A_mat(row, j).
+type Tuple struct {
+	Row matrix.Index
+	Mat int32
+	Val matrix.Value
+}
+
+// Heap is a binary min-heap of Tuples ordered by Row. Ties on Row are
+// broken by Mat to make traversal deterministic.
+type Heap struct {
+	a []Tuple
+
+	// Ops counts sift operations for the Table I work tests.
+	Ops int64
+}
+
+// New returns a heap with capacity k.
+func New(k int) *Heap {
+	return &Heap{a: make([]Tuple, 0, k)}
+}
+
+// Len returns the number of elements.
+func (h *Heap) Len() int { return len(h.a) }
+
+// Reset empties the heap, keeping capacity. The Ops counter survives
+// Reset so workers can accumulate across columns; callers zero it when
+// flushing stats.
+func (h *Heap) Reset() { h.a = h.a[:0] }
+
+func (h *Heap) less(i, j int) bool {
+	if h.a[i].Row != h.a[j].Row {
+		return h.a[i].Row < h.a[j].Row
+	}
+	return h.a[i].Mat < h.a[j].Mat
+}
+
+// Push inserts t in O(lg k).
+func (h *Heap) Push(t Tuple) {
+	h.a = append(h.a, t)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.Ops++
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+// Min returns the minimum tuple without removing it. It panics on an
+// empty heap, matching slice-bounds semantics.
+func (h *Heap) Min() Tuple { return h.a[0] }
+
+// Pop removes and returns the minimum tuple in O(lg k).
+func (h *Heap) Pop() Tuple {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	h.siftDown(0)
+	return top
+}
+
+// ReplaceMin replaces the minimum with t and restores heap order.
+// This is the common HeapAdd step (extract min, insert successor from
+// the same matrix) fused into one O(lg k) sift instead of two.
+func (h *Heap) ReplaceMin(t Tuple) {
+	h.a[0] = t
+	h.siftDown(0)
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.a)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.Ops++
+		h.a[i], h.a[smallest] = h.a[smallest], h.a[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,91 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockBasic(t *testing.T) {
+	a := FromTriples(6, 4, []Triple{
+		{0, 0, 1}, {2, 1, 2}, {3, 1, 3}, {5, 3, 4}, {2, 3, 5},
+	})
+	b := a.Block(2, 4, 1, 4)
+	if b.Rows != 2 || b.Cols != 3 {
+		t.Fatalf("block shape %dx%d, want 2x3", b.Rows, b.Cols)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.At(0, 0) != 2 { // was (2,1)
+		t.Errorf("At(0,0) = %v, want 2", b.At(0, 0))
+	}
+	if b.At(1, 0) != 3 { // was (3,1)
+		t.Errorf("At(1,0) = %v, want 3", b.At(1, 0))
+	}
+	if b.At(0, 2) != 5 { // was (2,3)
+		t.Errorf("At(0,2) = %v, want 5", b.At(0, 2))
+	}
+	if b.NNZ() != 3 {
+		t.Errorf("nnz = %d, want 3", b.NNZ())
+	}
+}
+
+func TestBlockEmptyAndFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomCOO(rng, 10, 8, 40).ToCSC()
+	full := a.Block(0, a.Rows, 0, a.Cols)
+	if !a.Equal(full) {
+		t.Error("full-range block differs from original")
+	}
+	empty := a.Block(3, 3, 2, 2)
+	if empty.NNZ() != 0 || empty.Rows != 0 || empty.Cols != 0 {
+		t.Errorf("empty block = %v", empty)
+	}
+}
+
+func TestBlockOutOfRangePanics(t *testing.T) {
+	a := NewCSC(4, 4, 0)
+	for _, r := range [][4]int{{-1, 2, 0, 2}, {0, 5, 0, 2}, {2, 1, 0, 2}, {0, 2, 3, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v accepted", r)
+				}
+			}()
+			a.Block(r[0], r[1], r[2], r[3])
+		}()
+	}
+}
+
+func TestQuickBlockTilingCoversMatrix(t *testing.T) {
+	// Property: tiling a matrix into g x g blocks and re-summing all
+	// block entries preserves total nnz and every value.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := rng.Intn(30)+1, rng.Intn(30)+1
+		a := randomCOO(rng, rows, cols, rng.Intn(120)).ToCSC()
+		g := rng.Intn(4) + 1
+		total := 0
+		for i := 0; i < g; i++ {
+			r0, r1 := i*rows/g, (i+1)*rows/g
+			for j := 0; j < g; j++ {
+				c0, c1 := j*cols/g, (j+1)*cols/g
+				blk := a.Block(r0, r1, c0, c1)
+				if blk.Validate() != nil {
+					return false
+				}
+				total += blk.NNZ()
+				for _, tr := range blk.Triples() {
+					if a.At(int(tr.Row)+r0, int(tr.Col)+c0) != tr.Val {
+						return false
+					}
+				}
+			}
+		}
+		return total == a.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a sparse matrix in coordinate (triple) format. Entries may be
+// unordered and may contain duplicates; ToCSC merges duplicates by
+// summation, matching the usual assembly semantics (e.g. finite-element
+// assembly accumulates overlapping local contributions).
+type COO struct {
+	Rows, Cols int
+	Entries    []Triple
+}
+
+// NewCOO returns an empty rows x cols coordinate matrix.
+func NewCOO(rows, cols int) *COO {
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Append adds one entry. It does not check ranges; Validate does.
+func (c *COO) Append(i, j Index, v Value) {
+	c.Entries = append(c.Entries, Triple{Row: i, Col: j, Val: v})
+}
+
+// NNZ returns the number of stored triples (duplicates counted).
+func (c *COO) NNZ() int { return len(c.Entries) }
+
+// Validate checks that all coordinates are in range.
+func (c *COO) Validate() error {
+	for p, t := range c.Entries {
+		if t.Row < 0 || int(t.Row) >= c.Rows || t.Col < 0 || int(t.Col) >= c.Cols {
+			return fmt.Errorf("matrix: entry %d (%d,%d) out of range %dx%d", p, t.Row, t.Col, c.Rows, c.Cols)
+		}
+	}
+	return nil
+}
+
+// ToCSC converts to CSC with sorted columns, summing duplicates.
+func (c *COO) ToCSC() *CSC {
+	n := c.Cols
+	colCount := make([]int64, n+1)
+	for _, t := range c.Entries {
+		colCount[t.Col+1]++
+	}
+	for j := 0; j < n; j++ {
+		colCount[j+1] += colCount[j]
+	}
+	a := &CSC{
+		Rows:   c.Rows,
+		Cols:   n,
+		ColPtr: colCount,
+		RowIdx: make([]Index, len(c.Entries)),
+		Val:    make([]Value, len(c.Entries)),
+	}
+	next := append([]int64(nil), a.ColPtr[:n]...)
+	for _, t := range c.Entries {
+		p := next[t.Col]
+		next[t.Col]++
+		a.RowIdx[p] = t.Row
+		a.Val[p] = t.Val
+	}
+	return a.SortColumns()
+}
+
+// FromTriples builds a sorted, duplicate-merged CSC directly.
+func FromTriples(rows, cols int, ts []Triple) *CSC {
+	c := &COO{Rows: rows, Cols: cols, Entries: ts}
+	return c.ToCSC()
+}
+
+// SortRowMajor sorts entries by (row, col); useful for deterministic
+// output and tests.
+func (c *COO) SortRowMajor() {
+	sort.Slice(c.Entries, func(i, j int) bool {
+		a, b := c.Entries[i], c.Entries[j]
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Col < b.Col
+	})
+}

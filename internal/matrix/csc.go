@@ -1,0 +1,306 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSC is a sparse matrix in compressed sparse column format.
+//
+// Column j occupies positions ColPtr[j]..ColPtr[j+1] of RowIdx and Val.
+// Columns may be sorted by row index or not; algorithms that require
+// sorted columns (2-way merge, heap) state so and can be checked with
+// IsColumnSorted. The zero value is an empty 0x0 matrix.
+type CSC struct {
+	Rows, Cols int
+	ColPtr     []int64 // length Cols+1, monotone non-decreasing
+	RowIdx     []Index // length NNZ
+	Val        []Value // length NNZ
+}
+
+// NewCSC returns an empty rows x cols matrix with capacity for nnzCap
+// nonzeros.
+func NewCSC(rows, cols, nnzCap int) *CSC {
+	return &CSC{
+		Rows:   rows,
+		Cols:   cols,
+		ColPtr: make([]int64, cols+1),
+		RowIdx: make([]Index, 0, nnzCap),
+		Val:    make([]Value, 0, nnzCap),
+	}
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSC) NNZ() int { return len(a.RowIdx) }
+
+// ColNNZ returns the number of stored entries in column j.
+func (a *CSC) ColNNZ(j int) int { return int(a.ColPtr[j+1] - a.ColPtr[j]) }
+
+// ColRows returns the row-index slice of column j (shared storage).
+func (a *CSC) ColRows(j int) []Index { return a.RowIdx[a.ColPtr[j]:a.ColPtr[j+1]] }
+
+// ColVals returns the value slice of column j (shared storage).
+func (a *CSC) ColVals(j int) []Value { return a.Val[a.ColPtr[j]:a.ColPtr[j+1]] }
+
+// At returns the value at (i, j), or 0 if no entry is stored there.
+// Columns need not be sorted; lookup is linear in the column length.
+func (a *CSC) At(i, j int) Value {
+	rows, vals := a.ColRows(j), a.ColVals(j)
+	var s Value
+	for p, r := range rows {
+		if int(r) == i {
+			s += vals[p]
+		}
+	}
+	return s
+}
+
+// Validate checks structural invariants: dimensions non-negative,
+// ColPtr monotone covering RowIdx/Val, and all row indices in range.
+func (a *CSC) Validate() error {
+	if a.Rows < 0 || a.Cols < 0 {
+		return fmt.Errorf("matrix: negative dimensions %dx%d", a.Rows, a.Cols)
+	}
+	if len(a.ColPtr) != a.Cols+1 {
+		return fmt.Errorf("matrix: len(ColPtr)=%d, want Cols+1=%d", len(a.ColPtr), a.Cols+1)
+	}
+	if len(a.RowIdx) != len(a.Val) {
+		return fmt.Errorf("matrix: len(RowIdx)=%d != len(Val)=%d", len(a.RowIdx), len(a.Val))
+	}
+	if a.ColPtr[0] != 0 {
+		return errors.New("matrix: ColPtr[0] != 0")
+	}
+	for j := 0; j < a.Cols; j++ {
+		if a.ColPtr[j+1] < a.ColPtr[j] {
+			return fmt.Errorf("matrix: ColPtr not monotone at column %d", j)
+		}
+	}
+	if a.ColPtr[a.Cols] != int64(len(a.RowIdx)) {
+		return fmt.Errorf("matrix: ColPtr[Cols]=%d != nnz=%d", a.ColPtr[a.Cols], len(a.RowIdx))
+	}
+	for p, r := range a.RowIdx {
+		if r < 0 || int(r) >= a.Rows {
+			return fmt.Errorf("matrix: row index %d out of range [0,%d) at position %d", r, a.Rows, p)
+		}
+	}
+	return nil
+}
+
+// IsColumnSorted reports whether every column's row indices are in
+// strictly ascending order (i.e. sorted and duplicate-free).
+func (a *CSC) IsColumnSorted() bool {
+	for j := 0; j < a.Cols; j++ {
+		rows := a.ColRows(j)
+		for p := 1; p < len(rows); p++ {
+			if rows[p] <= rows[p-1] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SortColumns sorts each column in place by ascending row index,
+// summing duplicate row indices into a single entry. It returns the
+// receiver for chaining.
+func (a *CSC) SortColumns() *CSC {
+	out := 0
+	newPtr := make([]int64, a.Cols+1)
+	for j := 0; j < a.Cols; j++ {
+		lo, hi := int(a.ColPtr[j]), int(a.ColPtr[j+1])
+		col := colSorter{rows: a.RowIdx[lo:hi], vals: a.Val[lo:hi]}
+		sort.Sort(col)
+		// Compact duplicates, writing to position out (out <= lo always).
+		for p := lo; p < hi; {
+			r := a.RowIdx[p]
+			v := a.Val[p]
+			p++
+			for p < hi && a.RowIdx[p] == r {
+				v += a.Val[p]
+				p++
+			}
+			a.RowIdx[out] = r
+			a.Val[out] = v
+			out++
+		}
+		newPtr[j+1] = int64(out)
+	}
+	a.ColPtr = newPtr
+	a.RowIdx = a.RowIdx[:out]
+	a.Val = a.Val[:out]
+	return a
+}
+
+type colSorter struct {
+	rows []Index
+	vals []Value
+}
+
+func (c colSorter) Len() int           { return len(c.rows) }
+func (c colSorter) Less(i, j int) bool { return c.rows[i] < c.rows[j] }
+func (c colSorter) Swap(i, j int) {
+	c.rows[i], c.rows[j] = c.rows[j], c.rows[i]
+	c.vals[i], c.vals[j] = c.vals[j], c.vals[i]
+}
+
+// Clone returns a deep copy.
+func (a *CSC) Clone() *CSC {
+	b := &CSC{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		ColPtr: append([]int64(nil), a.ColPtr...),
+		RowIdx: append([]Index(nil), a.RowIdx...),
+		Val:    append([]Value(nil), a.Val...),
+	}
+	return b
+}
+
+// Equal reports whether a and b represent the same matrix, comparing
+// entries exactly. Columns are compared as sets, so entry order within
+// a column does not matter; duplicates must already be merged.
+func (a *CSC) Equal(b *CSC) bool {
+	return a.EqualTol(b, 0)
+}
+
+// EqualTol is Equal with an absolute tolerance on values.
+func (a *CSC) EqualTol(b *CSC, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	// Compare column by column through sorted copies.
+	for j := 0; j < a.Cols; j++ {
+		if a.ColNNZ(j) != b.ColNNZ(j) {
+			return false
+		}
+		ar, av := sortedCol(a, j)
+		br, bv := sortedCol(b, j)
+		for p := range ar {
+			if ar[p] != br[p] || math.Abs(av[p]-bv[p]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sortedCol(a *CSC, j int) ([]Index, []Value) {
+	rows, vals := a.ColRows(j), a.ColVals(j)
+	if sort.SliceIsSorted(rows, func(i, k int) bool { return rows[i] < rows[k] }) {
+		return rows, vals
+	}
+	r := append([]Index(nil), rows...)
+	v := append([]Value(nil), vals...)
+	sort.Sort(colSorter{rows: r, vals: v})
+	return r, v
+}
+
+// ColRangeNNZ returns the number of entries of column j whose row index
+// lies in [r1, r2). The column must be sorted by row index; the count is
+// located with two binary searches as in the sliding-hash algorithm.
+func (a *CSC) ColRangeNNZ(j int, r1, r2 Index) int {
+	lo, hi := a.colRange(j, r1, r2)
+	return hi - lo
+}
+
+// ColRange returns the (rows, vals) sub-slices of sorted column j
+// restricted to row indices in [r1, r2).
+func (a *CSC) ColRange(j int, r1, r2 Index) ([]Index, []Value) {
+	lo, hi := a.colRange(j, r1, r2)
+	base := int(a.ColPtr[j])
+	return a.RowIdx[base+lo : base+hi], a.Val[base+lo : base+hi]
+}
+
+func (a *CSC) colRange(j int, r1, r2 Index) (lo, hi int) {
+	rows := a.ColRows(j)
+	lo = sort.Search(len(rows), func(p int) bool { return rows[p] >= r1 })
+	hi = sort.Search(len(rows), func(p int) bool { return rows[p] >= r2 })
+	return lo, hi
+}
+
+// Scale multiplies every stored value by s, in place.
+func (a *CSC) Scale(s Value) *CSC {
+	for p := range a.Val {
+		a.Val[p] *= s
+	}
+	return a
+}
+
+// DropZeros removes explicitly stored zeros, preserving entry order.
+func (a *CSC) DropZeros() *CSC {
+	out := 0
+	newPtr := make([]int64, a.Cols+1)
+	for j := 0; j < a.Cols; j++ {
+		for p := int(a.ColPtr[j]); p < int(a.ColPtr[j+1]); p++ {
+			if a.Val[p] != 0 {
+				a.RowIdx[out] = a.RowIdx[p]
+				a.Val[out] = a.Val[p]
+				out++
+			}
+		}
+		newPtr[j+1] = int64(out)
+	}
+	a.ColPtr = newPtr
+	a.RowIdx = a.RowIdx[:out]
+	a.Val = a.Val[:out]
+	return a
+}
+
+// Triples returns all stored entries in column-major order.
+func (a *CSC) Triples() []Triple {
+	ts := make([]Triple, 0, a.NNZ())
+	for j := 0; j < a.Cols; j++ {
+		rows, vals := a.ColRows(j), a.ColVals(j)
+		for p := range rows {
+			ts = append(ts, Triple{Row: rows[p], Col: Index(j), Val: vals[p]})
+		}
+	}
+	return ts
+}
+
+// ColSplit splits a into k column blocks of near-equal width (the
+// paper's construction of k SpKAdd inputs from one m x n matrix: each
+// piece keeps the full row dimension and n/k of the columns, re-indexed
+// from 0). When widen is true each piece is returned as an m x ceil(n/k)
+// matrix; the last piece may have fewer populated columns.
+func (a *CSC) ColSplit(k int) []*CSC {
+	if k <= 0 {
+		return nil
+	}
+	width := (a.Cols + k - 1) / k
+	if width == 0 {
+		width = 1
+	}
+	pieces := make([]*CSC, 0, k)
+	for start := 0; start < a.Cols; start += width {
+		end := start + width
+		if end > a.Cols {
+			end = a.Cols
+		}
+		lo, hi := a.ColPtr[start], a.ColPtr[end]
+		p := &CSC{
+			Rows:   a.Rows,
+			Cols:   width,
+			ColPtr: make([]int64, width+1),
+			RowIdx: append([]Index(nil), a.RowIdx[lo:hi]...),
+			Val:    append([]Value(nil), a.Val[lo:hi]...),
+		}
+		for j := start; j < end; j++ {
+			p.ColPtr[j-start+1] = a.ColPtr[j+1] - lo
+		}
+		for j := end - start; j < width; j++ {
+			p.ColPtr[j+1] = p.ColPtr[j]
+		}
+		pieces = append(pieces, p)
+	}
+	for len(pieces) < k {
+		pieces = append(pieces, NewCSC(a.Rows, width, 0))
+	}
+	return pieces
+}
+
+// String returns a short human-readable summary, not the full contents.
+func (a *CSC) String() string {
+	return fmt.Sprintf("CSC{%dx%d, nnz=%d}", a.Rows, a.Cols, a.NNZ())
+}

@@ -1,0 +1,92 @@
+package matrix
+
+// CSR is a sparse matrix in compressed sparse row format. The paper's
+// algorithms are described on CSC but apply symmetrically to CSR
+// (§II-A); the library provides CSR and transpose-style conversions so
+// row-major callers can use the same kernels.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int64
+	ColIdx     []Index
+	Val        []Value
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.ColIdx) }
+
+// RowCols returns the column-index slice of row i (shared storage).
+func (a *CSR) RowCols(i int) []Index { return a.ColIdx[a.RowPtr[i]:a.RowPtr[i+1]] }
+
+// RowVals returns the value slice of row i (shared storage).
+func (a *CSR) RowVals(i int) []Value { return a.Val[a.RowPtr[i]:a.RowPtr[i+1]] }
+
+// ToCSC converts to CSC; the result has sorted columns because rows are
+// visited in ascending order.
+func (a *CSR) ToCSC() *CSC {
+	out := &CSC{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		ColPtr: make([]int64, a.Cols+1),
+		RowIdx: make([]Index, a.NNZ()),
+		Val:    make([]Value, a.NNZ()),
+	}
+	for _, c := range a.ColIdx {
+		out.ColPtr[c+1]++
+	}
+	for j := 0; j < a.Cols; j++ {
+		out.ColPtr[j+1] += out.ColPtr[j]
+	}
+	next := append([]int64(nil), out.ColPtr[:a.Cols]...)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.RowCols(i), a.RowVals(i)
+		for p := range cols {
+			q := next[cols[p]]
+			next[cols[p]]++
+			out.RowIdx[q] = Index(i)
+			out.Val[q] = vals[p]
+		}
+	}
+	return out
+}
+
+// ToCSR converts a CSC matrix to CSR; the result has sorted rows when
+// the CSC columns are visited in ascending order (always true here).
+func (a *CSC) ToCSR() *CSR {
+	out := &CSR{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: make([]int64, a.Rows+1),
+		ColIdx: make([]Index, a.NNZ()),
+		Val:    make([]Value, a.NNZ()),
+	}
+	for _, r := range a.RowIdx {
+		out.RowPtr[r+1]++
+	}
+	for i := 0; i < a.Rows; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	next := append([]int64(nil), out.RowPtr[:a.Rows]...)
+	for j := 0; j < a.Cols; j++ {
+		rows, vals := a.ColRows(j), a.ColVals(j)
+		for p := range rows {
+			q := next[rows[p]]
+			next[rows[p]]++
+			out.ColIdx[q] = Index(j)
+			out.Val[q] = vals[p]
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a as a new CSC matrix with sorted
+// columns.
+func (a *CSC) Transpose() *CSC {
+	t := a.ToCSR()
+	return &CSC{
+		Rows:   t.Cols,
+		Cols:   t.Rows,
+		ColPtr: t.RowPtr,
+		RowIdx: t.ColIdx,
+		Val:    t.Val,
+	}
+}

@@ -1,0 +1,107 @@
+package matrix
+
+import "fmt"
+
+// DCSC is a doubly compressed sparse column matrix (Buluç & Gilbert):
+// only non-empty columns are stored, making the format suitable for
+// hypersparse matrices (nnz < number of columns), which arise
+// naturally as the per-process blocks of 2D-distributed matrices —
+// the very blocks the SUMMA experiments shard. The paper lists DCSC
+// among the formats its algorithms apply to (§II-A).
+//
+// ColID holds the ids of non-empty columns in ascending order; column
+// ColID[c] occupies positions ColPtr[c]..ColPtr[c+1] of RowIdx/Val.
+type DCSC struct {
+	Rows, Cols int
+	ColID      []Index // non-empty column ids, strictly ascending
+	ColPtr     []int64 // len(ColID)+1
+	RowIdx     []Index
+	Val        []Value
+}
+
+// NNZ returns the number of stored entries.
+func (d *DCSC) NNZ() int { return len(d.RowIdx) }
+
+// NZC returns the number of non-empty columns.
+func (d *DCSC) NZC() int { return len(d.ColID) }
+
+// Validate checks the structural invariants.
+func (d *DCSC) Validate() error {
+	if d.Rows < 0 || d.Cols < 0 {
+		return fmt.Errorf("matrix: negative dimensions %dx%d", d.Rows, d.Cols)
+	}
+	if len(d.ColPtr) != len(d.ColID)+1 {
+		return fmt.Errorf("matrix: len(ColPtr)=%d, want len(ColID)+1=%d", len(d.ColPtr), len(d.ColID)+1)
+	}
+	if len(d.RowIdx) != len(d.Val) {
+		return fmt.Errorf("matrix: len(RowIdx)=%d != len(Val)=%d", len(d.RowIdx), len(d.Val))
+	}
+	if len(d.ColPtr) > 0 {
+		if d.ColPtr[0] != 0 {
+			return fmt.Errorf("matrix: ColPtr[0] != 0")
+		}
+		if d.ColPtr[len(d.ColPtr)-1] != int64(len(d.RowIdx)) {
+			return fmt.Errorf("matrix: ColPtr end %d != nnz %d", d.ColPtr[len(d.ColPtr)-1], len(d.RowIdx))
+		}
+	}
+	for c := range d.ColID {
+		if d.ColID[c] < 0 || int(d.ColID[c]) >= d.Cols {
+			return fmt.Errorf("matrix: column id %d out of range", d.ColID[c])
+		}
+		if c > 0 && d.ColID[c] <= d.ColID[c-1] {
+			return fmt.Errorf("matrix: ColID not strictly ascending at %d", c)
+		}
+		if d.ColPtr[c+1] < d.ColPtr[c] {
+			return fmt.Errorf("matrix: ColPtr not monotone at %d", c)
+		}
+		if d.ColPtr[c+1] == d.ColPtr[c] {
+			return fmt.Errorf("matrix: stored column %d is empty (must be compressed away)", d.ColID[c])
+		}
+	}
+	for _, r := range d.RowIdx {
+		if r < 0 || int(r) >= d.Rows {
+			return fmt.Errorf("matrix: row index %d out of range", r)
+		}
+	}
+	return nil
+}
+
+// ToDCSC compresses a CSC matrix, dropping empty columns from the
+// column index.
+func (a *CSC) ToDCSC() *DCSC {
+	d := &DCSC{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowIdx: append([]Index(nil), a.RowIdx...),
+		Val:    append([]Value(nil), a.Val...),
+	}
+	d.ColPtr = append(d.ColPtr, 0)
+	for j := 0; j < a.Cols; j++ {
+		if a.ColNNZ(j) == 0 {
+			continue
+		}
+		d.ColID = append(d.ColID, Index(j))
+		d.ColPtr = append(d.ColPtr, a.ColPtr[j+1])
+	}
+	return d
+}
+
+// ToCSC expands back to CSC (O(Cols) column pointers).
+func (d *DCSC) ToCSC() *CSC {
+	a := &CSC{
+		Rows:   d.Rows,
+		Cols:   d.Cols,
+		ColPtr: make([]int64, d.Cols+1),
+		RowIdx: append([]Index(nil), d.RowIdx...),
+		Val:    append([]Value(nil), d.Val...),
+	}
+	c := 0
+	for j := 0; j < d.Cols; j++ {
+		a.ColPtr[j+1] = a.ColPtr[j]
+		if c < len(d.ColID) && int(d.ColID[c]) == j {
+			a.ColPtr[j+1] = d.ColPtr[c+1]
+			c++
+		}
+	}
+	return a
+}

@@ -1,0 +1,93 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDCSCRoundTrip(t *testing.T) {
+	// Hypersparse: 5 entries over 1000 columns.
+	a := FromTriples(100, 1000, []Triple{
+		{3, 10, 1}, {7, 10, 2}, {0, 500, 3}, {99, 999, 4}, {50, 0, 5},
+	})
+	d := a.ToDCSC()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NZC() != 4 {
+		t.Errorf("NZC = %d, want 4 non-empty columns", d.NZC())
+	}
+	if d.NNZ() != 5 {
+		t.Errorf("NNZ = %d, want 5", d.NNZ())
+	}
+	// DCSC index memory is O(NZC), not O(Cols).
+	if len(d.ColPtr) != 5 {
+		t.Errorf("ColPtr length %d, want NZC+1=5", len(d.ColPtr))
+	}
+	back := d.ToCSC()
+	if !a.Equal(back) {
+		t.Error("DCSC round trip changed the matrix")
+	}
+}
+
+func TestDCSCEmptyAndDense(t *testing.T) {
+	empty := NewCSC(10, 10, 0).ToDCSC()
+	if err := empty.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if empty.NZC() != 0 || empty.NNZ() != 0 {
+		t.Error("empty DCSC not empty")
+	}
+	if got := empty.ToCSC(); got.NNZ() != 0 || got.Cols != 10 {
+		t.Error("empty DCSC expansion wrong")
+	}
+
+	// All columns populated: DCSC degenerates to CSC-with-ids.
+	var ts []Triple
+	for j := 0; j < 8; j++ {
+		ts = append(ts, Triple{Row: Index(j), Col: Index(j), Val: 1})
+	}
+	dense := FromTriples(8, 8, ts).ToDCSC()
+	if dense.NZC() != 8 {
+		t.Errorf("NZC = %d, want 8", dense.NZC())
+	}
+}
+
+func TestDCSCValidateRejects(t *testing.T) {
+	good := FromTriples(4, 8, []Triple{{1, 2, 1}, {3, 5, 2}}).ToDCSC()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := FromTriples(4, 8, []Triple{{1, 2, 1}, {3, 5, 2}}).ToDCSC()
+	bad.ColID[1] = bad.ColID[0] // duplicate column id
+	if bad.Validate() == nil {
+		t.Error("non-ascending ColID accepted")
+	}
+	bad2 := FromTriples(4, 8, []Triple{{1, 2, 1}}).ToDCSC()
+	bad2.ColID[0] = 99
+	if bad2.Validate() == nil {
+		t.Error("out-of-range column id accepted")
+	}
+	bad3 := FromTriples(4, 8, []Triple{{1, 2, 1}, {2, 3, 1}}).ToDCSC()
+	bad3.ColPtr[1] = bad3.ColPtr[0] // empty stored column
+	if bad3.Validate() == nil {
+		t.Error("empty stored column accepted")
+	}
+}
+
+func TestQuickDCSCRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := rng.Intn(40)+1, rng.Intn(200)+1
+		a := randomCOO(rng, rows, cols, rng.Intn(30)).ToCSC()
+		d := a.ToDCSC()
+		if d.Validate() != nil {
+			return false
+		}
+		return a.Equal(d.ToCSC())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package matrix
+
+// Dense is a small dense matrix used as a trivially-correct reference
+// implementation in tests and as the accumulator for reference addition
+// and multiplication. It is not intended for large inputs.
+type Dense struct {
+	Rows, Cols int
+	Data       []Value // row-major
+}
+
+// NewDense returns a zeroed rows x cols dense matrix.
+func NewDense(rows, cols int) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Data: make([]Value, rows*cols)}
+}
+
+// At returns the value at (i, j).
+func (d *Dense) At(i, j int) Value { return d.Data[i*d.Cols+j] }
+
+// Set assigns the value at (i, j).
+func (d *Dense) Set(i, j int, v Value) { d.Data[i*d.Cols+j] = v }
+
+// AddCSC accumulates a sparse matrix into d.
+func (d *Dense) AddCSC(a *CSC) *Dense {
+	for j := 0; j < a.Cols; j++ {
+		rows, vals := a.ColRows(j), a.ColVals(j)
+		for p := range rows {
+			d.Data[int(rows[p])*d.Cols+j] += vals[p]
+		}
+	}
+	return d
+}
+
+// ToCSC converts d to CSC, dropping zeros; columns come out sorted.
+func (d *Dense) ToCSC() *CSC {
+	out := NewCSC(d.Rows, d.Cols, 0)
+	for j := 0; j < d.Cols; j++ {
+		for i := 0; i < d.Rows; i++ {
+			if v := d.Data[i*d.Cols+j]; v != 0 {
+				out.RowIdx = append(out.RowIdx, Index(i))
+				out.Val = append(out.Val, v)
+			}
+		}
+		out.ColPtr[j+1] = int64(len(out.RowIdx))
+	}
+	return out
+}
+
+// ReferenceAdd computes the sum of the given CSC matrices through a
+// dense accumulator. All inputs must share dimensions; it panics
+// otherwise (it is a test helper, not production API).
+func ReferenceAdd(as []*CSC) *CSC {
+	if len(as) == 0 {
+		return NewCSC(0, 0, 0)
+	}
+	d := NewDense(as[0].Rows, as[0].Cols)
+	for _, a := range as {
+		if a.Rows != d.Rows || a.Cols != d.Cols {
+			panic("matrix: ReferenceAdd dimension mismatch")
+		}
+		d.AddCSC(a)
+	}
+	return d.ToCSC()
+}
+
+// ReferenceMul computes a*b through dense accumulation (test helper).
+func ReferenceMul(a, b *CSC) *CSC {
+	if a.Cols != b.Rows {
+		panic("matrix: ReferenceMul dimension mismatch")
+	}
+	d := NewDense(a.Rows, b.Cols)
+	for j := 0; j < b.Cols; j++ {
+		brows, bvals := b.ColRows(j), b.ColVals(j)
+		for p := range brows {
+			kcol := int(brows[p])
+			bv := bvals[p]
+			arows, avals := a.ColRows(kcol), a.ColVals(kcol)
+			for q := range arows {
+				d.Data[int(arows[q])*d.Cols+j] += avals[q] * bv
+			}
+		}
+	}
+	return d.ToCSC()
+}

@@ -1,0 +1,109 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes a in MatrixMarket coordinate format
+// (1-based indices), the interchange format of the SuiteSparse
+// collection and of the protein-similarity matrices the paper uses.
+func WriteMatrixMarket(w io.Writer, a *CSC) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.Rows, a.Cols, a.NNZ()); err != nil {
+		return err
+	}
+	for j := 0; j < a.Cols; j++ {
+		rows, vals := a.ColRows(j), a.ColVals(j)
+		for p := range rows {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", rows[p]+1, j+1, vals[p]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file into CSC.
+// Only the "matrix coordinate real general" and "pattern" headers are
+// supported; pattern entries get value 1.
+func ReadMatrixMarket(r io.Reader) (*CSC, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pattern := false
+	if !sc.Scan() {
+		return nil, fmt.Errorf("matrix: empty MatrixMarket stream")
+	}
+	header := strings.ToLower(sc.Text())
+	if !strings.HasPrefix(header, "%%matrixmarket") {
+		return nil, fmt.Errorf("matrix: missing MatrixMarket banner")
+	}
+	if !strings.Contains(header, "coordinate") {
+		return nil, fmt.Errorf("matrix: only coordinate format supported")
+	}
+	if strings.Contains(header, "pattern") {
+		pattern = true
+	}
+	if strings.Contains(header, "complex") || strings.Contains(header, "symmetric") {
+		return nil, fmt.Errorf("matrix: unsupported MatrixMarket qualifier in %q", header)
+	}
+	// Skip comments, read size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("matrix: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	coo := &COO{Rows: rows, Cols: cols, Entries: make([]Triple, 0, nnz)}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		want := 3
+		if pattern {
+			want = 2
+		}
+		if len(fields) < want {
+			return nil, fmt.Errorf("matrix: short entry line %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		v := 1.0
+		if !pattern {
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, err
+			}
+		}
+		coo.Append(Index(i-1), Index(j-1), v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := coo.Validate(); err != nil {
+		return nil, err
+	}
+	if coo.NNZ() != nnz {
+		return nil, fmt.Errorf("matrix: header promised %d entries, got %d", nnz, coo.NNZ())
+	}
+	return coo.ToCSC(), nil
+}

@@ -1,0 +1,38 @@
+// Package matrix provides the sparse matrix formats used throughout the
+// SpKAdd library: compressed sparse column (CSC, the primary format of
+// the paper), compressed sparse row (CSR), coordinate (COO), and a small
+// dense matrix used as a trivially-correct reference in tests.
+//
+// All matrices store 32-bit row/column indices and 64-bit values, so one
+// (rowid, value) pair occupies 12 bytes — the entry size the paper uses
+// when relating hash-table sizes to cache sizes.
+package matrix
+
+// Index is the row/column index type. The paper assumes 32-bit indices.
+type Index = int32
+
+// Value is the numeric value type of matrix entries.
+type Value = float64
+
+// Triple is a single (row, col, value) coordinate entry.
+type Triple struct {
+	Row, Col Index
+	Val      Value
+}
+
+// Entry is a (row, value) pair within one column (or (col, value) within
+// one row for CSR). Columns of CSC matrices are logically lists of
+// entries, matching the (rowid, val) tuples of the paper's Figure 1.
+type Entry struct {
+	Row Index
+	Val Value
+}
+
+// nextPow2 returns the smallest power of two >= n, with a minimum of 1.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

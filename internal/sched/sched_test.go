@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// cover runs a strategy and asserts every index in [0, n) is visited
+// exactly once.
+func cover(t *testing.T, n int, run func(body func(worker, lo, hi int))) {
+	t.Helper()
+	var mu sync.Mutex
+	seen := make([]int, n)
+	run(func(_, lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestStaticCovers(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, th := range []int{1, 2, 3, 8, 200} {
+			cover(t, n, func(b func(int, int, int)) { Static(n, th, b) })
+		}
+	}
+}
+
+func TestDynamicCovers(t *testing.T) {
+	for _, n := range []int{0, 1, 13, 257} {
+		for _, th := range []int{1, 2, 5, 16} {
+			for _, chunk := range []int{0, 1, 7, 1000} {
+				cover(t, n, func(b func(int, int, int)) { Dynamic(n, th, chunk, b) })
+			}
+		}
+	}
+}
+
+func TestWeightedCovers(t *testing.T) {
+	for _, n := range []int{0, 1, 9, 64} {
+		weights := make([]int64, n)
+		for i := range weights {
+			weights[i] = int64(i * i)
+		}
+		for _, th := range []int{1, 2, 4, 9} {
+			cover(t, n, func(b func(int, int, int)) { Weighted(weights, th, b) })
+		}
+	}
+}
+
+func TestSpanCoversExactly(t *testing.T) {
+	f := func(nRaw, tRaw uint8) bool {
+		n, tt := int(nRaw), int(tRaw)%16+1
+		prevHi := 0
+		for w := 0; w < tt; w++ {
+			lo, hi := Span(n, tt, w)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			prevHi = hi
+		}
+		return prevHi == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionByWeightBalance(t *testing.T) {
+	// One giant column followed by many small ones: the giant column
+	// should get (nearly) its own partition.
+	weights := make([]int64, 101)
+	weights[0] = 1_000_000
+	for i := 1; i <= 100; i++ {
+		weights[i] = 10
+	}
+	b := PartitionByWeight(weights, 4)
+	if b[0] != 0 || b[4] != 101 {
+		t.Fatalf("bounds %v must span the range", b)
+	}
+	if b[1] == 0 {
+		t.Errorf("first boundary %v leaves part 0 empty despite giant weight", b)
+	}
+	// The first part must contain the giant column and little else.
+	if b[1] > 2 {
+		t.Errorf("giant column not isolated: bounds %v", b)
+	}
+}
+
+func TestPartitionByWeightMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		weights := make([]int64, 50)
+		s := uint64(seed)
+		for i := range weights {
+			s = s*6364136223846793005 + 1442695040888963407
+			weights[i] = int64(s % 100)
+		}
+		b := PartitionByWeight(weights, 7)
+		for i := 1; i < len(b); i++ {
+			if b[i] < b[i-1] {
+				return false
+			}
+		}
+		return b[0] == 0 && b[len(b)-1] == len(weights)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkerIDsDistinct(t *testing.T) {
+	// Each concurrent worker must receive a distinct id so callers can
+	// index per-worker state safely.
+	var mu sync.Mutex
+	inUse := map[int]bool{}
+	ok := true
+	Static(64, 8, func(w, lo, hi int) {
+		mu.Lock()
+		if inUse[w] {
+			ok = false
+		}
+		inUse[w] = true
+		mu.Unlock()
+		defer func() {
+			mu.Lock()
+			inUse[w] = false
+			mu.Unlock()
+		}()
+		for i := lo; i < hi; i++ {
+			_ = i
+		}
+	})
+	if !ok {
+		t.Error("worker id reused concurrently")
+	}
+}
+
+func TestThreads(t *testing.T) {
+	if Threads(0) < 1 || Threads(-3) < 1 {
+		t.Error("Threads must be at least 1")
+	}
+	if Threads(5) != 5 {
+		t.Error("explicit thread count not honored")
+	}
+}

@@ -1,0 +1,149 @@
+// Package spa implements the sparse accumulator (SPA) of Gilbert,
+// Moler and Schreiber, as used by the paper's SPAAdd (Algorithm 4):
+// a dense value array of length m plus a list of the indices that hold
+// valid entries. Clearing after a column touches only the valid
+// indices, so the SPA can be reused across all columns a worker
+// processes without O(m) re-initialization.
+package spa
+
+import "spkadd/internal/matrix"
+
+// SPA is a sparse accumulator over row indices [0, m).
+// It is not safe for concurrent use; the parallel driver allocates one
+// per worker (the paper's O(T*m) aggregate memory cost, §III-A).
+type SPA struct {
+	vals    []matrix.Value
+	present []bool
+	idx     []matrix.Index // valid indices, insertion order
+
+	// Touches counts accumulate operations for the Table I work tests.
+	Touches int64
+}
+
+// New returns a SPA for matrices with m rows.
+func New(m int) *SPA {
+	return &SPA{
+		vals:    make([]matrix.Value, m),
+		present: make([]bool, m),
+	}
+}
+
+// Rows returns the row capacity m.
+func (s *SPA) Rows() int { return len(s.vals) }
+
+// Len returns the number of valid entries accumulated so far.
+func (s *SPA) Len() int { return len(s.idx) }
+
+// Add accumulates v at row r (lines 5-7 of Algorithm 4).
+func (s *SPA) Add(r matrix.Index, v matrix.Value) {
+	s.Touches++
+	if s.present[r] {
+		s.vals[r] += v
+		return
+	}
+	s.present[r] = true
+	s.vals[r] = v
+	s.idx = append(s.idx, r)
+}
+
+// Get returns the accumulated value at r (0 if absent).
+func (s *SPA) Get(r matrix.Index) matrix.Value {
+	if !s.present[r] {
+		return 0
+	}
+	return s.vals[r]
+}
+
+// Indices returns the valid indices in insertion order (shared slice;
+// callers must not retain it across Clear).
+func (s *SPA) Indices() []matrix.Index { return s.idx }
+
+// AppendSorted appends the accumulated entries in ascending row order
+// to rows/vals and returns the extended slices (lines 8-10 of
+// Algorithm 4, sorted-output variant). It sorts the index list in
+// place.
+func (s *SPA) AppendSorted(rows []matrix.Index, vals []matrix.Value) ([]matrix.Index, []matrix.Value) {
+	sortIndices(s.idx)
+	for _, r := range s.idx {
+		rows = append(rows, r)
+		vals = append(vals, s.vals[r])
+	}
+	return rows, vals
+}
+
+// AppendUnsorted appends entries in insertion order.
+func (s *SPA) AppendUnsorted(rows []matrix.Index, vals []matrix.Value) ([]matrix.Index, []matrix.Value) {
+	for _, r := range s.idx {
+		rows = append(rows, r)
+		vals = append(vals, s.vals[r])
+	}
+	return rows, vals
+}
+
+// Clear resets only the entries touched since the last Clear, so reuse
+// across columns costs O(nnz of the previous column), not O(m).
+func (s *SPA) Clear() {
+	for _, r := range s.idx {
+		s.present[r] = false
+		s.vals[r] = 0
+	}
+	s.idx = s.idx[:0]
+}
+
+// sortIndices is an insertion-friendly pdq-free sort for Index slices.
+// Columns are typically short; the stdlib sort on a concrete slice
+// avoids interface overhead.
+func sortIndices(a []matrix.Index) {
+	// Simple quicksort specialised to Index to avoid sort.Slice's
+	// reflection-based swaps in this hot path.
+	var qs func(lo, hi int)
+	qs = func(lo, hi int) {
+		for hi-lo > 12 {
+			p := partition(a, lo, hi)
+			if p-lo < hi-p {
+				qs(lo, p)
+				lo = p + 1
+			} else {
+				qs(p+1, hi)
+				hi = p
+			}
+		}
+		for i := lo + 1; i <= hi; i++ {
+			for j := i; j > lo && a[j] < a[j-1]; j-- {
+				a[j], a[j-1] = a[j-1], a[j]
+			}
+		}
+	}
+	if len(a) > 1 {
+		qs(0, len(a)-1)
+	}
+}
+
+func partition(a []matrix.Index, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Median-of-three pivot.
+	if a[mid] < a[lo] {
+		a[mid], a[lo] = a[lo], a[mid]
+	}
+	if a[hi] < a[lo] {
+		a[hi], a[lo] = a[lo], a[hi]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+	}
+	pivot := a[mid]
+	a[mid], a[hi-1] = a[hi-1], a[mid]
+	i, j := lo, hi-1
+	for {
+		for i++; a[i] < pivot; i++ {
+		}
+		for j--; a[j] > pivot; j-- {
+		}
+		if i >= j {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+	}
+	a[i], a[hi-1] = a[hi-1], a[i]
+	return i
+}

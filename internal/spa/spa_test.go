@@ -1,0 +1,123 @@
+package spa
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"spkadd/internal/matrix"
+)
+
+func TestAddAndGet(t *testing.T) {
+	s := New(10)
+	s.Add(3, 1)
+	s.Add(7, 2)
+	s.Add(3, 4)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if v := s.Get(3); v != 5 {
+		t.Errorf("Get(3) = %v, want 5", v)
+	}
+	if v := s.Get(0); v != 0 {
+		t.Errorf("Get(0) = %v, want 0", v)
+	}
+}
+
+func TestAppendSorted(t *testing.T) {
+	s := New(100)
+	for _, r := range []matrix.Index{42, 7, 99, 7, 0} {
+		s.Add(r, 1)
+	}
+	rows, vals := s.AppendSorted(nil, nil)
+	want := []matrix.Index{0, 7, 42, 99}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", rows, want)
+		}
+	}
+	if vals[1] != 2 { // row 7 accumulated twice
+		t.Errorf("vals = %v, want vals[1]=2", vals)
+	}
+}
+
+func TestClearIsSparse(t *testing.T) {
+	s := New(1000)
+	s.Add(5, 1)
+	s.Add(500, 2)
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatal("Clear did not empty the SPA")
+	}
+	if s.Get(5) != 0 || s.Get(500) != 0 {
+		t.Error("values survived Clear")
+	}
+	// Reuse after clear.
+	s.Add(5, 7)
+	if s.Get(5) != 7 {
+		t.Error("SPA broken after Clear")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after reuse", s.Len())
+	}
+}
+
+func TestQuickMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(200) + 1
+		s := New(m)
+		want := map[matrix.Index]matrix.Value{}
+		for i := 0; i < rng.Intn(400); i++ {
+			r := matrix.Index(rng.Intn(m))
+			v := float64(rng.Intn(9) - 4)
+			s.Add(r, v)
+			want[r] += v
+		}
+		if s.Len() != len(want) {
+			return false
+		}
+		rows, vals := s.AppendSorted(nil, nil)
+		if !sort.SliceIsSorted(rows, func(i, j int) bool { return rows[i] < rows[j] }) {
+			return false
+		}
+		for i, r := range rows {
+			if want[r] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortIndicesLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := make([]matrix.Index, 5000)
+	for i := range a {
+		a[i] = matrix.Index(rng.Intn(1 << 20))
+	}
+	sortIndices(a)
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatal("sortIndices produced unsorted output")
+		}
+	}
+	// Edge cases.
+	sortIndices(nil)
+	one := []matrix.Index{5}
+	sortIndices(one)
+	rev := []matrix.Index{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}
+	sortIndices(rev)
+	for i := range rev {
+		if rev[i] != matrix.Index(i) {
+			t.Fatal("reverse sort failed")
+		}
+	}
+}

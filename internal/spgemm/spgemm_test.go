@@ -1,0 +1,148 @@
+package spgemm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spkadd/internal/generate"
+	"spkadd/internal/matrix"
+)
+
+func randomCSC(rng *rand.Rand, rows, cols, nnz int) *matrix.CSC {
+	coo := matrix.NewCOO(rows, cols)
+	for i := 0; i < nnz; i++ {
+		coo.Append(matrix.Index(rng.Intn(rows)), matrix.Index(rng.Intn(cols)), float64(rng.Intn(5)+1))
+	}
+	return coo.ToCSC()
+}
+
+func TestMulMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomCSC(rng, 30, 20, 100)
+	b := randomCSC(rng, 20, 25, 90)
+	want := matrix.ReferenceMul(a, b)
+	for _, sorted := range []bool{true, false} {
+		got, err := Mul(a, b, Options{SortOutput: sorted, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualTol(want, 1e-9) {
+			t.Errorf("sorted=%v: product differs from dense reference", sorted)
+		}
+		if sorted && !got.IsColumnSorted() {
+			t.Error("SortOutput violated")
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := matrix.NewCSC(3, 4, 0)
+	b := matrix.NewCSC(5, 2, 0)
+	if _, err := Mul(a, b, Options{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomCSC(rng, 15, 15, 60)
+	var ts []matrix.Triple
+	for i := 0; i < 15; i++ {
+		ts = append(ts, matrix.Triple{Row: matrix.Index(i), Col: matrix.Index(i), Val: 1})
+	}
+	id := matrix.FromTriples(15, 15, ts)
+	got, err := Mul(a, id, Options{SortOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a) {
+		t.Error("A*I != A")
+	}
+	got2, err := Mul(id, a, Options{SortOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Equal(a) {
+		t.Error("I*A != A")
+	}
+}
+
+func TestMulEmptyOperands(t *testing.T) {
+	a := matrix.NewCSC(4, 3, 0)
+	b := matrix.NewCSC(3, 5, 0)
+	got, err := Mul(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 4 || got.Cols != 5 || got.NNZ() != 0 {
+		t.Errorf("empty product = %v", got)
+	}
+}
+
+func TestMulRMAT(t *testing.T) {
+	a := generate.RMAT(generate.Opts{Rows: 200, Cols: 150, NNZPerCol: 6, Seed: 3}, generate.Graph500)
+	b := generate.RMAT(generate.Opts{Rows: 150, Cols: 100, NNZPerCol: 5, Seed: 4}, generate.Graph500)
+	want := matrix.ReferenceMul(a, b)
+	got, err := Mul(a, b, Options{SortOutput: true, Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualTol(want, 1e-9) {
+		t.Error("RMAT product differs from dense reference")
+	}
+}
+
+func TestQuickMulAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := rng.Intn(20)+1, rng.Intn(20)+1, rng.Intn(20)+1
+		a := randomCSC(rng, m, k, rng.Intn(60))
+		b := randomCSC(rng, k, n, rng.Intn(60))
+		got, err := Mul(a, b, Options{SortOutput: rng.Intn(2) == 0, Threads: rng.Intn(3) + 1})
+		if err != nil {
+			return false
+		}
+		return got.EqualTol(matrix.ReferenceMul(a, b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortPairsLongColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 3000
+	rows := make([]matrix.Index, n)
+	vals := make([]matrix.Value, n)
+	seen := map[matrix.Index]matrix.Value{}
+	for i := range rows {
+		// Unique keys: three-way partition handles dups, but the CSC
+		// contract here is distinct rows.
+		r := matrix.Index(i * 7 % (n * 3))
+		for seen[r] != 0 {
+			r++
+		}
+		rows[i] = r
+		vals[i] = float64(r) * 2
+		seen[r] = 1
+	}
+	rng.Shuffle(n, func(i, j int) {
+		rows[i], rows[j] = rows[j], rows[i]
+		vals[i], vals[j] = vals[j], vals[i]
+	})
+	sortPairs(rows, vals)
+	for i := 1; i < n; i++ {
+		if rows[i] <= rows[i-1] {
+			t.Fatal("not sorted")
+		}
+	}
+	for i := range rows {
+		if vals[i] != float64(rows[i])*2 {
+			t.Fatal("values detached from rows during sort")
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package stats provides the small timing statistics used by the
+// benchmark harness: repeated measurements summarized by min, mean and
+// standard deviation. The harness reports the minimum of several runs,
+// the conventional estimator for cold-noise-dominated wall-clock
+// measurements.
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// Sample is a set of repeated duration measurements.
+type Sample struct {
+	Runs []time.Duration
+}
+
+// Add records one measurement.
+func (s *Sample) Add(d time.Duration) { s.Runs = append(s.Runs, d) }
+
+// Min returns the smallest measurement, or 0 for an empty sample.
+func (s *Sample) Min() time.Duration {
+	if len(s.Runs) == 0 {
+		return 0
+	}
+	m := s.Runs[0]
+	for _, d := range s.Runs[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Mean returns the average measurement, or 0 for an empty sample.
+func (s *Sample) Mean() time.Duration {
+	if len(s.Runs) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range s.Runs {
+		total += d
+	}
+	return total / time.Duration(len(s.Runs))
+}
+
+// Stddev returns the population standard deviation in seconds.
+func (s *Sample) Stddev() float64 {
+	n := len(s.Runs)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean().Seconds()
+	var acc float64
+	for _, d := range s.Runs {
+		diff := d.Seconds() - mean
+		acc += diff * diff
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// Time runs fn reps times (at least once) and returns the sample.
+func Time(reps int, fn func()) *Sample {
+	if reps < 1 {
+		reps = 1
+	}
+	s := &Sample{}
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		s.Add(time.Since(start))
+	}
+	return s
+}

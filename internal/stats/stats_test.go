@@ -1,0 +1,41 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSampleSummary(t *testing.T) {
+	s := &Sample{}
+	for _, ms := range []int{30, 10, 20} {
+		s.Add(time.Duration(ms) * time.Millisecond)
+	}
+	if s.Min() != 10*time.Millisecond {
+		t.Errorf("Min = %v", s.Min())
+	}
+	if s.Mean() != 20*time.Millisecond {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if sd := s.Stddev(); sd < 0.008 || sd > 0.009 {
+		t.Errorf("Stddev = %v, want ~0.00816", sd)
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	s := &Sample{}
+	if s.Min() != 0 || s.Mean() != 0 || s.Stddev() != 0 {
+		t.Error("empty sample should summarize to zero")
+	}
+}
+
+func TestTimeRuns(t *testing.T) {
+	count := 0
+	s := Time(3, func() { count++ })
+	if count != 3 || len(s.Runs) != 3 {
+		t.Errorf("ran %d times, recorded %d", count, len(s.Runs))
+	}
+	s = Time(0, func() { count++ })
+	if count != 4 || len(s.Runs) != 1 {
+		t.Error("reps<1 should clamp to a single run")
+	}
+}

@@ -1,0 +1,177 @@
+package spkadd
+
+import (
+	"io"
+
+	"spkadd/internal/core"
+	"spkadd/internal/generate"
+	"spkadd/internal/matrix"
+	"spkadd/internal/spgemm"
+	"spkadd/internal/summa"
+)
+
+// Core matrix types. Matrix is a sparse matrix in compressed sparse
+// column (CSC) format; see its methods for construction, validation,
+// conversion and block extraction.
+type (
+	// Matrix is a CSC sparse matrix.
+	Matrix = matrix.CSC
+	// CSR is a compressed-sparse-row matrix.
+	CSR = matrix.CSR
+	// COO is a coordinate-format matrix, convenient for assembly.
+	COO = matrix.COO
+	// Triple is one (row, col, value) entry.
+	Triple = matrix.Triple
+	// Index is the 32-bit row/column index type.
+	Index = matrix.Index
+	// Value is the float64 entry value type.
+	Value = matrix.Value
+)
+
+// Algorithm selection, options and instrumentation for Add.
+type (
+	// Algorithm selects the SpKAdd implementation.
+	Algorithm = core.Algorithm
+	// Options configure Add; the zero value is ready to use.
+	Options = core.Options
+	// Schedule selects the column-scheduling strategy.
+	Schedule = core.Schedule
+	// OpStats accumulates work counters across a call.
+	OpStats = core.OpStats
+	// PhaseTimings reports the symbolic/numeric wall-clock split.
+	PhaseTimings = core.PhaseTimings
+)
+
+// Algorithm constants, in the order of the paper's evaluation tables.
+const (
+	// Auto picks Hash or SlidingHash from the cache-footprint estimate.
+	Auto = core.Auto
+	// TwoWayIncremental adds pairs left to right (O(k²nd) work).
+	TwoWayIncremental = core.TwoWayIncremental
+	// TwoWayTree adds pairs up a balanced tree (O(knd lg k) work).
+	TwoWayTree = core.TwoWayTree
+	// MapIncremental is the generic-map pairwise baseline.
+	MapIncremental = core.MapIncremental
+	// MapTree is the generic-map tree baseline.
+	MapTree = core.MapTree
+	// Heap is the k-way min-heap merge; needs sorted inputs.
+	Heap = core.Heap
+	// SPA is the sparse-accumulator algorithm.
+	SPA = core.SPA
+	// Hash is the hash-table algorithm, the paper's recommendation.
+	Hash = core.Hash
+	// SlidingHash caps hash tables to the last-level cache.
+	SlidingHash = core.SlidingHash
+)
+
+// Scheduling constants.
+const (
+	// ScheduleWeighted balances columns by nonzero weight (default).
+	ScheduleWeighted = core.ScheduleWeighted
+	// ScheduleStatic uses equal-width column blocks.
+	ScheduleStatic = core.ScheduleStatic
+	// ScheduleDynamic uses atomic chunk claiming.
+	ScheduleDynamic = core.ScheduleDynamic
+)
+
+// Errors returned by Add.
+var (
+	// ErrNoInputs reports an empty input collection.
+	ErrNoInputs = core.ErrNoInputs
+	// ErrDimMismatch reports inputs of differing dimensions.
+	ErrDimMismatch = core.ErrDimMismatch
+	// ErrUnsortedInput reports unsorted columns passed to an
+	// algorithm that requires sorted inputs (2-way merge, heap).
+	ErrUnsortedInput = core.ErrUnsortedInput
+)
+
+// Add computes the sum of the given matrices. All inputs must share
+// dimensions. The zero Options value selects the Auto algorithm with
+// GOMAXPROCS workers.
+func Add(as []*Matrix, opt Options) (*Matrix, error) {
+	return core.Add(as, opt)
+}
+
+// AddTimed is Add, additionally reporting the wall-clock split between
+// the symbolic (output sizing) and numeric phases.
+func AddTimed(as []*Matrix, opt Options) (*Matrix, PhaseTimings, error) {
+	return core.AddTimed(as, opt)
+}
+
+// FromTriples builds a sorted, duplicate-merged CSC matrix from
+// coordinate entries (duplicates sum, as in finite-element assembly).
+func FromTriples(rows, cols int, ts []Triple) *Matrix {
+	return matrix.FromTriples(rows, cols, ts)
+}
+
+// NewCOO returns an empty coordinate-format matrix for incremental
+// assembly; convert with its ToCSC method.
+func NewCOO(rows, cols int) *COO { return matrix.NewCOO(rows, cols) }
+
+// RandomER generates an Erdős–Rényi (uniform) random matrix with
+// about nnzPerCol nonzeros in each column.
+func RandomER(rows, cols, nnzPerCol int, seed uint64) *Matrix {
+	return generate.ER(generate.Opts{Rows: rows, Cols: cols, NNZPerCol: nnzPerCol, Seed: seed})
+}
+
+// RandomRMAT generates a power-law matrix with Graph500 R-MAT
+// parameters (a=0.57, b=c=0.19, d=0.05).
+func RandomRMAT(rows, cols, nnzPerCol int, seed uint64) *Matrix {
+	return generate.RMAT(generate.Opts{Rows: rows, Cols: cols, NNZPerCol: nnzPerCol, Seed: seed}, generate.Graph500)
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate stream.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return matrix.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket writes m in MatrixMarket coordinate format.
+func WriteMatrixMarket(w io.Writer, m *Matrix) error { return matrix.WriteMatrixMarket(w, m) }
+
+// MulOptions configure Multiply.
+type MulOptions = spgemm.Options
+
+// Multiply computes the sparse product A*B with the hash-accumulator
+// SpGEMM kernel used inside the SUMMA simulation.
+func Multiply(a, b *Matrix, opt MulOptions) (*Matrix, error) {
+	return spgemm.Mul(a, b, opt)
+}
+
+// SummaConfig configures a simulated distributed sparse SUMMA run.
+type SummaConfig = summa.Config
+
+// SummaReport aggregates the per-phase timings of a SUMMA run.
+type SummaReport = summa.Report
+
+// RunSumma multiplies a by b on a simulated process grid, reducing
+// each process's intermediate products with the configured SpKAdd
+// algorithm. It reports the local-multiply / SpKAdd time split that
+// the paper's Fig 6 compares across reduction algorithms.
+func RunSumma(a, b *Matrix, cfg SummaConfig) (*Matrix, SummaReport, error) {
+	return summa.Run(a, b, cfg)
+}
+
+// AddCSR computes the sum of CSR matrices through zero-copy transposed
+// views (§II-A of the paper: the algorithms apply unchanged to CSR).
+func AddCSR(as []*CSR, opt Options) (*CSR, error) { return core.AddCSR(as, opt) }
+
+// Accumulator performs streaming/batched SpKAdd under a memory budget
+// (the batching strategy of the paper's §V for inputs that arrive over
+// time or exceed memory).
+type Accumulator = core.Accumulator
+
+// NewAccumulator returns a streaming accumulator for rows x cols
+// matrices that reduces its buffer k-way whenever the buffered input
+// exceeds budgetBytes (<=0 means 256MB).
+func NewAccumulator(rows, cols int, budgetBytes int64, opt Options) *Accumulator {
+	return core.NewAccumulator(rows, cols, budgetBytes, opt)
+}
+
+// DCSC is a doubly compressed sparse column matrix for hypersparse
+// blocks; convert with Matrix.ToDCSC and DCSC.ToCSC.
+type DCSC = matrix.DCSC
+
+// AddScaled computes the weighted sum B = Σ coeffs[i]·A_i (e.g.
+// gradient averaging with coeffs = 1/k). Supported by the k-way
+// algorithms (Auto, Heap, SPA, Hash, SlidingHash).
+func AddScaled(as []*Matrix, coeffs []Value, opt Options) (*Matrix, error) {
+	return core.AddScaled(as, coeffs, opt)
+}
