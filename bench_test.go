@@ -239,6 +239,30 @@ func BenchmarkSpGEMM(b *testing.B) {
 	}
 }
 
+// BenchmarkPhasesEngines compares the execution engines on the Hash
+// path: the two-pass driver reads every input twice, while the fused
+// and upper-bound engines read each input exactly once (their
+// symbolic probe count is zero — see TestWorkComplexitySinglePass).
+// The large-d ER configurations are where the saved input pass
+// dominates.
+func BenchmarkPhasesEngines(b *testing.B) {
+	for _, c := range []struct{ k, d int }{{8, 64}, {32, 256}, {16, 1024}} {
+		as := generate.ERCollection(c.k, generate.Opts{Rows: benchRows, Cols: 32, NNZPerCol: c.d, Seed: 19})
+		for _, p := range []spkadd.Phases{spkadd.PhasesTwoPass, spkadd.PhasesFused, spkadd.PhasesUpperBound} {
+			b.Run(fmt.Sprintf("ER/k=%d/d=%d/%v", c.k, c.d, p), func(b *testing.B) {
+				addLoop(b, as, spkadd.Options{Algorithm: spkadd.Hash, Phases: p})
+			})
+		}
+	}
+	// One skewed workload to keep the engines honest off the ER path.
+	rmat := generate.RMATCollection(32, generate.Opts{Rows: benchRows, Cols: 32, NNZPerCol: 128, Seed: 20}, generate.Graph500)
+	for _, p := range []spkadd.Phases{spkadd.PhasesTwoPass, spkadd.PhasesFused, spkadd.PhasesUpperBound} {
+		b.Run(fmt.Sprintf("RMAT/k=32/d=128/%v", p), func(b *testing.B) {
+			addLoop(b, rmat, spkadd.Options{Algorithm: spkadd.Hash, Phases: p})
+		})
+	}
+}
+
 // BenchmarkSymbolicVsNumeric reports the phase split of the hash
 // algorithm (the two series of Fig 4) at a high compression factor,
 // where the symbolic phase dominates.
@@ -247,7 +271,7 @@ func BenchmarkSymbolicVsNumeric(b *testing.B) {
 	b.Run("symbolic+numeric", func(b *testing.B) {
 		var sym, num int64
 		for i := 0; i < b.N; i++ {
-			_, pt, err := core.AddTimed(as, core.Options{Algorithm: core.Hash})
+			_, pt, err := core.AddTimed(as, core.Options{Algorithm: core.Hash, Phases: core.PhasesTwoPass})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -33,6 +33,32 @@
 // very few matrices. See DESIGN.md and EXPERIMENTS.md for measured
 // comparisons.
 //
+// # Execution engines
+//
+// Independently of the algorithm, Options.Phases selects how many
+// passes the driver takes over the inputs. The paper's two-phase
+// formulation (PhasesTwoPass) reads every input twice: a symbolic
+// phase sizes each output column, then a numeric phase fills it. The
+// single-pass engines read each input exactly once — the paper's
+// O(knd) memory-traffic lower bound:
+//
+//   - PhasesFused: workers accumulate their columns into per-worker
+//     growable arenas, then a parallel stitch assembles the final
+//     matrix. Extra memory ≈ output size.
+//   - PhasesUpperBound: the staging buffer is allocated from the
+//     per-column sum of input nonzeros, filled in one pass, and
+//     compacted in parallel. Extra memory ≈ input size; fastest when
+//     duplicate rows are rare.
+//
+// The default, PhasesAuto, estimates the duplicate rate and picks
+// UpperBound when duplicates are rare, Fused otherwise, and falls
+// back to TwoPass when the fused hash tables would spill the
+// last-level cache. Heap, SPA and Hash support all engines, with all
+// option combinations; SlidingHash and the 2-way baselines always use
+// their native drivers. Results are identical between engines for any
+// fixed algorithm (bit-for-bit with SortedOutput). DESIGN.md covers
+// the engine trade-offs in detail.
+//
 // Matrices are in compressed sparse column (CSC) form with 32-bit
 // indices and float64 values; everything applies symmetrically to CSR
 // (transpose the interpretation). Inputs may have unsorted columns for

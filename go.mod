@@ -1,0 +1,3 @@
+module spkadd
+
+go 1.24

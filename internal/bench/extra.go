@@ -52,7 +52,9 @@ func Ablation(cfg Config) error {
 
 	fmt.Fprintln(cfg.Out, "Ablation 1: hash-table load factor (ER d=256 k=32)")
 	for _, lf := range []float64{0.25, 0.5, 0.75, 0.95} {
-		dur, _, err := timeAdd(er, core.Options{Algorithm: core.Hash, Threads: cfg.Threads, LoadFactor: lf}, cfg.reps()+2)
+		// Ablations pin the two-pass engine so the numbers stay
+		// comparable across runs regardless of what PhasesAuto picks.
+		dur, _, err := timeAdd(er, core.Options{Algorithm: core.Hash, Threads: cfg.Threads, LoadFactor: lf, Phases: core.PhasesTwoPass}, cfg.reps()+2)
 		if err != nil {
 			return err
 		}
@@ -64,7 +66,7 @@ func Ablation(cfg Config) error {
 		name string
 		s    core.Schedule
 	}{{"weighted", core.ScheduleWeighted}, {"static", core.ScheduleStatic}, {"dynamic", core.ScheduleDynamic}} {
-		dur, _, err := timeAdd(rmat, core.Options{Algorithm: core.Hash, Threads: cfg.Threads, Schedule: s.s}, cfg.reps()+2)
+		dur, _, err := timeAdd(rmat, core.Options{Algorithm: core.Hash, Threads: cfg.Threads, Schedule: s.s, Phases: core.PhasesTwoPass}, cfg.reps()+2)
 		if err != nil {
 			return err
 		}
@@ -73,7 +75,7 @@ func Ablation(cfg Config) error {
 
 	fmt.Fprintln(cfg.Out, "Ablation 3: sorted vs unsorted hash output (ER d=256 k=32)")
 	for _, sorted := range []bool{false, true} {
-		dur, _, err := timeAdd(er, core.Options{Algorithm: core.Hash, Threads: cfg.Threads, SortedOutput: sorted}, cfg.reps()+2)
+		dur, _, err := timeAdd(er, core.Options{Algorithm: core.Hash, Threads: cfg.Threads, SortedOutput: sorted, Phases: core.PhasesTwoPass}, cfg.reps()+2)
 		if err != nil {
 			return err
 		}

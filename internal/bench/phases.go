@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"spkadd/internal/core"
+	"spkadd/internal/generate"
+	"spkadd/internal/matrix"
+)
+
+// phasesCase is one workload of the engine-comparison experiment.
+type phasesCase struct {
+	pattern string
+	k, d    int
+}
+
+func phasesCases() []phasesCase {
+	return []phasesCase{
+		{"ER", 8, 64},
+		{"ER", 32, 256},
+		{"ER", 64, 1024},
+		{"RMAT", 32, 128},
+	}
+}
+
+func phasesCollection(c phasesCase, rows, cols int) []*matrix.CSC {
+	o := generate.Opts{Rows: rows, Cols: cols, NNZPerCol: c.d, Seed: 97}
+	if c.pattern == "RMAT" {
+		return generate.RMATCollection(c.k, o, generate.Graph500)
+	}
+	return generate.ERCollection(c.k, o)
+}
+
+// Phases compares the execution engines — two-pass, fused, upper
+// bound — across algorithms and workloads. This is the experiment
+// behind the fused engine's headline claim: the single-pass engines
+// hit the O(knd) memory-traffic lower bound while the two-pass driver
+// runs at ~2x it.
+func Phases(cfg Config) error {
+	m := 1 << 18 / cfg.scale()
+	n := 64 / cfg.scale()
+	if n < 8 {
+		n = 8
+	}
+	algs := []core.Algorithm{core.Hash, core.SPA, core.Heap}
+	fmt.Fprintf(cfg.Out, "Engine comparison: SpKAdd runtime (s), m=%d n=%d (speedup vs two-pass)\n", m, n)
+	fmt.Fprintf(cfg.Out, "%-18s %-6s", "Workload", "Alg")
+	for _, p := range core.PhasesPolicies {
+		fmt.Fprintf(cfg.Out, " %16v", p)
+	}
+	fmt.Fprintln(cfg.Out)
+	for _, c := range phasesCases() {
+		as := phasesCollection(c, m, n)
+		for _, alg := range algs {
+			fmt.Fprintf(cfg.Out, "%-18s %-6v", fmt.Sprintf("%s k=%d d=%d", c.pattern, c.k, c.d), alg)
+			var twoPass time.Duration
+			for _, p := range core.PhasesPolicies {
+				opt := core.Options{Algorithm: alg, Phases: p, Threads: cfg.Threads, CacheBytes: cfg.cacheBytes()}
+				dur, _, err := timeAdd(as, opt, cfg.reps())
+				if err != nil {
+					return fmt.Errorf("%s %v %v: %w", c.pattern, alg, p, err)
+				}
+				if p == core.PhasesTwoPass {
+					twoPass = dur
+					fmt.Fprintf(cfg.Out, " %16s", fmtDur(dur))
+				} else {
+					fmt.Fprintf(cfg.Out, " %9s (%4.2fx)", fmtDur(dur), float64(twoPass)/float64(dur))
+				}
+			}
+			fmt.Fprintln(cfg.Out)
+		}
+	}
+	fmt.Fprintln(cfg.Out)
+	return nil
+}
+
+// BaselineCell is one measurement of the committed perf baseline.
+type BaselineCell struct {
+	Pattern   string  `json:"pattern"`
+	K         int     `json:"k"`
+	D         int     `json:"d"`
+	Algorithm string  `json:"algorithm"`
+	Engine    string  `json:"engine"`
+	Seconds   float64 `json:"seconds"`
+	NNZIn     int     `json:"nnz_in"`
+	NNZOut    int     `json:"nnz_out"`
+}
+
+// BaselineReport is the schema of BENCH_baseline.json: enough
+// machine context to interpret the numbers, and one cell per
+// (workload, algorithm, engine).
+type BaselineReport struct {
+	Schema     int            `json:"schema"`
+	CreatedAt  string         `json:"created_at"`
+	GoVersion  string         `json:"go_version"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Rows       int            `json:"rows"`
+	Cols       int            `json:"cols"`
+	Reps       int            `json:"reps"`
+	Cells      []BaselineCell `json:"cells"`
+}
+
+// Baseline measures a small, fixed grid of shapes across all
+// algorithms and engines and writes the result as JSON. The committed
+// BENCH_baseline.json gives future perf PRs a trajectory to compare
+// against (regenerate with `spkadd-bench -baseline <path>`).
+func Baseline(cfg Config, out io.Writer) error {
+	const rows, cols = 1 << 15, 32
+	rep := BaselineReport{
+		Schema:     1,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Rows:       rows,
+		Cols:       cols,
+		Reps:       cfg.reps(),
+	}
+	cases := []phasesCase{
+		{"ER", 8, 64},
+		{"ER", 32, 256},
+		{"RMAT", 16, 64},
+	}
+	for _, c := range cases {
+		as := phasesCollection(c, rows, cols)
+		in := 0
+		for _, a := range as {
+			in += a.NNZ()
+		}
+		for _, alg := range []core.Algorithm{core.Hash, core.SPA, core.Heap} {
+			for _, p := range core.PhasesPolicies {
+				opt := core.Options{Algorithm: alg, Phases: p, Threads: cfg.Threads, CacheBytes: cfg.cacheBytes()}
+				// Warm once, then time.
+				b, _, err := core.AddTimed(as, opt)
+				if err != nil {
+					return fmt.Errorf("baseline %s %v %v: %w", c.pattern, alg, p, err)
+				}
+				dur, _, err := timeAdd(as, opt, cfg.reps())
+				if err != nil {
+					return err
+				}
+				rep.Cells = append(rep.Cells, BaselineCell{
+					Pattern:   c.pattern,
+					K:         c.k,
+					D:         c.d,
+					Algorithm: alg.String(),
+					Engine:    p.String(),
+					Seconds:   dur.Seconds(),
+					NNZIn:     in,
+					NNZOut:    b.NNZ(),
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -24,6 +24,8 @@ func Run(name string, cfg Config) error {
 		return Table5(cfg)
 	case "fig6":
 		return Fig6(cfg)
+	case "phases":
+		return Phases(cfg)
 	case "tune":
 		return Tune(cfg)
 	case "ablation":
@@ -36,6 +38,6 @@ func Run(name string, cfg Config) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("bench: unknown experiment %q (want one of %v, \"tune\", \"ablation\", or \"all\")", name, Experiments)
+		return fmt.Errorf("bench: unknown experiment %q (want one of %v, \"phases\", \"tune\", \"ablation\", or \"all\")", name, Experiments)
 	}
 }

@@ -97,7 +97,7 @@ func AddScaled(as []*matrix.CSC, coeffs []matrix.Value, opt Options) (*matrix.CS
 	default:
 		return nil, fmt.Errorf("spkadd: AddScaled supports k-way algorithms only, got %v", alg)
 	}
-	b, _, err := addKWay(as, alg, opt, sortedIn, coeffs)
+	b, _, err := addKWayEngine(as, alg, opt, sortedIn, coeffs)
 	return b, err
 }
 
@@ -119,6 +119,23 @@ func addDispatch(as []*matrix.CSC, alg Algorithm, opt Options, sortedIn bool, co
 		}
 		pt.Numeric = time.Since(start)
 		return b, pt, nil
+	default:
+		return addKWayEngine(as, alg, opt, sortedIn, coeffs)
+	}
+}
+
+// addKWayEngine routes a k-way addition to the execution engine the
+// Phases policy selects: the classic two-phase driver, the fused
+// arena engine, or the upper-bound engine (fused.go). SlidingHash and
+// explicit PhasesTwoPass always take the two-phase driver.
+func addKWayEngine(as []*matrix.CSC, alg Algorithm, opt Options, sortedIn bool, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
+	// sortedIn only matters to SlidingHash's row-range lookups, so the
+	// single-pass engines (which exclude it) don't take it.
+	switch pickPhases(as, alg, opt) {
+	case PhasesFused:
+		return addFused(as, alg, opt, coeffs)
+	case PhasesUpperBound:
+		return addUpperBound(as, alg, opt, coeffs)
 	default:
 		return addKWay(as, alg, opt, sortedIn, coeffs)
 	}
@@ -167,36 +184,27 @@ func autoSelect(as []*matrix.CSC, opt Options, sortedIn bool) Algorithm {
 func addKWay(as []*matrix.CSC, alg Algorithm, opt Options, sortedIn bool, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
 	var pt PhaseTimings
 	n := as[0].Cols
-	k := len(as)
 	t := sched.Threads(opt.Threads)
-	lf := opt.loadFactor()
 	cache := opt.cacheBytes()
-
-	workers := make([]*workerState, t)
-	// Worker ids handed out by sched are distinct among concurrently
-	// running goroutines, so lazily creating state per id is race-free.
-	getWorker := func(w int) *workerState {
-		if workers[w] == nil {
-			workers[w] = newWorkerState(k, lf)
-		}
-		return workers[w]
-	}
+	getWorker := makeWorkers(len(as), t, opt.loadFactor())
 
 	// Symbolic phase: per-column output sizes, balanced by input nnz.
-	weightsIn := make([]int64, n)
-	for j := range weightsIn {
-		weightsIn[j] = int64(colInputNNZ(as, j))
-	}
+	// The weights double as the per-column input nnz the symbolic
+	// kernels need, so it is computed exactly once — outside the
+	// timer, where the seed computed it, to keep the Fig 4 phase
+	// split comparable.
+	weightsIn := inputWeights(as, t)
 	counts := make([]int64, n)
 	symStart := time.Now()
 	runCols(n, t, opt.Schedule, weightsIn, func(w, lo, hi int) {
 		ws := getWorker(w)
 		for j := lo; j < hi; j++ {
+			inz := int(weightsIn[j])
 			switch alg {
 			case Hash:
-				counts[j] = int64(hashSymbolicCol(ws, as, j))
+				counts[j] = int64(hashSymbolicCol(ws, as, j, inz))
 			case SlidingHash:
-				counts[j] = int64(slidingSymbolicCol(ws, as, j, t, cache, opt.MaxTableEntries, sortedIn))
+				counts[j] = int64(slidingSymbolicCol(ws, as, j, inz, t, cache, opt.MaxTableEntries, sortedIn))
 			case Heap:
 				counts[j] = int64(heapSymbolicCol(ws, as, j))
 			case SPA:
@@ -208,13 +216,8 @@ func addKWay(as []*matrix.CSC, alg Algorithm, opt Options, sortedIn bool, coeffs
 	pt.Symbolic = time.Since(symStart)
 
 	// Allocate the output in one shot from the symbolic counts.
-	b := &matrix.CSC{Rows: as[0].Rows, Cols: n, ColPtr: make([]int64, n+1)}
-	for j := 0; j < n; j++ {
-		b.ColPtr[j+1] = b.ColPtr[j] + counts[j]
-	}
+	b := allocCSC(as[0].Rows, n, counts)
 	nnz := b.ColPtr[n]
-	b.RowIdx = make([]matrix.Index, nnz)
-	b.Val = make([]matrix.Value, nnz)
 
 	// Numeric phase: fill columns, balanced by output nnz.
 	numStart := time.Now()

@@ -247,7 +247,7 @@ func TestAutoSelection(t *testing.T) {
 
 func TestPhaseTimingsReported(t *testing.T) {
 	as := erInputs(8, 2000, 64, 32, 9)
-	_, pt, err := AddTimed(as, Options{Algorithm: Hash})
+	_, pt, err := AddTimed(as, Options{Algorithm: Hash, Phases: PhasesTwoPass})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,6 +263,16 @@ func TestPhaseTimingsReported(t *testing.T) {
 	}
 	if pt2.Symbolic != 0 || pt2.Numeric <= 0 {
 		t.Errorf("2-way phases: %+v", pt2)
+	}
+	// Single-pass engines have no symbolic phase to time.
+	for _, p := range []Phases{PhasesFused, PhasesUpperBound} {
+		_, pt3, err := AddTimed(as, Options{Algorithm: Hash, Phases: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt3.Symbolic != 0 || pt3.Numeric <= 0 {
+			t.Errorf("%v phases: %+v", p, pt3)
+		}
 	}
 }
 

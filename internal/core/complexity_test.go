@@ -23,7 +23,7 @@ func totalNNZ(as []*matrix.CSC) int {
 func TestWorkComplexitySPA(t *testing.T) {
 	as := erInputs(16, 1000, 32, 20, 21)
 	var st OpStats
-	if _, err := Add(as, Options{Algorithm: SPA, Stats: &st}); err != nil {
+	if _, err := Add(as, Options{Algorithm: SPA, Phases: PhasesTwoPass, Stats: &st}); err != nil {
 		t.Fatal(err)
 	}
 	in := int64(totalNNZ(as))
@@ -34,10 +34,46 @@ func TestWorkComplexitySPA(t *testing.T) {
 	}
 }
 
+func TestWorkComplexitySinglePass(t *testing.T) {
+	// The single-pass engines must touch each input entry exactly once
+	// (SPA) and never probe a symbolic table (Hash) — the operational
+	// form of "reads each input exactly once".
+	as := erInputs(16, 1000, 32, 20, 21)
+	in := int64(totalNNZ(as))
+	for _, p := range []Phases{PhasesFused, PhasesUpperBound} {
+		var st OpStats
+		if _, err := Add(as, Options{Algorithm: SPA, Phases: p, Stats: &st}); err != nil {
+			t.Fatal(err)
+		}
+		if got := st.SPATouches.Load(); got != in {
+			t.Errorf("%v: SPA touches = %d, want exactly %d (one pass)", p, got, in)
+		}
+		st = OpStats{}
+		if _, err := Add(as, Options{Algorithm: Hash, Phases: p, Stats: &st}); err != nil {
+			t.Fatal(err)
+		}
+		if got := st.SymProbes.Load(); got != 0 {
+			t.Errorf("%v: symbolic probes = %d, want 0", p, got)
+		}
+		if probes := st.HashProbes.Load(); probes < in {
+			t.Errorf("%v: hash probes = %d, below the one-pass floor %d", p, probes, in)
+		}
+	}
+	// And the two-pass engine does probe symbolically, so the counter
+	// is known to work.
+	var st OpStats
+	if _, err := Add(as, Options{Algorithm: Hash, Phases: PhasesTwoPass, Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.SymProbes.Load() == 0 {
+		t.Error("two-pass hash reported zero symbolic probes")
+	}
+}
+
 func TestWorkComplexityHash(t *testing.T) {
 	as := erInputs(16, 1000, 32, 20, 22)
 	var st OpStats
-	if _, err := Add(as, Options{Algorithm: Hash, Stats: &st}); err != nil {
+	if _, err := Add(as, Options{Algorithm: Hash, Phases: PhasesTwoPass, Stats: &st}); err != nil {
 		t.Fatal(err)
 	}
 	in := int64(totalNNZ(as))
@@ -77,7 +113,7 @@ func TestDataMovementOrdering(t *testing.T) {
 	as := erInputs(16, 5000, 16, 16, 24)
 	moved := func(alg Algorithm) int64 {
 		var st OpStats
-		if _, err := Add(as, Options{Algorithm: alg, Stats: &st}); err != nil {
+		if _, err := Add(as, Options{Algorithm: alg, Phases: PhasesTwoPass, Stats: &st}); err != nil {
 			t.Fatal(err)
 		}
 		return st.EntriesMoved.Load()

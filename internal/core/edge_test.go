@@ -93,10 +93,11 @@ func TestSymbolicVariantsAgree(t *testing.T) {
 		}
 		w := newWorkerState(k, 0.5)
 		for j := 0; j < cols; j++ {
-			h := hashSymbolicCol(w, as, j)
+			inz := colInputNNZ(as, j)
+			h := hashSymbolicCol(w, as, j, inz)
 			s := spaSymbolicCol(w, as, j)
 			hp := heapSymbolicCol(w, as, j)
-			sl := slidingSymbolicCol(w, as, j, 4, 256, 0, true)
+			sl := slidingSymbolicCol(w, as, j, inz, 4, 256, 0, true)
 			if h != s || h != hp || h != sl {
 				return false
 			}

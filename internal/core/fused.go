@@ -1,0 +1,337 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"spkadd/internal/matrix"
+	"spkadd/internal/sched"
+)
+
+// This file implements the single-pass execution engines. The paper
+// proves SpKAdd's memory-traffic lower bound is O(knd); the classic
+// two-phase driver (add.go) streams all k inputs through memory twice
+// — once to size the output, once to fill it — so it runs at ~2x that
+// bound. Both engines here read each input exactly once:
+//
+//   - addFused: every worker accumulates its columns' results into a
+//     growable per-worker arena of (rows, values) chunks, then a
+//     parallel stitch assembles the final CSC from the per-column
+//     extents. Peak extra memory ≈ output size.
+//
+//   - addUpperBound: the output staging area is allocated from the
+//     Σ_i nnz(A_i(:,j)) per-column upper bound, filled in one pass,
+//     and compacted in parallel. Peak extra memory ≈ total input size,
+//     but no arena bookkeeping — cheapest when duplicates are rare.
+//
+// Both support the Hash, SPA and Heap kernels, sorted and unsorted
+// output, coefficients, and all schedules, with output entry-for-entry
+// identical (after canonical sort) to the two-phase engine.
+
+const (
+	// upperBoundStagingCap bounds the staging buffer PhasesAuto lets
+	// the upper-bound engine allocate (12 bytes per input entry)
+	// before preferring the arena-based fused engine, whose footprint
+	// tracks the output instead of the input.
+	upperBoundStagingCap = 1 << 30
+	// autoDupRateCutoff is the estimated duplicate fraction above
+	// which PhasesAuto stops considering the upper-bound engine: past
+	// it, the staging buffer wastes more than a third of its entries.
+	autoDupRateCutoff = 0.25
+	// arenaChunkEntries sizes fused-arena chunks: 32Ki entries is
+	// 384KiB of (row, value) storage, large enough to amortize chunk
+	// allocation and small enough not to strand memory per worker.
+	arenaChunkEntries = 1 << 15
+	// inputWeightsParallelMin is the column count above which the
+	// per-column input-nnz weights are computed in parallel.
+	inputWeightsParallelMin = 1 << 12
+)
+
+// fusedSupported reports whether alg has a single-pass engine.
+// SlidingHash keeps the two-pass driver: its row-range partitioning is
+// derived from per-part symbolic counts, which a single pass cannot
+// provide without giving up the in-cache table guarantee.
+func fusedSupported(alg Algorithm) bool {
+	switch alg {
+	case Hash, SPA, Heap:
+		return true
+	}
+	return false
+}
+
+// pickPhases resolves the engine for one call. An explicit request is
+// honored whenever the algorithm supports it; Auto estimates the
+// duplicate rate with a balls-into-bins model and checks memory
+// headroom (see the Phases constants and DESIGN.md).
+func pickPhases(as []*matrix.CSC, alg Algorithm, opt Options) Phases {
+	if !fusedSupported(alg) {
+		return PhasesTwoPass
+	}
+	if opt.Phases != PhasesAuto {
+		return opt.Phases
+	}
+	m, n := as[0].Rows, as[0].Cols
+	total := 0
+	for _, a := range as {
+		total += a.NNZ()
+	}
+	if m == 0 || n == 0 || total == 0 {
+		return PhasesFused
+	}
+	avg := float64(total) / float64(n) // mean input nnz per column
+	// Memory headroom: the fused hash engine sizes per-worker tables
+	// by input nnz instead of output nnz. If those larger tables would
+	// spill the last-level cache, the two-pass engine's smaller
+	// numeric tables recover more than the saved symbolic pass costs.
+	if alg == Hash {
+		t := sched.Threads(opt.Threads)
+		if int64(avg)*BytesPerAddEntry*int64(t) > opt.cacheBytes() {
+			return PhasesTwoPass
+		}
+	}
+	// Duplicate-rate estimate: throwing avg entries uniformly at m
+	// rows yields m(1-(1-1/m)^avg) distinct rows in expectation.
+	distinct := float64(m) * -math.Expm1(avg*math.Log1p(-1/float64(m)))
+	dupRate := 1 - distinct/avg
+	if dupRate <= autoDupRateCutoff && int64(total)*entryBytes <= upperBoundStagingCap {
+		return PhasesUpperBound
+	}
+	return PhasesFused
+}
+
+// inputWeights returns Σ_i nnz(A_i(:,j)) for every column, the
+// symbolic load-balancing weights and the staging upper bounds of the
+// single-pass engines. Wide matrices are summed in parallel.
+func inputWeights(as []*matrix.CSC, t int) []int64 {
+	n := as[0].Cols
+	w := make([]int64, n)
+	fill := func(lo, hi int) {
+		for _, a := range as {
+			ptr := a.ColPtr
+			for j := lo; j < hi; j++ {
+				w[j] += ptr[j+1] - ptr[j]
+			}
+		}
+	}
+	if n >= inputWeightsParallelMin && t > 1 {
+		sched.Static(n, t, func(_, lo, hi int) { fill(lo, hi) })
+	} else {
+		fill(0, n)
+	}
+	return w
+}
+
+// allocCSC builds an empty CSC whose ColPtr is the prefix sum of the
+// per-column counts, with RowIdx/Val allocated to match.
+func allocCSC(rows, cols int, counts []int64) *matrix.CSC {
+	b := &matrix.CSC{Rows: rows, Cols: cols, ColPtr: make([]int64, cols+1)}
+	for j := 0; j < cols; j++ {
+		b.ColPtr[j+1] = b.ColPtr[j] + counts[j]
+	}
+	nnz := b.ColPtr[cols]
+	b.RowIdx = make([]matrix.Index, nnz)
+	b.Val = make([]matrix.Value, nnz)
+	return b
+}
+
+// arena is a worker-private growable store of (row, value) entries.
+// Allocations never move: a chunk's backing arrays are extended only
+// within their capacity, so sub-slices handed out earlier stay valid
+// for the stitch.
+type arena struct {
+	chunks []arenaChunk
+}
+
+type arenaChunk struct {
+	rows []matrix.Index
+	vals []matrix.Value
+}
+
+// alloc returns zeroed rows/vals slices of length n inside a single
+// chunk (capacity-clipped so appends cannot cross into a neighbour).
+func (ar *arena) alloc(n int) ([]matrix.Index, []matrix.Value) {
+	last := len(ar.chunks) - 1
+	if last < 0 || cap(ar.chunks[last].rows)-len(ar.chunks[last].rows) < n {
+		size := arenaChunkEntries
+		if n > size {
+			size = n
+		}
+		ar.chunks = append(ar.chunks, arenaChunk{
+			rows: make([]matrix.Index, 0, size),
+			vals: make([]matrix.Value, 0, size),
+		})
+		last++
+	}
+	c := &ar.chunks[last]
+	off := len(c.rows)
+	c.rows = c.rows[:off+n]
+	c.vals = c.vals[:off+n]
+	return c.rows[off : off+n : off+n], c.vals[off : off+n : off+n]
+}
+
+// shrink gives the tail `unused` entries of the most recent alloc back
+// to the chunk, so upper-bound allocations (the heap kernel reserves
+// input nnz before knowing the merged count) don't strand arena space.
+func (ar *arena) shrink(unused int) {
+	if unused <= 0 {
+		return
+	}
+	c := &ar.chunks[len(ar.chunks)-1]
+	c.rows = c.rows[:len(c.rows)-unused]
+	c.vals = c.vals[:len(c.vals)-unused]
+}
+
+// fusedCol records where one output column was staged in its worker's
+// arena; len(rows) is the column's final nnz.
+type fusedCol struct {
+	rows []matrix.Index
+	vals []matrix.Value
+}
+
+// addFused is the fused single-pass engine (PhasesFused): one pass
+// over the inputs accumulates every column into a per-worker arena,
+// then a parallel stitch copies the per-column extents into the final
+// CSC. There is no symbolic phase; PhaseTimings reports all time as
+// Numeric.
+func addFused(as []*matrix.CSC, alg Algorithm, opt Options, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
+	var pt PhaseTimings
+	n := as[0].Cols
+	t := sched.Threads(opt.Threads)
+	getWorker := makeWorkers(len(as), t, opt.loadFactor())
+	arenas := make([]*arena, t)
+	getArena := func(w int) *arena {
+		if arenas[w] == nil {
+			arenas[w] = &arena{}
+		}
+		return arenas[w]
+	}
+
+	start := time.Now()
+	weightsIn := inputWeights(as, t)
+	cols := make([]fusedCol, n)
+	runCols(n, t, opt.Schedule, weightsIn, func(w, lo, hi int) {
+		ws, ar := getWorker(w), getArena(w)
+		for j := lo; j < hi; j++ {
+			inz := int(weightsIn[j])
+			if inz == 0 {
+				continue
+			}
+			// Reserve the input-nnz upper bound, emit, and return the
+			// unused tail to the chunk for the worker's next column.
+			rows, vals := ar.alloc(inz)
+			nz := emitColInto(ws, as, j, inz, alg, opt.SortedOutput, coeffs, rows, vals)
+			ar.shrink(inz - nz)
+			cols[j] = fusedCol{rows: rows[:nz], vals: vals[:nz]}
+		}
+		ws.flushStats(opt.Stats)
+	})
+
+	// Stitch: assemble the final CSC from the per-column extents,
+	// load-balanced by output nnz like the two-pass numeric phase.
+	counts := make([]int64, n)
+	for j := range cols {
+		counts[j] = int64(len(cols[j].rows))
+	}
+	b := allocCSC(as[0].Rows, n, counts)
+	runCols(n, t, opt.Schedule, counts, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			copy(b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]], cols[j].rows)
+			copy(b.Val[b.ColPtr[j]:b.ColPtr[j+1]], cols[j].vals)
+		}
+	})
+	pt.Numeric = time.Since(start)
+	if opt.Stats != nil {
+		// EntriesMoved counts materialized matrix storage only (see
+		// OpStats); arena staging is scratch, like a hash table.
+		opt.Stats.EntriesMoved.Add(b.ColPtr[n])
+	}
+	return b, pt, nil
+}
+
+// emitColInto computes one output column with the single-pass kernels,
+// writing into outRows/outVals — length inz, the Σ_i nnz(A_i(:,j))
+// upper bound — and returns the entry count. Both single-pass engines
+// share it: the fused engine points it at an arena reservation, the
+// upper-bound engine at the column's staging extent.
+func emitColInto(ws *workerState, as []*matrix.CSC, j, inz int, alg Algorithm, sorted bool, coeffs []matrix.Value, outRows []matrix.Index, outVals []matrix.Value) int {
+	switch alg {
+	case Hash:
+		tab := hashAccumCol(ws, as, j, inz, coeffs)
+		nz := tab.Len()
+		r, v := tab.AppendEntries(outRows[:0:inz], outVals[:0:inz])
+		if len(r) != nz {
+			panic("core: single-pass hash emitted a different count than it accumulated")
+		}
+		if sorted {
+			sortPairs(r, v)
+		}
+		return nz
+	case SPA:
+		acc := spaAccumCol(ws, as, j, coeffs)
+		nz := acc.Len()
+		var r []matrix.Index
+		if sorted {
+			r, _ = acc.AppendSorted(outRows[:0:inz], outVals[:0:inz])
+		} else {
+			r, _ = acc.AppendUnsorted(outRows[:0:inz], outVals[:0:inz])
+		}
+		acc.Clear()
+		if len(r) != nz {
+			panic("core: single-pass SPA emitted a different count than it accumulated")
+		}
+		return nz
+	case Heap:
+		return heapMergeCol(ws, as, j, outRows, outVals, coeffs)
+	}
+	panic("core: single-pass engine dispatched an unsupported algorithm")
+}
+
+// addUpperBound is the upper-bound single-pass engine
+// (PhasesUpperBound): the staging area is allocated from the
+// per-column Σ_i nnz(A_i(:,j)) bound, filled in one pass over the
+// inputs, and compacted in parallel into the exact-size output.
+func addUpperBound(as []*matrix.CSC, alg Algorithm, opt Options, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
+	var pt PhaseTimings
+	n := as[0].Cols
+	t := sched.Threads(opt.Threads)
+	getWorker := makeWorkers(len(as), t, opt.loadFactor())
+
+	start := time.Now()
+	weightsIn := inputWeights(as, t)
+	ubPtr := make([]int64, n+1)
+	for j := 0; j < n; j++ {
+		ubPtr[j+1] = ubPtr[j] + weightsIn[j]
+	}
+	stRows := make([]matrix.Index, ubPtr[n])
+	stVals := make([]matrix.Value, ubPtr[n])
+	counts := make([]int64, n)
+	runCols(n, t, opt.Schedule, weightsIn, func(w, lo, hi int) {
+		ws := getWorker(w)
+		for j := lo; j < hi; j++ {
+			inz := int(weightsIn[j])
+			if inz == 0 {
+				continue
+			}
+			outRows := stRows[ubPtr[j]:ubPtr[j+1]]
+			outVals := stVals[ubPtr[j]:ubPtr[j+1]]
+			counts[j] = int64(emitColInto(ws, as, j, inz, alg, opt.SortedOutput, coeffs, outRows, outVals))
+		}
+		ws.flushStats(opt.Stats)
+	})
+
+	// Compact: copy each column's filled prefix to its final position.
+	// Out of place — final extents can overlap staged extents of other
+	// columns, so in-place parallel moves would race.
+	b := allocCSC(as[0].Rows, n, counts)
+	runCols(n, t, opt.Schedule, counts, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			copy(b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]], stRows[ubPtr[j]:ubPtr[j]+counts[j]])
+			copy(b.Val[b.ColPtr[j]:b.ColPtr[j+1]], stVals[ubPtr[j]:ubPtr[j]+counts[j]])
+		}
+	})
+	pt.Numeric = time.Since(start)
+	if opt.Stats != nil {
+		opt.Stats.EntriesMoved.Add(b.ColPtr[n])
+	}
+	return b, pt, nil
+}

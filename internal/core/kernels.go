@@ -23,6 +23,20 @@ func newWorkerState(k int, lf float64) *workerState {
 	return &workerState{lf: lf, pos: make([]int64, k)}
 }
 
+// makeWorkers returns a lazy per-worker state accessor shared by all
+// engines. Worker ids handed out by sched are distinct among
+// concurrently running goroutines, so creating state on first use per
+// id is race-free.
+func makeWorkers(k, t int, lf float64) func(int) *workerState {
+	workers := make([]*workerState, t)
+	return func(w int) *workerState {
+		if workers[w] == nil {
+			workers[w] = newWorkerState(k, lf)
+		}
+		return workers[w]
+	}
+}
+
 func (w *workerState) hashTable(n int) *hashtab.Table {
 	if w.table == nil {
 		w.table = hashtab.NewTable(n, w.lf)
@@ -69,6 +83,7 @@ func (w *workerState) flushStats(s *OpStats) {
 	}
 	if w.sym != nil {
 		s.HashProbes.Add(w.sym.Probes)
+		s.SymProbes.Add(w.sym.Probes)
 		w.sym.Probes = 0
 	}
 	if w.heap != nil {
@@ -93,9 +108,9 @@ func colInputNNZ(as []*matrix.CSC, j int) int {
 // --- Symbolic kernels: nnz(B(:,j)) per algorithm ---
 
 // hashSymbolicCol is Algorithm 6: count distinct row indices with an
-// index-only hash table sized by the input nnz of the column.
-func hashSymbolicCol(w *workerState, as []*matrix.CSC, j int) int {
-	inz := colInputNNZ(as, j)
+// index-only hash table sized by inz = Σ_i nnz(A_i(:,j)), which the
+// driver already computed for load balancing.
+func hashSymbolicCol(w *workerState, as []*matrix.CSC, j, inz int) int {
 	if inz == 0 {
 		return 0
 	}
@@ -134,14 +149,13 @@ func slidingParts(nnz, bytesPerEntry, threads int, cacheBytes int64, maxEntries 
 // columns are sorted (the paper's implementation) and by a filtering
 // scan otherwise (Table I lists sliding hash as not requiring sorted
 // inputs).
-func slidingSymbolicCol(w *workerState, as []*matrix.CSC, j, threads int, cacheBytes int64, maxEntries int, sortedIn bool) int {
-	inz := colInputNNZ(as, j)
+func slidingSymbolicCol(w *workerState, as []*matrix.CSC, j, inz, threads int, cacheBytes int64, maxEntries int, sortedIn bool) int {
 	if inz == 0 {
 		return 0
 	}
 	parts := slidingParts(inz, BytesPerSymbolicEntry, threads, cacheBytes, maxEntries)
 	if parts == 1 {
-		return hashSymbolicCol(w, as, j)
+		return hashSymbolicCol(w, as, j, inz)
 	}
 	m := as[0].Rows
 	nz := 0
@@ -245,14 +259,12 @@ func spaSymbolicCol(w *workerState, as []*matrix.CSC, j int) int {
 
 // --- Numeric kernels: fill B(:,j) into preallocated slices ---
 
-// hashAddCol is Algorithm 5. outRows/outVals have exactly nnz(B(:,j))
-// elements.
-func hashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, coeffs []matrix.Value) {
-	need := len(outRows)
-	if need == 0 {
-		return
-	}
-	tab := w.hashTable(need)
+// hashAccumCol accumulates column j of every input into the worker's
+// hash table, sized for `size` keys (output nnz in the two-pass
+// engine, input nnz in the single-pass engines), and returns the
+// table (lines 5-12 of Algorithm 5).
+func hashAccumCol(w *workerState, as []*matrix.CSC, j, size int, coeffs []matrix.Value) *hashtab.Table {
+	tab := w.hashTable(size)
 	for i, a := range as {
 		c := coeff(coeffs, i)
 		rows, vals := a.ColRows(j), a.ColVals(j)
@@ -260,6 +272,32 @@ func hashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index,
 			tab.Add(rows[p], vals[p]*c)
 		}
 	}
+	return tab
+}
+
+// spaAccumCol accumulates column j of every input into the worker's
+// SPA (lines 5-7 of Algorithm 4) and returns it; callers emit and
+// Clear it.
+func spaAccumCol(w *workerState, as []*matrix.CSC, j int, coeffs []matrix.Value) *spa.SPA {
+	acc := w.spa(as[0].Rows)
+	for i, a := range as {
+		c := coeff(coeffs, i)
+		rows, vals := a.ColRows(j), a.ColVals(j)
+		for p := range rows {
+			acc.Add(rows[p], vals[p]*c)
+		}
+	}
+	return acc
+}
+
+// hashAddCol is Algorithm 5. outRows/outVals have exactly nnz(B(:,j))
+// elements.
+func hashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, coeffs []matrix.Value) {
+	need := len(outRows)
+	if need == 0 {
+		return
+	}
+	tab := hashAccumCol(w, as, j, need, coeffs)
 	// Three-index slices cap appends at the column's allocation: a
 	// symbolic/numeric disagreement reallocates instead of corrupting
 	// the next column, and the length check below catches it.
@@ -319,10 +357,13 @@ func slidingHashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix
 	}
 }
 
-// heapAddCol is Algorithm 3: k-way merge through the min-heap,
-// appending to the output on first sight of a row and accumulating
-// otherwise. Output is produced in ascending row order.
-func heapAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, coeffs []matrix.Value) {
+// heapMergeCol is the body of Algorithm 3: k-way merge through the
+// min-heap, appending to the output on first sight of a row and
+// accumulating otherwise. Output is produced in ascending row order.
+// outRows/outVals may be larger than the result (the single-pass
+// engines pass the Σ_i nnz(A_i(:,j)) upper bound); the number of
+// entries written is returned.
+func heapMergeCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, coeffs []matrix.Value) int {
 	h := w.kheap(len(as))
 	pos := w.pos
 	for i, a := range as {
@@ -351,7 +392,13 @@ func heapAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index,
 			h.Pop()
 		}
 	}
-	if out+1 != len(outRows) {
+	return out + 1
+}
+
+// heapAddCol runs the heap merge against an exactly-sized output, the
+// two-pass numeric phase of Algorithm 3.
+func heapAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, coeffs []matrix.Value) {
+	if heapMergeCol(w, as, j, outRows, outVals, coeffs) != len(outRows) {
 		panic("core: heap symbolic nnz disagrees with numeric nnz")
 	}
 }
@@ -359,14 +406,7 @@ func heapAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index,
 // spaAddCol is Algorithm 4: accumulate into the dense SPA, then emit
 // (sorted when requested) and sparsely clear.
 func spaAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, coeffs []matrix.Value) {
-	acc := w.spa(as[0].Rows)
-	for i, a := range as {
-		c := coeff(coeffs, i)
-		rows, vals := a.ColRows(j), a.ColVals(j)
-		for p := range rows {
-			acc.Add(rows[p], vals[p]*c)
-		}
-	}
+	acc := spaAccumCol(w, as, j, coeffs)
 	need := len(outRows)
 	var r []matrix.Index
 	if sorted {

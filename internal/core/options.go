@@ -91,6 +91,59 @@ const (
 	ScheduleDynamic
 )
 
+// Phases selects the execution engine that drives the k-way
+// algorithms (Heap, SPA, Hash): how many passes the driver takes over
+// the input matrices. The paper's lower bound is O(knd) memory
+// traffic; the classic two-phase driver reads every input twice (once
+// to size the output, once to fill it), while the fused and
+// upper-bound engines read each input exactly once. SlidingHash and
+// the 2-way baselines always use their native drivers regardless of
+// this setting. See DESIGN.md for the full engine comparison.
+type Phases int
+
+const (
+	// PhasesAuto picks an engine from the estimated duplicate rate and
+	// memory headroom: PhasesUpperBound when duplicates are rare (the
+	// staging buffer stays close to the output size), PhasesFused
+	// otherwise, and PhasesTwoPass when the fused engine's input-sized
+	// hash tables would spill the last-level cache or the algorithm has
+	// no single-pass engine.
+	PhasesAuto Phases = iota
+	// PhasesTwoPass is the classic driver of §III-A: a symbolic phase
+	// computes nnz(B(:,j)) for every column, the output is allocated
+	// exactly, and a numeric phase fills it — reading all inputs twice.
+	PhasesTwoPass
+	// PhasesFused reads each input once: every worker accumulates its
+	// columns' results into a growable per-worker arena of
+	// (rows, values) chunks, then a parallel stitch assembles the final
+	// CSC from the per-column extents. Peak extra memory is about the
+	// output size.
+	PhasesFused
+	// PhasesUpperBound reads each input once into a staging buffer
+	// whose columns are sized by the Σ_i nnz(A_i(:,j)) upper bound,
+	// then compacts in parallel. Cheapest when duplicates are rare
+	// (staging ≈ output); peak extra memory is the total input size.
+	PhasesUpperBound
+)
+
+var phasesNames = map[Phases]string{
+	PhasesAuto:       "Auto",
+	PhasesTwoPass:    "TwoPass",
+	PhasesFused:      "Fused",
+	PhasesUpperBound: "UpperBound",
+}
+
+// String returns the engine's display name.
+func (p Phases) String() string {
+	if s, ok := phasesNames[p]; ok {
+		return s
+	}
+	return "Unknown"
+}
+
+// PhasesPolicies lists every concrete engine (everything but Auto).
+var PhasesPolicies = []Phases{PhasesTwoPass, PhasesFused, PhasesUpperBound}
+
 const (
 	// BytesPerSymbolicEntry is b in Algorithm 7: a symbolic hash-table
 	// slot holds one 32-bit row index.
@@ -124,6 +177,13 @@ type Options struct {
 	LoadFactor float64
 	// Schedule selects the column scheduling strategy.
 	Schedule Schedule
+	// Phases selects the execution engine for the k-way algorithms:
+	// the classic two-pass symbolic+numeric driver, the single-pass
+	// fused arena engine, or the single-pass upper-bound engine. The
+	// zero value (PhasesAuto) picks one from the duplicate-rate
+	// estimate and memory headroom. Ignored by SlidingHash and the
+	// 2-way baselines, which keep their native drivers.
+	Phases Phases
 	// MaxTableEntries, when positive, caps sliding-hash tables at the
 	// given entry count instead of deriving the cap from CacheBytes.
 	// This is the knob behind the paper's Fig 4 table-size sweeps.
@@ -152,15 +212,28 @@ func (o Options) loadFactor() float64 {
 // updated atomically at phase boundaries, so the overhead inside
 // kernels is zero.
 type OpStats struct {
-	HashProbes   atomic.Int64
-	HeapOps      atomic.Int64
-	SPATouches   atomic.Int64
-	EntriesMoved atomic.Int64 // entries written to intermediate or final storage
+	HashProbes atomic.Int64
+	HeapOps    atomic.Int64
+	SPATouches atomic.Int64
+	// EntriesMoved counts entries written to materialized matrix
+	// storage: the intermediate sums of the 2-way algorithms and the
+	// final output. Scratch structures (hash tables, SPAs, the
+	// single-pass engines' arena/staging buffers) don't count, so the
+	// counter is comparable across engines.
+	EntriesMoved atomic.Int64
+	// SymProbes counts the subset of HashProbes spent in the symbolic
+	// (output-sizing) tables. The single-pass engines never size the
+	// output symbolically, so SymProbes stays zero under PhasesFused
+	// and PhasesUpperBound — the observable proof that each input is
+	// read exactly once.
+	SymProbes atomic.Int64
 }
 
 // PhaseTimings reports the wall-clock split between the symbolic
 // (output-size) phase and the numeric addition phase, the series shown
-// separately in the paper's Fig 4.
+// separately in the paper's Fig 4. The single-pass engines
+// (PhasesFused, PhasesUpperBound) have no symbolic phase and report
+// their full time as Numeric, like the 2-way algorithms.
 type PhaseTimings struct {
 	Symbolic time.Duration
 	Numeric  time.Duration

@@ -16,7 +16,10 @@ import (
 // degenerating to the pairwise O(k²nd) regime.
 //
 // An Accumulator is not safe for concurrent use; each addition it
-// performs is internally parallel per the configured Options.
+// performs is internally parallel per the configured Options,
+// including the execution-engine policy: when Phases resolves to a
+// single-pass engine (the common PhasesAuto outcome for in-cache
+// workloads) each batched reduction reads its inputs exactly once.
 type Accumulator struct {
 	rows, cols int
 	opt        Options

@@ -31,6 +31,10 @@ type Config struct {
 	// SpKAdd is the reduction algorithm (the paper compares Heap
 	// against Hash).
 	SpKAdd core.Algorithm
+	// Phases selects the reduction's execution engine; the zero value
+	// (PhasesAuto) picks one per workload. The Fig 6 harness pins
+	// PhasesTwoPass to measure the paper's two-phase formulation.
+	Phases core.Phases
 	// SortIntermediates makes the local multiplications emit sorted
 	// columns. Heap SpKAdd requires it; hash SpKAdd does not, which
 	// lets the multiply phase skip sorting (the "Unsorted Hash" bars
@@ -127,7 +131,7 @@ func Run(a, b *matrix.CSC, cfg Config) (*matrix.CSC, Report, error) {
 	rep.CommVolumeBytes = commVolume
 
 	mulOpt := spgemm.Options{Threads: cfg.Threads, SortOutput: cfg.SortIntermediates}
-	addOpt := core.Options{Algorithm: cfg.SpKAdd, Threads: cfg.Threads, SortedOutput: true}
+	addOpt := core.Options{Algorithm: cfg.SpKAdd, Threads: cfg.Threads, SortedOutput: true, Phases: cfg.Phases}
 
 	process := func(i, j int, recvA <-chan *matrix.CSC, recvB <-chan *matrix.CSC) result {
 		var res result

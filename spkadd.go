@@ -36,6 +36,10 @@ type (
 	Options = core.Options
 	// Schedule selects the column-scheduling strategy.
 	Schedule = core.Schedule
+	// Phases selects the execution engine for the k-way algorithms:
+	// the classic two-pass symbolic+numeric driver or one of the
+	// single-pass engines that read each input exactly once.
+	Phases = core.Phases
 	// OpStats accumulates work counters across a call.
 	OpStats = core.OpStats
 	// PhaseTimings reports the symbolic/numeric wall-clock split.
@@ -62,6 +66,24 @@ const (
 	Hash = core.Hash
 	// SlidingHash caps hash tables to the last-level cache.
 	SlidingHash = core.SlidingHash
+)
+
+// Execution-engine (phase-policy) constants. The two-phase driver
+// reads every input twice (symbolic sizing + numeric fill); the fused
+// and upper-bound engines read each input exactly once, at the paper's
+// O(knd) memory-traffic lower bound. See DESIGN.md.
+const (
+	// PhasesAuto picks an engine from the duplicate-rate estimate and
+	// memory headroom (the default).
+	PhasesAuto = core.PhasesAuto
+	// PhasesTwoPass is the classic symbolic+numeric two-pass driver.
+	PhasesTwoPass = core.PhasesTwoPass
+	// PhasesFused accumulates into per-worker arenas in one input
+	// pass, then stitches the final matrix in parallel.
+	PhasesFused = core.PhasesFused
+	// PhasesUpperBound allocates from the per-column input-nnz upper
+	// bound, fills in one pass, then compacts in parallel.
+	PhasesUpperBound = core.PhasesUpperBound
 )
 
 // Scheduling constants.
