@@ -1,0 +1,35 @@
+package spkadd
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestAdderBusyDeterministic pins the misuse contract without relying
+// on scheduling luck: with the busy flag held, every entry point must
+// refuse with ErrAdderInUse, and releasing the flag restores service.
+func TestAdderBusyDeterministic(t *testing.T) {
+	ad := NewAdder()
+	as := []*Matrix{RandomER(64, 8, 2, 1), RandomER(64, 8, 2, 2)}
+
+	ad.busy.Store(true)
+	if _, err := ad.Add(as, Options{}); !errors.Is(err, ErrAdderInUse) {
+		t.Fatalf("Add with busy flag: err = %v, want ErrAdderInUse", err)
+	}
+	if _, _, err := ad.AddTimed(as, Options{}); !errors.Is(err, ErrAdderInUse) {
+		t.Fatalf("AddTimed with busy flag: err = %v, want ErrAdderInUse", err)
+	}
+	if _, err := ad.AddScaled(as, []Value{1, 1}, Options{}); !errors.Is(err, ErrAdderInUse) {
+		t.Fatalf("AddScaled with busy flag: err = %v, want ErrAdderInUse", err)
+	}
+	ad.busy.Store(false)
+
+	if _, err := ad.Add(as, Options{}); err != nil {
+		t.Fatalf("Add after release: %v", err)
+	}
+	// A failed (busy) call must not have consumed the flag: the adder
+	// still serves calls and the flag is clear between them.
+	if ad.busy.Load() {
+		t.Fatal("busy flag left set after a successful call")
+	}
+}

@@ -35,6 +35,7 @@ func addLoop(b *testing.B, as []*spkadd.Matrix, opt spkadd.Options) {
 		in += a.NNZ()
 	}
 	b.SetBytes(int64(in) * 12)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := spkadd.Add(as, opt); err != nil {
@@ -136,6 +137,7 @@ func BenchmarkTable5Trace(b *testing.B) {
 	for _, sliding := range []bool{false, true} {
 		b.Run(fmt.Sprintf("sliding=%v", sliding), func(b *testing.B) {
 			cfg := cachesim.TraceConfig{CacheBytes: 1 << 20, Threads: 8, Sliding: sliding}
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cachesim.TraceSpKAdd(as, cfg)
 			}
@@ -159,6 +161,7 @@ func BenchmarkFig6Summa(b *testing.B) {
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, _, err := spkadd.RunSumma(a, bb, spkadd.SummaConfig{
 					Grid: 8, SpKAdd: v.alg, SortIntermediates: v.sort, Sequential: true,
@@ -215,6 +218,7 @@ func BenchmarkColAdd(b *testing.B) {
 	x := generate.ER(generate.Opts{Rows: benchRows, Cols: 64, NNZPerCol: 512, Seed: 14})
 	y := generate.ER(generate.Opts{Rows: benchRows, Cols: 64, NNZPerCol: 512, Seed: 15})
 	b.SetBytes(int64(x.NNZ()+y.NNZ()) * 12)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := spkadd.Add([]*spkadd.Matrix{x, y}, spkadd.Options{Algorithm: spkadd.TwoWayIncremental}); err != nil {
@@ -230,6 +234,7 @@ func BenchmarkSpGEMM(b *testing.B) {
 	c := generate.ProteinLike(4000, 128, 64, 17)
 	for _, sorted := range []bool{true, false} {
 		b.Run(fmt.Sprintf("sorted=%v", sorted), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := spkadd.Multiply(a, c, spkadd.MulOptions{SortOutput: sorted}); err != nil {
 					b.Fatal(err)
@@ -263,6 +268,72 @@ func BenchmarkPhasesEngines(b *testing.B) {
 	}
 }
 
+// adderReuseConfigs is the grid shared by BenchmarkAdderReuse and
+// BenchmarkAdderOneShot: Hash/SPA/Heap under all three engines,
+// sorted and unsorted, on a small repeated-addition workload where
+// allocation amortization matters most. Threads is pinned to 1 so the
+// reused path has a goroutine-free steady state (worker spawns
+// allocate their closures) — the CI allocation gate greps these
+// results for nonzero allocs/op.
+func adderReuseConfigs() []spkadd.Options {
+	var opts []spkadd.Options
+	for _, alg := range []spkadd.Algorithm{spkadd.Hash, spkadd.SPA, spkadd.Heap} {
+		for _, p := range []spkadd.Phases{spkadd.PhasesTwoPass, spkadd.PhasesFused, spkadd.PhasesUpperBound} {
+			for _, sorted := range []bool{false, true} {
+				opts = append(opts, spkadd.Options{Algorithm: alg, Phases: p, SortedOutput: sorted, Threads: 1})
+			}
+		}
+	}
+	return opts
+}
+
+func adderReuseInputs() []*spkadd.Matrix {
+	return generate.ERCollection(8, generate.Opts{Rows: 1 << 11, Cols: 64, NNZPerCol: 4, Seed: 21})
+}
+
+// BenchmarkAdderReuse measures the steady state of a reused Adder: by
+// construction it must report 0 allocs/op for every configuration
+// (TestAdderZeroSteadyStateAllocs asserts the same invariant; CI
+// fails the build if either regresses). Compare against
+// BenchmarkAdderOneShot for the throughput gain of buffer reuse.
+func BenchmarkAdderReuse(b *testing.B) {
+	as := adderReuseInputs()
+	for _, opt := range adderReuseConfigs() {
+		b.Run(fmt.Sprintf("%v/%v/sorted=%v", opt.Algorithm, opt.Phases, opt.SortedOutput), func(b *testing.B) {
+			ad := spkadd.NewAdder()
+			for warm := 0; warm < 3; warm++ {
+				if _, err := ad.Add(as, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ad.Add(as, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdderOneShot is the one-shot Add counterpart of
+// BenchmarkAdderReuse: same workload and configurations, fresh output
+// (and pooled scratch) every call.
+func BenchmarkAdderOneShot(b *testing.B) {
+	as := adderReuseInputs()
+	for _, opt := range adderReuseConfigs() {
+		b.Run(fmt.Sprintf("%v/%v/sorted=%v", opt.Algorithm, opt.Phases, opt.SortedOutput), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := spkadd.Add(as, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSymbolicVsNumeric reports the phase split of the hash
 // algorithm (the two series of Fig 4) at a high compression factor,
 // where the symbolic phase dominates.
@@ -270,6 +341,7 @@ func BenchmarkSymbolicVsNumeric(b *testing.B) {
 	as := generate.ClusteredCollection(64, generate.Opts{Rows: benchRows, Cols: 16, NNZPerCol: 240, Seed: 18}, 22)
 	b.Run("symbolic+numeric", func(b *testing.B) {
 		var sym, num int64
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, pt, err := core.AddTimed(as, core.Options{Algorithm: core.Hash, Phases: core.PhasesTwoPass})
 			if err != nil {

@@ -59,6 +59,25 @@
 // fixed algorithm (bit-for-bit with SortedOutput). DESIGN.md covers
 // the engine trade-offs in detail.
 //
+// # Repeated additions
+//
+// Add draws its scratch structures from an internal pool, so one-shot
+// calls already amortize hash tables, accumulators and staging
+// buffers across calls. Callers that add repeatedly — streaming graph
+// windows, per-stage SUMMA reductions, gradient averaging loops —
+// should hold an Adder, which additionally recycles the output
+// storage: in steady state a call allocates nothing. The returned
+// matrix is owned by the Adder and valid until its next call (Clone
+// it to keep it longer); the previous result may be an input to the
+// next call, so the streaming pattern
+//
+//	ad := spkadd.NewAdder()
+//	sum, _ = ad.Add([]*spkadd.Matrix{sum, delta}, opt)
+//
+// is supported directly. An Adder is single-goroutine; concurrent use
+// fails fast with ErrAdderInUse. See DESIGN.md §3 and
+// `spkadd-bench -exp reuse` for the measured effect.
+//
 // Matrices are in compressed sparse column (CSC) form with 32-bit
 // indices and float64 values; everything applies symmetrically to CSR
 // (transpose the interpretation). Inputs may have unsorted columns for

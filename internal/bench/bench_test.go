@@ -2,9 +2,11 @@ package bench
 
 import (
 	"bytes"
-	"spkadd/internal/core"
 	"strings"
 	"testing"
+
+	"spkadd/internal/core"
+	"spkadd/internal/generate"
 )
 
 func smokeConfig(buf *bytes.Buffer) Config {
@@ -43,6 +45,34 @@ func TestFig6Smoke(t *testing.T) {
 	for _, want := range []string{"Fig 6", "Heap", "Unsorted Hash", "Local Multiply"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestReuseSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, Reps: 1, Scale: 8, Threads: 1}
+	if err := Run("reuse", cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Workspace reuse", "Hash", "SPA", "Heap", "k=2 d=4", "k=32 d=64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// BenchmarkHarnessTimeAdd tracks the harness's own measurement path
+// (one pooled-workspace Add per op); its allocs/op is the one-shot
+// API's allocation footprint.
+func BenchmarkHarnessTimeAdd(b *testing.B) {
+	as := generate.ERCollection(8, generate.Opts{Rows: 1 << 12, Cols: 32, NNZPerCol: 8, Seed: 41})
+	opt := core.Options{Algorithm: core.Hash, Threads: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := timeAdd(as, opt, 1); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -79,15 +79,21 @@ func Phases(cfg Config) error {
 }
 
 // BaselineCell is one measurement of the committed perf baseline.
+// AllocsPerOp/BytesPerOp are heap allocation counts averaged over the
+// timed repetitions (runtime.MemStats deltas), so allocation
+// regressions on the one-shot path are visible in baseline diffs just
+// like runtime regressions.
 type BaselineCell struct {
-	Pattern   string  `json:"pattern"`
-	K         int     `json:"k"`
-	D         int     `json:"d"`
-	Algorithm string  `json:"algorithm"`
-	Engine    string  `json:"engine"`
-	Seconds   float64 `json:"seconds"`
-	NNZIn     int     `json:"nnz_in"`
-	NNZOut    int     `json:"nnz_out"`
+	Pattern     string  `json:"pattern"`
+	K           int     `json:"k"`
+	D           int     `json:"d"`
+	Algorithm   string  `json:"algorithm"`
+	Engine      string  `json:"engine"`
+	Seconds     float64 `json:"seconds"`
+	NNZIn       int     `json:"nnz_in"`
+	NNZOut      int     `json:"nnz_out"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
 // BaselineReport is the schema of BENCH_baseline.json: enough
@@ -113,7 +119,7 @@ type BaselineReport struct {
 func Baseline(cfg Config, out io.Writer) error {
 	const rows, cols = 1 << 15, 32
 	rep := BaselineReport{
-		Schema:     1,
+		Schema:     2, // 2 added allocs_per_op / bytes_per_op
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -142,19 +148,25 @@ func Baseline(cfg Config, out io.Writer) error {
 				if err != nil {
 					return fmt.Errorf("baseline %s %v %v: %w", c.pattern, alg, p, err)
 				}
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
 				dur, _, err := timeAdd(as, opt, cfg.reps())
 				if err != nil {
 					return err
 				}
+				runtime.ReadMemStats(&m1)
+				ops := float64(cfg.reps())
 				rep.Cells = append(rep.Cells, BaselineCell{
-					Pattern:   c.pattern,
-					K:         c.k,
-					D:         c.d,
-					Algorithm: alg.String(),
-					Engine:    p.String(),
-					Seconds:   dur.Seconds(),
-					NNZIn:     in,
-					NNZOut:    b.NNZ(),
+					Pattern:     c.pattern,
+					K:           c.k,
+					D:           c.d,
+					Algorithm:   alg.String(),
+					Engine:      p.String(),
+					Seconds:     dur.Seconds(),
+					NNZIn:       in,
+					NNZOut:      b.NNZ(),
+					AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / ops,
+					BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / ops,
 				})
 			}
 		}

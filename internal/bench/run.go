@@ -26,6 +26,8 @@ func Run(name string, cfg Config) error {
 		return Fig6(cfg)
 	case "phases":
 		return Phases(cfg)
+	case "reuse":
+		return Reuse(cfg)
 	case "tune":
 		return Tune(cfg)
 	case "ablation":
@@ -38,6 +40,6 @@ func Run(name string, cfg Config) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("bench: unknown experiment %q (want one of %v, \"phases\", \"tune\", \"ablation\", or \"all\")", name, Experiments)
+		return fmt.Errorf("bench: unknown experiment %q (want one of %v, \"phases\", \"reuse\", \"tune\", \"ablation\", or \"all\")", name, Experiments)
 	}
 }

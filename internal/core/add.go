@@ -29,39 +29,21 @@ func Add(as []*matrix.CSC, opt Options) (*matrix.CSC, error) {
 // the symbolic and numeric phases (the separate series of Fig 4).
 // 2-way algorithms have no symbolic phase; their full time is reported
 // as Numeric.
+//
+// Scratch state comes from a pool of workspaces, so repeated one-shot
+// calls amortize every internal buffer; only the returned matrix is
+// freshly allocated (the caller owns it). Callers that also want the
+// output storage recycled use a Workspace (or the public Adder)
+// directly.
 func AddTimed(as []*matrix.CSC, opt Options) (*matrix.CSC, PhaseTimings, error) {
-	var pt PhaseTimings
-	if len(as) == 0 {
-		return nil, pt, ErrNoInputs
-	}
-	rows, cols := as[0].Rows, as[0].Cols
-	for i, a := range as {
-		if a.Rows != rows || a.Cols != cols {
-			return nil, pt, fmt.Errorf("%w: matrix %d is %dx%d, want %dx%d",
-				ErrDimMismatch, i, a.Rows, a.Cols, rows, cols)
-		}
-	}
-	if len(as) == 1 {
-		out := as[0].Clone()
-		if opt.SortedOutput && !out.IsColumnSorted() {
-			out.SortColumns()
-		}
-		return out, pt, nil
-	}
-
-	sortedIn := allColumnsSorted(as)
-	alg := opt.Algorithm
-	if alg == Auto {
-		alg = autoSelect(as, opt, sortedIn)
-	}
-	switch alg {
-	case TwoWayIncremental, TwoWayTree, Heap:
-		if !sortedIn {
-			return nil, pt, fmt.Errorf("%w: %v", ErrUnsortedInput, alg)
-		}
-	}
-
-	return addDispatch(as, alg, opt, sortedIn, nil)
+	ws := wsPool.Get().(*Workspace)
+	b, pt, err := ws.AddTimed(as, opt)
+	// Put on the normal return path only: if a kernel panicked (a
+	// caller mutating inputs mid-call, an invariant check firing), the
+	// workspace holds half-accumulated state and a deferred Put would
+	// feed it to an unrelated future caller as silent corruption.
+	wsPool.Put(ws)
+	return b, pt, err
 }
 
 // AddScaled computes the weighted sum B = Σ coeffs[i] * A_i, the form
@@ -70,18 +52,35 @@ func AddTimed(as []*matrix.CSC, opt Options) (*matrix.CSC, PhaseTimings, error) 
 // coefficient bookkeeping at every tree level); Auto resolves to a
 // k-way algorithm, so the zero Options value works.
 func AddScaled(as []*matrix.CSC, coeffs []matrix.Value, opt Options) (*matrix.CSC, error) {
-	if len(coeffs) != len(as) {
-		return nil, fmt.Errorf("%w: %d coefficients for %d matrices", ErrDimMismatch, len(coeffs), len(as))
-	}
+	ws := wsPool.Get().(*Workspace)
+	b, err := ws.AddScaled(as, coeffs, opt)
+	wsPool.Put(ws) // normal return path only; see AddTimed
+	return b, err
+}
+
+// validateDims checks the input collection for emptiness and dimension
+// agreement.
+func validateDims(as []*matrix.CSC) error {
 	if len(as) == 0 {
-		return nil, ErrNoInputs
+		return ErrNoInputs
 	}
 	rows, cols := as[0].Rows, as[0].Cols
 	for i, a := range as {
 		if a.Rows != rows || a.Cols != cols {
-			return nil, fmt.Errorf("%w: matrix %d is %dx%d, want %dx%d",
+			return fmt.Errorf("%w: matrix %d is %dx%d, want %dx%d",
 				ErrDimMismatch, i, a.Rows, a.Cols, rows, cols)
 		}
+	}
+	return nil
+}
+
+// validateScaled checks an AddScaled call and resolves its algorithm.
+func validateScaled(as []*matrix.CSC, coeffs []matrix.Value, opt Options) (Algorithm, bool, error) {
+	if len(coeffs) != len(as) {
+		return 0, false, fmt.Errorf("%w: %d coefficients for %d matrices", ErrDimMismatch, len(coeffs), len(as))
+	}
+	if err := validateDims(as); err != nil {
+		return 0, false, err
 	}
 	sortedIn := allColumnsSorted(as)
 	alg := opt.Algorithm
@@ -91,54 +90,17 @@ func AddScaled(as []*matrix.CSC, coeffs []matrix.Value, opt Options) (*matrix.CS
 	switch alg {
 	case Heap:
 		if !sortedIn {
-			return nil, fmt.Errorf("%w: %v", ErrUnsortedInput, alg)
+			return 0, false, unsortedErr(alg)
 		}
 	case SPA, Hash, SlidingHash:
 	default:
-		return nil, fmt.Errorf("spkadd: AddScaled supports k-way algorithms only, got %v", alg)
+		return 0, false, fmt.Errorf("spkadd: AddScaled supports k-way algorithms only, got %v", alg)
 	}
-	b, _, err := addKWayEngine(as, alg, opt, sortedIn, coeffs)
-	return b, err
+	return alg, sortedIn, nil
 }
 
-func addDispatch(as []*matrix.CSC, alg Algorithm, opt Options, sortedIn bool, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
-	var pt PhaseTimings
-	switch alg {
-	case TwoWayIncremental, TwoWayTree, MapIncremental, MapTree:
-		start := time.Now()
-		var b *matrix.CSC
-		switch alg {
-		case TwoWayIncremental:
-			b = addIncremental(as, opt, pairAddMerge)
-		case TwoWayTree:
-			b = addTree(as, opt, pairAddMerge)
-		case MapIncremental:
-			b = addIncremental(as, opt, pairAddMap)
-		case MapTree:
-			b = addTree(as, opt, pairAddMap)
-		}
-		pt.Numeric = time.Since(start)
-		return b, pt, nil
-	default:
-		return addKWayEngine(as, alg, opt, sortedIn, coeffs)
-	}
-}
-
-// addKWayEngine routes a k-way addition to the execution engine the
-// Phases policy selects: the classic two-phase driver, the fused
-// arena engine, or the upper-bound engine (fused.go). SlidingHash and
-// explicit PhasesTwoPass always take the two-phase driver.
-func addKWayEngine(as []*matrix.CSC, alg Algorithm, opt Options, sortedIn bool, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
-	// sortedIn only matters to SlidingHash's row-range lookups, so the
-	// single-pass engines (which exclude it) don't take it.
-	switch pickPhases(as, alg, opt) {
-	case PhasesFused:
-		return addFused(as, alg, opt, coeffs)
-	case PhasesUpperBound:
-		return addUpperBound(as, alg, opt, coeffs)
-	default:
-		return addKWay(as, alg, opt, sortedIn, coeffs)
-	}
+func unsortedErr(alg Algorithm) error {
+	return fmt.Errorf("%w: %v", ErrUnsortedInput, alg)
 }
 
 // allColumnsSorted reports whether every input has sorted columns.
@@ -181,67 +143,73 @@ func autoSelect(as []*matrix.CSC, opt Options, sortedIn bool) Algorithm {
 // column independently (load-balanced by output nnz). This is the
 // parallelization strategy of §III-A: thread-private data structures,
 // no synchronization inside a column.
-func addKWay(as []*matrix.CSC, alg Algorithm, opt Options, sortedIn bool, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
+func (ws *Workspace) addKWay() (*matrix.CSC, PhaseTimings) {
 	var pt PhaseTimings
-	n := as[0].Cols
-	t := sched.Threads(opt.Threads)
-	cache := opt.cacheBytes()
-	getWorker := makeWorkers(len(as), t, opt.loadFactor())
+	n := ws.as[0].Cols
+	ws.colScratch(n)
 
 	// Symbolic phase: per-column output sizes, balanced by input nnz.
 	// The weights double as the per-column input nnz the symbolic
 	// kernels need, so it is computed exactly once — outside the
 	// timer, where the seed computed it, to keep the Fig 4 phase
 	// split comparable.
-	weightsIn := inputWeights(as, t)
-	counts := make([]int64, n)
+	ws.fillInputWeights()
 	symStart := time.Now()
-	runCols(n, t, opt.Schedule, weightsIn, func(w, lo, hi int) {
-		ws := getWorker(w)
-		for j := lo; j < hi; j++ {
-			inz := int(weightsIn[j])
-			switch alg {
-			case Hash:
-				counts[j] = int64(hashSymbolicCol(ws, as, j, inz))
-			case SlidingHash:
-				counts[j] = int64(slidingSymbolicCol(ws, as, j, inz, t, cache, opt.MaxTableEntries, sortedIn))
-			case Heap:
-				counts[j] = int64(heapSymbolicCol(ws, as, j))
-			case SPA:
-				counts[j] = int64(spaSymbolicCol(ws, as, j))
-			}
-		}
-		ws.flushStats(opt.Stats)
-	})
+	runCols(n, ws.t, ws.opt.Schedule, ws.weights, ws.symFn)
 	pt.Symbolic = time.Since(symStart)
 
 	// Allocate the output in one shot from the symbolic counts.
-	b := allocCSC(as[0].Rows, n, counts)
+	b := ws.allocOutput(ws.as[0].Rows, n, ws.counts)
+	ws.b = b
 	nnz := b.ColPtr[n]
 
 	// Numeric phase: fill columns, balanced by output nnz.
 	numStart := time.Now()
-	runCols(n, t, opt.Schedule, counts, func(w, lo, hi int) {
-		ws := getWorker(w)
-		for j := lo; j < hi; j++ {
-			outRows := b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]]
-			outVals := b.Val[b.ColPtr[j]:b.ColPtr[j+1]]
-			switch alg {
-			case Hash:
-				hashAddCol(ws, as, j, outRows, outVals, opt.SortedOutput, coeffs)
-			case SlidingHash:
-				slidingHashAddCol(ws, as, j, outRows, outVals, opt.SortedOutput, t, cache, opt.MaxTableEntries, sortedIn, coeffs)
-			case Heap:
-				heapAddCol(ws, as, j, outRows, outVals, coeffs)
-			case SPA:
-				spaAddCol(ws, as, j, outRows, outVals, opt.SortedOutput, coeffs)
-			}
-		}
-		ws.flushStats(opt.Stats)
-	})
+	runCols(n, ws.t, ws.opt.Schedule, ws.counts, ws.numFn)
 	pt.Numeric = time.Since(numStart)
-	if opt.Stats != nil {
-		opt.Stats.EntriesMoved.Add(nnz)
+	if ws.opt.Stats != nil {
+		ws.opt.Stats.EntriesMoved.Add(nnz)
 	}
-	return b, pt, nil
+	return b, pt
+}
+
+// symBody is the symbolic phase body: one worker sizing the columns of
+// [lo, hi) with its thread-private structures.
+func (ws *Workspace) symBody(w, lo, hi int) {
+	s := ws.worker(w)
+	for j := lo; j < hi; j++ {
+		inz := int(ws.weights[j])
+		switch ws.alg {
+		case Hash:
+			ws.counts[j] = int64(hashSymbolicCol(s, ws.as, j, inz))
+		case SlidingHash:
+			ws.counts[j] = int64(slidingSymbolicCol(s, ws.as, j, inz, ws.t, ws.cache, ws.opt.MaxTableEntries, ws.sortedIn))
+		case Heap:
+			ws.counts[j] = int64(heapSymbolicCol(s, ws.as, j))
+		case SPA:
+			ws.counts[j] = int64(spaSymbolicCol(s, ws.as, j))
+		}
+	}
+	s.flushStats(ws.opt.Stats)
+}
+
+// numBody is the numeric phase body: fill the exactly-sized output
+// columns of [lo, hi).
+func (ws *Workspace) numBody(w, lo, hi int) {
+	s, b := ws.worker(w), ws.b
+	for j := lo; j < hi; j++ {
+		outRows := b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]]
+		outVals := b.Val[b.ColPtr[j]:b.ColPtr[j+1]]
+		switch ws.alg {
+		case Hash:
+			hashAddCol(s, ws.as, j, outRows, outVals, ws.opt.SortedOutput, ws.coeffs)
+		case SlidingHash:
+			slidingHashAddCol(s, ws.as, j, outRows, outVals, ws.opt.SortedOutput, ws.t, ws.cache, ws.opt.MaxTableEntries, ws.sortedIn, ws.coeffs)
+		case Heap:
+			heapAddCol(s, ws.as, j, outRows, outVals, ws.coeffs)
+		case SPA:
+			spaAddCol(s, ws.as, j, outRows, outVals, ws.opt.SortedOutput, ws.coeffs)
+		}
+	}
+	s.flushStats(ws.opt.Stats)
 }

@@ -57,29 +57,32 @@ func mergeInto(ar []matrix.Index, av []matrix.Value, br []matrix.Index, bv []mat
 
 // sortPairs sorts (rows, vals) jointly by ascending row index. Used by
 // the hash algorithm when sorted output is requested (Algorithm 5,
-// line 15).
+// line 15). Recursion is through a top-level function rather than a
+// self-referencing closure: the closure form puts a funcval on the
+// heap per call, which would be the only steady-state allocation in a
+// reused workspace's sorted-output path.
 func sortPairs(rows []matrix.Index, vals []matrix.Value) {
-	var qs func(lo, hi int)
-	qs = func(lo, hi int) {
-		for hi-lo > 12 {
-			p := partitionPairs(rows, vals, lo, hi)
-			if p-lo < hi-p {
-				qs(lo, p)
-				lo = p + 1
-			} else {
-				qs(p+1, hi)
-				hi = p
-			}
-		}
-		for i := lo + 1; i <= hi; i++ {
-			for j := i; j > lo && rows[j] < rows[j-1]; j-- {
-				rows[j], rows[j-1] = rows[j-1], rows[j]
-				vals[j], vals[j-1] = vals[j-1], vals[j]
-			}
+	if len(rows) > 1 {
+		quickSortPairs(rows, vals, 0, len(rows)-1)
+	}
+}
+
+func quickSortPairs(rows []matrix.Index, vals []matrix.Value, lo, hi int) {
+	for hi-lo > 12 {
+		p := partitionPairs(rows, vals, lo, hi)
+		if p-lo < hi-p {
+			quickSortPairs(rows, vals, lo, p)
+			lo = p + 1
+		} else {
+			quickSortPairs(rows, vals, p+1, hi)
+			hi = p
 		}
 	}
-	if len(rows) > 1 {
-		qs(0, len(rows)-1)
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && rows[j] < rows[j-1]; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
 	}
 }
 

@@ -26,7 +26,9 @@ import (
 //
 // Both support the Hash, SPA and Heap kernels, sorted and unsorted
 // output, coefficients, and all schedules, with output entry-for-entry
-// identical (after canonical sort) to the two-phase engine.
+// identical (after canonical sort) to the two-phase engine. Both run
+// on a Workspace: arenas, staging buffers and column extents survive
+// the call, so repeated additions allocate nothing in steady state.
 
 const (
 	// upperBoundStagingCap bounds the staging buffer PhasesAuto lets
@@ -99,28 +101,6 @@ func pickPhases(as []*matrix.CSC, alg Algorithm, opt Options) Phases {
 	return PhasesFused
 }
 
-// inputWeights returns Σ_i nnz(A_i(:,j)) for every column, the
-// symbolic load-balancing weights and the staging upper bounds of the
-// single-pass engines. Wide matrices are summed in parallel.
-func inputWeights(as []*matrix.CSC, t int) []int64 {
-	n := as[0].Cols
-	w := make([]int64, n)
-	fill := func(lo, hi int) {
-		for _, a := range as {
-			ptr := a.ColPtr
-			for j := lo; j < hi; j++ {
-				w[j] += ptr[j+1] - ptr[j]
-			}
-		}
-	}
-	if n >= inputWeightsParallelMin && t > 1 {
-		sched.Static(n, t, func(_, lo, hi int) { fill(lo, hi) })
-	} else {
-		fill(0, n)
-	}
-	return w
-}
-
 // allocCSC builds an empty CSC whose ColPtr is the prefix sum of the
 // per-column counts, with RowIdx/Val allocated to match.
 func allocCSC(rows, cols int, counts []int64) *matrix.CSC {
@@ -137,9 +117,11 @@ func allocCSC(rows, cols int, counts []int64) *matrix.CSC {
 // arena is a worker-private growable store of (row, value) entries.
 // Allocations never move: a chunk's backing arrays are extended only
 // within their capacity, so sub-slices handed out earlier stay valid
-// for the stitch.
+// for the stitch. reset rewinds every chunk instead of dropping it, so
+// a workspace-resident arena serves later calls without allocating.
 type arena struct {
 	chunks []arenaChunk
+	cur    int // chunk currently being filled
 }
 
 type arenaChunk struct {
@@ -147,26 +129,41 @@ type arenaChunk struct {
 	vals []matrix.Value
 }
 
-// alloc returns zeroed rows/vals slices of length n inside a single
-// chunk (capacity-clipped so appends cannot cross into a neighbour).
-func (ar *arena) alloc(n int) ([]matrix.Index, []matrix.Value) {
-	last := len(ar.chunks) - 1
-	if last < 0 || cap(ar.chunks[last].rows)-len(ar.chunks[last].rows) < n {
-		size := arenaChunkEntries
-		if n > size {
-			size = n
-		}
-		ar.chunks = append(ar.chunks, arenaChunk{
-			rows: make([]matrix.Index, 0, size),
-			vals: make([]matrix.Value, 0, size),
-		})
-		last++
+// reset rewinds the arena for a new call, keeping every chunk's
+// storage.
+func (ar *arena) reset() {
+	for i := range ar.chunks {
+		ar.chunks[i].rows = ar.chunks[i].rows[:0]
+		ar.chunks[i].vals = ar.chunks[i].vals[:0]
 	}
-	c := &ar.chunks[last]
-	off := len(c.rows)
-	c.rows = c.rows[:off+n]
-	c.vals = c.vals[:off+n]
-	return c.rows[off : off+n : off+n], c.vals[off : off+n : off+n]
+	ar.cur = 0
+}
+
+// alloc returns rows/vals slices of length n inside a single chunk
+// (capacity-clipped so appends cannot cross into a neighbour),
+// advancing past recycled chunks that are too small and appending a
+// new chunk only when none fits.
+func (ar *arena) alloc(n int) ([]matrix.Index, []matrix.Value) {
+	for {
+		if ar.cur >= len(ar.chunks) {
+			size := arenaChunkEntries
+			if n > size {
+				size = n
+			}
+			ar.chunks = append(ar.chunks, arenaChunk{
+				rows: make([]matrix.Index, 0, size),
+				vals: make([]matrix.Value, 0, size),
+			})
+		}
+		c := &ar.chunks[ar.cur]
+		if cap(c.rows)-len(c.rows) >= n {
+			off := len(c.rows)
+			c.rows = c.rows[:off+n]
+			c.vals = c.vals[:off+n]
+			return c.rows[off : off+n : off+n], c.vals[off : off+n : off+n]
+		}
+		ar.cur++
+	}
 }
 
 // shrink gives the tail `unused` entries of the most recent alloc back
@@ -176,7 +173,7 @@ func (ar *arena) shrink(unused int) {
 	if unused <= 0 {
 		return
 	}
-	c := &ar.chunks[len(ar.chunks)-1]
+	c := &ar.chunks[ar.cur]
 	c.rows = c.rows[:len(c.rows)-unused]
 	c.vals = c.vals[:len(c.vals)-unused]
 }
@@ -193,59 +190,74 @@ type fusedCol struct {
 // then a parallel stitch copies the per-column extents into the final
 // CSC. There is no symbolic phase; PhaseTimings reports all time as
 // Numeric.
-func addFused(as []*matrix.CSC, alg Algorithm, opt Options, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
+func (ws *Workspace) addFused() (*matrix.CSC, PhaseTimings) {
 	var pt PhaseTimings
-	n := as[0].Cols
-	t := sched.Threads(opt.Threads)
-	getWorker := makeWorkers(len(as), t, opt.loadFactor())
-	arenas := make([]*arena, t)
-	getArena := func(w int) *arena {
-		if arenas[w] == nil {
-			arenas[w] = &arena{}
-		}
-		return arenas[w]
+	n := ws.as[0].Cols
+	ws.colScratch(n)
+	if ws.t > len(ws.arenas) {
+		arenas := make([]arena, ws.t)
+		copy(arenas, ws.arenas)
+		ws.arenas = arenas
 	}
+	for i := range ws.arenas {
+		ws.arenas[i].reset()
+	}
+	if cap(ws.cols) < n {
+		ws.cols = make([]fusedCol, n)
+	}
+	ws.cols = ws.cols[:n]
 
 	start := time.Now()
-	weightsIn := inputWeights(as, t)
-	cols := make([]fusedCol, n)
-	runCols(n, t, opt.Schedule, weightsIn, func(w, lo, hi int) {
-		ws, ar := getWorker(w), getArena(w)
-		for j := lo; j < hi; j++ {
-			inz := int(weightsIn[j])
-			if inz == 0 {
-				continue
-			}
-			// Reserve the input-nnz upper bound, emit, and return the
-			// unused tail to the chunk for the worker's next column.
-			rows, vals := ar.alloc(inz)
-			nz := emitColInto(ws, as, j, inz, alg, opt.SortedOutput, coeffs, rows, vals)
-			ar.shrink(inz - nz)
-			cols[j] = fusedCol{rows: rows[:nz], vals: vals[:nz]}
-		}
-		ws.flushStats(opt.Stats)
-	})
+	ws.fillInputWeights()
+	runCols(n, ws.t, ws.opt.Schedule, ws.weights, ws.fusedFn)
 
 	// Stitch: assemble the final CSC from the per-column extents,
 	// load-balanced by output nnz like the two-pass numeric phase.
-	counts := make([]int64, n)
-	for j := range cols {
-		counts[j] = int64(len(cols[j].rows))
+	for j := 0; j < n; j++ {
+		ws.counts[j] = int64(len(ws.cols[j].rows))
 	}
-	b := allocCSC(as[0].Rows, n, counts)
-	runCols(n, t, opt.Schedule, counts, func(_, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			copy(b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]], cols[j].rows)
-			copy(b.Val[b.ColPtr[j]:b.ColPtr[j+1]], cols[j].vals)
-		}
-	})
+	b := ws.allocOutput(ws.as[0].Rows, n, ws.counts)
+	ws.b = b
+	runCols(n, ws.t, ws.opt.Schedule, ws.counts, ws.stitchFn)
 	pt.Numeric = time.Since(start)
-	if opt.Stats != nil {
+	if ws.opt.Stats != nil {
 		// EntriesMoved counts materialized matrix storage only (see
 		// OpStats); arena staging is scratch, like a hash table.
-		opt.Stats.EntriesMoved.Add(b.ColPtr[n])
+		ws.opt.Stats.EntriesMoved.Add(b.ColPtr[n])
 	}
-	return b, pt, nil
+	return b, pt
+}
+
+// fusedBody is the fused engine's single input pass: emit each column
+// into the worker's arena. Every column of [lo, hi) is written —
+// including empty ones, so a recycled extents slice holds no stale
+// entries.
+func (ws *Workspace) fusedBody(w, lo, hi int) {
+	s, ar := ws.worker(w), &ws.arenas[w]
+	for j := lo; j < hi; j++ {
+		inz := int(ws.weights[j])
+		if inz == 0 {
+			ws.cols[j] = fusedCol{}
+			continue
+		}
+		// Reserve the input-nnz upper bound, emit, and return the
+		// unused tail to the chunk for the worker's next column.
+		rows, vals := ar.alloc(inz)
+		nz := emitColInto(s, ws.as, j, inz, ws.alg, ws.opt.SortedOutput, ws.coeffs, rows, vals)
+		ar.shrink(inz - nz)
+		ws.cols[j] = fusedCol{rows: rows[:nz], vals: vals[:nz]}
+	}
+	s.flushStats(ws.opt.Stats)
+}
+
+// stitchBody copies the staged extents of columns [lo, hi) into the
+// final CSC.
+func (ws *Workspace) stitchBody(_, lo, hi int) {
+	b := ws.b
+	for j := lo; j < hi; j++ {
+		copy(b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]], ws.cols[j].rows)
+		copy(b.Val[b.ColPtr[j]:b.ColPtr[j+1]], ws.cols[j].vals)
+	}
 }
 
 // emitColInto computes one output column with the single-pass kernels,
@@ -290,48 +302,59 @@ func emitColInto(ws *workerState, as []*matrix.CSC, j, inz int, alg Algorithm, s
 // (PhasesUpperBound): the staging area is allocated from the
 // per-column Σ_i nnz(A_i(:,j)) bound, filled in one pass over the
 // inputs, and compacted in parallel into the exact-size output.
-func addUpperBound(as []*matrix.CSC, alg Algorithm, opt Options, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
+func (ws *Workspace) addUpperBound() (*matrix.CSC, PhaseTimings) {
 	var pt PhaseTimings
-	n := as[0].Cols
-	t := sched.Threads(opt.Threads)
-	getWorker := makeWorkers(len(as), t, opt.loadFactor())
+	n := ws.as[0].Cols
+	ws.colScratch(n)
 
 	start := time.Now()
-	weightsIn := inputWeights(as, t)
-	ubPtr := make([]int64, n+1)
+	ws.fillInputWeights()
+	ws.ubPtr = grow(ws.ubPtr, n+1)
+	ws.ubPtr[0] = 0
 	for j := 0; j < n; j++ {
-		ubPtr[j+1] = ubPtr[j] + weightsIn[j]
+		ws.ubPtr[j+1] = ws.ubPtr[j] + ws.weights[j]
 	}
-	stRows := make([]matrix.Index, ubPtr[n])
-	stVals := make([]matrix.Value, ubPtr[n])
-	counts := make([]int64, n)
-	runCols(n, t, opt.Schedule, weightsIn, func(w, lo, hi int) {
-		ws := getWorker(w)
-		for j := lo; j < hi; j++ {
-			inz := int(weightsIn[j])
-			if inz == 0 {
-				continue
-			}
-			outRows := stRows[ubPtr[j]:ubPtr[j+1]]
-			outVals := stVals[ubPtr[j]:ubPtr[j+1]]
-			counts[j] = int64(emitColInto(ws, as, j, inz, alg, opt.SortedOutput, coeffs, outRows, outVals))
-		}
-		ws.flushStats(opt.Stats)
-	})
+	total := int(ws.ubPtr[n])
+	ws.stRows = grow(ws.stRows, total)
+	ws.stVals = grow(ws.stVals, total)
+	runCols(n, ws.t, ws.opt.Schedule, ws.weights, ws.ubFn)
 
 	// Compact: copy each column's filled prefix to its final position.
 	// Out of place — final extents can overlap staged extents of other
 	// columns, so in-place parallel moves would race.
-	b := allocCSC(as[0].Rows, n, counts)
-	runCols(n, t, opt.Schedule, counts, func(_, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			copy(b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]], stRows[ubPtr[j]:ubPtr[j]+counts[j]])
-			copy(b.Val[b.ColPtr[j]:b.ColPtr[j+1]], stVals[ubPtr[j]:ubPtr[j]+counts[j]])
-		}
-	})
+	b := ws.allocOutput(ws.as[0].Rows, n, ws.counts)
+	ws.b = b
+	runCols(n, ws.t, ws.opt.Schedule, ws.counts, ws.compactFn)
 	pt.Numeric = time.Since(start)
-	if opt.Stats != nil {
-		opt.Stats.EntriesMoved.Add(b.ColPtr[n])
+	if ws.opt.Stats != nil {
+		ws.opt.Stats.EntriesMoved.Add(b.ColPtr[n])
 	}
-	return b, pt, nil
+	return b, pt
+}
+
+// ubBody fills the staging extents of columns [lo, hi) in one input
+// pass, recording each column's exact nnz. Empty columns keep the
+// zero count colScratch installed.
+func (ws *Workspace) ubBody(w, lo, hi int) {
+	s := ws.worker(w)
+	for j := lo; j < hi; j++ {
+		inz := int(ws.weights[j])
+		if inz == 0 {
+			continue
+		}
+		outRows := ws.stRows[ws.ubPtr[j]:ws.ubPtr[j+1]]
+		outVals := ws.stVals[ws.ubPtr[j]:ws.ubPtr[j+1]]
+		ws.counts[j] = int64(emitColInto(s, ws.as, j, inz, ws.alg, ws.opt.SortedOutput, ws.coeffs, outRows, outVals))
+	}
+	s.flushStats(ws.opt.Stats)
+}
+
+// compactBody copies the filled staging prefix of columns [lo, hi)
+// into the exact-size output.
+func (ws *Workspace) compactBody(_, lo, hi int) {
+	b := ws.b
+	for j := lo; j < hi; j++ {
+		copy(b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]], ws.stRows[ws.ubPtr[j]:ws.ubPtr[j]+ws.counts[j]])
+		copy(b.Val[b.ColPtr[j]:b.ColPtr[j+1]], ws.stVals[ws.ubPtr[j]:ws.ubPtr[j]+ws.counts[j]])
+	}
 }

@@ -9,7 +9,16 @@ import (
 
 // workerState holds the thread-private data structures of one worker:
 // the paper's design keeps one heap / SPA / hash table per thread and
-// reuses it across all columns the thread processes (§III-A).
+// reuses it across all columns the thread processes (§III-A) — and,
+// living in a Workspace, across every call the workspace serves.
+//
+// tabHW/symHW are high-water marks: the key count each hash table's
+// current probe window was last sized for. Consecutive columns of
+// similar size skip the redundant Grow (and its SizeFor re-derivation)
+// entirely — a Reset (epoch bump) suffices while the requested size
+// stays within [hw/4, hw], the band in which the window is at most 4x
+// oversized, preserving the narrow-window cache guarantee hashtab's
+// Grow exists to provide.
 type workerState struct {
 	table *hashtab.Table
 	sym   *hashtab.Symbolic
@@ -17,41 +26,67 @@ type workerState struct {
 	acc   *spa.SPA
 	pos   []int64 // per-matrix cursors for the heap kernel
 	lf    float64
+	tabHW int // key count the numeric table's window was sized for
+	symHW int // likewise for the symbolic table
 }
 
 func newWorkerState(k int, lf float64) *workerState {
 	return &workerState{lf: lf, pos: make([]int64, k)}
 }
 
-// makeWorkers returns a lazy per-worker state accessor shared by all
-// engines. Worker ids handed out by sched are distinct among
-// concurrently running goroutines, so creating state on first use per
-// id is race-free.
-func makeWorkers(k, t int, lf float64) func(int) *workerState {
-	workers := make([]*workerState, t)
-	return func(w int) *workerState {
-		if workers[w] == nil {
-			workers[w] = newWorkerState(k, lf)
-		}
-		return workers[w]
+// prepare adapts a workspace-resident worker to a new call's input
+// count and load factor. A load-factor change invalidates the
+// high-water marks so the next table request re-derives its window.
+func (w *workerState) prepare(k int, lf float64) {
+	if lf != w.lf {
+		w.lf = lf
+		w.tabHW, w.symHW = 0, 0
 	}
+	if cap(w.pos) < k {
+		w.pos = make([]int64, k)
+	}
+	w.pos = w.pos[:k]
 }
 
 func (w *workerState) hashTable(n int) *hashtab.Table {
-	if w.table == nil {
-		w.table = hashtab.NewTable(n, w.lf)
+	if n <= w.tabHW && n >= w.tabHW>>2 && w.table != nil {
+		w.table.Reset()
 		return w.table
 	}
-	w.table.Grow(n, w.lf)
+	return w.hashTableSized(n)
+}
+
+// hashTableSized always (re-)derives the probe window for exactly n
+// keys. The sliding-hash kernels use it directly: their per-part
+// tables are sized to fit a cache budget (or the Fig 4 MaxTableEntries
+// cap), and the high-water band's up-to-4x-oversized window would
+// silently void that in-cache guarantee.
+func (w *workerState) hashTableSized(n int) *hashtab.Table {
+	if w.table == nil {
+		w.table = hashtab.NewTable(n, w.lf)
+	} else {
+		w.table.Grow(n, w.lf)
+	}
+	w.tabHW = n
 	return w.table
 }
 
 func (w *workerState) symTable(n int) *hashtab.Symbolic {
-	if w.sym == nil {
-		w.sym = hashtab.NewSymbolic(n, w.lf)
+	if n <= w.symHW && n >= w.symHW>>2 && w.sym != nil {
+		w.sym.Reset()
 		return w.sym
 	}
-	w.sym.Grow(n, w.lf)
+	return w.symTableSized(n)
+}
+
+// symTableSized is hashTableSized for the symbolic table.
+func (w *workerState) symTableSized(n int) *hashtab.Symbolic {
+	if w.sym == nil {
+		w.sym = hashtab.NewSymbolic(n, w.lf)
+	} else {
+		w.sym.Grow(n, w.lf)
+	}
+	w.symHW = n
 	return w.sym
 }
 
@@ -61,13 +96,16 @@ func (w *workerState) kheap(k int) *kheap.Heap {
 		return w.heap
 	}
 	w.heap.Reset()
+	w.heap.Grow(k)
 	return w.heap
 }
 
 func (w *workerState) spa(m int) *spa.SPA {
-	if w.acc == nil || w.acc.Rows() < m {
+	if w.acc == nil {
 		w.acc = spa.New(m)
+		return w.acc
 	}
+	w.acc.Grow(m)
 	return w.acc
 }
 
@@ -153,9 +191,19 @@ func slidingSymbolicCol(w *workerState, as []*matrix.CSC, j, inz, threads int, c
 	if inz == 0 {
 		return 0
 	}
+	// Tables are sized exactly (no high-water band): the whole point
+	// of the partitioning is that each table fits the cache share (or
+	// the explicit entry cap), and a band-reused oversized window
+	// would silently void that.
 	parts := slidingParts(inz, BytesPerSymbolicEntry, threads, cacheBytes, maxEntries)
 	if parts == 1 {
-		return hashSymbolicCol(w, as, j, inz)
+		tab := w.symTableSized(inz)
+		for _, a := range as {
+			for _, r := range a.ColRows(j) {
+				tab.Insert(r)
+			}
+		}
+		return tab.Len()
 	}
 	m := as[0].Rows
 	nz := 0
@@ -169,7 +217,7 @@ func slidingSymbolicCol(w *workerState, as []*matrix.CSC, j, inz, threads int, c
 		if partInz == 0 {
 			continue
 		}
-		tab := w.symTable(partInz)
+		tab := w.symTableSized(partInz)
 		for _, a := range as {
 			forEachInRange(a, j, r1, r2, sortedIn, func(r matrix.Index, _ matrix.Value) {
 				tab.Insert(r)
@@ -259,12 +307,9 @@ func spaSymbolicCol(w *workerState, as []*matrix.CSC, j int) int {
 
 // --- Numeric kernels: fill B(:,j) into preallocated slices ---
 
-// hashAccumCol accumulates column j of every input into the worker's
-// hash table, sized for `size` keys (output nnz in the two-pass
-// engine, input nnz in the single-pass engines), and returns the
-// table (lines 5-12 of Algorithm 5).
-func hashAccumCol(w *workerState, as []*matrix.CSC, j, size int, coeffs []matrix.Value) *hashtab.Table {
-	tab := w.hashTable(size)
+// accumInputsInto accumulates column j of every input into tab
+// (lines 5-12 of Algorithm 5) and returns it.
+func accumInputsInto(tab *hashtab.Table, as []*matrix.CSC, j int, coeffs []matrix.Value) *hashtab.Table {
 	for i, a := range as {
 		c := coeff(coeffs, i)
 		rows, vals := a.ColRows(j), a.ColVals(j)
@@ -273,6 +318,14 @@ func hashAccumCol(w *workerState, as []*matrix.CSC, j, size int, coeffs []matrix
 		}
 	}
 	return tab
+}
+
+// hashAccumCol accumulates column j of every input into the worker's
+// hash table, sized for `size` keys (output nnz in the two-pass
+// engine, input nnz in the single-pass engines), and returns the
+// table.
+func hashAccumCol(w *workerState, as []*matrix.CSC, j, size int, coeffs []matrix.Value) *hashtab.Table {
+	return accumInputsInto(w.hashTable(size), as, j, coeffs)
 }
 
 // spaAccumCol accumulates column j of every input into the worker's
@@ -290,17 +343,12 @@ func spaAccumCol(w *workerState, as []*matrix.CSC, j int, coeffs []matrix.Value)
 	return acc
 }
 
-// hashAddCol is Algorithm 5. outRows/outVals have exactly nnz(B(:,j))
-// elements.
-func hashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, coeffs []matrix.Value) {
+// emitHashTab appends the table's entries into the exactly-sized
+// output extent. Three-index slices cap appends at the column's
+// allocation: a symbolic/numeric disagreement reallocates instead of
+// corrupting the next column, and the length check catches it.
+func emitHashTab(tab *hashtab.Table, outRows []matrix.Index, outVals []matrix.Value, sorted bool) {
 	need := len(outRows)
-	if need == 0 {
-		return
-	}
-	tab := hashAccumCol(w, as, j, need, coeffs)
-	// Three-index slices cap appends at the column's allocation: a
-	// symbolic/numeric disagreement reallocates instead of corrupting
-	// the next column, and the length check below catches it.
 	r, v := tab.AppendEntries(outRows[:0:need], outVals[:0:need])
 	if len(r) != need || &r[0] != &outRows[0] {
 		panic("core: symbolic nnz disagrees with numeric nnz")
@@ -308,6 +356,15 @@ func hashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index,
 	if sorted {
 		sortPairs(r, v)
 	}
+}
+
+// hashAddCol is Algorithm 5. outRows/outVals have exactly nnz(B(:,j))
+// elements.
+func hashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, coeffs []matrix.Value) {
+	if len(outRows) == 0 {
+		return
+	}
+	emitHashTab(hashAccumCol(w, as, j, len(outRows), coeffs), outRows, outVals, sorted)
 }
 
 // slidingHashAddCol is Algorithm 8: hash addition over row ranges
@@ -319,9 +376,11 @@ func slidingHashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix
 	if onz == 0 {
 		return
 	}
+	// Like the symbolic half, tables are sized exactly — the in-cache
+	// guarantee is the algorithm, so the high-water band is bypassed.
 	parts := slidingParts(onz, BytesPerAddEntry, threads, cacheBytes, maxEntries)
 	if parts == 1 {
-		hashAddCol(w, as, j, outRows, outVals, sorted, coeffs)
+		emitHashTab(accumInputsInto(w.hashTableSized(onz), as, j, coeffs), outRows, outVals, sorted)
 		return
 	}
 	m := as[0].Rows
@@ -336,7 +395,7 @@ func slidingHashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix
 		if partInz == 0 {
 			continue
 		}
-		tab := w.hashTable(partInz)
+		tab := w.hashTableSized(partInz)
 		for i, a := range as {
 			c := coeff(coeffs, i)
 			forEachInRange(a, j, r1, r2, sortedIn, func(r matrix.Index, v matrix.Value) {

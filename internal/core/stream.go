@@ -30,6 +30,15 @@ type Accumulator struct {
 	pendingBytes int64
 	absorbed     int
 	reductions   int
+
+	// ws is the accumulator's resident workspace: every reduction
+	// reuses its scratch structures, and the running sum lives in the
+	// workspace's recycled (ping-pong) output buffers — the previous
+	// sum is always an input to the next reduction, which writes the
+	// other buffer, so no reduction reads storage it is overwriting.
+	ws *Workspace
+	// batch is the reusable [sum, pending...] input slice.
+	batch []*matrix.CSC
 }
 
 // entryBytes is the in-memory footprint of one stored entry
@@ -73,19 +82,25 @@ func (ac *Accumulator) Flush() error {
 	if len(ac.pending) == 0 {
 		return nil
 	}
-	batch := ac.pending
+	if ac.ws == nil {
+		ac.ws = NewWorkspace(true)
+	}
+	ac.batch = ac.batch[:0]
 	if ac.sum != nil {
-		batch = append([]*matrix.CSC{ac.sum}, batch...)
+		ac.batch = append(ac.batch, ac.sum)
 	}
-	var err error
-	if len(batch) == 1 {
-		ac.sum = batch[0].Clone()
-	} else {
-		ac.sum, err = Add(batch, ac.opt)
-		if err != nil {
-			return err
-		}
+	ac.batch = append(ac.batch, ac.pending...)
+	sum, err := ac.ws.Add(ac.batch, ac.opt)
+	if err != nil {
+		return err
 	}
+	ac.sum = sum
+	// Drop the buffered references so absorbed matrices can be
+	// collected (truncating alone would pin them in the backing
+	// arrays).
+	clear(ac.batch)
+	ac.batch = ac.batch[:0]
+	clear(ac.pending)
 	ac.pending = ac.pending[:0]
 	ac.pendingBytes = 0
 	ac.reductions++
@@ -93,8 +108,10 @@ func (ac *Accumulator) Flush() error {
 }
 
 // Sum flushes and returns the current total. The returned matrix is
-// owned by the accumulator; it remains valid (and unmodified) until
-// further Push calls, after which callers should re-request it.
+// owned by the accumulator (its storage lives in the accumulator's
+// recycled workspace buffers); it remains valid (and unmodified) until
+// further Push calls, after which callers should re-request it —
+// callers that need a longer-lived copy should Clone it.
 func (ac *Accumulator) Sum() (*matrix.CSC, error) {
 	if err := ac.Flush(); err != nil {
 		return nil, err

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"spkadd/internal/matrix"
+	"spkadd/internal/sched"
+)
+
+// Workspace owns every scratch structure a k-way SpKAdd call needs —
+// per-worker hash tables, SPAs and heaps, the fused engine's arenas,
+// the upper-bound engine's staging buffer, the per-column nnz and
+// weight arrays, and (optionally) a recyclable output CSC — so that
+// repeated calls allocate nothing in steady state. All buffers are
+// grow-only: a call with a larger shape enlarges them, a call with a
+// smaller shape reuses a prefix.
+//
+// The paper's O(knd)-work algorithms (§III-A) assume the thread-
+// private scratch structures are resident; without a workspace every
+// Add rebuilt them, and for repeated additions over small and medium
+// matrices (streaming graph updates, SUMMA's per-stage reductions)
+// allocation and GC pressure dominated the actual merge work.
+//
+// A Workspace is not safe for concurrent use: it backs the public
+// Adder (which detects concurrent misuse) and the package-level Add,
+// where a sync.Pool hands each concurrent call its own workspace.
+//
+// The phase bodies handed to the scheduler are allocated once per
+// workspace (method values bound at construction) and read their
+// per-call parameters from workspace fields; a fresh closure per call
+// would put one funcval on the heap per phase and break the
+// zero-allocation steady state.
+type Workspace struct {
+	// recycleOut selects AddInto-style destination reuse: the output
+	// CSC is built in one of two workspace-owned buffer sets that
+	// alternate between calls (see allocOutput). Enabled for the
+	// public Adder and the Accumulator; disabled for pooled one-shot
+	// calls, whose caller owns the result indefinitely.
+	recycleOut bool
+
+	// Scratch reused across calls.
+	workers []*workerState
+	arenas  []arena
+	weights []int64    // per-column Σ_i nnz(A_i(:,j))
+	counts  []int64    // per-column output nnz
+	cols    []fusedCol // fused engine's per-column arena extents
+	ubPtr   []int64    // upper-bound engine's staging column pointers
+	stRows  []matrix.Index
+	stVals  []matrix.Value
+
+	outs [2]cscBuf
+	cur  int
+
+	// Per-call state read by the persistent phase bodies.
+	as       []*matrix.CSC
+	coeffs   []matrix.Value
+	alg      Algorithm
+	opt      Options
+	t        int
+	cache    int64
+	sortedIn bool
+	b        *matrix.CSC
+
+	symFn, numFn, fusedFn, stitchFn, ubFn, compactFn, weightsFn func(w, lo, hi int)
+}
+
+// cscBuf is one recyclable output destination: the CSC header and its
+// grow-only backing arrays.
+type cscBuf struct {
+	m      matrix.CSC
+	colPtr []int64
+	rowIdx []matrix.Index
+	val    []matrix.Value
+}
+
+// NewWorkspace returns an empty workspace. With recycleOutput the
+// output matrix is built in workspace-owned storage that is reused on
+// later calls (the returned matrix stays valid only until the next
+// call); without it every call allocates a fresh, caller-owned output
+// while still reusing all scratch.
+func NewWorkspace(recycleOutput bool) *Workspace {
+	ws := &Workspace{recycleOut: recycleOutput}
+	ws.symFn = ws.symBody
+	ws.numFn = ws.numBody
+	ws.fusedFn = ws.fusedBody
+	ws.stitchFn = ws.stitchBody
+	ws.ubFn = ws.ubBody
+	ws.compactFn = ws.compactBody
+	ws.weightsFn = ws.weightsBody
+	return ws
+}
+
+// wsPool backs the package-level Add/AddTimed/AddScaled: one-shot
+// callers get scratch amortization across calls for free, while the
+// output stays caller-owned (no recycling).
+var wsPool = sync.Pool{New: func() any { return NewWorkspace(false) }}
+
+// AddTimed is the workspace-bound form of the package-level AddTimed:
+// identical semantics and output, but all scratch state (and, for a
+// recycling workspace, the output storage) comes from ws.
+func (ws *Workspace) AddTimed(as []*matrix.CSC, opt Options) (*matrix.CSC, PhaseTimings, error) {
+	var pt PhaseTimings
+	if err := validateDims(as); err != nil {
+		return nil, pt, err
+	}
+	if len(as) == 1 {
+		return ws.copyOne(as[0], opt), pt, nil
+	}
+	sortedIn := allColumnsSorted(as)
+	alg := opt.Algorithm
+	if alg == Auto {
+		alg = autoSelect(as, opt, sortedIn)
+	}
+	switch alg {
+	case TwoWayIncremental, TwoWayTree, Heap:
+		if !sortedIn {
+			return nil, pt, unsortedErr(alg)
+		}
+	}
+	return ws.addDispatch(as, alg, opt, sortedIn, nil)
+}
+
+// Add is AddTimed without the phase split.
+func (ws *Workspace) Add(as []*matrix.CSC, opt Options) (*matrix.CSC, error) {
+	b, _, err := ws.AddTimed(as, opt)
+	return b, err
+}
+
+// AddScaled is the workspace-bound form of the package-level
+// AddScaled.
+func (ws *Workspace) AddScaled(as []*matrix.CSC, coeffs []matrix.Value, opt Options) (*matrix.CSC, error) {
+	alg, sortedIn, err := validateScaled(as, coeffs, opt)
+	if err != nil {
+		return nil, err
+	}
+	b, _, err := ws.addDispatch(as, alg, opt, sortedIn, coeffs)
+	return b, err
+}
+
+// addDispatch routes a validated call: 2-way baselines keep their
+// native drivers (their intermediate matrices cannot be recycled), the
+// k-way algorithms run on the workspace engines.
+func (ws *Workspace) addDispatch(as []*matrix.CSC, alg Algorithm, opt Options, sortedIn bool, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
+	var pt PhaseTimings
+	switch alg {
+	case TwoWayIncremental, TwoWayTree, MapIncremental, MapTree:
+		start := time.Now()
+		var b *matrix.CSC
+		switch alg {
+		case TwoWayIncremental:
+			b = addIncremental(as, opt, pairAddMerge)
+		case TwoWayTree:
+			b = addTree(as, opt, pairAddMerge)
+		case MapIncremental:
+			b = addIncremental(as, opt, pairAddMap)
+		case MapTree:
+			b = addTree(as, opt, pairAddMap)
+		}
+		pt.Numeric = time.Since(start)
+		return b, pt, nil
+	default:
+		ws.begin(as, alg, opt, sortedIn, coeffs)
+		var b *matrix.CSC
+		switch pickPhases(as, alg, opt) {
+		case PhasesFused:
+			b, pt = ws.addFused()
+		case PhasesUpperBound:
+			b, pt = ws.addUpperBound()
+		default:
+			b, pt = ws.addKWay()
+		}
+		ws.end()
+		return b, pt, nil
+	}
+}
+
+// begin records the per-call parameters the persistent phase bodies
+// read, and sizes the per-worker state slice.
+func (ws *Workspace) begin(as []*matrix.CSC, alg Algorithm, opt Options, sortedIn bool, coeffs []matrix.Value) {
+	ws.as, ws.coeffs, ws.alg, ws.opt, ws.sortedIn = as, coeffs, alg, opt, sortedIn
+	ws.t = sched.Threads(opt.Threads)
+	ws.cache = opt.cacheBytes()
+	if ws.t > len(ws.workers) {
+		workers := make([]*workerState, ws.t)
+		copy(workers, ws.workers)
+		ws.workers = workers
+	}
+}
+
+// end drops the references to caller data so a pooled or idle
+// workspace does not pin input matrices (scratch stays resident —
+// that is the point).
+func (ws *Workspace) end() {
+	ws.as, ws.coeffs, ws.b = nil, nil, nil
+}
+
+// worker returns worker w's private state, creating it on first use
+// (worker ids handed out by sched are distinct among concurrently
+// running goroutines, so this is race-free) and adapting a reused one
+// to this call's k and load factor.
+func (ws *Workspace) worker(w int) *workerState {
+	s := ws.workers[w]
+	if s == nil {
+		s = newWorkerState(len(ws.as), ws.opt.loadFactor())
+		ws.workers[w] = s
+		return s
+	}
+	s.prepare(len(ws.as), ws.opt.loadFactor())
+	return s
+}
+
+// colScratch sizes and zeroes the per-column weight and count arrays.
+func (ws *Workspace) colScratch(n int) {
+	ws.weights = grow(ws.weights, n)
+	ws.counts = grow(ws.counts, n)
+	clear(ws.weights)
+	clear(ws.counts)
+}
+
+// fillInputWeights computes Σ_i nnz(A_i(:,j)) for every column into
+// ws.weights (zeroed by colScratch) — the symbolic load-balancing
+// weights and the staging upper bounds of the single-pass engines.
+// Wide matrices are summed in parallel.
+func (ws *Workspace) fillInputWeights() {
+	n := ws.as[0].Cols
+	if n >= inputWeightsParallelMin && ws.t > 1 {
+		sched.Static(n, ws.t, ws.weightsFn)
+	} else {
+		ws.weightsBody(0, 0, n)
+	}
+}
+
+func (ws *Workspace) weightsBody(_, lo, hi int) {
+	for _, a := range ws.as {
+		ptr := a.ColPtr
+		for j := lo; j < hi; j++ {
+			ws.weights[j] += ptr[j+1] - ptr[j]
+		}
+	}
+}
+
+// allocOutput returns the output CSC for the given per-column counts.
+// Without recycling it is freshly allocated and caller-owned. With
+// recycling the workspace alternates between two resident buffer sets
+// (ping-pong), so the matrix returned by the previous call may safely
+// appear among the next call's inputs — the streaming pattern
+// sum = ws.Add([sum, delta]) never reads a buffer while writing it.
+func (ws *Workspace) allocOutput(rows, cols int, counts []int64) *matrix.CSC {
+	if !ws.recycleOut {
+		return allocCSC(rows, cols, counts)
+	}
+	ws.cur ^= 1
+	o := &ws.outs[ws.cur]
+	o.colPtr = grow(o.colPtr, cols+1)
+	o.colPtr[0] = 0
+	for j := 0; j < cols; j++ {
+		o.colPtr[j+1] = o.colPtr[j] + counts[j]
+	}
+	nnz := int(o.colPtr[cols])
+	if cap(o.rowIdx) < nnz || cap(o.val) < nnz {
+		o.rowIdx = make([]matrix.Index, nnz)
+		o.val = make([]matrix.Value, nnz)
+	}
+	o.rowIdx, o.val = o.rowIdx[:nnz], o.val[:nnz]
+	o.m = matrix.CSC{Rows: rows, Cols: cols, ColPtr: o.colPtr[:cols+1], RowIdx: o.rowIdx, Val: o.val}
+	return &o.m
+}
+
+// copyOne handles the k=1 case: the sum of one matrix is a copy. A
+// recycling workspace copies into its resident destination to keep the
+// ownership contract (result valid until the next call) uniform.
+func (ws *Workspace) copyOne(a *matrix.CSC, opt Options) *matrix.CSC {
+	if !ws.recycleOut {
+		out := a.Clone()
+		if opt.SortedOutput && !out.IsColumnSorted() {
+			out.SortColumns()
+		}
+		return out
+	}
+	ws.counts = grow(ws.counts, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		ws.counts[j] = int64(a.ColNNZ(j))
+	}
+	b := ws.allocOutput(a.Rows, a.Cols, ws.counts[:a.Cols])
+	copy(b.RowIdx, a.RowIdx)
+	copy(b.Val, a.Val)
+	if opt.SortedOutput && !b.IsColumnSorted() {
+		b.SortColumns()
+	}
+	return b
+}
+
+// grow returns s with length n, reusing its storage when large
+// enough. Contents are unspecified; callers zero what they read.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spkadd/internal/generate"
+	"spkadd/internal/matrix"
+)
+
+// wsTestCollection builds a small collection with the given shape.
+func wsTestCollection(tb testing.TB, pattern string, k, rows, cols, d int, seed uint64) []*matrix.CSC {
+	tb.Helper()
+	o := generate.Opts{Rows: rows, Cols: cols, NNZPerCol: d, Seed: seed}
+	if pattern == "RMAT" {
+		return generate.RMATCollection(k, o, generate.Graph500)
+	}
+	return generate.ERCollection(k, o)
+}
+
+// requireIdentical asserts bit-identical CSC contents.
+func requireIdentical(t *testing.T, got, want *matrix.CSC, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: dims %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	if got.NNZ() != want.NNZ() {
+		t.Fatalf("%s: nnz %d, want %d", label, got.NNZ(), want.NNZ())
+	}
+	for j := 0; j <= got.Cols; j++ {
+		if got.ColPtr[j] != want.ColPtr[j] {
+			t.Fatalf("%s: ColPtr[%d] = %d, want %d", label, j, got.ColPtr[j], want.ColPtr[j])
+		}
+	}
+	for p := range got.RowIdx {
+		if got.RowIdx[p] != want.RowIdx[p] || got.Val[p] != want.Val[p] {
+			t.Fatalf("%s: entry %d = (%d,%v), want (%d,%v)",
+				label, p, got.RowIdx[p], got.Val[p], want.RowIdx[p], want.Val[p])
+		}
+	}
+}
+
+// TestWorkspaceReuseParity drives ONE recycling workspace through a
+// sequence of calls with changing shapes, algorithms, engines, thread
+// counts and sortedness, comparing every result bit-for-bit against a
+// fresh one-shot Add. Growing and then shrinking shapes is the point:
+// stale counts, weights, extents or output prefixes from a larger
+// earlier call must never leak into a smaller later one.
+func TestWorkspaceReuseParity(t *testing.T) {
+	ws := NewWorkspace(true)
+	type shape struct {
+		pattern       string
+		k, rows, cols int
+		d             int
+	}
+	shapes := []shape{
+		{"ER", 8, 2048, 64, 16},  // medium
+		{"ER", 2, 128, 4, 2},     // shrink everything
+		{"RMAT", 16, 4096, 32, 8} /* grow again, skewed */, {"ER", 4, 64, 128, 1}, // wide and hypersparse
+		{"ER", 3, 512, 16, 0}, // empty columns throughout
+	}
+	seed := uint64(100)
+	for _, sorted := range []bool{true, false} {
+		for _, alg := range []Algorithm{Hash, SPA, Heap, SlidingHash} {
+			for _, p := range []Phases{PhasesTwoPass, PhasesFused, PhasesUpperBound, PhasesAuto} {
+				if alg == SlidingHash && p != PhasesTwoPass {
+					continue // SlidingHash has only the two-pass driver
+				}
+				for _, th := range []int{1, 3} {
+					for _, s := range shapes {
+						seed++
+						as := wsTestCollection(t, s.pattern, s.k, s.rows, s.cols, s.d, seed)
+						opt := Options{Algorithm: alg, Phases: p, SortedOutput: sorted, Threads: th}
+						got, err := ws.Add(as, opt)
+						if err != nil {
+							t.Fatalf("%v/%v/sorted=%v/t=%d %+v: %v", alg, p, sorted, th, s, err)
+						}
+						want, err := Add(as, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !sorted {
+							got, want = got.Clone().SortColumns(), want.Clone().SortColumns()
+						}
+						requireIdentical(t, got, want, alg.String()+"/"+p.String())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceStreamingSelfInput checks the documented streaming
+// pattern: the previous call's recycled result is an input to the next
+// call. The ping-pong output buffers must keep the running sum correct
+// over many iterations.
+func TestWorkspaceStreamingSelfInput(t *testing.T) {
+	for _, p := range []Phases{PhasesTwoPass, PhasesFused, PhasesUpperBound} {
+		ws := NewWorkspace(true)
+		rng := rand.New(rand.NewSource(7))
+		var sum *matrix.CSC
+		var ref *matrix.CSC
+		for step := 0; step < 12; step++ {
+			delta := generate.ER(generate.Opts{Rows: 600, Cols: 24, NNZPerCol: 1 + rng.Intn(12), Seed: uint64(step + 1)})
+			opt := Options{Algorithm: Hash, Phases: p, SortedOutput: true}
+			var err error
+			if sum == nil {
+				sum, err = ws.Add([]*matrix.CSC{delta}, opt)
+				ref = delta.Clone().SortColumns()
+			} else {
+				sum, err = ws.Add([]*matrix.CSC{sum, delta}, opt)
+				if err != nil {
+					t.Fatalf("%v step %d: %v", p, step, err)
+				}
+				ref2, err2 := Add([]*matrix.CSC{ref, delta}, opt)
+				if err2 != nil {
+					t.Fatal(err2)
+				}
+				ref = ref2
+				requireIdentical(t, sum, ref, p.String())
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestWorkspaceScaledAndStats checks AddScaled parity on a reused
+// workspace and that work counters still flow when a workspace is
+// reused.
+func TestWorkspaceScaledAndStats(t *testing.T) {
+	ws := NewWorkspace(true)
+	as := wsTestCollection(t, "ER", 6, 1024, 32, 8, 55)
+	coeffs := make([]matrix.Value, len(as))
+	for i := range coeffs {
+		coeffs[i] = matrix.Value(i+1) * 0.5
+	}
+	for _, p := range []Phases{PhasesTwoPass, PhasesFused, PhasesUpperBound} {
+		for rep := 0; rep < 3; rep++ {
+			var st OpStats
+			opt := Options{Algorithm: Hash, Phases: p, SortedOutput: true, Stats: &st}
+			got, err := ws.AddScaled(as, coeffs, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := AddScaled(as, coeffs, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, got, want, "scaled/"+p.String())
+			if st.HashProbes.Load() == 0 || st.EntriesMoved.Load() == 0 {
+				t.Fatalf("%v rep %d: stats not accumulated (probes=%d moved=%d)",
+					p, rep, st.HashProbes.Load(), st.EntriesMoved.Load())
+			}
+			if p != PhasesTwoPass && st.SymProbes.Load() != 0 {
+				t.Fatalf("%v: single-pass engine reported %d symbolic probes", p, st.SymProbes.Load())
+			}
+		}
+	}
+}
+
+// TestAccumulatorRecycledSum checks the Accumulator against a
+// reference sum now that its running total lives in recycled
+// workspace buffers across many small-budget reductions.
+func TestAccumulatorRecycledSum(t *testing.T) {
+	rows, cols := 400, 20
+	ac := NewAccumulator(rows, cols, 1<<12, Options{Algorithm: Hash, SortedOutput: true})
+	var all []*matrix.CSC
+	for i := 0; i < 17; i++ {
+		a := generate.ER(generate.Opts{Rows: rows, Cols: cols, NNZPerCol: 6, Seed: uint64(i + 1)})
+		all = append(all, a)
+		if err := ac.Push(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ac.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Add(all, Options{Algorithm: Hash, SortedOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, got, want, "accumulator")
+	if ac.Reductions() < 2 {
+		t.Fatalf("budget produced %d reductions; the test needs several to exercise recycling", ac.Reductions())
+	}
+	// The sum must also be safe to re-request and extend.
+	more := generate.ER(generate.Opts{Rows: rows, Cols: cols, NNZPerCol: 3, Seed: 99})
+	if err := ac.Push(more); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ac.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := Add([]*matrix.CSC{want, more}, Options{Algorithm: Hash, SortedOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, got2, want2, "accumulator extended")
+}

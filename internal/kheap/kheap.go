@@ -40,6 +40,18 @@ func (h *Heap) Len() int { return len(h.a) }
 // flushing stats.
 func (h *Heap) Reset() { h.a = h.a[:0] }
 
+// Grow ensures capacity for k tuples, preserving contents and the Ops
+// counter, so a heap resident in a reused workspace adapts to a larger
+// input collection without churning allocations inside the merge loop.
+func (h *Heap) Grow(k int) {
+	if cap(h.a) >= k {
+		return
+	}
+	a := make([]Tuple, len(h.a), k)
+	copy(a, h.a)
+	h.a = a
+}
+
 func (h *Heap) less(i, j int) bool {
 	if h.a[i].Row != h.a[j].Row {
 		return h.a[i].Row < h.a[j].Row

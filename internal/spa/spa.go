@@ -1,9 +1,10 @@
 // Package spa implements the sparse accumulator (SPA) of Gilbert,
 // Moler and Schreiber, as used by the paper's SPAAdd (Algorithm 4):
 // a dense value array of length m plus a list of the indices that hold
-// valid entries. Clearing after a column touches only the valid
-// indices, so the SPA can be reused across all columns a worker
-// processes without O(m) re-initialization.
+// valid entries. Validity is a per-slot generation stamp, so Clear is
+// O(1) — bump the generation — and the SPA can be reused across all
+// columns a worker processes (and across calls, resident in a
+// Workspace) without O(m) re-initialization.
 package spa
 
 import "spkadd/internal/matrix"
@@ -12,9 +13,10 @@ import "spkadd/internal/matrix"
 // It is not safe for concurrent use; the parallel driver allocates one
 // per worker (the paper's O(T*m) aggregate memory cost, §III-A).
 type SPA struct {
-	vals    []matrix.Value
-	present []bool
-	idx     []matrix.Index // valid indices, insertion order
+	vals   []matrix.Value
+	stamps []uint32 // slot is valid iff stamps[r] == gen
+	gen    uint32
+	idx    []matrix.Index // valid indices, insertion order
 
 	// Touches counts accumulate operations for the Table I work tests.
 	Touches int64
@@ -23,8 +25,9 @@ type SPA struct {
 // New returns a SPA for matrices with m rows.
 func New(m int) *SPA {
 	return &SPA{
-		vals:    make([]matrix.Value, m),
-		present: make([]bool, m),
+		vals:   make([]matrix.Value, m),
+		stamps: make([]uint32, m),
+		gen:    1,
 	}
 }
 
@@ -34,21 +37,34 @@ func (s *SPA) Rows() int { return len(s.vals) }
 // Len returns the number of valid entries accumulated so far.
 func (s *SPA) Len() int { return len(s.idx) }
 
+// Grow enlarges the accumulator to m rows, keeping the Touches
+// counter. It must only be called on a cleared SPA (between columns);
+// smaller or equal m is a no-op.
+func (s *SPA) Grow(m int) {
+	if m <= len(s.vals) {
+		return
+	}
+	s.vals = make([]matrix.Value, m)
+	s.stamps = make([]uint32, m)
+	s.gen = 1
+	s.idx = s.idx[:0]
+}
+
 // Add accumulates v at row r (lines 5-7 of Algorithm 4).
 func (s *SPA) Add(r matrix.Index, v matrix.Value) {
 	s.Touches++
-	if s.present[r] {
+	if s.stamps[r] == s.gen {
 		s.vals[r] += v
 		return
 	}
-	s.present[r] = true
+	s.stamps[r] = s.gen
 	s.vals[r] = v
 	s.idx = append(s.idx, r)
 }
 
 // Get returns the accumulated value at r (0 if absent).
 func (s *SPA) Get(r matrix.Index) matrix.Value {
-	if !s.present[r] {
+	if s.stamps[r] != s.gen {
 		return 0
 	}
 	return s.vals[r]
@@ -80,42 +96,47 @@ func (s *SPA) AppendUnsorted(rows []matrix.Index, vals []matrix.Value) ([]matrix
 	return rows, vals
 }
 
-// Clear resets only the entries touched since the last Clear, so reuse
-// across columns costs O(nnz of the previous column), not O(m).
+// Clear invalidates every entry in O(1) by bumping the generation;
+// values need no zeroing because Add overwrites a slot on first sight
+// within a generation. Stamp wraparound (once per 2^32 clears)
+// restores the invariant with one O(m) sweep.
 func (s *SPA) Clear() {
-	for _, r := range s.idx {
-		s.present[r] = false
-		s.vals[r] = 0
-	}
 	s.idx = s.idx[:0]
+	s.gen++
+	if s.gen == 0 {
+		for i := range s.stamps {
+			s.stamps[i] = 0
+		}
+		s.gen = 1
+	}
 }
 
 // sortIndices is an insertion-friendly pdq-free sort for Index slices.
-// Columns are typically short; the stdlib sort on a concrete slice
-// avoids interface overhead.
+// Columns are typically short; a quicksort specialised to Index avoids
+// sort.Slice's reflection-based swaps in this hot path, and recursing
+// through a top-level function (not a self-referencing closure) keeps
+// the sorted-output path allocation-free.
 func sortIndices(a []matrix.Index) {
-	// Simple quicksort specialised to Index to avoid sort.Slice's
-	// reflection-based swaps in this hot path.
-	var qs func(lo, hi int)
-	qs = func(lo, hi int) {
-		for hi-lo > 12 {
-			p := partition(a, lo, hi)
-			if p-lo < hi-p {
-				qs(lo, p)
-				lo = p + 1
-			} else {
-				qs(p+1, hi)
-				hi = p
-			}
-		}
-		for i := lo + 1; i <= hi; i++ {
-			for j := i; j > lo && a[j] < a[j-1]; j-- {
-				a[j], a[j-1] = a[j-1], a[j]
-			}
+	if len(a) > 1 {
+		quickSortIndices(a, 0, len(a)-1)
+	}
+}
+
+func quickSortIndices(a []matrix.Index, lo, hi int) {
+	for hi-lo > 12 {
+		p := partition(a, lo, hi)
+		if p-lo < hi-p {
+			quickSortIndices(a, lo, p)
+			lo = p + 1
+		} else {
+			quickSortIndices(a, p+1, hi)
+			hi = p
 		}
 	}
-	if len(a) > 1 {
-		qs(0, len(a)-1)
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
 	}
 }
 

@@ -133,6 +133,18 @@ func Run(a, b *matrix.CSC, cfg Config) (*matrix.CSC, Report, error) {
 	mulOpt := spgemm.Options{Threads: cfg.Threads, SortOutput: cfg.SortIntermediates}
 	addOpt := core.Options{Algorithm: cfg.SpKAdd, Threads: cfg.Threads, SortedOutput: true, Phases: cfg.Phases}
 
+	// In sequential mode one workspace serves every process's
+	// reduction in turn, so the g*g SpKAdds share their scratch
+	// structures across stages (a real rank would likewise keep its
+	// scratch resident across SUMMA iterations). Output recycling
+	// stays off: each reduced block is retained for assembly. In
+	// concurrent mode the processes draw pooled workspaces through
+	// core.Add instead.
+	var addWS *core.Workspace
+	if cfg.Sequential {
+		addWS = core.NewWorkspace(false)
+	}
+
 	process := func(i, j int, recvA <-chan *matrix.CSC, recvB <-chan *matrix.CSC) result {
 		var res result
 		partials := make([]*matrix.CSC, 0, g)
@@ -153,7 +165,13 @@ func Run(a, b *matrix.CSC, cfg Config) (*matrix.CSC, Report, error) {
 			res.interNZ += int64(p.NNZ())
 		}
 		start := time.Now()
-		sum, err := core.Add(partials, addOpt)
+		var sum *matrix.CSC
+		var err error
+		if addWS != nil {
+			sum, err = addWS.Add(partials, addOpt)
+		} else {
+			sum, err = core.Add(partials, addOpt)
+		}
 		res.addTime = time.Since(start)
 		if err != nil {
 			res.err = err
