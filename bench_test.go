@@ -10,6 +10,7 @@ package spkadd_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"spkadd"
@@ -353,4 +354,57 @@ func BenchmarkSymbolicVsNumeric(b *testing.B) {
 		b.ReportMetric(float64(sym)/float64(b.N), "sym-ns/op")
 		b.ReportMetric(float64(num)/float64(b.N), "num-ns/op")
 	})
+}
+
+// BenchmarkPoolThroughput streams deltas from P concurrent producers
+// into a sharded Pool (Push through final Sum) across shard counts;
+// bytes/op is the absorbed input volume, so MB/s is pool throughput.
+// The CI bench smoke runs this once per configuration.
+func BenchmarkPoolThroughput(b *testing.B) {
+	const rows, cols, d, perProducer = 1 << 14, 64, 8, 24
+	for _, producers := range []int{1, 4} {
+		streams := make([][]*spkadd.Matrix, producers)
+		var in int64
+		for p := range streams {
+			streams[p] = make([]*spkadd.Matrix, perProducer)
+			for i := range streams[p] {
+				streams[p][i] = spkadd.RandomER(rows, cols, d, uint64(p*perProducer+i+1))
+				in += int64(streams[p][i].NNZ()) * 12
+			}
+		}
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("producers=%d/shards=%d", producers, shards), func(b *testing.B) {
+				b.SetBytes(in)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pool := spkadd.NewPool(rows, cols, spkadd.PoolOptions{
+						Shards:      shards,
+						BudgetBytes: 8 << 20,
+						Add:         spkadd.Options{Algorithm: spkadd.Hash},
+					})
+					var wg sync.WaitGroup
+					for _, stream := range streams {
+						wg.Add(1)
+						go func(stream []*spkadd.Matrix) {
+							defer wg.Done()
+							for _, a := range stream {
+								if err := pool.Push(a); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}(stream)
+					}
+					wg.Wait()
+					if _, err := pool.Sum(); err != nil {
+						b.Fatal(err)
+					}
+					if err := pool.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }

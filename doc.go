@@ -78,6 +78,20 @@
 // fails fast with ErrAdderInUse. See DESIGN.md §3 and
 // `spkadd-bench -exp reuse` for the measured effect.
 //
+// # Streaming and concurrent accumulation
+//
+// When matrices arrive over time or exceed memory, an Accumulator
+// buffers pushes and reduces them k-way whenever the running sum plus
+// the buffer would exceed a byte budget (the batching strategy of the
+// paper's §V). An Accumulator is single-goroutine like an Adder
+// (concurrent use fails fast with ErrAccumulatorInUse); when many
+// goroutines stream deltas into one sum — ingest firehoses, fan-in
+// aggregation — use a Pool, which shards the column space: producers
+// enqueue zero-copy column slices under per-shard locks and per-shard
+// reducer goroutines fold them into disjoint running sums that Sum
+// stitches together. See DESIGN.md §5-6, examples/firehose and
+// `spkadd-bench -exp pool`.
+//
 // Matrices are in compressed sparse column (CSC) form with 32-bit
 // indices and float64 values; everything applies symmetrically to CSR
 // (transpose the interpretation). Inputs may have unsorted columns for

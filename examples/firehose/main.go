@@ -1,0 +1,119 @@
+// Command firehose demonstrates many producers streaming sparse
+// deltas into one running sum — the serving-side shape of the paper's
+// streaming SpKAdd future work (§V): think metric matrices aggregated
+// from many ingest workers, or graph edge streams fanned in from
+// several frontends.
+//
+// The single-goroutine Accumulator forces a choice: funnel every
+// producer through one mutex (serializing the reduction work), or
+// give each producer its own accumulator and pay a final k-way merge.
+// The sharded Pool removes the choice — producers enqueue column
+// slices under per-shard locks and per-shard reducers fold them in
+// the background — so the comparison here is Pool versus the
+// mutex-funneled Accumulator on an identical workload.
+//
+//	go run ./examples/firehose
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"time"
+
+	"spkadd"
+)
+
+const (
+	rows        = 1 << 16 // metric / vertex space
+	cols        = 256     // columns (series, time buckets, ...)
+	nnzPerCol   = 8
+	perProducer = 64 // deltas each producer streams
+)
+
+// stream fabricates producer p's deterministic delta stream.
+func stream(p int) []*spkadd.Matrix {
+	as := make([]*spkadd.Matrix, perProducer)
+	for i := range as {
+		as[i] = spkadd.RandomER(rows, cols, nnzPerCol, uint64(p*perProducer+i+1))
+	}
+	return as
+}
+
+func main() {
+	producers := runtime.GOMAXPROCS(0)
+	if producers < 2 {
+		producers = 2
+	}
+	streams := make([][]*spkadd.Matrix, producers)
+	total := 0
+	for p := range streams {
+		streams[p] = stream(p)
+		for _, a := range streams[p] {
+			total += a.NNZ()
+		}
+	}
+	fmt.Printf("firehose: %d producers x %d deltas of %dx%d, %d entries total\n\n",
+		producers, perProducer, rows, cols, total)
+
+	// Baseline: one Accumulator behind a mutex. Every Push — and every
+	// budget-triggered reduction inside it — happens under the lock,
+	// so producers serialize.
+	ac := spkadd.NewAccumulator(rows, cols, 8<<20, spkadd.Options{Algorithm: spkadd.Hash})
+	var mu sync.Mutex
+	start := time.Now()
+	run(streams, func(a *spkadd.Matrix) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return ac.Push(a)
+	})
+	mu.Lock()
+	want, err := ac.Sum()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mu.Unlock()
+	funneled := time.Since(start)
+
+	// Sharded pool: producers enqueue zero-copy column slices under
+	// per-shard locks; reducers drain concurrently in the background.
+	pool := spkadd.NewPool(rows, cols, spkadd.PoolOptions{BudgetBytes: 8 << 20,
+		Add: spkadd.Options{Algorithm: spkadd.Hash}})
+	start = time.Now()
+	run(streams, pool.Push)
+	got, err := pool.Sum()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sharded := time.Since(start)
+	if err := pool.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	if got.NNZ() != want.NNZ() {
+		log.Fatalf("pool and accumulator disagree: %d vs %d entries", got.NNZ(), want.NNZ())
+	}
+	fmt.Printf("mutex-funneled Accumulator : %v\n", funneled.Round(time.Microsecond))
+	fmt.Printf("sharded Pool (%2d shards)   : %v (%.2fx)\n",
+		pool.Shards(), sharded.Round(time.Microsecond), float64(funneled)/float64(sharded))
+	fmt.Printf("\nsum: %d entries across %d columns; pool ran %d k-way reductions for %d pushes\n",
+		got.NNZ(), got.Cols, pool.Reductions(), pool.K())
+}
+
+// run pushes every stream concurrently through push and waits.
+func run(streams [][]*spkadd.Matrix, push func(*spkadd.Matrix) error) {
+	var wg sync.WaitGroup
+	for _, s := range streams {
+		wg.Add(1)
+		go func(s []*spkadd.Matrix) {
+			defer wg.Done()
+			for _, a := range s {
+				if err := push(a); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+}

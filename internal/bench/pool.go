@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"spkadd/internal/core"
+	"spkadd/internal/generate"
+	"spkadd/internal/matrix"
+)
+
+// Pool measures the sharded accumulation pool under concurrent
+// producers: a producer-count × shard-count grid where each producer
+// streams a fixed number of delta matrices into one Pool and the cell
+// reports aggregate throughput (absorbed entries per second, Push
+// through final Sum). The single-shard column doubles as the
+// serialized baseline — it shows what funneling every producer into
+// one reduction stream costs — so scaling across the shard columns is
+// the experiment: with enough producers, more shards should win.
+func Pool(cfg Config) error {
+	rows := 1 << 16 / cfg.scale()
+	if rows < 1024 {
+		rows = 1024
+	}
+	cols := 256 / cfg.scale()
+	if cols < 16 {
+		cols = 16
+	}
+	const d, perProducer = 8, 48
+	maxShards := runtime.GOMAXPROCS(0)
+	shardGrid := []int{1, 2}
+	if maxShards > 4 {
+		shardGrid = append(shardGrid, 4)
+	}
+	if maxShards > 2 {
+		shardGrid = append(shardGrid, maxShards)
+	}
+	producerGrid := []int{1, 2, 4, 8}
+
+	fmt.Fprintf(cfg.Out, "Sharded pool: concurrent producers streaming deltas, m=%d n=%d d=%d, %d pushes/producer\n", rows, cols, d, perProducer)
+	fmt.Fprintf(cfg.Out, "(cells: absorbed entries/s over Push..Sum, best of %d reps; budget 8MB total)\n", cfg.reps())
+	fmt.Fprintf(cfg.Out, "%-10s", "Producers")
+	for _, s := range shardGrid {
+		fmt.Fprintf(cfg.Out, " %14s", fmt.Sprintf("S=%d", s))
+	}
+	fmt.Fprintln(cfg.Out)
+
+	for _, producers := range producerGrid {
+		// Pre-generate every producer's stream outside the timed
+		// region; entry count is fixed per cell so cells compare.
+		streams := make([][]*matrix.CSC, producers)
+		total := int64(0)
+		for p := range streams {
+			streams[p] = make([]*matrix.CSC, perProducer)
+			for i := range streams[p] {
+				streams[p][i] = generate.ER(generate.Opts{
+					Rows: rows, Cols: cols, NNZPerCol: d,
+					Seed: uint64(p*perProducer + i + 1),
+				})
+				total += int64(streams[p][i].NNZ())
+			}
+		}
+		fmt.Fprintf(cfg.Out, "%-10d", producers)
+		for _, shards := range shardGrid {
+			best, err := timePool(cfg, rows, cols, shards, streams)
+			if err != nil {
+				return fmt.Errorf("pool producers=%d shards=%d: %w", producers, shards, err)
+			}
+			fmt.Fprintf(cfg.Out, " %14s", fmtRate(total, best))
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	fmt.Fprintln(cfg.Out)
+	return nil
+}
+
+// timePool runs one cell: all producers push their streams
+// concurrently, then one Sum barriers and stitches. Returns the best
+// wall-clock across reps.
+func timePool(cfg Config, rows, cols, shards int, streams [][]*matrix.CSC) (time.Duration, error) {
+	var best time.Duration = -1
+	for r := 0; r < cfg.reps(); r++ {
+		p := core.NewPool(rows, cols, core.PoolOptions{
+			Shards:      shards,
+			BudgetBytes: 8 << 20,
+			Add:         core.Options{Algorithm: core.Hash, CacheBytes: cfg.cacheBytes()},
+		})
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, len(streams))
+		for _, stream := range streams {
+			wg.Add(1)
+			go func(stream []*matrix.CSC) {
+				defer wg.Done()
+				for _, a := range stream {
+					if err := p.Push(a); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(stream)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			p.Close()
+			return 0, err
+		}
+		if _, err := p.Sum(); err != nil {
+			p.Close()
+			return 0, err
+		}
+		d := time.Since(start)
+		if err := p.Close(); err != nil {
+			return 0, err
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// fmtRate renders entries/second with an engineering suffix.
+func fmtRate(entries int64, d time.Duration) string {
+	rate := float64(entries) / d.Seconds()
+	switch {
+	case rate >= 1e9:
+		return fmt.Sprintf("%.2fGe/s", rate/1e9)
+	case rate >= 1e6:
+		return fmt.Sprintf("%.2fMe/s", rate/1e6)
+	default:
+		return fmt.Sprintf("%.0fe/s", rate)
+	}
+}

@@ -28,6 +28,8 @@ func Run(name string, cfg Config) error {
 		return Phases(cfg)
 	case "reuse":
 		return Reuse(cfg)
+	case "pool":
+		return Pool(cfg)
 	case "tune":
 		return Tune(cfg)
 	case "ablation":
@@ -40,6 +42,6 @@ func Run(name string, cfg Config) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("bench: unknown experiment %q (want one of %v, \"phases\", \"reuse\", \"tune\", \"ablation\", or \"all\")", name, Experiments)
+		return fmt.Errorf("bench: unknown experiment %q (want one of %v, \"phases\", \"reuse\", \"pool\", \"tune\", \"ablation\", or \"all\")", name, Experiments)
 	}
 }

@@ -1,6 +1,7 @@
 package cachesim
 
 import (
+	"spkadd/internal/hashtab"
 	"spkadd/internal/matrix"
 )
 
@@ -44,10 +45,7 @@ type TraceConfig struct {
 }
 
 func (c TraceConfig) loadFactor() float64 {
-	if c.LoadFactor <= 0 || c.LoadFactor > 1 {
-		return 0.5
-	}
-	return c.LoadFactor
+	return hashtab.ClampLoadFactor(c.LoadFactor)
 }
 
 func (c TraceConfig) threads() int {

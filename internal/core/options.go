@@ -12,6 +12,8 @@ package core
 import (
 	"sync/atomic"
 	"time"
+
+	"spkadd/internal/hashtab"
 )
 
 // Algorithm selects the SpKAdd implementation.
@@ -173,7 +175,12 @@ type Options struct {
 	// workers, used by SlidingHash and Auto. <=0 means
 	// DefaultCacheBytes.
 	CacheBytes int64
-	// LoadFactor bounds hash-table occupancy; <=0 means 0.5.
+	// LoadFactor bounds hash-table occupancy. The valid range is
+	// (0, 1]; <=0 means 0.5 and values above 1 are clamped to 1.0
+	// (tables are power-of-two sized, so even at 1.0 they keep at
+	// least one empty slot and probing terminates). Lower values buy
+	// O(1) expected probing at the cost of memory; see the load-factor
+	// ablation.
 	LoadFactor float64
 	// Schedule selects the column scheduling strategy.
 	Schedule Schedule
@@ -202,10 +209,7 @@ func (o Options) cacheBytes() int64 {
 }
 
 func (o Options) loadFactor() float64 {
-	if o.LoadFactor <= 0 || o.LoadFactor > 1 {
-		return 0.5
-	}
-	return o.LoadFactor
+	return hashtab.ClampLoadFactor(o.LoadFactor)
 }
 
 // OpStats aggregates work counters across workers. All fields are
@@ -227,6 +231,31 @@ type OpStats struct {
 	// and PhasesUpperBound — the observable proof that each input is
 	// read exactly once.
 	SymProbes atomic.Int64
+	// engineUsed records the Phases engine the most recent dispatched
+	// addition actually ran (read via EngineUsed). Options.Phases is a
+	// request, not a guarantee: SlidingHash and the 2-way baselines
+	// keep their native two-pass drivers whatever the caller asks for,
+	// and this is where that fallback becomes observable. Stored as
+	// engine+1 so the zero value means "no addition dispatched yet".
+	engineUsed atomic.Int64
+}
+
+// RecordEngine notes the engine a dispatched addition resolved to.
+func (s *OpStats) RecordEngine(p Phases) { s.engineUsed.Store(int64(p) + 1) }
+
+// EngineUsed returns the execution engine the most recent addition
+// observed by these stats actually ran, and whether any addition has
+// been dispatched (single-matrix copies dispatch no engine). When the
+// caller's requested Options.Phases is unsupported by the algorithm —
+// SlidingHash and the 2-way baselines keep their native drivers — the
+// fallback is reported here as PhasesTwoPass instead of staying
+// silent.
+func (s *OpStats) EngineUsed() (Phases, bool) {
+	v := s.engineUsed.Load()
+	if v == 0 {
+		return PhasesAuto, false
+	}
+	return Phases(v - 1), true
 }
 
 // PhaseTimings reports the wall-clock split between the symbolic

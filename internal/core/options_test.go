@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"spkadd/internal/matrix"
+)
+
+func TestLoadFactorClamp(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want float64
+	}{
+		{0, 0.5},    // unset: default
+		{-3, 0.5},   // nonsense: default
+		{0.25, 0.25},
+		{0.9, 0.9},
+		{1, 1},
+		{1.0001, 1}, // above the valid range: clamp, don't reset
+		{9, 1},      // the typo'd-0.9 case from the issue
+	} {
+		if got := (Options{LoadFactor: tc.in}).loadFactor(); got != tc.want {
+			t.Errorf("loadFactor(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestLoadFactorFullTables proves the clamped 1.0 load factor is
+// actually usable: results stay correct when tables are packed to
+// capacity, across both phases and engines.
+func TestLoadFactorFullTables(t *testing.T) {
+	as := erInputs(6, 300, 16, 10, 71)
+	want := matrix.ReferenceAdd(as)
+	for _, p := range PhasesPolicies {
+		got, err := Add(as, Options{Algorithm: Hash, LoadFactor: 9, Phases: p, SortedOutput: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%v: LoadFactor 9 (clamped to 1.0) gave a wrong sum", p)
+		}
+	}
+}
+
+// TestEngineUsedObservable proves the resolved execution engine is
+// observable through OpStats — in particular the silent fallback:
+// SlidingHash and the 2-way algorithms keep their native drivers
+// whatever Options.Phases asks for, and that must show up as
+// PhasesTwoPass rather than the caller's request.
+func TestEngineUsedObservable(t *testing.T) {
+	as := erInputs(4, 400, 16, 8, 72)
+	for _, tc := range []struct {
+		alg  Algorithm
+		req  Phases
+		want Phases
+	}{
+		{Hash, PhasesFused, PhasesFused},
+		{Hash, PhasesUpperBound, PhasesUpperBound},
+		{Hash, PhasesTwoPass, PhasesTwoPass},
+		{SPA, PhasesFused, PhasesFused},
+		{Heap, PhasesUpperBound, PhasesUpperBound},
+		// The fallbacks the issue calls out: requesting a single-pass
+		// engine on algorithms that have none.
+		{SlidingHash, PhasesFused, PhasesTwoPass},
+		{SlidingHash, PhasesUpperBound, PhasesTwoPass},
+		{TwoWayTree, PhasesFused, PhasesTwoPass},
+		{TwoWayIncremental, PhasesUpperBound, PhasesTwoPass},
+	} {
+		var stats OpStats
+		if _, ok := stats.EngineUsed(); ok {
+			t.Fatal("fresh OpStats reports an engine before any addition")
+		}
+		_, err := Add(as, Options{Algorithm: tc.alg, Phases: tc.req, Stats: &stats})
+		if err != nil {
+			t.Fatalf("%v/%v: %v", tc.alg, tc.req, err)
+		}
+		got, ok := stats.EngineUsed()
+		if !ok {
+			t.Fatalf("%v/%v: no engine recorded", tc.alg, tc.req)
+		}
+		if got != tc.want {
+			t.Errorf("%v requesting %v: ran %v, want %v", tc.alg, tc.req, got, tc.want)
+		}
+	}
+	// PhasesAuto records whichever concrete engine it picked.
+	var stats OpStats
+	if _, err := Add(as, Options{Algorithm: Hash, Phases: PhasesAuto, Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := stats.EngineUsed(); !ok || got == PhasesAuto {
+		t.Errorf("PhasesAuto recorded %v (ok=%v), want a concrete engine", got, ok)
+	}
+}

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"spkadd/internal/matrix"
+	"spkadd/internal/sched"
+)
+
+// This file implements the concurrent, column-sharded accumulation
+// pool: the multi-producer counterpart of the single-goroutine
+// Accumulator. The paper names streaming/batched SpKAdd as its future
+// work (§V); the Accumulator covers one producer, but a serving
+// system has many — and funneling them through one lock would
+// serialize exactly the reduction work SpKAdd parallelizes.
+//
+// The pool shards the COLUMN space instead: the n output columns are
+// split into S contiguous ranges (the same near-equal Span arithmetic
+// as ColSplit and the schedulers), and each shard owns a resident
+// Workspace, a running sum over its columns, and a pending queue.
+// Push slices the incoming matrix into per-shard column views —
+// zero-copy, via matrix.ColView — and enqueues each piece under that
+// shard's lock only, so producers touching a shard never contend with
+// a reduction in flight and different shards never contend at all.
+// Per-shard reducer goroutines drain their queues asynchronously with
+// the same budget trigger as Accumulator.Flush (running sum + pending
+// bytes against the shard's budget share, plus the pending-count cap),
+// keeping every reduction k-way; each reduction takes at most a
+// budget's worth of pending pieces, so the Accumulator's bound — a
+// reduction's input never exceeds budget + one matrix — holds here
+// too, and a high-water mark (2x the shard budget) blocks producers
+// that outrun their reducer instead of pinning unbounded queues. Sum
+// barriers the reducers and stitches the per-shard sums — disjoint
+// column ranges — into one CSC with a pure copy; no merge is needed,
+// which is what makes column sharding the right axis to split on.
+
+// ErrPoolClosed is returned by Push after Close has been called.
+var ErrPoolClosed = errors.New("spkadd: Pool used after Close")
+
+// PoolOptions configure a sharded accumulation pool.
+type PoolOptions struct {
+	// Shards is the column-shard count S. <=0 selects the heuristic
+	// min(GOMAXPROCS, cols): one reducer per core saturates the
+	// machine. Explicit values clamp to [1, cols] — a shard narrower
+	// than one column would idle a reducer and dilute the budget.
+	Shards int
+	// BudgetBytes is the total reduction budget, divided evenly among
+	// the shards; each shard reduces when its running sum plus pending
+	// pieces would exceed its share (<=0 means 256MB total, like
+	// NewAccumulator).
+	BudgetBytes int64
+	// Add are the Options for the per-shard reductions. When Threads
+	// is unset and the pool has more than one shard, reductions run
+	// single-threaded: the shards themselves are the parallelism, and
+	// letting every reducer spawn GOMAXPROCS workers would
+	// oversubscribe the machine.
+	Add Options
+}
+
+// Pool is a concurrent, column-sharded streaming accumulator: many
+// producer goroutines Push delta matrices while per-shard reducers
+// fold them into per-column-range running sums, and Sum stitches the
+// shards into the total. Push, Sum, Close and K are safe for
+// concurrent use, and Push linearizes with Sum and Close: a pushed
+// matrix is observed whole or not at all, never some shards' slices
+// without the others'.
+//
+// Ownership: like the Accumulator, a pool keeps references into each
+// pushed matrix until the shard reductions that absorb it complete;
+// producers must not mutate a matrix after pushing it. The matrix
+// returned by Sum is freshly allocated and caller-owned.
+//
+// Close stops the reducers after draining outstanding work; pushes
+// that lose the race with Close fail whole with ErrPoolClosed. A
+// closed pool still answers Sum and K.
+type Pool struct {
+	rows, cols int
+	shards     []*poolShard
+	closed     atomic.Bool
+	absorbed   atomic.Int64
+	wg         sync.WaitGroup
+
+	// pushMu makes a multi-shard Push atomic against Sum and Close:
+	// producers hold it shared while slicing and enqueueing, Sum and
+	// Close hold it exclusively while establishing their cut. Without
+	// it a Sum racing a Push could barrier between two of the push's
+	// enqueues and stitch a matrix containing only some of its shards
+	// — a total no prefix of pushes could produce. Reducers never
+	// touch it, so reduction work proceeds under either hold.
+	pushMu sync.RWMutex
+}
+
+// NewPool returns a pool for rows x cols matrices. See PoolOptions for
+// the shard-count and budget defaults.
+func NewPool(rows, cols int, popt PoolOptions) *Pool {
+	s := popt.Shards
+	if s <= 0 {
+		s = sched.Threads(0)
+	}
+	// A shard narrower than one column is useless — it would idle a
+	// reducer goroutine and dilute every real shard's budget share —
+	// so explicit requests clamp to the column count too.
+	if s > cols {
+		s = cols
+	}
+	if s < 1 {
+		s = 1
+	}
+	budget := popt.BudgetBytes
+	if budget <= 0 {
+		budget = 256 << 20
+	}
+	shardBudget := budget / int64(s)
+	if shardBudget < 1 {
+		shardBudget = 1
+	}
+	opt := popt.Add
+	if opt.Threads < 1 && s > 1 {
+		opt.Threads = 1
+	}
+	p := &Pool{rows: rows, cols: cols, shards: make([]*poolShard, s)}
+	for i := range p.shards {
+		c0, c1 := sched.Span(cols, s, i)
+		sh := &poolShard{c0: c0, c1: c1, budget: shardBudget, opt: opt}
+		sh.cond = sync.NewCond(&sh.mu)
+		sh.done = sync.NewCond(&sh.mu)
+		sh.space = sync.NewCond(&sh.mu)
+		p.shards[i] = sh
+		p.wg.Add(1)
+		go sh.run(&p.wg)
+	}
+	return p
+}
+
+// Shards returns the pool's shard count.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// Push enqueues one matrix for accumulation and returns without
+// waiting for any reduction: the matrix is sliced into per-shard
+// column views (zero-copy) and each non-empty piece is appended to
+// its shard's queue under that shard's lock alone. Producers block
+// only while a Sum or Close is establishing its cut, or when a
+// shard's queue has hit its high-water mark (2x the shard's budget
+// share) — backpressure for producers outrunning the reducers.
+// Reduction errors are deferred to Sum and Close; Push itself only
+// fails on dimension mismatch or a closed pool.
+func (p *Pool) Push(a *matrix.CSC) error {
+	p.pushMu.RLock()
+	defer p.pushMu.RUnlock()
+	if p.closed.Load() {
+		return ErrPoolClosed
+	}
+	if a.Rows != p.rows || a.Cols != p.cols {
+		return fmt.Errorf("%w: pushed %dx%d, pool is %dx%d",
+			ErrDimMismatch, a.Rows, a.Cols, p.rows, p.cols)
+	}
+	for _, s := range p.shards {
+		lo, hi := a.ColPtr[s.c0], a.ColPtr[s.c1]
+		if lo == hi {
+			// Nothing in this shard's columns; adding an empty piece
+			// is the identity, so skip the queue entirely.
+			continue
+		}
+		if err := s.enqueue(a.ColView(s.c0, s.c1), (hi-lo)*entryBytes); err != nil {
+			return err
+		}
+	}
+	p.absorbed.Add(1)
+	return nil
+}
+
+// Sum waits for every shard to reduce all pieces enqueued before the
+// call, then stitches the per-shard running sums into one freshly
+// allocated rows x cols matrix. The pool remains usable afterwards —
+// Sum between pushes observes the running total, like
+// Accumulator.Sum. A Push racing Sum is either included whole or
+// excluded whole (Push linearizes with Sum; producers block for the
+// duration of the barrier and stitch). If any shard reduction failed
+// (for example Heap options over unsorted input), the first error is
+// returned, sticky.
+func (p *Pool) Sum() (*matrix.CSC, error) {
+	// The exclusive hold cuts the push stream: no Push is mid-flight
+	// while we barrier and stitch, so the result is the exact sum of a
+	// prefix of each producer's pushes. Reducers drain independently
+	// of pushMu, so the barrier cannot starve.
+	p.pushMu.Lock()
+	defer p.pushMu.Unlock()
+	if err := p.barrier(); err != nil {
+		return nil, err
+	}
+	// Stitch under all shard locks (in index order), freezing every
+	// shard's sum pointer. A reduction still in flight only reads the
+	// current sum and writes its workspace's other ping-pong buffer;
+	// it cannot install a result — or start a successor that would
+	// overwrite storage we are copying — without the lock.
+	for _, s := range p.shards {
+		s.mu.Lock()
+	}
+	defer func() {
+		for _, s := range p.shards {
+			s.mu.Unlock()
+		}
+	}()
+	total := 0
+	for _, s := range p.shards {
+		if s.sum != nil {
+			total += s.sum.NNZ()
+		}
+	}
+	out := matrix.NewCSC(p.rows, p.cols, total)
+	var nnz int64
+	for _, s := range p.shards {
+		if s.sum == nil {
+			for j := s.c0; j < s.c1; j++ {
+				out.ColPtr[j+1] = nnz
+			}
+			continue
+		}
+		for j := 0; j < s.c1-s.c0; j++ {
+			out.ColPtr[s.c0+j+1] = nnz + s.sum.ColPtr[j+1]
+		}
+		out.RowIdx = append(out.RowIdx, s.sum.RowIdx...)
+		out.Val = append(out.Val, s.sum.Val...)
+		nnz += s.sum.ColPtr[s.c1-s.c0]
+	}
+	return out, nil
+}
+
+// barrier asks every shard to drain and waits until each has reduced
+// everything enqueued before the request. Requests are issued to all
+// shards first, so they drain concurrently, then awaited.
+func (p *Pool) barrier() error {
+	reqs := make([]int64, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		if !s.exited {
+			s.flushReq++
+			reqs[i] = s.flushReq
+			s.cond.Signal()
+		}
+		s.mu.Unlock()
+	}
+	var first error
+	for i, s := range p.shards {
+		s.mu.Lock()
+		for !s.exited && s.err == nil && s.flushAck < reqs[i] {
+			s.done.Wait()
+		}
+		if s.err != nil && first == nil {
+			first = s.err
+		}
+		s.mu.Unlock()
+	}
+	return first
+}
+
+// Close drains all shards, stops the reducer goroutines and returns
+// the first sticky reduction error, if any. Close is idempotent and
+// linearizes with Push: a racing Push either completes before the
+// close cut or fails whole with ErrPoolClosed. The pool still
+// answers Sum and K afterwards.
+func (p *Pool) Close() error {
+	p.pushMu.Lock()
+	if !p.closed.Swap(true) {
+		for _, s := range p.shards {
+			s.mu.Lock()
+			s.closed = true
+			s.cond.Signal()
+			s.space.Broadcast()
+			s.mu.Unlock()
+		}
+	}
+	p.pushMu.Unlock()
+	p.wg.Wait()
+	var first error
+	for _, s := range p.shards {
+		s.mu.Lock()
+		if s.err != nil && first == nil {
+			first = s.err
+		}
+		s.mu.Unlock()
+	}
+	return first
+}
+
+// K returns the number of matrices absorbed so far.
+func (p *Pool) K() int { return int(p.absorbed.Load()) }
+
+// Reductions returns the total number of k-way additions the shards
+// have run, a measure of how the budget translated into batching.
+func (p *Pool) Reductions() int {
+	total := 0
+	for _, s := range p.shards {
+		s.mu.Lock()
+		total += int(s.reductions)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// poolShard owns one contiguous column range [c0, c1) of the pool: a
+// producer-facing pending queue and a reducer goroutine with a
+// resident workspace and the range's running sum.
+//
+// Locking: mu guards the queue, the flush/close handshake and the sum
+// POINTER. The workspace and the sum's storage belong to the reducer
+// goroutine; reductions run outside the lock so producers enqueue
+// wait-free relative to reduction work. cond wakes the reducer (work
+// over budget, flush requested, closed); done wakes flush waiters.
+type poolShard struct {
+	c0, c1 int
+	budget int64
+	opt    Options
+
+	mu           sync.Mutex
+	cond         *sync.Cond // wakes the reducer
+	done         *sync.Cond // wakes flush-barrier waiters
+	space        *sync.Cond // wakes producers blocked on the high-water mark
+	pending      []*matrix.CSC
+	pendingBytes int64
+	flushReq     int64
+	flushAck     int64
+	closed       bool
+	exited       bool
+	err          error // first reduction error, sticky
+	sum          *matrix.CSC
+	reductions   int64
+
+	// Reducer-private; never touched while a reduction is in flight
+	// except by the reducer itself.
+	ws    *Workspace
+	take  []*matrix.CSC // the batch claimed from pending
+	batch []*matrix.CSC // [sum, take...] input slice for the k-way add
+}
+
+// enqueue appends one column piece to the shard's queue, waking the
+// reducer if the batch is now worth reducing. Producers that outrun
+// the reducer block at the high-water mark (2x the shard budget)
+// until a reduction claims a batch, so the queue — and the pushed
+// matrices it pins — stays bounded.
+func (s *poolShard) enqueue(piece *matrix.CSC, bytes int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.pendingBytes >= 2*s.budget && !s.closed && s.err == nil {
+		s.cond.Signal()
+		s.space.Wait()
+	}
+	if s.closed {
+		return ErrPoolClosed
+	}
+	s.pending = append(s.pending, piece)
+	s.pendingBytes += bytes
+	if s.reduceNeeded() {
+		s.cond.Signal()
+	}
+	return nil
+}
+
+// reduceNeeded reports whether the pending queue should be reduced
+// now: the same trigger as Accumulator.Push — the next reduction's
+// total input (running sum + pending) against the budget, plus the
+// pending-count cap so zero-byte pieces cannot grow the queue
+// unboundedly. Callers hold mu.
+func (s *poolShard) reduceNeeded() bool {
+	if len(s.pending) == 0 {
+		return false
+	}
+	return s.sumNNZBytes()+s.pendingBytes > s.budget || len(s.pending) >= maxPendingMatrices
+}
+
+func (s *poolShard) sumNNZBytes() int64 {
+	if s.sum == nil {
+		return 0
+	}
+	return int64(s.sum.NNZ()) * entryBytes
+}
+
+// wakeNeeded reports whether the reducer has anything to do. An erred
+// shard with pending pieces still wakes: the reducer discards them so
+// producers blocked on the high-water mark and barriers waiting on
+// the queue are released. Callers hold mu.
+func (s *poolShard) wakeNeeded() bool {
+	return s.closed || s.flushReq > s.flushAck || s.reduceNeeded() ||
+		(s.err != nil && len(s.pending) > 0)
+}
+
+// claimBatch moves a budget-bounded prefix of the pending queue into
+// the reducer-private take slice: pieces are claimed until the next
+// reduction's input (sum + claimed) would pass the budget — always at
+// least one, mirroring Accumulator's budget + one matrix bound — or
+// the count cap. Callers hold mu.
+func (s *poolShard) claimBatch() {
+	n, bytes := 0, int64(0)
+	sumBytes := s.sumNNZBytes()
+	for n < len(s.pending) && n < maxPendingMatrices {
+		b := int64(s.pending[n].NNZ()) * entryBytes
+		if n > 0 && sumBytes+bytes+b > s.budget {
+			break
+		}
+		bytes += b
+		n++
+	}
+	s.take = append(s.take[:0], s.pending[:n]...)
+	m := copy(s.pending, s.pending[n:])
+	clear(s.pending[m:])
+	s.pending = s.pending[:m]
+	s.pendingBytes -= bytes
+	s.space.Broadcast()
+}
+
+// run is the shard's reducer goroutine: sleep until woken, reduce one
+// budget-sized batch outside the lock, acknowledge flush barriers
+// whenever the queue is empty, and exit once closed and drained.
+func (s *poolShard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	s.mu.Lock()
+	for {
+		for !s.wakeNeeded() {
+			s.cond.Wait()
+		}
+		if len(s.pending) > 0 {
+			if s.err != nil {
+				// Sticky error: discard instead of reducing, so flush
+				// barriers, backpressured producers and Close still
+				// terminate.
+				clear(s.pending)
+				s.pending = s.pending[:0]
+				s.pendingBytes = 0
+				s.space.Broadcast()
+				continue
+			}
+			s.claimBatch()
+			s.mu.Unlock()
+			sum, err := s.reduce()
+			s.mu.Lock()
+			if err != nil {
+				s.err = err
+				s.done.Broadcast()
+				continue
+			}
+			s.sum = sum
+			s.reductions++
+			continue // the queue may already hold the next batch
+		}
+		if s.flushAck != s.flushReq {
+			// Queue empty: everything enqueued before any outstanding
+			// flush request is in the sum.
+			s.flushAck = s.flushReq
+			s.done.Broadcast()
+		}
+		if s.closed {
+			s.exited = true
+			s.done.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+// reduce folds the claimed batch into the running sum with a single
+// k-way addition on the shard's resident workspace. The previous sum
+// is the first input; the workspace's ping-pong output buffers make
+// that safe (see Workspace.allocOutput). Runs outside the shard lock.
+func (s *poolShard) reduce() (*matrix.CSC, error) {
+	if s.ws == nil {
+		s.ws = NewWorkspace(true)
+	}
+	s.batch = s.batch[:0]
+	if s.sum != nil {
+		s.batch = append(s.batch, s.sum)
+	}
+	s.batch = append(s.batch, s.take...)
+	sum, err := s.ws.Add(s.batch, s.opt)
+	// Drop the piece references so absorbed matrices can be collected.
+	clear(s.batch)
+	s.batch = s.batch[:0]
+	clear(s.take)
+	s.take = s.take[:0]
+	return sum, err
+}

@@ -1,10 +1,20 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"spkadd/internal/matrix"
 )
+
+// ErrAccumulatorInUse is returned when an Accumulator is called from a
+// second goroutine while a call is already in flight. Like the public
+// Adder, an Accumulator owns one resident workspace and one running
+// sum; failing fast beats silently corrupting both. Use one
+// Accumulator per goroutine, or a sharded Pool for concurrent
+// producers.
+var ErrAccumulatorInUse = errors.New("spkadd: Accumulator used from multiple goroutines concurrently")
 
 // Accumulator implements the batched SpKAdd the paper proposes for
 // inputs that do not fit in memory simultaneously or that arrive over
@@ -15,15 +25,19 @@ import (
 // k-way addition, so the reduction work stays k-way rather than
 // degenerating to the pairwise O(k²nd) regime.
 //
-// An Accumulator is not safe for concurrent use; each addition it
-// performs is internally parallel per the configured Options,
-// including the execution-engine policy: when Phases resolves to a
-// single-pass engine (the common PhasesAuto outcome for in-cache
-// workloads) each batched reduction reads its inputs exactly once.
+// An Accumulator is not safe for concurrent use; overlapping calls
+// are detected by an atomic busy flag and fail with
+// ErrAccumulatorInUse instead of corrupting the resident workspace.
+// Each addition it performs is internally parallel per the configured
+// Options, including the execution-engine policy: when Phases
+// resolves to a single-pass engine (the common PhasesAuto outcome for
+// in-cache workloads) each batched reduction reads its inputs exactly
+// once.
 type Accumulator struct {
 	rows, cols int
 	opt        Options
 	budget     int64
+	busy       atomic.Bool
 
 	sum          *matrix.CSC
 	pending      []*matrix.CSC
@@ -45,8 +59,17 @@ type Accumulator struct {
 // (4-byte index + 8-byte value).
 const entryBytes = 12
 
+// maxPendingMatrices caps how many matrices an Accumulator (or a Pool
+// shard) buffers before reducing regardless of their byte size. The
+// byte budget alone cannot bound the buffer: zero-nnz matrices
+// contribute zero bytes, so a flood of empty deltas — a perfectly
+// plausible streaming workload during quiet periods — would grow the
+// pending slice without ever triggering a flush.
+const maxPendingMatrices = 1024
+
 // NewAccumulator returns an accumulator for rows x cols matrices that
-// reduces its buffer whenever the buffered inputs exceed budgetBytes
+// reduces its buffer whenever the next reduction's total input — the
+// running sum plus the buffered matrices — would exceed budgetBytes
 // (<=0 means 256MB). The paper's batching argument applies verbatim:
 // the batch size only affects memory, not the asymptotic work, as long
 // as each reduction is k-way.
@@ -57,17 +80,52 @@ func NewAccumulator(rows, cols int, budgetBytes int64, opt Options) *Accumulator
 	return &Accumulator{rows: rows, cols: cols, opt: opt, budget: budgetBytes}
 }
 
+// acquire takes the accumulator's busy flag, detecting overlapping
+// calls from a second goroutine.
+func (ac *Accumulator) acquire() error {
+	if !ac.busy.CompareAndSwap(false, true) {
+		return ErrAccumulatorInUse
+	}
+	return nil
+}
+
+func (ac *Accumulator) release() { ac.busy.Store(false) }
+
+// sumBytes is the in-memory footprint of the running sum. A k-way
+// reduction reads sum + pending, so the sum's bytes count toward the
+// reduction budget exactly like the buffered matrices'.
+func (ac *Accumulator) sumBytes() int64 {
+	if ac.sum == nil {
+		return 0
+	}
+	return int64(ac.sum.NNZ()) * entryBytes
+}
+
 // Push buffers one matrix, reducing the buffer first if adding it
-// would exceed the budget. The accumulator keeps a reference to a
-// until the next reduction; callers must not mutate it meanwhile.
+// would push the next reduction's total input — the running sum plus
+// everything pending — past the budget, or if the pending count hits
+// maxPendingMatrices (so zero-byte pushes still flush eventually). The
+// accumulator keeps a reference to a until the next reduction; callers
+// must not mutate it meanwhile.
+//
+// The budget bounds a reduction's input at budget plus one matrix: the
+// matrix that overflows is buffered after the flush it triggers, so it
+// joins the next reduction instead. Once the running sum alone
+// outgrows the budget every push flushes, degenerating gracefully to
+// sum-plus-one-matrix reductions — the streaming minimum.
 func (ac *Accumulator) Push(a *matrix.CSC) error {
+	if err := ac.acquire(); err != nil {
+		return err
+	}
+	defer ac.release()
 	if a.Rows != ac.rows || a.Cols != ac.cols {
 		return fmt.Errorf("%w: pushed %dx%d, accumulator is %dx%d",
 			ErrDimMismatch, a.Rows, a.Cols, ac.rows, ac.cols)
 	}
 	bytes := int64(a.NNZ()) * entryBytes
-	if ac.pendingBytes > 0 && ac.pendingBytes+bytes > ac.budget {
-		if err := ac.Flush(); err != nil {
+	if len(ac.pending) > 0 &&
+		(ac.sumBytes()+ac.pendingBytes+bytes > ac.budget || len(ac.pending) >= maxPendingMatrices) {
+		if err := ac.flush(); err != nil {
 			return err
 		}
 	}
@@ -79,6 +137,16 @@ func (ac *Accumulator) Push(a *matrix.CSC) error {
 
 // Flush reduces all buffered matrices into the running sum.
 func (ac *Accumulator) Flush() error {
+	if err := ac.acquire(); err != nil {
+		return err
+	}
+	defer ac.release()
+	return ac.flush()
+}
+
+// flush is Flush without the busy-flag acquisition, for internal use
+// while the flag is already held.
+func (ac *Accumulator) flush() error {
 	if len(ac.pending) == 0 {
 		return nil
 	}
@@ -113,7 +181,11 @@ func (ac *Accumulator) Flush() error {
 // further Push calls, after which callers should re-request it —
 // callers that need a longer-lived copy should Clone it.
 func (ac *Accumulator) Sum() (*matrix.CSC, error) {
-	if err := ac.Flush(); err != nil {
+	if err := ac.acquire(); err != nil {
+		return nil, err
+	}
+	defer ac.release()
+	if err := ac.flush(); err != nil {
 		return nil, err
 	}
 	if ac.sum == nil {

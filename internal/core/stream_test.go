@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -34,13 +36,17 @@ func TestAccumulatorMatchesOneShot(t *testing.T) {
 }
 
 func TestAccumulatorBatching(t *testing.T) {
-	// A budget of ~4 matrices should produce ~k/4 reductions, far
-	// fewer than k (which is what pairwise incremental would do).
-	as := erInputs(16, 500, 8, 10, 52)
-	per := int64(as[0].NNZ()) * entryBytes
-	ac := NewAccumulator(500, 8, 4*per+1, Options{Algorithm: Hash})
-	for _, a := range as {
-		if err := ac.Push(a); err != nil {
+	// A budget of sum + ~4 matrices should produce ~k/4 reductions,
+	// far fewer than k (which is what pairwise incremental would do).
+	// The budget covers a reduction's total input — running sum plus
+	// pending — so the inputs all share one sparsity pattern, keeping
+	// the sum at exactly one matrix's footprint and the arithmetic
+	// k/4 independent of how the union would have grown.
+	one := erInputs(1, 500, 8, 10, 52)[0]
+	per := int64(one.NNZ()) * entryBytes
+	ac := NewAccumulator(500, 8, 5*per+1, Options{Algorithm: Hash})
+	for i := 0; i < 16; i++ {
+		if err := ac.Push(one); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -95,6 +101,163 @@ func TestAccumulatorDimCheck(t *testing.T) {
 	bad := matrix.NewCSC(5, 4, 0)
 	if err := ac.Push(bad); !errors.Is(err, ErrDimMismatch) {
 		t.Errorf("dim mismatch not rejected: %v", err)
+	}
+}
+
+// TestAccumulatorBudgetIncludesSum is the regression test for the
+// budget-accounting fix: a reduction reads sum + pending, so the
+// running sum's bytes must count toward the budget. Every internal
+// reduction's input equals the accumulator's (sum + pending) state
+// after some earlier Push — reductions trigger at the top of Push,
+// before the new matrix is buffered — so tracking that state after
+// each Push bounds every reduction's input. Under the old accounting
+// (pending bytes only) the observed maximum overshoots budget by up
+// to the sum's full size.
+func TestAccumulatorBudgetIncludesSum(t *testing.T) {
+	as := erInputs(24, 800, 16, 12, 53)
+	want := matrix.ReferenceAdd(as)
+	var per int64
+	for _, a := range as {
+		if b := int64(a.NNZ()) * entryBytes; b > per {
+			per = b
+		}
+	}
+	// Budget accommodates the full sum plus ~2 matrices, so the sum
+	// never exceeds the budget on its own and reductions still happen.
+	budget := int64(want.NNZ())*entryBytes + 2*per
+	ac := NewAccumulator(800, 16, budget, Options{Algorithm: Hash, SortedOutput: true})
+	var maxInput int64
+	for _, a := range as {
+		if err := ac.Push(a); err != nil {
+			t.Fatal(err)
+		}
+		if in := ac.sumBytes() + ac.pendingBytes; in > maxInput {
+			maxInput = in
+		}
+	}
+	if maxInput > budget+per {
+		t.Errorf("worst reduction input %d bytes exceeds budget+one matrix = %d", maxInput, budget+per)
+	}
+	got, err := ac.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("sum differs from one-shot sum")
+	}
+	if r := ac.Reductions(); r < 2 {
+		t.Errorf("reductions = %d; budget was sized so the invariant is actually exercised", r)
+	}
+}
+
+// TestAccumulatorZeroNNZFlood is the regression test for the
+// pending-count cap: zero-nnz pushes contribute zero bytes, so under
+// byte-only accounting they grew the pending slice forever without a
+// single flush.
+func TestAccumulatorZeroNNZFlood(t *testing.T) {
+	ac := NewAccumulator(100, 10, 1<<20, Options{Algorithm: Hash})
+	zero := matrix.NewCSC(100, 10, 0)
+	for i := 0; i < maxPendingMatrices+50; i++ {
+		if err := ac.Push(zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ac.Reductions() == 0 {
+		t.Error("zero-nnz flood never triggered a flush")
+	}
+	if len(ac.pending) > maxPendingMatrices {
+		t.Errorf("pending grew to %d, cap is %d", len(ac.pending), maxPendingMatrices)
+	}
+	got, err := ac.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 0 {
+		t.Errorf("flood sum has %d entries, want 0", got.NNZ())
+	}
+}
+
+// TestAccumulatorBusyFlag deterministically exercises the
+// concurrent-misuse detection: with the busy flag held, every entry
+// point fails with ErrAccumulatorInUse instead of touching state.
+func TestAccumulatorBusyFlag(t *testing.T) {
+	ac := NewAccumulator(10, 4, 0, Options{Algorithm: Hash})
+	a := matrix.FromTriples(10, 4, []matrix.Triple{{Row: 1, Col: 1, Val: 1}})
+	ac.busy.Store(true)
+	if err := ac.Push(a); !errors.Is(err, ErrAccumulatorInUse) {
+		t.Errorf("Push while busy: %v", err)
+	}
+	if err := ac.Flush(); !errors.Is(err, ErrAccumulatorInUse) {
+		t.Errorf("Flush while busy: %v", err)
+	}
+	if _, err := ac.Sum(); !errors.Is(err, ErrAccumulatorInUse) {
+		t.Errorf("Sum while busy: %v", err)
+	}
+	if ac.K() != 0 {
+		t.Errorf("rejected Push still counted: K=%d", ac.K())
+	}
+	ac.busy.Store(false)
+	if err := ac.Push(a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ac.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(1, 1) != 1 {
+		t.Error("accumulator unusable after busy flag released")
+	}
+}
+
+// TestAccumulatorConcurrentMisuse hammers one Accumulator from many
+// goroutines: overlapping calls must fail fast with
+// ErrAccumulatorInUse — never corrupt the resident workspace — and
+// the accumulator must account exactly for the pushes that succeeded.
+func TestAccumulatorConcurrentMisuse(t *testing.T) {
+	one := erInputs(1, 400, 12, 8, 54)[0]
+	// A small budget forces reductions inside Push, widening the
+	// window in which a second goroutine can overlap.
+	ac := NewAccumulator(400, 12, 1, Options{Algorithm: Hash, SortedOutput: true})
+	const goroutines, iters = 8, 40
+	var wg sync.WaitGroup
+	var succeeded atomic.Int64
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch err := ac.Push(one); {
+				case err == nil:
+					succeeded.Add(1)
+				case errors.Is(err, ErrAccumulatorInUse):
+					// expected under contention
+				default:
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	n := int(succeeded.Load())
+	if ac.K() != n {
+		t.Fatalf("K=%d, want %d successful pushes", ac.K(), n)
+	}
+	got, err := ac.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeated := make([]*matrix.CSC, n)
+	for i := range repeated {
+		repeated[i] = one
+	}
+	if !got.Equal(matrix.ReferenceAdd(repeated)) {
+		t.Fatal("accumulator state corrupted by concurrent misuse")
 	}
 }
 

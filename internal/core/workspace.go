@@ -145,6 +145,12 @@ func (ws *Workspace) addDispatch(as []*matrix.CSC, alg Algorithm, opt Options, s
 	var pt PhaseTimings
 	switch alg {
 	case TwoWayIncremental, TwoWayTree, MapIncremental, MapTree:
+		// The 2-way baselines ignore Options.Phases entirely; their
+		// native pairwise drivers read inputs like the two-pass engine
+		// and that is what the stats report.
+		if opt.Stats != nil {
+			opt.Stats.RecordEngine(PhasesTwoPass)
+		}
 		start := time.Now()
 		var b *matrix.CSC
 		switch alg {
@@ -162,7 +168,11 @@ func (ws *Workspace) addDispatch(as []*matrix.CSC, alg Algorithm, opt Options, s
 	default:
 		ws.begin(as, alg, opt, sortedIn, coeffs)
 		var b *matrix.CSC
-		switch pickPhases(as, alg, opt) {
+		engine := pickPhases(as, alg, opt)
+		if opt.Stats != nil {
+			opt.Stats.RecordEngine(engine)
+		}
+		switch engine {
 		case PhasesFused:
 			b, pt = ws.addFused()
 		case PhasesUpperBound:

@@ -33,12 +33,30 @@ const hashMul uint32 = 2654435761
 // but reserve headroom so linear probing stays O(1) in expectation.
 const DefaultLoadFactor = 0.5
 
-// SizeFor returns the table capacity (a power of two) used for n keys
-// at the given load factor (<=0 means DefaultLoadFactor).
-func SizeFor(n int, loadFactor float64) int {
-	if loadFactor <= 0 || loadFactor > 1 {
-		loadFactor = DefaultLoadFactor
+// ClampLoadFactor normalizes a caller-given load factor to the valid
+// range (0, 1]: non-positive values (unset) become DefaultLoadFactor,
+// values above 1 clamp to 1.0 — a caller asking for 0.9 and one
+// typo'ing 9.0 should get adjacent tables, not wildly different ones.
+// Every load-factor knob in the library (core, spgemm, cachesim)
+// normalizes through this one function so table sizing never diverges
+// between the real kernels and the simulator.
+func ClampLoadFactor(lf float64) float64 {
+	switch {
+	case lf <= 0:
+		return DefaultLoadFactor
+	case lf > 1:
+		return 1
+	default:
+		return lf
 	}
+}
+
+// SizeFor returns the table capacity (a power of two) used for n keys
+// at the given load factor (normalized by ClampLoadFactor; at 1.0 the
+// +1 below keeps at least one empty slot, so probing still terminates
+// at a fully packed table).
+func SizeFor(n int, loadFactor float64) int {
+	loadFactor = ClampLoadFactor(loadFactor)
 	need := int(float64(n)/loadFactor) + 1
 	p := 1
 	for p < need {

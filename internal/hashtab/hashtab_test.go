@@ -20,7 +20,9 @@ func TestSizeFor(t *testing.T) {
 		{3, 0.5, 8},
 		{100, 0.5, 256},
 		{100, 1.0, 128},
-		{100, 0, 256}, // default load factor
+		{100, 0, 256},  // default load factor
+		{100, 9, 128},  // above the valid range: clamp to 1.0, not the default
+		{100, -1, 256}, // nonsense: default
 	}
 	for _, c := range cases {
 		if got := SizeFor(c.n, c.lf); got != c.want {

@@ -300,6 +300,32 @@ func (a *CSC) ColSplit(k int) []*CSC {
 	return pieces
 }
 
+// ColView returns the columns [c0, c1) of a as a Rows x (c1-c0) matrix
+// sharing a's entry storage: RowIdx and Val are capacity-clipped
+// sub-slices of a's arrays, so no nonzeros are copied — only the
+// (c1-c0)+1 rebased ColPtr is allocated. Mutating the view's entries
+// mutates a, and vice versa; callers that need isolation use ColSplit
+// or Block instead. ColView is the slicing primitive of the sharded
+// accumulation pool: Push carves each incoming matrix into per-shard
+// views without touching the nnz payload.
+func (a *CSC) ColView(c0, c1 int) *CSC {
+	if c0 < 0 || c1 > a.Cols || c0 > c1 {
+		panic("matrix: ColView range out of bounds")
+	}
+	lo, hi := a.ColPtr[c0], a.ColPtr[c1]
+	ptr := make([]int64, c1-c0+1)
+	for j := range ptr {
+		ptr[j] = a.ColPtr[c0+j] - lo
+	}
+	return &CSC{
+		Rows:   a.Rows,
+		Cols:   c1 - c0,
+		ColPtr: ptr,
+		RowIdx: a.RowIdx[lo:hi:hi],
+		Val:    a.Val[lo:hi:hi],
+	}
+}
+
 // String returns a short human-readable summary, not the full contents.
 func (a *CSC) String() string {
 	return fmt.Sprintf("CSC{%dx%d, nnz=%d}", a.Rows, a.Cols, a.NNZ())

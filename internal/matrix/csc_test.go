@@ -285,3 +285,57 @@ func TestNextPow2(t *testing.T) {
 		}
 	}
 }
+
+func TestColViewMatchesBlock(t *testing.T) {
+	a := FromTriples(6, 8, []Triple{
+		{Row: 0, Col: 0, Val: 1}, {Row: 3, Col: 0, Val: 2},
+		{Row: 1, Col: 2, Val: 3}, {Row: 5, Col: 2, Val: 4},
+		{Row: 2, Col: 5, Val: 5}, {Row: 4, Col: 7, Val: 6},
+	})
+	for _, r := range [][2]int{{0, 8}, {0, 3}, {2, 6}, {5, 5}, {8, 8}, {0, 0}} {
+		c0, c1 := r[0], r[1]
+		got := a.ColView(c0, c1)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("ColView(%d,%d) invalid: %v", c0, c1, err)
+		}
+		want := a.Block(0, a.Rows, c0, c1)
+		if !got.Equal(want) {
+			t.Errorf("ColView(%d,%d) differs from Block", c0, c1)
+		}
+	}
+}
+
+func TestColViewSharesStorage(t *testing.T) {
+	a := FromTriples(4, 4, []Triple{{Row: 1, Col: 2, Val: 7}})
+	v := a.ColView(2, 4)
+	if v.NNZ() != 1 || v.At(1, 0) != 7 {
+		t.Fatalf("view contents wrong: %v", v)
+	}
+	// Zero-copy means shared entries: mutating the view mutates a.
+	v.Val[0] = 9
+	if a.At(1, 2) != 9 {
+		t.Error("view does not share value storage with its parent")
+	}
+	// The view's slices are capacity-clipped: appending to the view
+	// must not scribble past its column range into the parent.
+	v2 := a.ColView(0, 3)
+	v2.RowIdx = append(v2.RowIdx, 0)
+	v2.Val = append(v2.Val, 1)
+	if a.At(1, 2) != 9 {
+		t.Error("append to view leaked into parent storage")
+	}
+}
+
+func TestColViewBounds(t *testing.T) {
+	a := NewCSC(3, 3, 0)
+	for _, r := range [][2]int{{-1, 2}, {0, 4}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ColView(%d,%d) did not panic", r[0], r[1])
+				}
+			}()
+			a.ColView(r[0], r[1])
+		}()
+	}
+}

@@ -24,15 +24,13 @@ type Options struct {
 	Threads int
 	// SortOutput requests ascending row order within output columns.
 	SortOutput bool
-	// LoadFactor bounds accumulator occupancy; <=0 means 0.5.
+	// LoadFactor bounds accumulator occupancy. Valid range (0, 1];
+	// <=0 means 0.5, values above 1 clamp to 1.0.
 	LoadFactor float64
 }
 
 func (o Options) loadFactor() float64 {
-	if o.LoadFactor <= 0 || o.LoadFactor > 1 {
-		return 0.5
-	}
-	return o.LoadFactor
+	return hashtab.ClampLoadFactor(o.LoadFactor)
 }
 
 // Mul computes C = A*B. A is m x k, B is k x n, C is m x n.

@@ -1,0 +1,182 @@
+package spkadd_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"spkadd"
+)
+
+// poolStream builds producer p's deterministic stream of delta
+// matrices: a mix of shapes (dense-ish, sparse, skewed, empty) so the
+// shard queues see uneven per-shard loads.
+func poolStream(p, n, rows, cols int) []*spkadd.Matrix {
+	as := make([]*spkadd.Matrix, n)
+	for i := range as {
+		seed := uint64(p*1000 + i + 1)
+		switch i % 4 {
+		case 0:
+			as[i] = spkadd.RandomER(rows, cols, 8, seed)
+		case 1:
+			as[i] = spkadd.RandomER(rows, cols, 1, seed)
+		case 2:
+			as[i] = spkadd.RandomRMAT(rows, cols, 4, seed)
+		default:
+			as[i] = spkadd.NewCOO(rows, cols).ToCSC() // empty delta
+		}
+	}
+	return as
+}
+
+// TestPoolConcurrentParity is the tentpole's acceptance criterion: for
+// any interleaving of concurrent pushes, Pool.Sum equals the one-shot
+// Add of the same matrices. Run under -race in CI. Generator values
+// are small integers, so the comparison is exact despite the pool
+// reassociating the additions.
+func TestPoolConcurrentParity(t *testing.T) {
+	const rows, cols, producers, perProducer = 2048, 64, 8, 12
+	streams := make([][]*spkadd.Matrix, producers)
+	var all []*spkadd.Matrix
+	for p := range streams {
+		streams[p] = poolStream(p, perProducer, rows, cols)
+		all = append(all, streams[p]...)
+	}
+	want, err := spkadd.Add(all, spkadd.Options{Algorithm: spkadd.Hash, SortedOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3, runtime.GOMAXPROCS(0)} {
+		// Budgets from "reduce almost every piece" to "one big batch".
+		for _, budget := range []int64{512, 1 << 30} {
+			t.Run(fmt.Sprintf("shards=%d/budget=%d", shards, budget), func(t *testing.T) {
+				pool := spkadd.NewPool(rows, cols, spkadd.PoolOptions{
+					Shards:      shards,
+					BudgetBytes: budget,
+					Add:         spkadd.Options{Algorithm: spkadd.Hash, SortedOutput: true},
+				})
+				var wg sync.WaitGroup
+				errs := make(chan error, producers)
+				for p := 0; p < producers; p++ {
+					wg.Add(1)
+					go func(p int) {
+						defer wg.Done()
+						for _, a := range streams[p] {
+							if err := pool.Push(a); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}(p)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+				got, err := pool.Sum()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := got.Validate(); err != nil {
+					t.Fatalf("stitched sum invalid: %v", err)
+				}
+				if !got.Equal(want) {
+					t.Fatal("pool sum differs from one-shot Add over the same matrices")
+				}
+				if pool.K() != len(all) {
+					t.Fatalf("K=%d, want %d", pool.K(), len(all))
+				}
+				if err := pool.Close(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestPoolSumDuringPushes races Sum calls against live producers: every
+// intermediate Sum must be a structurally valid matrix, and the final
+// barrier must still account for every push. (Intermediate sums see an
+// unspecified subset of concurrent pushes, so only the final result
+// has a unique expected value.)
+func TestPoolSumDuringPushes(t *testing.T) {
+	const rows, cols, producers, perProducer = 1024, 48, 4, 10
+	streams := make([][]*spkadd.Matrix, producers)
+	var all []*spkadd.Matrix
+	for p := range streams {
+		streams[p] = poolStream(p, perProducer, rows, cols)
+		all = append(all, streams[p]...)
+	}
+	want, err := spkadd.Add(all, spkadd.Options{Algorithm: spkadd.Hash, SortedOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := spkadd.NewPool(rows, cols, spkadd.PoolOptions{
+		Shards:      3,
+		BudgetBytes: 4096,
+		Add:         spkadd.Options{Algorithm: spkadd.Hash, SortedOutput: true},
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, producers+1)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for _, a := range streams[p] {
+				if err := pool.Push(a); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			mid, err := pool.Sum()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := mid.Validate(); err != nil {
+				errs <- fmt.Errorf("mid-stream sum invalid: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	got, err := pool.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("final pool sum differs from one-shot Add")
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAccumulatorInUseExported checks the public error identity: the
+// Accumulator's misuse detection must be matchable through the spkadd
+// package like ErrAdderInUse is.
+func TestAccumulatorInUseExported(t *testing.T) {
+	if spkadd.ErrAccumulatorInUse == nil || spkadd.ErrPoolClosed == nil {
+		t.Fatal("concurrency errors not exported")
+	}
+	p := spkadd.NewPool(4, 4, spkadd.PoolOptions{})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Push(spkadd.NewCOO(4, 4).ToCSC()); !errors.Is(err, spkadd.ErrPoolClosed) {
+		t.Fatalf("Push after Close: %v, want ErrPoolClosed", err)
+	}
+}

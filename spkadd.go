@@ -105,6 +105,12 @@ var (
 	// ErrUnsortedInput reports unsorted columns passed to an
 	// algorithm that requires sorted inputs (2-way merge, heap).
 	ErrUnsortedInput = core.ErrUnsortedInput
+	// ErrAccumulatorInUse reports an Accumulator called from a second
+	// goroutine while a call is in flight (use a Pool for concurrent
+	// producers).
+	ErrAccumulatorInUse = core.ErrAccumulatorInUse
+	// ErrPoolClosed reports a Push on a Pool after Close.
+	ErrPoolClosed = core.ErrPoolClosed
 )
 
 // Add computes the sum of the given matrices. All inputs must share
