@@ -34,6 +34,9 @@ var ErrAdderInUse = errors.New("spkadd: Adder used from multiple goroutines conc
 //	sum, _ = ad.Add([]*spkadd.Matrix{sum, delta}, opt)
 //
 // Results older than the previous call must not be passed back in.
+// Note that with a monoid that maps input values (Any, Count) this
+// pattern re-maps the running sum on every call — use an Accumulator
+// for those, which folds its sum back in unmapped.
 //
 // An Adder is not safe for concurrent use. Calls overlapping in time
 // return ErrAdderInUse rather than corrupting state. The zero value

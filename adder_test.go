@@ -149,6 +149,35 @@ func TestAdderZeroSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestAdderZeroSteadyStateAllocsMonoid extends the zero-allocation
+// contract to the generic combine path: a warmed non-Plus Adder — the
+// monoid resolution, the AddWith kernels, the input maps — must also
+// allocate nothing in steady state, for every engine.
+func TestAdderZeroSteadyStateAllocsMonoid(t *testing.T) {
+	as := adderTestInputs(8, 2048, 48, 8, 9)
+	for _, m := range []*spkadd.Monoid{spkadd.Min, spkadd.Any, spkadd.Count} {
+		for _, p := range []spkadd.Phases{spkadd.PhasesTwoPass, spkadd.PhasesFused, spkadd.PhasesUpperBound} {
+			t.Run(fmt.Sprintf("%s/%v", m.Name, p), func(t *testing.T) {
+				ad := spkadd.NewAdder()
+				opt := spkadd.Options{Algorithm: spkadd.Hash, Phases: p, Monoid: m, SortedOutput: true, Threads: 1}
+				for warm := 0; warm < 3; warm++ {
+					if _, err := ad.Add(as, opt); err != nil {
+						t.Fatal(err)
+					}
+				}
+				allocs := testing.AllocsPerRun(10, func() {
+					if _, err := ad.Add(as, opt); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if allocs != 0 {
+					t.Errorf("generic-path steady state allocates %.1f times per op, want 0", allocs)
+				}
+			})
+		}
+	}
+}
+
 // TestPooledAddConcurrent hammers the package-level Add — whose
 // scratch comes from one shared sync.Pool of workspaces — from many
 // goroutines. Run under -race (the CI race job does) this is the

@@ -318,6 +318,37 @@ func BenchmarkAdderReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkAdderReuseMonoid is BenchmarkAdderReuse on the generic
+// combine path: a warmed non-Plus Adder must also report 0 allocs/op
+// (the CI allocation gate greps it together with BenchmarkAdderReuse),
+// and its runtime against the Plus rows quantifies the generic path's
+// per-element indirect-call overhead.
+func BenchmarkAdderReuseMonoid(b *testing.B) {
+	as := adderReuseInputs()
+	for _, m := range []*spkadd.Monoid{spkadd.Min, spkadd.Count} {
+		for _, alg := range []spkadd.Algorithm{spkadd.Hash, spkadd.SPA, spkadd.Heap} {
+			for _, p := range []spkadd.Phases{spkadd.PhasesTwoPass, spkadd.PhasesFused, spkadd.PhasesUpperBound} {
+				opt := spkadd.Options{Algorithm: alg, Phases: p, Monoid: m, SortedOutput: true, Threads: 1}
+				b.Run(fmt.Sprintf("%s/%v/%v", m.Name, opt.Algorithm, opt.Phases), func(b *testing.B) {
+					ad := spkadd.NewAdder()
+					for warm := 0; warm < 3; warm++ {
+						if _, err := ad.Add(as, opt); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := ad.Add(as, opt); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkAdderOneShot is the one-shot Add counterpart of
 // BenchmarkAdderReuse: same workload and configurations, fresh output
 // (and pooled scratch) every call.

@@ -59,6 +59,32 @@
 // fixed algorithm (bit-for-bit with SortedOutput). DESIGN.md covers
 // the engine trade-offs in detail.
 //
+// # Combine monoids
+//
+// Every algorithm is really a k-way merge-and-combine: it visits the
+// union of the inputs' nonzero positions and folds colliding entries
+// with a binary operation. Options.Monoid makes that operation
+// pluggable (GraphBLAS's eWiseAdd): nil means Plus — float64 "+",
+// the paper's operation, served by specialized inlined kernels — and
+// the built-ins Min, Max, Any (structural union: present anywhere →
+// 1) and Count (occurrence frequency) run the same engines through a
+// generic combine path, as can any user-defined commutative monoid:
+//
+//	union, _ := spkadd.Add(snapshots, spkadd.Options{Monoid: spkadd.Any})
+//	freq, _ := spkadd.Add(snapshots, spkadd.Options{Monoid: spkadd.Count})
+//	low, _ := spkadd.Add(forecasts, spkadd.Options{Monoid: spkadd.Min})
+//
+// Results are engine-identical (bit-for-bit with SortedOutput) for
+// every monoid, exactly like Plus. Non-Plus monoids run on the k-way
+// algorithms only (the 2-way baselines hardwire pairwise "+") and
+// reject AddScaled coefficients with ErrCoeffsRequirePlus — scaling
+// distributes over "+" but not over min, max or counting. Monoids
+// with an input map (Any, Count) compose with the streaming
+// Accumulator and Pool, which fold their running sum back in
+// unmapped; with a bare Adder the sum-reuse pattern below would
+// re-map the sum, so prefer an Accumulator for streaming Count. See
+// DESIGN.md §8 and examples/overlay.
+//
 // # Repeated additions
 //
 // Add draws its scratch structures from an internal pool, so one-shot

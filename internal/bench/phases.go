@@ -10,6 +10,7 @@ import (
 	"spkadd/internal/core"
 	"spkadd/internal/generate"
 	"spkadd/internal/matrix"
+	"spkadd/internal/ops"
 )
 
 // phasesCase is one workload of the engine-comparison experiment.
@@ -89,6 +90,7 @@ type BaselineCell struct {
 	D           int     `json:"d"`
 	Algorithm   string  `json:"algorithm"`
 	Engine      string  `json:"engine"`
+	Monoid      string  `json:"monoid"`
 	Seconds     float64 `json:"seconds"`
 	NNZIn       int     `json:"nnz_in"`
 	NNZOut      int     `json:"nnz_out"`
@@ -119,7 +121,7 @@ type BaselineReport struct {
 func Baseline(cfg Config, out io.Writer) error {
 	const rows, cols = 1 << 15, 32
 	rep := BaselineReport{
-		Schema:     2, // 2 added allocs_per_op / bytes_per_op
+		Schema:     3, // 2 added allocs/bytes per op; 3 added monoid cells
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -134,40 +136,51 @@ func Baseline(cfg Config, out io.Writer) error {
 		{"ER", 32, 256},
 		{"RMAT", 16, 64},
 	}
-	for _, c := range cases {
+	// The full algorithm × engine grid runs under Plus (the original
+	// baseline dimensions — these cells prove the fast path is
+	// unregressed by the monoid layer); the first workload adds a
+	// non-Plus sweep so the generic combine path has a trajectory too.
+	for ci, c := range cases {
 		as := phasesCollection(c, rows, cols)
 		in := 0
 		for _, a := range as {
 			in += a.NNZ()
 		}
-		for _, alg := range []core.Algorithm{core.Hash, core.SPA, core.Heap} {
-			for _, p := range core.PhasesPolicies {
-				opt := core.Options{Algorithm: alg, Phases: p, Threads: cfg.Threads, CacheBytes: cfg.cacheBytes()}
-				// Warm once, then time.
-				b, _, err := core.AddTimed(as, opt)
-				if err != nil {
-					return fmt.Errorf("baseline %s %v %v: %w", c.pattern, alg, p, err)
+		monoids := []*ops.Monoid{ops.Plus}
+		if ci == 0 {
+			monoids = ops.Builtins
+		}
+		for _, mon := range monoids {
+			for _, alg := range []core.Algorithm{core.Hash, core.SPA, core.Heap} {
+				for _, p := range core.PhasesPolicies {
+					opt := core.Options{Algorithm: alg, Phases: p, Monoid: mon, Threads: cfg.Threads, CacheBytes: cfg.cacheBytes()}
+					// Warm once, then time.
+					b, _, err := core.AddTimed(as, opt)
+					if err != nil {
+						return fmt.Errorf("baseline %s %s %v %v: %w", c.pattern, mon.Name, alg, p, err)
+					}
+					var m0, m1 runtime.MemStats
+					runtime.ReadMemStats(&m0)
+					dur, _, err := timeAdd(as, opt, cfg.reps())
+					if err != nil {
+						return err
+					}
+					runtime.ReadMemStats(&m1)
+					reps := float64(cfg.reps())
+					rep.Cells = append(rep.Cells, BaselineCell{
+						Pattern:     c.pattern,
+						K:           c.k,
+						D:           c.d,
+						Algorithm:   alg.String(),
+						Engine:      p.String(),
+						Monoid:      mon.Name,
+						Seconds:     dur.Seconds(),
+						NNZIn:       in,
+						NNZOut:      b.NNZ(),
+						AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / reps,
+						BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / reps,
+					})
 				}
-				var m0, m1 runtime.MemStats
-				runtime.ReadMemStats(&m0)
-				dur, _, err := timeAdd(as, opt, cfg.reps())
-				if err != nil {
-					return err
-				}
-				runtime.ReadMemStats(&m1)
-				ops := float64(cfg.reps())
-				rep.Cells = append(rep.Cells, BaselineCell{
-					Pattern:     c.pattern,
-					K:           c.k,
-					D:           c.d,
-					Algorithm:   alg.String(),
-					Engine:      p.String(),
-					Seconds:     dur.Seconds(),
-					NNZIn:       in,
-					NNZOut:      b.NNZ(),
-					AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / ops,
-					BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / ops,
-				})
 			}
 		}
 	}

@@ -30,6 +30,8 @@ func Run(name string, cfg Config) error {
 		return Reuse(cfg)
 	case "pool":
 		return Pool(cfg)
+	case "monoid":
+		return Monoid(cfg)
 	case "tune":
 		return Tune(cfg)
 	case "ablation":
@@ -42,6 +44,6 @@ func Run(name string, cfg Config) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("bench: unknown experiment %q (want one of %v, \"phases\", \"reuse\", \"pool\", \"tune\", \"ablation\", or \"all\")", name, Experiments)
+		return fmt.Errorf("bench: unknown experiment %q (want one of %v, \"phases\", \"reuse\", \"pool\", \"monoid\", \"tune\", \"ablation\", or \"all\")", name, Experiments)
 	}
 }

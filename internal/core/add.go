@@ -74,31 +74,6 @@ func validateDims(as []*matrix.CSC) error {
 	return nil
 }
 
-// validateScaled checks an AddScaled call and resolves its algorithm.
-func validateScaled(as []*matrix.CSC, coeffs []matrix.Value, opt Options) (Algorithm, bool, error) {
-	if len(coeffs) != len(as) {
-		return 0, false, fmt.Errorf("%w: %d coefficients for %d matrices", ErrDimMismatch, len(coeffs), len(as))
-	}
-	if err := validateDims(as); err != nil {
-		return 0, false, err
-	}
-	sortedIn := allColumnsSorted(as)
-	alg := opt.Algorithm
-	if alg == Auto {
-		alg = autoSelect(as, opt, sortedIn)
-	}
-	switch alg {
-	case Heap:
-		if !sortedIn {
-			return 0, false, unsortedErr(alg)
-		}
-	case SPA, Hash, SlidingHash:
-	default:
-		return 0, false, fmt.Errorf("spkadd: AddScaled supports k-way algorithms only, got %v", alg)
-	}
-	return alg, sortedIn, nil
-}
-
 func unsortedErr(alg Algorithm) error {
 	return fmt.Errorf("%w: %v", ErrUnsortedInput, alg)
 }
@@ -164,6 +139,9 @@ func (ws *Workspace) addKWay() (*matrix.CSC, PhaseTimings) {
 	nnz := b.ColPtr[n]
 
 	// Numeric phase: fill columns, balanced by output nnz.
+	// (Generic monoids never reach this driver with DropIdentity:
+	// validation pins those to a single-pass engine, so the symbolic
+	// counts always agree with the numeric fill.)
 	numStart := time.Now()
 	runCols(n, ws.t, ws.opt.Schedule, ws.counts, ws.numFn)
 	pt.Numeric = time.Since(numStart)
@@ -196,19 +174,19 @@ func (ws *Workspace) symBody(w, lo, hi int) {
 // numBody is the numeric phase body: fill the exactly-sized output
 // columns of [lo, hi).
 func (ws *Workspace) numBody(w, lo, hi int) {
-	s, b := ws.worker(w), ws.b
+	s, b, mon := ws.worker(w), ws.b, ws.monP
 	for j := lo; j < hi; j++ {
 		outRows := b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]]
 		outVals := b.Val[b.ColPtr[j]:b.ColPtr[j+1]]
 		switch ws.alg {
 		case Hash:
-			hashAddCol(s, ws.as, j, outRows, outVals, ws.opt.SortedOutput, ws.coeffs)
+			hashAddCol(s, ws.as, j, outRows, outVals, ws.opt.SortedOutput, ws.coeffs, mon)
 		case SlidingHash:
-			slidingHashAddCol(s, ws.as, j, outRows, outVals, ws.opt.SortedOutput, ws.t, ws.cache, ws.opt.MaxTableEntries, ws.sortedIn, ws.coeffs)
+			slidingHashAddCol(s, ws.as, j, outRows, outVals, ws.opt.SortedOutput, ws.t, ws.cache, ws.opt.MaxTableEntries, ws.sortedIn, ws.coeffs, mon)
 		case Heap:
-			heapAddCol(s, ws.as, j, outRows, outVals, ws.coeffs)
+			heapAddCol(s, ws.as, j, outRows, outVals, ws.coeffs, mon)
 		case SPA:
-			spaAddCol(s, ws.as, j, outRows, outVals, ws.opt.SortedOutput, ws.coeffs)
+			spaAddCol(s, ws.as, j, outRows, outVals, ws.opt.SortedOutput, ws.coeffs, mon)
 		}
 	}
 	s.flushStats(ws.opt.Stats)

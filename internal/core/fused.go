@@ -243,7 +243,7 @@ func (ws *Workspace) fusedBody(w, lo, hi int) {
 		// Reserve the input-nnz upper bound, emit, and return the
 		// unused tail to the chunk for the worker's next column.
 		rows, vals := ar.alloc(inz)
-		nz := emitColInto(s, ws.as, j, inz, ws.alg, ws.opt.SortedOutput, ws.coeffs, rows, vals)
+		nz := emitColInto(s, ws.as, j, inz, ws.alg, ws.opt.SortedOutput, ws.coeffs, ws.monP, rows, vals)
 		ar.shrink(inz - nz)
 		ws.cols[j] = fusedCol{rows: rows[:nz], vals: vals[:nz]}
 	}
@@ -264,12 +264,17 @@ func (ws *Workspace) stitchBody(_, lo, hi int) {
 // writing into outRows/outVals — length inz, the Σ_i nnz(A_i(:,j))
 // upper bound — and returns the entry count. Both single-pass engines
 // share it: the fused engine points it at an arena reservation, the
-// upper-bound engine at the column's staging extent.
-func emitColInto(ws *workerState, as []*matrix.CSC, j, inz int, alg Algorithm, sorted bool, coeffs []matrix.Value, outRows []matrix.Index, outVals []matrix.Value) int {
+// upper-bound engine at the column's staging extent. This is also
+// where the drop-identity output policy applies: only the single-pass
+// engines see values before the output is sized, so only they can
+// drop identity-valued results (validation pins DropIdentity monoids
+// here).
+func emitColInto(ws *workerState, as []*matrix.CSC, j, inz int, alg Algorithm, sorted bool, coeffs []matrix.Value, mon *monoidState, outRows []matrix.Index, outVals []matrix.Value) int {
+	nz := 0
 	switch alg {
 	case Hash:
-		tab := hashAccumCol(ws, as, j, inz, coeffs)
-		nz := tab.Len()
+		tab := hashAccumCol(ws, as, j, inz, coeffs, mon)
+		nz = tab.Len()
 		r, v := tab.AppendEntries(outRows[:0:inz], outVals[:0:inz])
 		if len(r) != nz {
 			panic("core: single-pass hash emitted a different count than it accumulated")
@@ -277,10 +282,9 @@ func emitColInto(ws *workerState, as []*matrix.CSC, j, inz int, alg Algorithm, s
 		if sorted {
 			sortPairs(r, v)
 		}
-		return nz
 	case SPA:
-		acc := spaAccumCol(ws, as, j, coeffs)
-		nz := acc.Len()
+		acc := spaAccumCol(ws, as, j, coeffs, mon)
+		nz = acc.Len()
 		var r []matrix.Index
 		if sorted {
 			r, _ = acc.AppendSorted(outRows[:0:inz], outVals[:0:inz])
@@ -291,11 +295,31 @@ func emitColInto(ws *workerState, as []*matrix.CSC, j, inz int, alg Algorithm, s
 		if len(r) != nz {
 			panic("core: single-pass SPA emitted a different count than it accumulated")
 		}
-		return nz
 	case Heap:
-		return heapMergeCol(ws, as, j, outRows, outVals, coeffs)
+		nz = heapMergeCol(ws, as, j, outRows, outVals, coeffs, mon)
+	default:
+		panic("core: single-pass engine dispatched an unsupported algorithm")
 	}
-	panic("core: single-pass engine dispatched an unsupported algorithm")
+	if mon != nil && mon.drop {
+		nz = dropIdentityEntries(outRows, outVals, nz, mon.def.Identity)
+	}
+	return nz
+}
+
+// dropIdentityEntries compacts the first nz entries in place, removing
+// those whose value equals the monoid identity, and returns the new
+// count. Compaction is order-preserving, so a sorted column stays
+// sorted.
+func dropIdentityEntries(rows []matrix.Index, vals []matrix.Value, nz int, id matrix.Value) int {
+	out := 0
+	for p := 0; p < nz; p++ {
+		if vals[p] == id {
+			continue
+		}
+		rows[out], vals[out] = rows[p], vals[p]
+		out++
+	}
+	return out
 }
 
 // addUpperBound is the upper-bound single-pass engine
@@ -344,7 +368,7 @@ func (ws *Workspace) ubBody(w, lo, hi int) {
 		}
 		outRows := ws.stRows[ws.ubPtr[j]:ws.ubPtr[j+1]]
 		outVals := ws.stVals[ws.ubPtr[j]:ws.ubPtr[j+1]]
-		ws.counts[j] = int64(emitColInto(s, ws.as, j, inz, ws.alg, ws.opt.SortedOutput, ws.coeffs, outRows, outVals))
+		ws.counts[j] = int64(emitColInto(s, ws.as, j, inz, ws.alg, ws.opt.SortedOutput, ws.coeffs, ws.monP, outRows, outVals))
 	}
 	s.flushStats(ws.opt.Stats)
 }

@@ -306,15 +306,43 @@ func spaSymbolicCol(w *workerState, as []*matrix.CSC, j int) int {
 }
 
 // --- Numeric kernels: fill B(:,j) into preallocated slices ---
+//
+// Every numeric kernel takes the call's resolved monoid handle. A nil
+// *monoidState selects the specialized float64-Plus path — the exact
+// inlined "+=" loops this library always had — and a non-nil handle
+// selects the generic combine path. The branch happens once per
+// column (or once per call), never per element, so the default Plus
+// configuration pays nothing for the generality.
 
 // accumInputsInto accumulates column j of every input into tab
 // (lines 5-12 of Algorithm 5) and returns it.
-func accumInputsInto(tab *hashtab.Table, as []*matrix.CSC, j int, coeffs []matrix.Value) *hashtab.Table {
+func accumInputsInto(tab *hashtab.Table, as []*matrix.CSC, j int, coeffs []matrix.Value, mon *monoidState) *hashtab.Table {
+	if mon == nil {
+		for i, a := range as {
+			c := coeff(coeffs, i)
+			rows, vals := a.ColRows(j), a.ColVals(j)
+			for p := range rows {
+				tab.Add(rows[p], vals[p]*c)
+			}
+		}
+		return tab
+	}
+	// Generic path: coeffs are Plus-only (validation enforces it), so
+	// the input map replaces the coefficient multiply. mapFor is nil
+	// for unmapped matrices; branching out here keeps the no-map loop
+	// free of a per-element no-op call.
+	combine := mon.combine
 	for i, a := range as {
-		c := coeff(coeffs, i)
+		mi := mon.mapFor(i)
 		rows, vals := a.ColRows(j), a.ColVals(j)
-		for p := range rows {
-			tab.Add(rows[p], vals[p]*c)
+		if mi == nil {
+			for p := range rows {
+				tab.AddWith(rows[p], vals[p], combine)
+			}
+		} else {
+			for p := range rows {
+				tab.AddWith(rows[p], mi(vals[p]), combine)
+			}
 		}
 	}
 	return tab
@@ -324,20 +352,37 @@ func accumInputsInto(tab *hashtab.Table, as []*matrix.CSC, j int, coeffs []matri
 // hash table, sized for `size` keys (output nnz in the two-pass
 // engine, input nnz in the single-pass engines), and returns the
 // table.
-func hashAccumCol(w *workerState, as []*matrix.CSC, j, size int, coeffs []matrix.Value) *hashtab.Table {
-	return accumInputsInto(w.hashTable(size), as, j, coeffs)
+func hashAccumCol(w *workerState, as []*matrix.CSC, j, size int, coeffs []matrix.Value, mon *monoidState) *hashtab.Table {
+	return accumInputsInto(w.hashTable(size), as, j, coeffs, mon)
 }
 
 // spaAccumCol accumulates column j of every input into the worker's
 // SPA (lines 5-7 of Algorithm 4) and returns it; callers emit and
 // Clear it.
-func spaAccumCol(w *workerState, as []*matrix.CSC, j int, coeffs []matrix.Value) *spa.SPA {
+func spaAccumCol(w *workerState, as []*matrix.CSC, j int, coeffs []matrix.Value, mon *monoidState) *spa.SPA {
 	acc := w.spa(as[0].Rows)
+	if mon == nil {
+		for i, a := range as {
+			c := coeff(coeffs, i)
+			rows, vals := a.ColRows(j), a.ColVals(j)
+			for p := range rows {
+				acc.Add(rows[p], vals[p]*c)
+			}
+		}
+		return acc
+	}
+	combine := mon.combine
 	for i, a := range as {
-		c := coeff(coeffs, i)
+		mi := mon.mapFor(i)
 		rows, vals := a.ColRows(j), a.ColVals(j)
-		for p := range rows {
-			acc.Add(rows[p], vals[p]*c)
+		if mi == nil {
+			for p := range rows {
+				acc.AddWith(rows[p], vals[p], combine)
+			}
+		} else {
+			for p := range rows {
+				acc.AddWith(rows[p], mi(vals[p]), combine)
+			}
 		}
 	}
 	return acc
@@ -360,18 +405,18 @@ func emitHashTab(tab *hashtab.Table, outRows []matrix.Index, outVals []matrix.Va
 
 // hashAddCol is Algorithm 5. outRows/outVals have exactly nnz(B(:,j))
 // elements.
-func hashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, coeffs []matrix.Value) {
+func hashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, coeffs []matrix.Value, mon *monoidState) {
 	if len(outRows) == 0 {
 		return
 	}
-	emitHashTab(hashAccumCol(w, as, j, len(outRows), coeffs), outRows, outVals, sorted)
+	emitHashTab(hashAccumCol(w, as, j, len(outRows), coeffs, mon), outRows, outVals, sorted)
 }
 
 // slidingHashAddCol is Algorithm 8: hash addition over row ranges
 // whose tables fit the per-thread cache share. Parts are emitted in
 // ascending row ranges, so sorting within parts yields a fully sorted
 // column.
-func slidingHashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, threads int, cacheBytes int64, maxEntries int, sortedIn bool, coeffs []matrix.Value) {
+func slidingHashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, threads int, cacheBytes int64, maxEntries int, sortedIn bool, coeffs []matrix.Value, mon *monoidState) {
 	onz := len(outRows)
 	if onz == 0 {
 		return
@@ -380,7 +425,7 @@ func slidingHashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix
 	// guarantee is the algorithm, so the high-water band is bypassed.
 	parts := slidingParts(onz, BytesPerAddEntry, threads, cacheBytes, maxEntries)
 	if parts == 1 {
-		emitHashTab(accumInputsInto(w.hashTableSized(onz), as, j, coeffs), outRows, outVals, sorted)
+		emitHashTab(accumInputsInto(w.hashTableSized(onz), as, j, coeffs, mon), outRows, outVals, sorted)
 		return
 	}
 	m := as[0].Rows
@@ -396,11 +441,26 @@ func slidingHashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix
 			continue
 		}
 		tab := w.hashTableSized(partInz)
-		for i, a := range as {
-			c := coeff(coeffs, i)
-			forEachInRange(a, j, r1, r2, sortedIn, func(r matrix.Index, v matrix.Value) {
-				tab.Add(r, v*c)
-			})
+		if mon == nil {
+			for i, a := range as {
+				c := coeff(coeffs, i)
+				forEachInRange(a, j, r1, r2, sortedIn, func(r matrix.Index, v matrix.Value) {
+					tab.Add(r, v*c)
+				})
+			}
+		} else {
+			combine := mon.combine
+			for i, a := range as {
+				if mi := mon.mapFor(i); mi == nil {
+					forEachInRange(a, j, r1, r2, sortedIn, func(r matrix.Index, v matrix.Value) {
+						tab.AddWith(r, v, combine)
+					})
+				} else {
+					forEachInRange(a, j, r1, r2, sortedIn, func(r matrix.Index, v matrix.Value) {
+						tab.AddWith(r, mi(v), combine)
+					})
+				}
+			}
 		}
 		r, v := tab.AppendEntries(outRows[out:out:onz], outVals[out:out:onz])
 		if out+len(r) > onz || (len(r) > 0 && &r[0] != &outRows[out]) {
@@ -422,7 +482,10 @@ func slidingHashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix
 // outRows/outVals may be larger than the result (the single-pass
 // engines pass the Σ_i nnz(A_i(:,j)) upper bound); the number of
 // entries written is returned.
-func heapMergeCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, coeffs []matrix.Value) int {
+func heapMergeCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, coeffs []matrix.Value, mon *monoidState) int {
+	if mon != nil {
+		return heapMergeColM(w, as, j, outRows, outVals, mon)
+	}
 	h := w.kheap(len(as))
 	pos := w.pos
 	for i, a := range as {
@@ -454,18 +517,68 @@ func heapMergeCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Inde
 	return out + 1
 }
 
+// heapMergeColM is heapMergeCol's generic-monoid twin: tuples carry
+// mapped values into the heap, and equal-row tuples fold through the
+// monoid's combine in the deterministic Mat tie-break order, so the
+// result bit pattern matches the other engines'. Coefficients never
+// reach here (they are Plus-only).
+func heapMergeColM(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, mon *monoidState) int {
+	h := w.kheap(len(as))
+	pos := w.pos
+	// The refill step pulls from whichever matrix the heap surfaces,
+	// so the per-matrix map resolution of the other kernels becomes a
+	// hoisted (mapIn, mapped) pair here: unmapped matrices pay one
+	// predictable nil check per element, never an indirect no-op call.
+	mapIn, mapped, combine := mon.mapIn, mon.mapped, mon.combine
+	for i, a := range as {
+		pos[i] = a.ColPtr[j]
+		if pos[i] < a.ColPtr[j+1] {
+			v := a.Val[pos[i]]
+			if mapIn != nil && i >= mapped {
+				v = mapIn(v)
+			}
+			h.Push(kheap.Tuple{Row: a.RowIdx[pos[i]], Mat: int32(i), Val: v})
+			pos[i]++
+		}
+	}
+	out := -1
+	for h.Len() > 0 {
+		top := h.Min()
+		if out >= 0 && outRows[out] == top.Row {
+			outVals[out] = combine(outVals[out], top.Val)
+		} else {
+			out++
+			outRows[out] = top.Row
+			outVals[out] = top.Val
+		}
+		i := top.Mat
+		a := as[i]
+		if pos[i] < a.ColPtr[j+1] {
+			v := a.Val[pos[i]]
+			if mapIn != nil && int(i) >= mapped {
+				v = mapIn(v)
+			}
+			h.ReplaceMin(kheap.Tuple{Row: a.RowIdx[pos[i]], Mat: i, Val: v})
+			pos[i]++
+		} else {
+			h.Pop()
+		}
+	}
+	return out + 1
+}
+
 // heapAddCol runs the heap merge against an exactly-sized output, the
 // two-pass numeric phase of Algorithm 3.
-func heapAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, coeffs []matrix.Value) {
-	if heapMergeCol(w, as, j, outRows, outVals, coeffs) != len(outRows) {
+func heapAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, coeffs []matrix.Value, mon *monoidState) {
+	if heapMergeCol(w, as, j, outRows, outVals, coeffs, mon) != len(outRows) {
 		panic("core: heap symbolic nnz disagrees with numeric nnz")
 	}
 }
 
 // spaAddCol is Algorithm 4: accumulate into the dense SPA, then emit
 // (sorted when requested) and sparsely clear.
-func spaAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, coeffs []matrix.Value) {
-	acc := spaAccumCol(w, as, j, coeffs)
+func spaAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, coeffs []matrix.Value, mon *monoidState) {
+	acc := spaAccumCol(w, as, j, coeffs, mon)
 	need := len(outRows)
 	var r []matrix.Index
 	if sorted {

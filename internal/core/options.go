@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"spkadd/internal/hashtab"
+	"spkadd/internal/ops"
 )
 
 // Algorithm selects the SpKAdd implementation.
@@ -191,6 +192,16 @@ type Options struct {
 	// estimate and memory headroom. Ignored by SlidingHash and the
 	// 2-way baselines, which keep their native drivers.
 	Phases Phases
+	// Monoid selects the combine operation folded over colliding
+	// entries: nil (or ops.Plus) means float64 addition, the paper's
+	// operation, served by specialized inlined kernels; any other
+	// monoid — built-in Min/Max/Any/Count or user-defined — runs the
+	// same engines through the generic combine path. Non-Plus monoids
+	// are supported by the k-way algorithms only (the 2-way baselines
+	// hardwire pairwise "+") and reject coefficients: coeffs·A
+	// distributes over + but not over min, max or counting. See
+	// internal/ops and DESIGN.md §8.
+	Monoid *ops.Monoid
 	// MaxTableEntries, when positive, caps sliding-hash tables at the
 	// given entry count instead of deriving the cap from CacheBytes.
 	// This is the knob behind the paper's Fig 4 table-size sweeps.
@@ -238,10 +249,37 @@ type OpStats struct {
 	// and this is where that fallback becomes observable. Stored as
 	// engine+1 so the zero value means "no addition dispatched yet".
 	engineUsed atomic.Int64
+	// monoidUsed records the resolved combine monoid of the most
+	// recent dispatched addition (read via MonoidUsed), like
+	// engineUsed: a nil Options.Monoid resolves to ops.Plus, and this
+	// is where that resolution — and the fast-path/generic-path split
+	// it implies — becomes observable.
+	monoidUsed atomic.Pointer[ops.Monoid]
 }
 
 // RecordEngine notes the engine a dispatched addition resolved to.
 func (s *OpStats) RecordEngine(p Phases) { s.engineUsed.Store(int64(p) + 1) }
+
+// RecordMonoid notes the combine monoid a dispatched addition
+// resolved to (ops.Plus for a nil request).
+func (s *OpStats) RecordMonoid(m *ops.Monoid) {
+	if m == nil {
+		m = ops.Plus
+	}
+	s.monoidUsed.Store(m)
+}
+
+// MonoidUsed returns the combine monoid the most recent addition
+// observed by these stats actually ran, and whether any addition has
+// been dispatched (single-matrix copies dispatch no monoid, like
+// EngineUsed's engine).
+func (s *OpStats) MonoidUsed() (*ops.Monoid, bool) {
+	m := s.monoidUsed.Load()
+	if m == nil {
+		return nil, false
+	}
+	return m, true
+}
 
 // EngineUsed returns the execution engine the most recent addition
 // observed by these stats actually ran, and whether any addition has

@@ -469,11 +469,15 @@ func (s *poolShard) reduce() (*matrix.CSC, error) {
 		s.ws = NewWorkspace(true)
 	}
 	s.batch = s.batch[:0]
+	premapped := 0
 	if s.sum != nil {
+		// Like Accumulator.flush: the running sum is already in the
+		// monoid's result domain and must not pass MapInput again.
 		s.batch = append(s.batch, s.sum)
+		premapped = 1
 	}
 	s.batch = append(s.batch, s.take...)
-	sum, err := s.ws.Add(s.batch, s.opt)
+	sum, err := s.ws.addPremapped(s.batch, s.opt, premapped)
 	// Drop the piece references so absorbed matrices can be collected.
 	clear(s.batch)
 	s.batch = s.batch[:0]

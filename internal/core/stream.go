@@ -25,6 +25,11 @@ var ErrAccumulatorInUse = errors.New("spkadd: Accumulator used from multiple gor
 // k-way addition, so the reduction work stays k-way rather than
 // degenerating to the pairwise O(k²nd) regime.
 //
+// Reductions run under the configured Options, including the combine
+// monoid: a Count accumulator streams occurrence frequencies because
+// each reduction maps fresh inputs only — the running sum re-enters
+// in the monoid's result domain and is folded back in unmapped.
+//
 // An Accumulator is not safe for concurrent use; overlapping calls
 // are detected by an atomic busy flag and fail with
 // ErrAccumulatorInUse instead of corrupting the resident workspace.
@@ -154,11 +159,16 @@ func (ac *Accumulator) flush() error {
 		ac.ws = NewWorkspace(true)
 	}
 	ac.batch = ac.batch[:0]
+	premapped := 0
 	if ac.sum != nil {
+		// The running sum is already in the monoid's result domain:
+		// it re-enters the reduction unmapped (for Count, re-mapping
+		// would collapse every accumulated count back to 1).
 		ac.batch = append(ac.batch, ac.sum)
+		premapped = 1
 	}
 	ac.batch = append(ac.batch, ac.pending...)
-	sum, err := ac.ws.Add(ac.batch, ac.opt)
+	sum, err := ac.ws.addPremapped(ac.batch, ac.opt, premapped)
 	if err != nil {
 		return err
 	}

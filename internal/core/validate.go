@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"spkadd/internal/matrix"
+	"spkadd/internal/ops"
+)
+
+// This file is the single option-validation and call-resolution point
+// for every entry into the engines: package Add/AddTimed/AddScaled,
+// Workspace (hence the public Adder), Accumulator reductions and Pool
+// shard reductions all funnel through Options.validate, so the
+// coefficient, monoid, sortedness and engine checks — and the
+// LoadFactor/CacheBytes clamps applied via the Options accessors —
+// cannot drift between entry points.
+
+// ErrCoeffsRequirePlus is returned when AddScaled coefficients are
+// combined with a non-Plus monoid: coeffs·A distributes over "+" but
+// not over min, max, boolean union or counting, so a scaled Min (etc.)
+// has no well-defined meaning.
+var ErrCoeffsRequirePlus = errors.New("spkadd: coefficients require the Plus monoid")
+
+// ErrMonoidUnsupported is returned when a monoid cannot run on the
+// requested configuration: a non-Plus monoid on a 2-way baseline
+// (their pairwise drivers hardwire "+"), a DropIdentity monoid on the
+// two-pass driver (the symbolic phase sizes the output before values
+// exist), or a monoid without a Combine function.
+var ErrMonoidUnsupported = errors.New("spkadd: monoid unsupported for this configuration")
+
+// monoidState is the per-call resolution of Options.Monoid for the
+// generic combine path. It is held by value inside plan and
+// Workspace — never heap-allocated per call — so a warmed non-Plus
+// Adder keeps the zero-allocation steady state. A nil *monoidState at
+// a kernel boundary means the Plus fast path: the kernels branch on
+// it once per column, and the specialized inlined "+=" loops run
+// exactly as before this layer existed.
+type monoidState struct {
+	def     *ops.Monoid
+	combine func(a, b matrix.Value) matrix.Value
+	mapIn   func(v matrix.Value) matrix.Value
+	// mapped counts leading inputs that are already in the monoid's
+	// result domain — the running sum an Accumulator or Pool shard
+	// folds back into each reduction — and therefore skip MapInput
+	// (re-mapping a Count sum would collapse every count back to 1).
+	mapped int
+	drop   bool // DropIdentity: filter identity-valued output entries
+}
+
+// mapFor returns the input map for matrix i, or nil when the
+// matrix's values pass through unchanged — the premapped running-sum
+// prefix, and every matrix of a monoid without MapInput. Kernels
+// resolve it once per matrix and branch on nil outside their element
+// loops, so no-map monoids (Min, Max, user Combine-only) pay no
+// per-element indirect call for a mapping they don't have.
+func (m *monoidState) mapFor(i int) func(matrix.Value) matrix.Value {
+	if i < m.mapped {
+		return nil
+	}
+	return m.mapIn
+}
+
+// plan is a fully validated and resolved addition call: the concrete
+// algorithm, the execution engine it will run on, input sortedness,
+// and the combine monoid. Producing the whole plan in one place keeps
+// every entry point's behaviour identical.
+type plan struct {
+	alg      Algorithm
+	engine   Phases
+	sortedIn bool
+	// copyOne marks the single-input shortcut: the sum of one matrix
+	// under Plus is a plain copy, taken before algorithm-specific
+	// checks exactly as the pre-plan code did. Non-Plus monoids skip
+	// it — MapInput and within-column duplicate combining must still
+	// apply — and run the engines with k=1.
+	copyOne bool
+	// generic selects the generic combine path; when false the
+	// kernels run their specialized inlined float64-Plus loops and
+	// mon is meaningless.
+	generic bool
+	mon     monoidState
+}
+
+// monoid returns the resolved monoid definition (ops.Plus on the fast
+// path), for stats recording.
+func (p *plan) monoid() *ops.Monoid {
+	if !p.generic {
+		return ops.Plus
+	}
+	return p.mon.def
+}
+
+// validate checks one addition call — inputs, coefficients, options —
+// and resolves it to a plan. coeffs is nil for unscaled additions.
+// premapped counts leading inputs already in the monoid's result
+// domain (see monoidState.mapped); plain calls pass 0.
+func (o Options) validate(as []*matrix.CSC, coeffs []matrix.Value, premapped int) (plan, error) {
+	var p plan
+	if coeffs != nil && len(coeffs) != len(as) {
+		return p, fmt.Errorf("%w: %d coefficients for %d matrices", ErrDimMismatch, len(coeffs), len(as))
+	}
+	if err := validateDims(as); err != nil {
+		return p, err
+	}
+
+	m := o.Monoid
+	if m == nil {
+		m = ops.Plus
+	}
+	if m != ops.Plus {
+		if !m.Valid() {
+			return p, fmt.Errorf("%w: monoid %q has no Combine", ErrMonoidUnsupported, m.String())
+		}
+		if coeffs != nil {
+			return p, fmt.Errorf("%w: got %s", ErrCoeffsRequirePlus, m.Name)
+		}
+		p.generic = true
+		p.mon = monoidState{
+			def:     m,
+			combine: m.Combine,
+			mapIn:   m.MapInput, // nil when values pass through unmapped
+			mapped:  premapped,
+			drop:    m.DropIdentity,
+		}
+	}
+
+	// Single-input shortcut, before algorithm checks (matching the
+	// historical behaviour: Add([a], Options{Algorithm: Heap}) copies
+	// a even when a is unsorted).
+	if len(as) == 1 && coeffs == nil && !p.generic {
+		p.copyOne = true
+		return p, nil
+	}
+
+	p.sortedIn = allColumnsSorted(as)
+	alg := o.Algorithm
+	if alg == Auto {
+		alg = autoSelect(as, o, p.sortedIn)
+	}
+	p.alg = alg
+	switch alg {
+	case TwoWayIncremental, TwoWayTree, Heap:
+		if !p.sortedIn {
+			return p, unsortedErr(alg)
+		}
+	}
+	if kWay := alg == Heap || alg == SPA || alg == Hash || alg == SlidingHash; !kWay {
+		if coeffs != nil {
+			return p, fmt.Errorf("spkadd: AddScaled supports k-way algorithms only, got %v", alg)
+		}
+		if p.generic {
+			return p, fmt.Errorf("%w: %v supports Plus only (its pairwise driver hardwires \"+\"), got %s",
+				ErrMonoidUnsupported, alg, p.mon.def.Name)
+		}
+	}
+
+	// Engine resolution. The 2-way baselines and SlidingHash keep
+	// their native two-pass drivers; DropIdentity additionally needs
+	// a single-pass engine, because only those see values before the
+	// output is sized.
+	p.engine = pickPhases(as, alg, o)
+	if p.generic && p.mon.drop {
+		if !fusedSupported(alg) {
+			return p, fmt.Errorf("%w: DropIdentity monoid %s needs a single-pass engine, but %v has none",
+				ErrMonoidUnsupported, p.mon.def.Name, alg)
+		}
+		if o.Phases == PhasesTwoPass {
+			return p, fmt.Errorf("%w: DropIdentity monoid %s cannot run on the two-pass driver (the symbolic phase sizes the output before values exist)",
+				ErrMonoidUnsupported, p.mon.def.Name)
+		}
+		if p.engine == PhasesTwoPass { // PhasesAuto preferred two-pass
+			p.engine = PhasesFused
+		}
+	}
+	return p, nil
+}

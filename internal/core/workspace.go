@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -61,6 +62,11 @@ type Workspace struct {
 	cache    int64
 	sortedIn bool
 	b        *matrix.CSC
+	// mon is the call's resolved combine monoid, held by value so
+	// non-Plus calls allocate nothing; monP is the kernel-facing
+	// handle — nil on the Plus fast path, &mon on the generic path.
+	mon  monoidState
+	monP *monoidState
 
 	symFn, numFn, fusedFn, stitchFn, ubFn, compactFn, weightsFn func(w, lo, hi int)
 }
@@ -100,25 +106,30 @@ var wsPool = sync.Pool{New: func() any { return NewWorkspace(false) }}
 // identical semantics and output, but all scratch state (and, for a
 // recycling workspace, the output storage) comes from ws.
 func (ws *Workspace) AddTimed(as []*matrix.CSC, opt Options) (*matrix.CSC, PhaseTimings, error) {
+	return ws.addTimedPremapped(as, opt, 0)
+}
+
+// addTimedPremapped is AddTimed with a premapped running-sum prefix
+// (see monoidState.mapped): the streaming accumulators fold their
+// previous sum — already in the monoid's result domain — back in as
+// the first input, and it must not pass through MapInput again.
+func (ws *Workspace) addTimedPremapped(as []*matrix.CSC, opt Options, premapped int) (*matrix.CSC, PhaseTimings, error) {
 	var pt PhaseTimings
-	if err := validateDims(as); err != nil {
+	p, err := opt.validate(as, nil, premapped)
+	if err != nil {
 		return nil, pt, err
 	}
-	if len(as) == 1 {
+	if p.copyOne {
 		return ws.copyOne(as[0], opt), pt, nil
 	}
-	sortedIn := allColumnsSorted(as)
-	alg := opt.Algorithm
-	if alg == Auto {
-		alg = autoSelect(as, opt, sortedIn)
-	}
-	switch alg {
-	case TwoWayIncremental, TwoWayTree, Heap:
-		if !sortedIn {
-			return nil, pt, unsortedErr(alg)
-		}
-	}
-	return ws.addDispatch(as, alg, opt, sortedIn, nil)
+	return ws.addDispatch(as, p, opt, nil)
+}
+
+// addPremapped is addTimedPremapped without the phase split, the
+// reduction entry point of Accumulator and Pool.
+func (ws *Workspace) addPremapped(as []*matrix.CSC, opt Options, premapped int) (*matrix.CSC, error) {
+	b, _, err := ws.addTimedPremapped(as, opt, premapped)
+	return b, err
 }
 
 // Add is AddTimed without the phase split.
@@ -130,20 +141,26 @@ func (ws *Workspace) Add(as []*matrix.CSC, opt Options) (*matrix.CSC, error) {
 // AddScaled is the workspace-bound form of the package-level
 // AddScaled.
 func (ws *Workspace) AddScaled(as []*matrix.CSC, coeffs []matrix.Value, opt Options) (*matrix.CSC, error) {
-	alg, sortedIn, err := validateScaled(as, coeffs, opt)
+	if len(coeffs) != len(as) {
+		return nil, fmt.Errorf("%w: %d coefficients for %d matrices", ErrDimMismatch, len(coeffs), len(as))
+	}
+	p, err := opt.validate(as, coeffs, 0)
 	if err != nil {
 		return nil, err
 	}
-	b, _, err := ws.addDispatch(as, alg, opt, sortedIn, coeffs)
+	b, _, err := ws.addDispatch(as, p, opt, coeffs)
 	return b, err
 }
 
 // addDispatch routes a validated call: 2-way baselines keep their
 // native drivers (their intermediate matrices cannot be recycled), the
 // k-way algorithms run on the workspace engines.
-func (ws *Workspace) addDispatch(as []*matrix.CSC, alg Algorithm, opt Options, sortedIn bool, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
+func (ws *Workspace) addDispatch(as []*matrix.CSC, p plan, opt Options, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
 	var pt PhaseTimings
-	switch alg {
+	if opt.Stats != nil {
+		opt.Stats.RecordMonoid(p.monoid())
+	}
+	switch p.alg {
 	case TwoWayIncremental, TwoWayTree, MapIncremental, MapTree:
 		// The 2-way baselines ignore Options.Phases entirely; their
 		// native pairwise drivers read inputs like the two-pass engine
@@ -153,7 +170,7 @@ func (ws *Workspace) addDispatch(as []*matrix.CSC, alg Algorithm, opt Options, s
 		}
 		start := time.Now()
 		var b *matrix.CSC
-		switch alg {
+		switch p.alg {
 		case TwoWayIncremental:
 			b = addIncremental(as, opt, pairAddMerge)
 		case TwoWayTree:
@@ -166,13 +183,12 @@ func (ws *Workspace) addDispatch(as []*matrix.CSC, alg Algorithm, opt Options, s
 		pt.Numeric = time.Since(start)
 		return b, pt, nil
 	default:
-		ws.begin(as, alg, opt, sortedIn, coeffs)
+		ws.begin(as, p, opt, coeffs)
 		var b *matrix.CSC
-		engine := pickPhases(as, alg, opt)
 		if opt.Stats != nil {
-			opt.Stats.RecordEngine(engine)
+			opt.Stats.RecordEngine(p.engine)
 		}
-		switch engine {
+		switch p.engine {
 		case PhasesFused:
 			b, pt = ws.addFused()
 		case PhasesUpperBound:
@@ -187,8 +203,13 @@ func (ws *Workspace) addDispatch(as []*matrix.CSC, alg Algorithm, opt Options, s
 
 // begin records the per-call parameters the persistent phase bodies
 // read, and sizes the per-worker state slice.
-func (ws *Workspace) begin(as []*matrix.CSC, alg Algorithm, opt Options, sortedIn bool, coeffs []matrix.Value) {
-	ws.as, ws.coeffs, ws.alg, ws.opt, ws.sortedIn = as, coeffs, alg, opt, sortedIn
+func (ws *Workspace) begin(as []*matrix.CSC, p plan, opt Options, coeffs []matrix.Value) {
+	ws.as, ws.coeffs, ws.alg, ws.opt, ws.sortedIn = as, coeffs, p.alg, opt, p.sortedIn
+	ws.mon = p.mon
+	ws.monP = nil
+	if p.generic {
+		ws.monP = &ws.mon
+	}
 	ws.t = sched.Threads(opt.Threads)
 	ws.cache = opt.cacheBytes()
 	if ws.t > len(ws.workers) {
@@ -203,6 +224,7 @@ func (ws *Workspace) begin(as []*matrix.CSC, alg Algorithm, opt Options, sortedI
 // that is the point).
 func (ws *Workspace) end() {
 	ws.as, ws.coeffs, ws.b = nil, nil, nil
+	ws.mon, ws.monP = monoidState{}, nil
 }
 
 // worker returns worker w's private state, creating it on first use

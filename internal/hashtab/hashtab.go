@@ -141,6 +141,30 @@ func (t *Table) Add(r matrix.Index, v matrix.Value) {
 	}
 }
 
+// AddWith is Add under an arbitrary combine operation: it inserts
+// (r, v) and, when r is already present, replaces the stored value
+// with combine(stored, v). Add is exactly AddWith with "+" inlined;
+// the kernels select between them once per column, so the generic
+// path's indirect call is paid only by non-Plus monoids.
+func (t *Table) AddWith(r matrix.Index, v matrix.Value, combine func(a, b matrix.Value) matrix.Value) {
+	h := (hashMul * uint32(r)) & t.mask
+	for {
+		t.Probes++
+		if t.stamps[h] != t.epoch { // empty slot
+			t.stamps[h] = t.epoch
+			t.keys[h] = r
+			t.vals[h] = v
+			t.n++
+			return
+		}
+		if t.keys[h] == r {
+			t.vals[h] = combine(t.vals[h], v)
+			return
+		}
+		h = (h + 1) & t.mask // linear probing
+	}
+}
+
 // Get returns the accumulated value for r and whether r is present.
 func (t *Table) Get(r matrix.Index) (matrix.Value, bool) {
 	h := (hashMul * uint32(r)) & t.mask

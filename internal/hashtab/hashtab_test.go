@@ -181,3 +181,35 @@ func TestProbeCounterMonotone(t *testing.T) {
 		t.Error("probe counter not monotone")
 	}
 }
+
+// TestAddWithMatchesAdd checks the generic-combine insert against the
+// specialized "+" path, and that a non-Plus combine actually applies.
+func TestAddWithMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	plus := func(a, b matrix.Value) matrix.Value { return a + b }
+	tab, ref := NewTable(64, 0.5), NewTable(64, 0.5)
+	for i := 0; i < 500; i++ {
+		r := matrix.Index(rng.Intn(100))
+		v := matrix.Value(rng.NormFloat64())
+		tab.AddWith(r, v, plus)
+		ref.Add(r, v)
+	}
+	if tab.Len() != ref.Len() {
+		t.Fatalf("Len = %d, want %d", tab.Len(), ref.Len())
+	}
+	for r := matrix.Index(0); r < 100; r++ {
+		got, ok1 := tab.Get(r)
+		want, ok2 := ref.Get(r)
+		if ok1 != ok2 || got != want {
+			t.Fatalf("Get(%d) = %v,%v want %v,%v", r, got, ok1, want, ok2)
+		}
+	}
+
+	mn := NewTable(8, 0.5)
+	mn.AddWith(3, 5, func(a, b matrix.Value) matrix.Value { return min(a, b) })
+	mn.AddWith(3, 2, func(a, b matrix.Value) matrix.Value { return min(a, b) })
+	mn.AddWith(3, 9, func(a, b matrix.Value) matrix.Value { return min(a, b) })
+	if v, _ := mn.Get(3); v != 2 {
+		t.Errorf("min-combine Get(3) = %v, want 2", v)
+	}
+}

@@ -19,7 +19,11 @@ type Tuple struct {
 }
 
 // Heap is a binary min-heap of Tuples ordered by Row. Ties on Row are
-// broken by Mat to make traversal deterministic.
+// broken by Mat, so equal-row tuples always surface in input order.
+// That determinism is load-bearing for the monoid-generic merge: the
+// driver folds colliding values in the order the heap yields them,
+// and the Mat tie-break makes that order — hence the bit pattern of
+// any floating-point combine — identical across runs and engines.
 type Heap struct {
 	a []Tuple
 

@@ -1,0 +1,163 @@
+// Package ops defines the combine operations SpKAdd accumulates
+// under. The paper's kernels are really k-way merge-and-combine
+// kernels: every algorithm (heap, SPA, hash, sliding hash) visits the
+// union of the inputs' nonzero positions and folds colliding entries
+// with a binary operation. The paper — and this library's default —
+// fix that operation to float64 addition, but nothing in the
+// algorithms depends on "+": any commutative, associative operation
+// with an identity (a commutative monoid, GraphBLAS's eWiseAdd
+// operand) merges the same way and inherits the same complexity and
+// memory-traffic bounds.
+//
+// A Monoid generalizes the element-wise semantics only. Sparsity
+// semantics are unchanged: the output structure is the union of the
+// input structures, combine applies where entries collide, and a
+// position absent from every input stays absent — the identity is
+// never materialized (see DESIGN.md §8 on identity versus stored-zero
+// semantics).
+//
+// Built-ins cover the workloads the ROADMAP names: Plus (numeric
+// accumulation, the paper's operation and the only one that admits
+// per-matrix coefficients), Min and Max (min-plus/tropical
+// ensembling, max-pooling), Any (structural union of graph
+// snapshots), and Count (edge/occurrence frequency).
+package ops
+
+import (
+	"math"
+
+	"spkadd/internal/matrix"
+)
+
+// Monoid is a commutative monoid over matrix values: the pluggable
+// combine operation of an SpKAdd call. Combine must be associative
+// and commutative — the engines traverse entries in engine- and
+// schedule-dependent orders, and only associativity+commutativity
+// make every order produce the same result (for floating-point
+// non-associativity the engines compensate by combining in a
+// deterministic per-column order, so results are still bit-identical
+// across engines; see the parity suite).
+type Monoid struct {
+	// Name identifies the monoid in stats, benches and errors.
+	Name string
+
+	// Identity is the combine identity: Combine(Identity, v) == v.
+	// It is never stored in outputs — absent positions stay absent —
+	// but defines DropIdentity and the dense reference semantics.
+	Identity matrix.Value
+
+	// Combine folds two values. Required; must be associative and
+	// commutative.
+	Combine func(a, b matrix.Value) matrix.Value
+
+	// MapInput, when non-nil, transforms every stored input entry
+	// before it participates in combining: Any and Count map values
+	// to 1 so presence, not magnitude, is accumulated. Streaming
+	// accumulators (Accumulator, Pool) apply it to fresh inputs only
+	// — a running sum is already in the monoid's result domain and is
+	// folded back in unmapped.
+	MapInput func(v matrix.Value) matrix.Value
+
+	// Absorbing is an absorbing-element hint: when HasAbsorbing,
+	// Combine(Absorbing, v) == Absorbing for every v. Engines and
+	// user code may exploit it (an accumulated cell that has reached
+	// the absorbing element can skip further combines); none of the
+	// built-in kernels currently require it.
+	Absorbing    matrix.Value
+	HasAbsorbing bool
+
+	// DropIdentity selects the drop-identity output policy: entries
+	// whose combined value equals Identity are removed from the
+	// output instead of stored. Only the single-pass engines can
+	// honor it (the two-pass driver sizes the output structurally,
+	// before values exist), so requesting it with PhasesTwoPass or an
+	// algorithm without a single-pass engine is a validation error.
+	DropIdentity bool
+}
+
+// Valid reports whether the monoid is usable: a non-empty name and a
+// combine function.
+func (m *Monoid) Valid() bool {
+	return m != nil && m.Name != "" && m.Combine != nil
+}
+
+// String returns the monoid's display name.
+func (m *Monoid) String() string {
+	if m == nil {
+		return Plus.Name
+	}
+	return m.Name
+}
+
+// one is the MapInput of the structural monoids: every stored entry
+// participates as 1, whatever its value.
+func one(matrix.Value) matrix.Value { return 1 }
+
+// Built-in monoids. These are canonical instances: the engines
+// recognize Plus by identity (pointer equality) and run their
+// specialized inlined float64-"+" path; every other monoid — built-in
+// or user-defined — goes through the generic combine path.
+var (
+	// Plus is numeric addition, the paper's operation and the
+	// default (a nil Options.Monoid means Plus). It is the only
+	// monoid that supports per-matrix coefficients: coeffs·A
+	// distributes over + but not over min, max or counting.
+	Plus = &Monoid{
+		Name:     "Plus",
+		Identity: 0,
+		Combine:  func(a, b matrix.Value) matrix.Value { return a + b },
+	}
+
+	// Min keeps the smallest colliding value (tropical/min-plus
+	// ensembling). The identity is +Inf; -Inf absorbs. NaNs
+	// propagate, matching Go's built-in min.
+	Min = &Monoid{
+		Name:         "Min",
+		Identity:     math.Inf(1),
+		Combine:      func(a, b matrix.Value) matrix.Value { return min(a, b) },
+		Absorbing:    math.Inf(-1),
+		HasAbsorbing: true,
+	}
+
+	// Max keeps the largest colliding value (max-pooling). The
+	// identity is -Inf; +Inf absorbs.
+	Max = &Monoid{
+		Name:         "Max",
+		Identity:     math.Inf(-1),
+		Combine:      func(a, b matrix.Value) matrix.Value { return max(a, b) },
+		Absorbing:    math.Inf(1),
+		HasAbsorbing: true,
+	}
+
+	// Any is the structural (boolean) union: a position present in
+	// any input holds 1 in the output. Input values are ignored —
+	// MapInput sends every stored entry to 1 — so unions of weighted
+	// snapshots are well-defined.
+	Any = &Monoid{
+		Name:     "Any",
+		Identity: 0,
+		Combine: func(a, b matrix.Value) matrix.Value {
+			if a != 0 || b != 0 {
+				return 1
+			}
+			return 0
+		},
+		MapInput:     one,
+		Absorbing:    1,
+		HasAbsorbing: true,
+	}
+
+	// Count is occurrence frequency: a position's output value is
+	// the number of inputs storing an entry there. MapInput sends
+	// every stored entry to 1 and Combine adds, so counts stay exact
+	// integers up to 2^53 inputs.
+	Count = &Monoid{
+		Name:     "Count",
+		Identity: 0,
+		Combine:  func(a, b matrix.Value) matrix.Value { return a + b },
+		MapInput: one,
+	}
+)
+
+// Builtins lists the built-in monoids, Plus first.
+var Builtins = []*Monoid{Plus, Min, Max, Any, Count}

@@ -62,6 +62,24 @@ func (s *SPA) Add(r matrix.Index, v matrix.Value) {
 	s.idx = append(s.idx, r)
 }
 
+// AddWith is Add under an arbitrary combine operation: the first
+// touch of r in the current generation stores v, later touches
+// replace the slot with combine(stored, v). The generation stamps do
+// for the generic path exactly what they do for "+": Clear stays
+// O(1) and no identity element is ever materialized in the dense
+// array. Add is AddWith with "+" inlined; callers pick once per
+// column.
+func (s *SPA) AddWith(r matrix.Index, v matrix.Value, combine func(a, b matrix.Value) matrix.Value) {
+	s.Touches++
+	if s.stamps[r] == s.gen {
+		s.vals[r] = combine(s.vals[r], v)
+		return
+	}
+	s.stamps[r] = s.gen
+	s.vals[r] = v
+	s.idx = append(s.idx, r)
+}
+
 // Get returns the accumulated value at r (0 if absent).
 func (s *SPA) Get(r matrix.Index) matrix.Value {
 	if s.stamps[r] != s.gen {

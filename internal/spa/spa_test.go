@@ -121,3 +121,29 @@ func TestSortIndicesLarge(t *testing.T) {
 		}
 	}
 }
+
+// TestAddWithCombine checks the generic accumulate: first touch
+// stores, later touches fold through the combine, and Clear keeps
+// O(1) generation semantics for the generic path too.
+func TestAddWithCombine(t *testing.T) {
+	maxC := func(a, b matrix.Value) matrix.Value { return max(a, b) }
+	s := New(16)
+	s.AddWith(4, -3, maxC)
+	s.AddWith(4, 7, maxC)
+	s.AddWith(4, 5, maxC)
+	s.AddWith(9, 1, maxC)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if v := s.Get(4); v != 7 {
+		t.Errorf("Get(4) = %v, want 7", v)
+	}
+	s.Clear()
+	s.AddWith(4, -8, maxC)
+	if v := s.Get(4); v != -8 {
+		t.Errorf("after Clear, Get(4) = %v, want -8 (stale value combined)", v)
+	}
+	if s.Len() != 1 {
+		t.Errorf("after Clear, Len = %d, want 1", s.Len())
+	}
+}

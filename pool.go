@@ -26,6 +26,11 @@ import (
 // Use a Pool when many goroutines stream deltas into one running sum
 // (ingest firehoses, fan-in aggregation); use Accumulator or Adder
 // for single-goroutine streams. See DESIGN.md §6.
+//
+// Reductions run under PoolOptions.Add, including its Monoid: a pool
+// can stream structural unions (Any) or edge frequencies (Count) as
+// easily as sums — each shard folds its running sum back in unmapped,
+// so mapped monoids accumulate correctly across reductions.
 type Pool = core.Pool
 
 // PoolOptions configure NewPool: shard count (default

@@ -6,6 +6,7 @@ import (
 	"spkadd/internal/core"
 	"spkadd/internal/generate"
 	"spkadd/internal/matrix"
+	"spkadd/internal/ops"
 	"spkadd/internal/spgemm"
 	"spkadd/internal/summa"
 )
@@ -86,6 +87,33 @@ const (
 	PhasesUpperBound = core.PhasesUpperBound
 )
 
+// Monoid is the pluggable combine operation of an addition: SpKAdd's
+// kernels are k-way merge-and-combine kernels, and any commutative
+// monoid (GraphBLAS's eWiseAdd operand) can replace the default
+// float64 "+" via Options.Monoid. Output structure is always the
+// union of the input structures; the monoid only decides how
+// colliding values fold. Custom monoids are plain literals:
+//
+//	atLeast := &spkadd.Monoid{Name: "Min", ...}  // or use the built-ins
+type Monoid = ops.Monoid
+
+// Built-in monoids. A nil Options.Monoid means Plus, served by the
+// specialized inlined float64 kernels; the others run the same
+// engines through the generic combine path. Only Plus supports
+// AddScaled coefficients.
+var (
+	// Plus is numeric addition, the paper's operation (the default).
+	Plus = ops.Plus
+	// Min keeps the smallest colliding value (min-plus ensembling).
+	Min = ops.Min
+	// Max keeps the largest colliding value (max-pooling).
+	Max = ops.Max
+	// Any is the structural union: present anywhere → 1 in the output.
+	Any = ops.Any
+	// Count is occurrence frequency: how many inputs store the entry.
+	Count = ops.Count
+)
+
 // Scheduling constants.
 const (
 	// ScheduleWeighted balances columns by nonzero weight (default).
@@ -111,6 +139,13 @@ var (
 	ErrAccumulatorInUse = core.ErrAccumulatorInUse
 	// ErrPoolClosed reports a Push on a Pool after Close.
 	ErrPoolClosed = core.ErrPoolClosed
+	// ErrCoeffsRequirePlus reports AddScaled coefficients combined
+	// with a non-Plus monoid (scaling distributes over "+" only).
+	ErrCoeffsRequirePlus = core.ErrCoeffsRequirePlus
+	// ErrMonoidUnsupported reports a monoid on a configuration that
+	// cannot run it: a non-Plus monoid on a 2-way baseline, or a
+	// DropIdentity monoid on the two-pass driver.
+	ErrMonoidUnsupported = core.ErrMonoidUnsupported
 )
 
 // Add computes the sum of the given matrices. All inputs must share
