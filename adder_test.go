@@ -178,6 +178,49 @@ func TestAdderZeroSteadyStateAllocsMonoid(t *testing.T) {
 	}
 }
 
+// TestAdderZeroSteadyStateAllocsSchedules extends the zero-allocation
+// contract to scheduling: a warmed Adder allocates nothing for EVERY
+// Options.Schedule — including the racy Dynamic and WeightedStealing
+// modes, whose column→worker assignment varies run to run — and at
+// Threads > 1, where the resident executor parks its workers between
+// calls. (The older alloc tests predate the executor and pin Threads
+// to 1 because the spawn-per-phase scheduler allocated goroutines;
+// that restriction is exactly what this PR removed.)
+//
+// The workload's total input nnz (~3K entries) must stay well under
+// one fused arena chunk (32Ki entries): under racy schedules the
+// fused engine's zero is strict only while any worker's staged
+// volume fits one chunk — larger workloads would make this assertion
+// flaky (see arena.reserve).
+func TestAdderZeroSteadyStateAllocsSchedules(t *testing.T) {
+	as := adderTestInputs(8, 2048, 48, 8, 9)
+	schedules := []spkadd.Schedule{
+		spkadd.ScheduleWeighted, spkadd.ScheduleStatic,
+		spkadd.ScheduleDynamic, spkadd.ScheduleWeightedStealing,
+	}
+	for _, s := range schedules {
+		for _, p := range []spkadd.Phases{spkadd.PhasesTwoPass, spkadd.PhasesFused, spkadd.PhasesUpperBound} {
+			t.Run(fmt.Sprintf("%v/%v", s, p), func(t *testing.T) {
+				ad := spkadd.NewAdder()
+				opt := spkadd.Options{Algorithm: spkadd.Hash, Phases: p, Schedule: s, SortedOutput: true, Threads: 2}
+				for warm := 0; warm < 3; warm++ {
+					if _, err := ad.Add(as, opt); err != nil {
+						t.Fatal(err)
+					}
+				}
+				allocs := testing.AllocsPerRun(10, func() {
+					if _, err := ad.Add(as, opt); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if allocs != 0 {
+					t.Errorf("steady state allocates %.1f times per op, want 0", allocs)
+				}
+			})
+		}
+	}
+}
+
 // TestPooledAddConcurrent hammers the package-level Add — whose
 // scratch comes from one shared sync.Pool of workspaces — from many
 // goroutines. Run under -race (the CI race job does) this is the

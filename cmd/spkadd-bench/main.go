@@ -9,9 +9,10 @@
 // execution-engine comparison), reuse (one-shot Add vs a reused
 // Adder workspace across k and d), pool (sharded-pool throughput over
 // a producer-count × shard-count grid), monoid (generic combine
-// overhead: every built-in monoid vs the Plus fast path), tune and
-// ablation. See EXPERIMENTS.md for the workload mapping and expected
-// shapes.
+// overhead: every built-in monoid vs the Plus fast path), sched (the
+// schedule × skew × threads grid on the resident executor, including
+// WeightedStealing), tune and ablation. See EXPERIMENTS.md for the
+// workload mapping and expected shapes.
 //
 // With -baseline, the harness instead measures a small fixed grid of
 // shapes across every algorithm and engine — runtime plus allocs/op
@@ -35,7 +36,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spkadd-bench: ")
-	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(bench.Experiments, ", ")+", phases, reuse, pool, monoid, tune, ablation, or all")
+	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(bench.Experiments, ", ")+", phases, reuse, pool, monoid, sched, tune, ablation, or all")
 	reps := flag.Int("reps", 1, "timed repetitions per cell (minimum reported)")
 	threads := flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor")

@@ -118,6 +118,33 @@
 // stitches together. See DESIGN.md §5-6, examples/firehose and
 // `spkadd-bench -exp pool`.
 //
+// # Threads, scheduling and executor sharing
+//
+// Options.Threads sets the worker count of one call (<1 means
+// GOMAXPROCS); Options.Schedule sets how output columns spread over
+// those workers — weighted by per-column nonzeros (the default),
+// static blocks, dynamic chunk claiming, or weighted with work
+// stealing (ScheduleWeightedStealing), which fixes skewed inputs'
+// tail latency without dynamic's coordination cost on uniform ones.
+// Workers are not spawned per call: every Adder, Accumulator and Pool
+// keeps a resident Executor — persistent goroutines parked between
+// parallel phases plus reusable partitioning scratch — so a warmed
+// Adder allocates nothing even for its scheduling, whatever the
+// schedule. Threads: 1 calls bypass the executor entirely.
+//
+// To put several of them under one global concurrency budget, create
+// an Executor explicitly and share it:
+//
+//	ex := spkadd.NewExecutor(8) // at most 8 workers, total
+//	opt := spkadd.Options{Threads: 8, Executor: ex}
+//	// many Adders/Accumulators (or PoolOptions.Add) using opt now
+//	// take turns on the same 8 workers instead of parking 8 each
+//
+// Parallel phases from concurrent callers serialize on the shared
+// pool; results never depend on the executor, schedule or thread
+// count. OpStats reports per-phase load balance (LoadImbalance,
+// Steals). See DESIGN.md §9.
+//
 // Matrices are in compressed sparse column (CSC) form with 32-bit
 // indices and float64 values; everything applies symmetrically to CSR
 // (transpose the interpretation). Inputs may have unsorted columns for

@@ -62,15 +62,12 @@ func Ablation(cfg Config) error {
 	}
 
 	fmt.Fprintln(cfg.Out, "Ablation 2: column scheduling on skewed RMAT (d=128 k=32)")
-	for _, s := range []struct {
-		name string
-		s    core.Schedule
-	}{{"weighted", core.ScheduleWeighted}, {"static", core.ScheduleStatic}, {"dynamic", core.ScheduleDynamic}} {
-		dur, _, err := timeAdd(rmat, core.Options{Algorithm: core.Hash, Threads: cfg.Threads, Schedule: s.s, Phases: core.PhasesTwoPass}, cfg.reps()+2)
+	for _, s := range core.Schedules {
+		dur, _, err := timeAdd(rmat, core.Options{Algorithm: core.Hash, Threads: cfg.Threads, Schedule: s, Phases: core.PhasesTwoPass}, cfg.reps()+2)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(cfg.Out, "  %-9s %s s\n", s.name, fmtDur(dur))
+		fmt.Fprintf(cfg.Out, "  %-17v %s s\n", s, fmtDur(dur))
 	}
 
 	fmt.Fprintln(cfg.Out, "Ablation 3: sorted vs unsorted hash output (ER d=256 k=32)")

@@ -91,6 +91,7 @@ type BaselineCell struct {
 	Algorithm   string  `json:"algorithm"`
 	Engine      string  `json:"engine"`
 	Monoid      string  `json:"monoid"`
+	Schedule    string  `json:"schedule"`
 	Seconds     float64 `json:"seconds"`
 	NNZIn       int     `json:"nnz_in"`
 	NNZOut      int     `json:"nnz_out"`
@@ -121,7 +122,10 @@ type BaselineReport struct {
 func Baseline(cfg Config, out io.Writer) error {
 	const rows, cols = 1 << 15, 32
 	rep := BaselineReport{
-		Schema:     3, // 2 added allocs/bytes per op; 3 added monoid cells
+		// 2 added allocs/bytes per op; 3 added monoid cells; 4 added
+		// the schedule field (Weighted on pre-4 cells) and a schedule
+		// sweep on the first workload.
+		Schema:     4,
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -154,37 +158,65 @@ func Baseline(cfg Config, out io.Writer) error {
 			for _, alg := range []core.Algorithm{core.Hash, core.SPA, core.Heap} {
 				for _, p := range core.PhasesPolicies {
 					opt := core.Options{Algorithm: alg, Phases: p, Monoid: mon, Threads: cfg.Threads, CacheBytes: cfg.cacheBytes()}
-					// Warm once, then time.
-					b, _, err := core.AddTimed(as, opt)
+					cell, err := measureBaselineCell(c, as, in, opt, cfg)
 					if err != nil {
 						return fmt.Errorf("baseline %s %s %v %v: %w", c.pattern, mon.Name, alg, p, err)
 					}
-					var m0, m1 runtime.MemStats
-					runtime.ReadMemStats(&m0)
-					dur, _, err := timeAdd(as, opt, cfg.reps())
-					if err != nil {
-						return err
-					}
-					runtime.ReadMemStats(&m1)
-					reps := float64(cfg.reps())
-					rep.Cells = append(rep.Cells, BaselineCell{
-						Pattern:     c.pattern,
-						K:           c.k,
-						D:           c.d,
-						Algorithm:   alg.String(),
-						Engine:      p.String(),
-						Monoid:      mon.Name,
-						Seconds:     dur.Seconds(),
-						NNZIn:       in,
-						NNZOut:      b.NNZ(),
-						AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / reps,
-						BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / reps,
-					})
+					rep.Cells = append(rep.Cells, cell)
 				}
+			}
+		}
+		if ci == 0 {
+			// Schedule sweep (schema 4): the non-default schedules on
+			// the first workload, Hash two-pass, so the resident
+			// executor's scheduling paths have a perf trajectory too
+			// (the Weighted default is the grid above).
+			for _, s := range []core.Schedule{core.ScheduleStatic, core.ScheduleDynamic, core.ScheduleWeightedStealing} {
+				opt := core.Options{Algorithm: core.Hash, Phases: core.PhasesTwoPass, Schedule: s, Threads: cfg.Threads, CacheBytes: cfg.cacheBytes()}
+				cell, err := measureBaselineCell(c, as, in, opt, cfg)
+				if err != nil {
+					return fmt.Errorf("baseline %s schedule %v: %w", c.pattern, s, err)
+				}
+				rep.Cells = append(rep.Cells, cell)
 			}
 		}
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// measureBaselineCell warms one configuration, times it, and samples
+// the allocation deltas of the timed repetitions.
+func measureBaselineCell(c phasesCase, as []*matrix.CSC, in int, opt core.Options, cfg Config) (BaselineCell, error) {
+	b, _, err := core.AddTimed(as, opt) // warm once, then time
+	if err != nil {
+		return BaselineCell{}, err
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	dur, _, err := timeAdd(as, opt, cfg.reps())
+	if err != nil {
+		return BaselineCell{}, err
+	}
+	runtime.ReadMemStats(&m1)
+	reps := float64(cfg.reps())
+	mon := opt.Monoid
+	if mon == nil {
+		mon = ops.Plus
+	}
+	return BaselineCell{
+		Pattern:     c.pattern,
+		K:           c.k,
+		D:           c.d,
+		Algorithm:   opt.Algorithm.String(),
+		Engine:      opt.Phases.String(),
+		Monoid:      mon.Name,
+		Schedule:    opt.Schedule.String(),
+		Seconds:     dur.Seconds(),
+		NNZIn:       in,
+		NNZOut:      b.NNZ(),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / reps,
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / reps,
+	}, nil
 }

@@ -32,6 +32,8 @@ func Run(name string, cfg Config) error {
 		return Pool(cfg)
 	case "monoid":
 		return Monoid(cfg)
+	case "sched":
+		return Sched(cfg)
 	case "tune":
 		return Tune(cfg)
 	case "ablation":
@@ -44,6 +46,6 @@ func Run(name string, cfg Config) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("bench: unknown experiment %q (want one of %v, \"phases\", \"reuse\", \"pool\", \"monoid\", \"tune\", \"ablation\", or \"all\")", name, Experiments)
+		return fmt.Errorf("bench: unknown experiment %q (want one of %v, \"phases\", \"reuse\", \"pool\", \"monoid\", \"sched\", \"tune\", \"ablation\", or \"all\")", name, Experiments)
 	}
 }

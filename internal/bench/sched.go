@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+
+	"spkadd/internal/core"
+	"spkadd/internal/generate"
+	"spkadd/internal/matrix"
+)
+
+// Sched compares the column-scheduling strategies — static, dynamic,
+// weighted, and weighted with work stealing — across input skew and
+// thread counts, all on resident executors. Weighted partitioning
+// balances predicted per-column work and is exact on uniform ER
+// inputs; RMAT's power-law columns make the prediction miss, which
+// Dynamic fixes with per-chunk coordination everywhere and
+// WeightedStealing fixes only where a worker actually runs dry. The
+// imbalance column is OpStats.LoadImbalance (max/mean per-worker
+// executed weight, 1.0 = perfect); steals counts stolen range
+// suffixes.
+func Sched(cfg Config) error {
+	m := 1 << 17 / cfg.scale()
+	cases := []struct {
+		pattern string
+		k, d    int
+	}{
+		{"ER", 8, 64},
+		{"ER", 32, 128},
+		{"RMAT", 8, 64},
+		{"RMAT", 32, 128},
+	}
+	threads := []int{1, 2, 4, 8}
+	fmt.Fprintf(cfg.Out, "Scheduling: SpKAdd runtime (s) by schedule × skew × threads (Hash, two-pass, m=%d n=64)\n", m)
+	fmt.Fprintf(cfg.Out, "%-16s %-3s", "Workload", "T")
+	for _, s := range core.Schedules {
+		fmt.Fprintf(cfg.Out, " %15v", s)
+	}
+	fmt.Fprintf(cfg.Out, "  %9s %7s\n", "imbal(W)", "steals")
+	for _, c := range cases {
+		o := generate.Opts{Rows: m, Cols: 64, NNZPerCol: c.d, Seed: 71}
+		var as []*matrix.CSC
+		if c.pattern == "RMAT" {
+			as = generate.RMATCollection(c.k, o, generate.Graph500)
+		} else {
+			as = generate.ERCollection(c.k, o)
+		}
+		for _, t := range threads {
+			fmt.Fprintf(cfg.Out, "%-16s %-3d", fmt.Sprintf("%s k=%d d=%d", c.pattern, c.k, c.d), t)
+			runs := cfg.reps() + 2
+			var imbalance float64
+			var steals int64
+			for _, s := range core.Schedules {
+				var stats core.OpStats
+				opt := core.Options{
+					Algorithm: core.Hash, Phases: core.PhasesTwoPass,
+					Schedule: s, Threads: t, CacheBytes: cfg.cacheBytes(), Stats: &stats,
+				}
+				dur, _, err := timeAdd(as, opt, runs)
+				if err != nil {
+					return fmt.Errorf("sched %s %v t=%d: %w", c.pattern, s, t, err)
+				}
+				fmt.Fprintf(cfg.Out, " %15s", fmtDur(dur))
+				switch s {
+				case core.ScheduleWeighted:
+					// A ratio of sums over the runs: scale-invariant.
+					imbalance = stats.LoadImbalance()
+				case core.ScheduleWeightedStealing:
+					// Stats accumulate across every repetition;
+					// normalize so steal counts are comparable across
+					// -reps settings.
+					steals = stats.Steals.Load() / int64(runs)
+				}
+			}
+			fmt.Fprintf(cfg.Out, "  %9.2f %7d\n", imbalance, steals)
+		}
+	}
+	fmt.Fprintln(cfg.Out)
+	return nil
+}

@@ -127,10 +127,13 @@ func (ws *Workspace) addKWay() (*matrix.CSC, PhaseTimings) {
 	// The weights double as the per-column input nnz the symbolic
 	// kernels need, so it is computed exactly once — outside the
 	// timer, where the seed computed it, to keep the Fig 4 phase
-	// split comparable.
+	// split comparable. Reservation (a no-op except under the racy
+	// schedules) stays outside the timers too: it is scratch sizing,
+	// like the workspace growth the timers never saw.
 	ws.fillInputWeights()
+	ws.reserveWorkers(ws.weights, true)
 	symStart := time.Now()
-	runCols(n, ws.t, ws.opt.Schedule, ws.weights, ws.symFn)
+	ws.runCols(n, ws.weights, ws.symFn)
 	pt.Symbolic = time.Since(symStart)
 
 	// Allocate the output in one shot from the symbolic counts.
@@ -141,9 +144,16 @@ func (ws *Workspace) addKWay() (*matrix.CSC, PhaseTimings) {
 	// Numeric phase: fill columns, balanced by output nnz.
 	// (Generic monoids never reach this driver with DropIdentity:
 	// validation pins those to a single-pass engine, so the symbolic
-	// counts always agree with the numeric fill.)
+	// counts always agree with the numeric fill.) SlidingHash reserves
+	// by input nnz: its numeric tables are sized per row-range part of
+	// the input, which can exceed the column's output nnz.
+	numBound := ws.counts
+	if ws.alg == SlidingHash {
+		numBound = ws.weights
+	}
+	ws.reserveWorkers(numBound, false)
 	numStart := time.Now()
-	runCols(n, ws.t, ws.opt.Schedule, ws.counts, ws.numFn)
+	ws.runCols(n, ws.counts, ws.numFn)
 	pt.Numeric = time.Since(numStart)
 	if ws.opt.Stats != nil {
 		ws.opt.Stats.EntriesMoved.Add(nnz)

@@ -166,6 +166,31 @@ func (ar *arena) alloc(n int) ([]matrix.Index, []matrix.Value) {
 	}
 }
 
+// reserve ensures some chunk has capacity for a single allocation of
+// n entries, so under a racy schedule a worker whose arena never saw
+// the largest column does not allocate for it as long as its staging
+// stays within its chunks. This is a strong guarantee only while a
+// worker's total staged volume fits one chunk (the reserved chunk can
+// be part-filled by smaller columns before the big one arrives);
+// beyond that, appended chunks are recycled on later calls, so racy
+// steady-state allocations are amortized toward zero rather than
+// strictly zero — the workspace-staged engines (two-pass,
+// upper-bound) keep the strict contract at any size.
+func (ar *arena) reserve(n int) {
+	if n < arenaChunkEntries {
+		n = arenaChunkEntries
+	}
+	for i := range ar.chunks {
+		if cap(ar.chunks[i].rows) >= n {
+			return
+		}
+	}
+	ar.chunks = append(ar.chunks, arenaChunk{
+		rows: make([]matrix.Index, 0, n),
+		vals: make([]matrix.Value, 0, n),
+	})
+}
+
 // shrink gives the tail `unused` entries of the most recent alloc back
 // to the chunk, so upper-bound allocations (the heap kernel reserves
 // input nnz before knowing the merged count) don't strand arena space.
@@ -207,9 +232,18 @@ func (ws *Workspace) addFused() (*matrix.CSC, PhaseTimings) {
 	}
 	ws.cols = ws.cols[:n]
 
-	start := time.Now()
 	ws.fillInputWeights()
-	runCols(n, ws.t, ws.opt.Schedule, ws.weights, ws.fusedFn)
+	ws.reserveWorkers(ws.weights, false)
+	if ws.racySched() {
+		// Any column may land on any worker: every participating arena
+		// keeps a chunk the largest column fits in.
+		maxW := int(maxWeight(ws.weights))
+		for i := 0; i < ws.reserveCount(n) && i < len(ws.arenas); i++ {
+			ws.arenas[i].reserve(maxW)
+		}
+	}
+	start := time.Now()
+	ws.runCols(n, ws.weights, ws.fusedFn)
 
 	// Stitch: assemble the final CSC from the per-column extents,
 	// load-balanced by output nnz like the two-pass numeric phase.
@@ -218,7 +252,7 @@ func (ws *Workspace) addFused() (*matrix.CSC, PhaseTimings) {
 	}
 	b := ws.allocOutput(ws.as[0].Rows, n, ws.counts)
 	ws.b = b
-	runCols(n, ws.t, ws.opt.Schedule, ws.counts, ws.stitchFn)
+	ws.runCols(n, ws.counts, ws.stitchFn)
 	pt.Numeric = time.Since(start)
 	if ws.opt.Stats != nil {
 		// EntriesMoved counts materialized matrix storage only (see
@@ -331,8 +365,9 @@ func (ws *Workspace) addUpperBound() (*matrix.CSC, PhaseTimings) {
 	n := ws.as[0].Cols
 	ws.colScratch(n)
 
-	start := time.Now()
 	ws.fillInputWeights()
+	ws.reserveWorkers(ws.weights, false)
+	start := time.Now()
 	ws.ubPtr = grow(ws.ubPtr, n+1)
 	ws.ubPtr[0] = 0
 	for j := 0; j < n; j++ {
@@ -341,14 +376,14 @@ func (ws *Workspace) addUpperBound() (*matrix.CSC, PhaseTimings) {
 	total := int(ws.ubPtr[n])
 	ws.stRows = grow(ws.stRows, total)
 	ws.stVals = grow(ws.stVals, total)
-	runCols(n, ws.t, ws.opt.Schedule, ws.weights, ws.ubFn)
+	ws.runCols(n, ws.weights, ws.ubFn)
 
 	// Compact: copy each column's filled prefix to its final position.
 	// Out of place — final extents can overlap staged extents of other
 	// columns, so in-place parallel moves would race.
 	b := ws.allocOutput(ws.as[0].Rows, n, ws.counts)
 	ws.b = b
-	runCols(n, ws.t, ws.opt.Schedule, ws.counts, ws.compactFn)
+	ws.runCols(n, ws.counts, ws.compactFn)
 	pt.Numeric = time.Since(start)
 	if ws.opt.Stats != nil {
 		ws.opt.Stats.EntriesMoved.Add(b.ColPtr[n])

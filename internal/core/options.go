@@ -15,6 +15,7 @@ import (
 
 	"spkadd/internal/hashtab"
 	"spkadd/internal/ops"
+	"spkadd/internal/sched"
 )
 
 // Algorithm selects the SpKAdd implementation.
@@ -92,7 +93,37 @@ const (
 	ScheduleStatic
 	// ScheduleDynamic uses atomic chunk claiming.
 	ScheduleDynamic
+	// ScheduleWeightedStealing starts from the same contiguous
+	// weighted ranges as ScheduleWeighted, but workers claim their
+	// range in geometrically shrinking chunks and idle workers steal
+	// the suffix half of the most-loaded peer's remaining range. The
+	// weighted partition balances predicted work; on RMAT-skewed
+	// columns the prediction error concentrates in a few workers and
+	// the phase waits for the slowest of them — stealing closes that
+	// tail without ScheduleDynamic's per-chunk shared-counter traffic
+	// on well-predicted (uniform) inputs.
+	ScheduleWeightedStealing
 )
+
+var scheduleNames = map[Schedule]string{
+	ScheduleWeighted:         "Weighted",
+	ScheduleStatic:           "Static",
+	ScheduleDynamic:          "Dynamic",
+	ScheduleWeightedStealing: "WeightedStealing",
+}
+
+// String returns the schedule's display name.
+func (s Schedule) String() string {
+	if n, ok := scheduleNames[s]; ok {
+		return n
+	}
+	return "Unknown"
+}
+
+// Schedules lists every scheduling strategy.
+var Schedules = []Schedule{
+	ScheduleWeighted, ScheduleStatic, ScheduleDynamic, ScheduleWeightedStealing,
+}
 
 // Phases selects the execution engine that drives the k-way
 // algorithms (Heap, SPA, Hash): how many passes the driver takes over
@@ -185,6 +216,17 @@ type Options struct {
 	LoadFactor float64
 	// Schedule selects the column scheduling strategy.
 	Schedule Schedule
+	// Executor, when non-nil, runs every parallel phase of the call on
+	// the given resident worker pool instead of the workspace-owned
+	// default. Sharing one budgeted Executor across many Adders,
+	// Accumulators or a Pool's reductions puts all their parallel
+	// regions under one global concurrency budget: regions serialize
+	// on the shared pool and never exceed its worker budget, instead
+	// of each caller parking (or, worse, spawning) its own
+	// GOMAXPROCS-sized worker set. nil selects the pooled default —
+	// the executor resident in the call's Workspace, recycled across
+	// calls exactly like the rest of the scratch.
+	Executor *sched.Executor
 	// Phases selects the execution engine for the k-way algorithms:
 	// the classic two-pass symbolic+numeric driver, the single-pass
 	// fused arena engine, or the single-pass upper-bound engine. The
@@ -255,6 +297,45 @@ type OpStats struct {
 	// is where that resolution — and the fast-path/generic-path split
 	// it implies — becomes observable.
 	monoidUsed atomic.Pointer[ops.Monoid]
+	// Steals counts range suffixes the WeightedStealing schedule moved
+	// from a busy worker to an idle one, across all recorded regions.
+	Steals atomic.Int64
+	// SchedRegions counts the multi-worker parallel regions (one per
+	// phase per addition: symbolic, numeric, fused pass, stitch, ...)
+	// the executor dispatched; single-worker phases run inline and are
+	// not regions. SchedMaxWeight and SchedMeanWeight accumulate each
+	// region's maximum and mean per-worker executed weight — the
+	// caller's column weights under the weighted schedules, column
+	// counts otherwise — so LoadImbalance reports the observed balance.
+	SchedRegions    atomic.Int64
+	SchedMaxWeight  atomic.Int64
+	SchedMeanWeight atomic.Int64
+}
+
+// RecordRegion folds one parallel region's load statistics into the
+// scheduling counters. Regions that ran inline on a single worker
+// (Workers <= 1) carry no balance information and are skipped.
+func (s *OpStats) RecordRegion(ls sched.LoadStats) {
+	if ls.Workers <= 1 {
+		return
+	}
+	s.SchedRegions.Add(1)
+	s.SchedMaxWeight.Add(ls.Max)
+	s.SchedMeanWeight.Add(ls.Mean)
+	s.Steals.Add(ls.Steals)
+}
+
+// LoadImbalance returns the accumulated max-over-mean per-worker
+// weight across all recorded regions: 1.0 is a perfectly balanced
+// run, k means the slowest worker carried k times the average — the
+// factor by which imbalance stretches the phases' critical path. With
+// no multi-worker regions recorded it returns 1.
+func (s *OpStats) LoadImbalance() float64 {
+	mean := s.SchedMeanWeight.Load()
+	if mean == 0 {
+		return 1
+	}
+	return float64(s.SchedMaxWeight.Load()) / float64(mean)
 }
 
 // RecordEngine notes the engine a dispatched addition resolved to.

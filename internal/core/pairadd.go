@@ -8,17 +8,18 @@ import (
 )
 
 // pairAddMerge adds two CSC matrices with sorted columns using the
-// linear ColAdd merge of Algorithm 1, parallel over columns. The
-// result has sorted columns. This is the specialised 2-way addition
-// the paper's "2-way Incremental" and "2-way Tree" rows use.
-func pairAddMerge(a, b *matrix.CSC, opt Options) *matrix.CSC {
+// linear ColAdd merge of Algorithm 1, parallel over columns on the
+// caller's executor. The result has sorted columns. This is the
+// specialised 2-way addition the paper's "2-way Incremental" and
+// "2-way Tree" rows use.
+func pairAddMerge(a, b *matrix.CSC, opt Options, ex *sched.Executor) *matrix.CSC {
 	t := sched.Threads(opt.Threads)
 	n := a.Cols
 	out := &matrix.CSC{Rows: a.Rows, Cols: n, ColPtr: make([]int64, n+1)}
 
 	// Symbolic pass: count merged entries per column.
 	counts := make([]int64, n)
-	runCols(n, t, opt.Schedule, pairWeights(a, b), func(_ int, lo, hi int) {
+	runColsOn(ex, n, t, opt.Schedule, pairWeights(a, b), opt.Stats, func(_ int, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			counts[j] = int64(mergeCount(a.ColRows(j), b.ColRows(j)))
 		}
@@ -31,7 +32,7 @@ func pairAddMerge(a, b *matrix.CSC, opt Options) *matrix.CSC {
 	out.Val = make([]matrix.Value, nnz)
 
 	// Numeric pass: merge into the preallocated slices.
-	runCols(n, t, opt.Schedule, counts, func(_ int, lo, hi int) {
+	runColsOn(ex, n, t, opt.Schedule, counts, opt.Stats, func(_ int, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			olo, ohi := out.ColPtr[j], out.ColPtr[j+1]
 			mergeInto(
@@ -52,7 +53,7 @@ func pairAddMerge(a, b *matrix.CSC, opt Options) *matrix.CSC {
 // the constant factors of a library routine that cannot exploit the
 // problem structure — the repository's stand-in for the paper's
 // MKL-based 2-way baselines (mkl_sparse_d_add).
-func pairAddMap(a, b *matrix.CSC, opt Options) *matrix.CSC {
+func pairAddMap(a, b *matrix.CSC, opt Options, ex *sched.Executor) *matrix.CSC {
 	t := sched.Threads(opt.Threads)
 	n := a.Cols
 	// Accumulate each column in a map, then emit sorted entries.
@@ -61,7 +62,7 @@ func pairAddMap(a, b *matrix.CSC, opt Options) *matrix.CSC {
 		vals []matrix.Value
 	}
 	cols := make([]col, n)
-	runCols(n, t, opt.Schedule, pairWeights(a, b), func(_ int, lo, hi int) {
+	runColsOn(ex, n, t, opt.Schedule, pairWeights(a, b), opt.Stats, func(_ int, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			acc := make(map[matrix.Index]matrix.Value)
 			for _, src := range []*matrix.CSC{a, b} {
@@ -111,19 +112,43 @@ func pairWeights(a, b *matrix.CSC) []int64 {
 	return w
 }
 
-// runCols dispatches columns [0, n) to workers under the configured
-// schedule. weights may be nil for Static/Dynamic schedules.
-func runCols(n, t int, s Schedule, weights []int64, body func(worker, lo, hi int)) {
+// runColsOn dispatches columns [0, n) to workers of the given
+// resident executor under the configured schedule, recording the
+// region's load statistics into stats (when non-nil). weights may be
+// nil for the Static and Dynamic schedules; weighted schedules
+// without weights fall back to Static. Single-worker regions (t <= 1,
+// one column, or a nil executor) run inline on the caller, unrecorded
+// — they carry no balance information and must stay free of locking
+// so a Threads==1 reduction (every multi-shard Pool) pays nothing.
+func runColsOn(ex *sched.Executor, n, t int, s Schedule, weights []int64, stats *OpStats, body func(worker, lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	t = sched.Threads(t)
+	if t <= 1 || n == 1 || ex == nil {
+		body(0, 0, n)
+		return
+	}
+	var ls sched.LoadStats
 	switch s {
 	case ScheduleStatic:
-		sched.Static(n, t, body)
+		ls = ex.Static(n, t, body)
 	case ScheduleDynamic:
-		sched.Dynamic(n, t, 0, body)
+		ls = ex.Dynamic(n, t, 0, body)
+	case ScheduleWeightedStealing:
+		if weights == nil {
+			ls = ex.Static(n, t, body)
+		} else {
+			ls = ex.WeightedStealing(weights, t, body)
+		}
 	default:
 		if weights == nil {
-			sched.Static(n, t, body)
-			return
+			ls = ex.Static(n, t, body)
+		} else {
+			ls = ex.Weighted(weights, t, body)
 		}
-		sched.Weighted(weights, t, body)
+	}
+	if stats != nil {
+		stats.RecordRegion(ls)
 	}
 }

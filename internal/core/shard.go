@@ -55,8 +55,12 @@ type PoolOptions struct {
 	// Add are the Options for the per-shard reductions. When Threads
 	// is unset and the pool has more than one shard, reductions run
 	// single-threaded: the shards themselves are the parallelism, and
-	// letting every reducer spawn GOMAXPROCS workers would
-	// oversubscribe the machine.
+	// letting every reducer run GOMAXPROCS workers would oversubscribe
+	// the machine. Internally parallel reductions each run on their
+	// shard workspace's resident executor; set Add.Executor to place
+	// every shard's reductions under one caller-wide worker budget
+	// instead — noting that regions on a shared executor serialize,
+	// trading reduction throughput for a hard concurrency cap.
 	Add Options
 }
 

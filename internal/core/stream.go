@@ -51,10 +51,14 @@ type Accumulator struct {
 	reductions   int
 
 	// ws is the accumulator's resident workspace: every reduction
-	// reuses its scratch structures, and the running sum lives in the
-	// workspace's recycled (ping-pong) output buffers — the previous
-	// sum is always an input to the next reduction, which writes the
-	// other buffer, so no reduction reads storage it is overwriting.
+	// reuses its scratch structures — including the workspace's
+	// resident executor, so multi-threaded reductions reuse parked
+	// workers instead of spawning goroutines per flush (set
+	// Options.Executor to share a worker budget with other callers) —
+	// and the running sum lives in the workspace's recycled
+	// (ping-pong) output buffers: the previous sum is always an input
+	// to the next reduction, which writes the other buffer, so no
+	// reduction reads storage it is overwriting.
 	ws *Workspace
 	// batch is the reusable [sum, pending...] input slice.
 	batch []*matrix.CSC

@@ -1,19 +1,24 @@
 package core
 
-import "spkadd/internal/matrix"
+import (
+	"spkadd/internal/matrix"
+	"spkadd/internal/sched"
+)
 
 // pairAdder is a 2-way addition routine: merge-based (specialised) or
-// map-based (library stand-in).
-type pairAdder func(a, b *matrix.CSC, opt Options) *matrix.CSC
+// map-based (library stand-in). Every pair addition of a driver runs
+// its parallel passes on the same resident executor, so a k-way 2-way
+// baseline spawns no goroutines after the first pair.
+type pairAdder func(a, b *matrix.CSC, opt Options, ex *sched.Executor) *matrix.CSC
 
 // addIncremental implements Algorithm 1: B <- A1, then B <- B + A_i
 // for i = 2..k. The i-th step costs the cumulative nnz, giving the
 // O(k^2 nd) behaviour of Table I.
-func addIncremental(as []*matrix.CSC, opt Options, add pairAdder) *matrix.CSC {
+func addIncremental(as []*matrix.CSC, opt Options, ex *sched.Executor, add pairAdder) *matrix.CSC {
 	b := as[0]
 	owned := false // don't mutate the caller's first matrix
 	for i := 1; i < len(as); i++ {
-		b = add(b, as[i], opt)
+		b = add(b, as[i], opt, ex)
 		owned = true
 	}
 	if !owned {
@@ -24,7 +29,7 @@ func addIncremental(as []*matrix.CSC, opt Options, add pairAdder) *matrix.CSC {
 
 // addTree implements the balanced 2-way tree of Fig 1(c): inputs at
 // the leaves, pairwise additions up lg k levels, O(knd lg k) work.
-func addTree(as []*matrix.CSC, opt Options, add pairAdder) *matrix.CSC {
+func addTree(as []*matrix.CSC, opt Options, ex *sched.Executor, add pairAdder) *matrix.CSC {
 	level := make([]*matrix.CSC, len(as))
 	copy(level, as)
 	owned := make([]bool, len(as)) // whether level[i] is an intermediate we created
@@ -33,7 +38,7 @@ func addTree(as []*matrix.CSC, opt Options, add pairAdder) *matrix.CSC {
 		next := make([]*matrix.CSC, half)
 		nextOwned := make([]bool, half)
 		for i := 0; i < len(level)/2; i++ {
-			next[i] = add(level[2*i], level[2*i+1], opt)
+			next[i] = add(level[2*i], level[2*i+1], opt, ex)
 			nextOwned[i] = true
 		}
 		if len(level)%2 == 1 {

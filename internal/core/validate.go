@@ -69,6 +69,11 @@ type plan struct {
 	alg      Algorithm
 	engine   Phases
 	sortedIn bool
+	// schedule is the resolved column-scheduling strategy:
+	// Options.Schedule, with out-of-range values normalized to the
+	// ScheduleWeighted default here so every entry point (and the
+	// runCols dispatch) agrees on what an unknown value means.
+	schedule Schedule
 	// copyOne marks the single-input shortcut: the sum of one matrix
 	// under Plus is a plain copy, taken before algorithm-specific
 	// checks exactly as the pre-plan code did. Non-Plus monoids skip
@@ -102,6 +107,10 @@ func (o Options) validate(as []*matrix.CSC, coeffs []matrix.Value, premapped int
 	}
 	if err := validateDims(as); err != nil {
 		return p, err
+	}
+	p.schedule = o.Schedule
+	if p.schedule < ScheduleWeighted || p.schedule > ScheduleWeightedStealing {
+		p.schedule = ScheduleWeighted
 	}
 
 	m := o.Monoid

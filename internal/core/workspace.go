@@ -53,6 +53,15 @@ type Workspace struct {
 	outs [2]cscBuf
 	cur  int
 
+	// ownEx is the workspace-resident executor: a pool of parked
+	// worker goroutines plus the partitioning scratch every parallel
+	// phase needs, created on the first multi-threaded call and then
+	// recycled like all other scratch — so a workspace-backed Adder,
+	// Accumulator or Pool shard pays goroutine creation and
+	// partitioning allocation once, not per phase per call. Elastic:
+	// it grows to whatever Threads each call requests.
+	ownEx *sched.Executor
+
 	// Per-call state read by the persistent phase bodies.
 	as       []*matrix.CSC
 	coeffs   []matrix.Value
@@ -61,6 +70,8 @@ type Workspace struct {
 	t        int
 	cache    int64
 	sortedIn bool
+	sch      Schedule        // resolved schedule (plan.schedule)
+	ex       *sched.Executor // Options.Executor, or ownEx
 	b        *matrix.CSC
 	// mon is the call's resolved combine monoid, held by value so
 	// non-Plus calls allocate nothing; monP is the kernel-facing
@@ -164,21 +175,24 @@ func (ws *Workspace) addDispatch(as []*matrix.CSC, p plan, opt Options, coeffs [
 	case TwoWayIncremental, TwoWayTree, MapIncremental, MapTree:
 		// The 2-way baselines ignore Options.Phases entirely; their
 		// native pairwise drivers read inputs like the two-pass engine
-		// and that is what the stats report.
+		// and that is what the stats report. They still run their
+		// parallel passes on the resolved executor — the workspace's
+		// resident pool, or the caller's shared one.
 		if opt.Stats != nil {
 			opt.Stats.RecordEngine(PhasesTwoPass)
 		}
+		ex := ws.executorFor(opt, sched.Threads(opt.Threads))
 		start := time.Now()
 		var b *matrix.CSC
 		switch p.alg {
 		case TwoWayIncremental:
-			b = addIncremental(as, opt, pairAddMerge)
+			b = addIncremental(as, opt, ex, pairAddMerge)
 		case TwoWayTree:
-			b = addTree(as, opt, pairAddMerge)
+			b = addTree(as, opt, ex, pairAddMerge)
 		case MapIncremental:
-			b = addIncremental(as, opt, pairAddMap)
+			b = addIncremental(as, opt, ex, pairAddMap)
 		case MapTree:
-			b = addTree(as, opt, pairAddMap)
+			b = addTree(as, opt, ex, pairAddMap)
 		}
 		pt.Numeric = time.Since(start)
 		return b, pt, nil
@@ -205,6 +219,7 @@ func (ws *Workspace) addDispatch(as []*matrix.CSC, p plan, opt Options, coeffs [
 // read, and sizes the per-worker state slice.
 func (ws *Workspace) begin(as []*matrix.CSC, p plan, opt Options, coeffs []matrix.Value) {
 	ws.as, ws.coeffs, ws.alg, ws.opt, ws.sortedIn = as, coeffs, p.alg, opt, p.sortedIn
+	ws.sch = p.schedule
 	ws.mon = p.mon
 	ws.monP = nil
 	if p.generic {
@@ -212,6 +227,7 @@ func (ws *Workspace) begin(as []*matrix.CSC, p plan, opt Options, coeffs []matri
 	}
 	ws.t = sched.Threads(opt.Threads)
 	ws.cache = opt.cacheBytes()
+	ws.ex = ws.executorFor(opt, ws.t)
 	if ws.t > len(ws.workers) {
 		workers := make([]*workerState, ws.t)
 		copy(workers, ws.workers)
@@ -219,12 +235,111 @@ func (ws *Workspace) begin(as []*matrix.CSC, p plan, opt Options, coeffs []matri
 	}
 }
 
+// executorFor resolves the executor a call's parallel phases run on:
+// the caller's shared pool when Options.Executor is set, the
+// workspace-resident one (created on first need) otherwise. A
+// single-threaded call never touches an executor — runColsOn runs its
+// regions inline — so a workspace that only ever serves Threads==1
+// calls parks no goroutines at all.
+func (ws *Workspace) executorFor(opt Options, t int) *sched.Executor {
+	if opt.Executor != nil {
+		return opt.Executor
+	}
+	if t > 1 && ws.ownEx == nil {
+		ws.ownEx = sched.NewElasticExecutor()
+	}
+	return ws.ownEx
+}
+
 // end drops the references to caller data so a pooled or idle
 // workspace does not pin input matrices (scratch stays resident —
-// that is the point).
+// that is the point). The per-call Options are dropped whole: they
+// hold the caller's shared Executor (whose runtime cleanup must be
+// able to fire once the caller drops its handle) and Stats; only
+// ownEx stays resident, workers parked, for the next call.
 func (ws *Workspace) end() {
-	ws.as, ws.coeffs, ws.b = nil, nil, nil
+	ws.as, ws.coeffs, ws.b, ws.ex = nil, nil, nil, nil
+	ws.opt = Options{}
 	ws.mon, ws.monP = monoidState{}, nil
+}
+
+// runCols dispatches columns [0, n) to the call's executor under the
+// resolved schedule, recording the region's load statistics into
+// Options.Stats. weights may be nil for the Static and Dynamic
+// schedules; a weighted schedule without weights falls back to Static.
+func (ws *Workspace) runCols(n int, weights []int64, body func(worker, lo, hi int)) {
+	runColsOn(ws.ex, n, ws.t, ws.sch, weights, ws.opt.Stats, body)
+}
+
+// racySched reports whether the call's schedule assigns columns to
+// workers nondeterministically (chunk claiming, stealing): the same
+// call may hand any column to any worker on different runs.
+func (ws *Workspace) racySched() bool {
+	return ws.t > 1 && (ws.sch == ScheduleDynamic || ws.sch == ScheduleWeightedStealing)
+}
+
+// reserveWorkers pre-creates every worker's thread-private scratch
+// and reserves its hash-table storage for the phase's largest
+// per-column bound, under the racy schedules only. The deterministic
+// schedules map columns to workers reproducibly, so a reused
+// workspace's warmup calls have already sized every structure each
+// worker needs; Dynamic and WeightedStealing can hand any column to
+// any worker, and without the reservation a steady-state call could
+// still allocate when the largest column lands on a worker that had
+// not seen it — breaking the Adder's zero-allocation contract for
+// exactly the schedules that exist to fix skew. Reservation only
+// grows backing storage; the per-column probe-window sizing (the
+// cache behaviour the hash algorithms are built around) is untouched.
+func (ws *Workspace) reserveWorkers(bound []int64, sym bool) {
+	if !ws.racySched() {
+		return
+	}
+	maxW := maxWeight(bound)
+	for w := 0; w < ws.reserveCount(len(bound)); w++ {
+		s := ws.worker(w)
+		switch ws.alg {
+		case Hash, SlidingHash:
+			if maxW == 0 {
+				continue
+			}
+			if sym {
+				s.symTableSized(int(maxW))
+			} else {
+				s.hashTableSized(int(maxW))
+			}
+		case SPA:
+			s.spa(ws.as[0].Rows)
+		case Heap:
+			s.kheap(len(ws.as))
+		}
+	}
+}
+
+// reserveCount is how many distinct worker ids a racy phase over n
+// columns can actually run: the call's thread count, capped by the
+// executor's worker budget and the column count — reserving scratch
+// for workers the executor will never wake (a budget-capped shared
+// pool under a larger Threads request) would multiply memory for
+// nothing.
+func (ws *Workspace) reserveCount(n int) int {
+	t := ws.t
+	if b := ws.ex.Budget(); b > 0 && b < t {
+		t = b
+	}
+	if n < t {
+		t = n
+	}
+	return t
+}
+
+func maxWeight(bound []int64) int64 {
+	var m int64
+	for _, v := range bound {
+		if v > m {
+			m = v
+		}
+	}
+	return m
 }
 
 // worker returns worker w's private state, creating it on first use
@@ -253,11 +368,17 @@ func (ws *Workspace) colScratch(n int) {
 // fillInputWeights computes Σ_i nnz(A_i(:,j)) for every column into
 // ws.weights (zeroed by colScratch) — the symbolic load-balancing
 // weights and the staging upper bounds of the single-pass engines.
-// Wide matrices are summed in parallel.
+// Wide matrices are summed in parallel on the call's executor (always
+// statically: the weights this precompute exists to produce are not
+// known yet, and the per-column work is one pointer subtraction per
+// input, uniform by construction).
 func (ws *Workspace) fillInputWeights() {
 	n := ws.as[0].Cols
 	if n >= inputWeightsParallelMin && ws.t > 1 {
-		sched.Static(n, ws.t, ws.weightsFn)
+		ls := ws.ex.Static(n, ws.t, ws.weightsFn)
+		if ws.opt.Stats != nil {
+			ws.opt.Stats.RecordRegion(ls)
+		}
 	} else {
 		ws.weightsBody(0, 0, n)
 	}

@@ -67,6 +67,11 @@ func Span(n, t, w int) (lo, hi int) {
 // (RMAT-like) column distributions.
 func Dynamic(n, t, chunk int, body func(worker, lo, hi int)) {
 	t = Threads(t)
+	if t > n {
+		// Like Static: more workers than indices would spawn goroutines
+		// that claim nothing (t of them for n=1), so clamp.
+		t = n
+	}
 	if n == 0 {
 		return
 	}
@@ -134,10 +139,27 @@ func Weighted(weights []int64, t int, body func(worker, lo, hi int)) {
 // PartitionByWeight returns t+1 boundaries over [0, len(weights)) such
 // that each part carries roughly total/t weight. Boundaries are found
 // by binary search on the prefix-sum array, mirroring the paper's
-// binary-search row partitioning.
+// binary-search row partitioning. When every weight is zero (or
+// negative) the prefix sum carries no balance information and the
+// boundaries fall back to the Span arithmetic — previously every
+// binary search landed on index 0 and the last worker owned all of
+// [0, n) alone.
 func PartitionByWeight(weights []int64, t int) []int {
+	_, bounds := PartitionByWeightInto(weights, t, nil, nil)
+	return bounds
+}
+
+// PartitionByWeightInto is PartitionByWeight with caller-provided
+// scratch: prefix and bounds are reused when large enough (pass the
+// returned slices back in to make repeated partitioning
+// allocation-free) and reallocated otherwise. The returned bounds
+// slice has length t+1; the returned prefix slice holds the
+// weight prefix sums the boundaries were derived from.
+func PartitionByWeightInto(weights []int64, t int, prefix []int64, bounds []int) ([]int64, []int) {
 	n := len(weights)
-	prefix := make([]int64, n+1)
+	prefix = grow(prefix, n+1)
+	bounds = grow(bounds, t+1)
+	prefix[0] = 0
 	for i, w := range weights {
 		if w < 0 {
 			w = 0
@@ -145,16 +167,32 @@ func PartitionByWeight(weights []int64, t int) []int {
 		prefix[i+1] = prefix[i] + w
 	}
 	total := prefix[n]
-	bounds := make([]int, t+1)
+	bounds[0] = 0
 	bounds[t] = n
+	if total == 0 {
+		for w := 1; w < t; w++ {
+			bounds[w], _ = Span(n, t, w)
+		}
+		return prefix, bounds
+	}
 	for w := 1; w < t; w++ {
 		target := total * int64(w) / int64(t)
-		bounds[w] = searchPrefix(prefix, target)
-		if bounds[w] < bounds[w-1] {
-			bounds[w] = bounds[w-1]
+		b := searchPrefix(prefix[:n+1], target)
+		if b < bounds[w-1] {
+			b = bounds[w-1]
 		}
+		bounds[w] = b
 	}
-	return bounds
+	return prefix, bounds
+}
+
+// grow returns s with length n, reusing its storage when large enough.
+// Contents are unspecified; callers overwrite what they read.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // searchPrefix returns the smallest i with prefix[i] >= target.

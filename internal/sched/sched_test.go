@@ -116,6 +116,66 @@ func TestPartitionByWeightMonotone(t *testing.T) {
 	}
 }
 
+func TestDynamicClampsWorkersToN(t *testing.T) {
+	// More workers than indices: only worker ids below n may run (the
+	// old code spawned all t goroutines and let any of them win the
+	// single chunk).
+	for _, n := range []int{1, 2, 3} {
+		var mu sync.Mutex
+		maxW := -1
+		Dynamic(n, 8, 0, func(w, lo, hi int) {
+			mu.Lock()
+			if w > maxW {
+				maxW = w
+			}
+			mu.Unlock()
+		})
+		if maxW >= n {
+			t.Errorf("n=%d: worker id %d ran, want ids < n", n, maxW)
+		}
+	}
+}
+
+func TestWeightedZeroWeightsFallsBackToSpan(t *testing.T) {
+	// All-zero weights used to degenerate to one worker owning [0, n);
+	// they must fall back to Span partitioning instead.
+	const n, th = 12, 4
+	weights := make([]int64, n)
+	var mu sync.Mutex
+	got := map[int][2]int{}
+	Weighted(weights, th, func(w, lo, hi int) {
+		mu.Lock()
+		got[w] = [2]int{lo, hi}
+		mu.Unlock()
+	})
+	if len(got) != th {
+		t.Fatalf("%d workers ran, want %d (Span partitioning)", len(got), th)
+	}
+	for w, r := range got {
+		lo, hi := Span(n, th, w)
+		if r != [2]int{lo, hi} {
+			t.Errorf("worker %d got [%d, %d), want Span [%d, %d)", w, r[0], r[1], lo, hi)
+		}
+	}
+}
+
+func TestPartitionByWeightIntoReusesScratch(t *testing.T) {
+	weights := []int64{5, 1, 1, 1, 8, 1, 1, 1}
+	prefix, bounds := PartitionByWeightInto(weights, 4, nil, nil)
+	want := PartitionByWeight(weights, 4)
+	for i := range want {
+		if bounds[i] != want[i] {
+			t.Fatalf("Into bounds %v differ from wrapper %v", bounds[:len(want)], want)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		prefix, bounds = PartitionByWeightInto(weights, 4, prefix, bounds)
+	})
+	if allocs != 0 {
+		t.Errorf("PartitionByWeightInto with adequate scratch allocates %.1f times, want 0", allocs)
+	}
+}
+
 func TestWorkerIDsDistinct(t *testing.T) {
 	// Each concurrent worker must receive a distinct id so callers can
 	// index per-worker state safely.

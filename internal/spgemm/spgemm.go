@@ -27,6 +27,12 @@ type Options struct {
 	// LoadFactor bounds accumulator occupancy. Valid range (0, 1];
 	// <=0 means 0.5, values above 1 clamp to 1.0.
 	LoadFactor float64
+	// Executor, when non-nil, runs both parallel phases on the given
+	// resident worker pool instead of spawning goroutines per phase —
+	// the same sharing contract as the SpKAdd Options.Executor, used
+	// by the SUMMA simulation to keep one worker set across every
+	// process's multiply and reduction.
+	Executor *sched.Executor
 }
 
 func (o Options) loadFactor() float64 {
@@ -66,7 +72,17 @@ func Mul(a, b *matrix.CSC, opt Options) (*matrix.CSC, error) {
 		}
 		return workers[w]
 	}
-	sched.Weighted(flops, t, func(w, lo, hi int) {
+	// Both phases run weighted — flops bound the symbolic work, exact
+	// counts the numeric work — on the caller's resident executor when
+	// one is provided.
+	runWeighted := func(weights []int64, body func(w, lo, hi int)) {
+		if opt.Executor != nil {
+			opt.Executor.Weighted(weights, t, body)
+			return
+		}
+		sched.Weighted(weights, t, body)
+	}
+	runWeighted(flops, func(w, lo, hi int) {
 		ws := getWorker(w)
 		for j := lo; j < hi; j++ {
 			if flops[j] == 0 {
@@ -96,7 +112,7 @@ func Mul(a, b *matrix.CSC, opt Options) (*matrix.CSC, error) {
 	c.Val = make([]matrix.Value, nnz)
 
 	// Numeric phase: accumulate a(:,k)*b(k,j) into hash tables.
-	sched.Weighted(counts, t, func(w, lo, hi int) {
+	runWeighted(counts, func(w, lo, hi int) {
 		ws := getWorker(w)
 		for j := lo; j < hi; j++ {
 			need := int(counts[j])

@@ -20,6 +20,7 @@ import (
 
 	"spkadd/internal/core"
 	"spkadd/internal/matrix"
+	"spkadd/internal/sched"
 	"spkadd/internal/spgemm"
 )
 
@@ -136,13 +137,21 @@ func Run(a, b *matrix.CSC, cfg Config) (*matrix.CSC, Report, error) {
 	// In sequential mode one workspace serves every process's
 	// reduction in turn, so the g*g SpKAdds share their scratch
 	// structures across stages (a real rank would likewise keep its
-	// scratch resident across SUMMA iterations). Output recycling
-	// stays off: each reduced block is retained for assembly. In
-	// concurrent mode the processes draw pooled workspaces through
-	// core.Add instead.
+	// scratch resident across SUMMA iterations), and one resident
+	// executor serves every process's multiply and reduction phases —
+	// the whole process loop spawns no per-phase goroutines. Output
+	// recycling stays off: each reduced block is retained for
+	// assembly. In concurrent mode the processes draw pooled
+	// workspaces (each with its own resident executor) through
+	// core.Add instead; sharing one executor there would serialize the
+	// concurrent processes' phases.
 	var addWS *core.Workspace
 	if cfg.Sequential {
 		addWS = core.NewWorkspace(false)
+		ex := sched.NewExecutor(cfg.Threads)
+		defer ex.Close()
+		mulOpt.Executor = ex
+		addOpt.Executor = ex
 	}
 
 	process := func(i, j int, recvA <-chan *matrix.CSC, recvB <-chan *matrix.CSC) result {

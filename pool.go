@@ -36,7 +36,11 @@ type Pool = core.Pool
 // PoolOptions configure NewPool: shard count (default
 // min(GOMAXPROCS, cols)), total reduction budget in bytes (divided
 // among shards; <=0 means 256MB), and the Options each per-shard
-// reduction runs with.
+// reduction runs with. Internally parallel reductions each run on
+// their shard workspace's resident Executor; set Add.Executor to
+// place every shard's reductions under one caller-wide worker budget
+// instead (regions on a shared Executor serialize, trading reduction
+// throughput for a hard concurrency cap).
 type PoolOptions = core.PoolOptions
 
 // NewPool returns a sharded accumulation pool for rows x cols

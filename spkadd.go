@@ -7,6 +7,7 @@ import (
 	"spkadd/internal/generate"
 	"spkadd/internal/matrix"
 	"spkadd/internal/ops"
+	"spkadd/internal/sched"
 	"spkadd/internal/spgemm"
 	"spkadd/internal/summa"
 )
@@ -122,7 +123,29 @@ const (
 	ScheduleStatic = core.ScheduleStatic
 	// ScheduleDynamic uses atomic chunk claiming.
 	ScheduleDynamic = core.ScheduleDynamic
+	// ScheduleWeightedStealing is weighted partitioning with work
+	// stealing: idle workers take the suffix half of the most-loaded
+	// peer's remaining range, closing the tail-latency gap a
+	// mispredicted weighted partition leaves on skewed (RMAT-like)
+	// inputs without ScheduleDynamic's per-chunk coordination cost on
+	// uniform ones.
+	ScheduleWeightedStealing = core.ScheduleWeightedStealing
 )
+
+// Executor is a resident worker pool: persistent goroutines parked
+// between parallel phases, plus reusable scheduling scratch. Every
+// Adder, Accumulator and Pool already keeps one resident in its
+// workspace; create one explicitly (and set Options.Executor) to
+// share a single worker budget across many of them — concurrent
+// callers then take turns on the same workers instead of each parking
+// a GOMAXPROCS-sized set. Close releases the workers; an unreachable
+// executor is cleaned up by the runtime.
+type Executor = sched.Executor
+
+// NewExecutor returns a resident executor with a fixed worker budget
+// of t (t < 1 means GOMAXPROCS): no parallel phase run on it uses
+// more than t workers, whatever Threads its caller requests.
+func NewExecutor(t int) *Executor { return sched.NewExecutor(t) }
 
 // Errors returned by Add.
 var (
