@@ -1,6 +1,7 @@
 package spkadd
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 
@@ -41,9 +42,21 @@ var ErrAdderInUse = errors.New("spkadd: Adder used from multiple goroutines conc
 // An Adder is not safe for concurrent use. Calls overlapping in time
 // return ErrAdderInUse rather than corrupting state. The zero value
 // is ready to use.
+//
+// Panics inside an addition (a caller mutating inputs mid-call, an
+// injected fault, an invariant check firing) do not kill the process:
+// they are recovered at the nearest region boundary and surface as a
+// *PanicError. A panicked Adder is poisoned — its workspace held
+// half-accumulated state and is quarantined, and every later call
+// returns the same sticky *PanicError — because results computed on
+// corrupt scratch would be silently wrong. Discard it and build a new
+// one.
 type Adder struct {
 	busy atomic.Bool
 	ws   *core.Workspace
+	// err is the sticky poison error: the first *PanicError a call
+	// returned. Only read/written while busy is held.
+	err error
 }
 
 // NewAdder returns an Adder with its workspace pre-created. The first
@@ -62,6 +75,11 @@ func (ad *Adder) acquire() (*core.Workspace, error) {
 	if !ad.busy.CompareAndSwap(false, true) {
 		return nil, ErrAdderInUse
 	}
+	if ad.err != nil {
+		err := ad.err
+		ad.busy.Store(false)
+		return nil, err
+	}
 	if ad.ws == nil {
 		ad.ws = core.NewWorkspace(true)
 	}
@@ -69,6 +87,24 @@ func (ad *Adder) acquire() (*core.Workspace, error) {
 }
 
 func (ad *Adder) release() { ad.busy.Store(false) }
+
+// note records a finished call's error, poisoning the Adder when it
+// carries a recovered panic: the workspace's scratch — and possibly
+// the resident output buffers — are mid-kernel garbage, so it is
+// quarantined rather than reused. Called while busy is held.
+func (ad *Adder) note(err error) {
+	if err == nil {
+		return
+	}
+	// pe is declared after the nil check: its address escapes into
+	// errors.As, and hoisting the heap allocation to function entry
+	// would cost the zero-alloc steady state one object per call.
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		ad.err = err
+		ad.ws = nil
+	}
+}
 
 // Add computes the sum of the given matrices like the package-level
 // Add, reusing the Adder's scratch and output storage. The result is
@@ -80,7 +116,25 @@ func (ad *Adder) Add(as []*Matrix, opt Options) (*Matrix, error) {
 		return nil, err
 	}
 	defer ad.release()
-	return ws.Add(as, opt)
+	b, err := ws.Add(as, opt)
+	ad.note(err)
+	return b, err
+}
+
+// AddContext is Add with cooperative cancellation: the engines check
+// ctx at phase boundaries and abandon the call with an error wrapping
+// ErrCanceled or ErrDeadline. Cancellation is clean — no result is
+// installed, the Adder's scratch stays reusable, and the next call
+// proceeds normally.
+func (ad *Adder) AddContext(ctx context.Context, as []*Matrix, opt Options) (*Matrix, error) {
+	ws, err := ad.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer ad.release()
+	b, err := ws.AddContext(ctx, as, opt)
+	ad.note(err)
+	return b, err
 }
 
 // AddTimed is Add, additionally reporting the symbolic/numeric phase
@@ -91,7 +145,9 @@ func (ad *Adder) AddTimed(as []*Matrix, opt Options) (*Matrix, PhaseTimings, err
 		return nil, PhaseTimings{}, err
 	}
 	defer ad.release()
-	return ws.AddTimed(as, opt)
+	b, pt, err := ws.AddTimed(as, opt)
+	ad.note(err)
+	return b, pt, err
 }
 
 // AddScaled computes the weighted sum B = Σ coeffs[i]·A_i like the
@@ -103,5 +159,7 @@ func (ad *Adder) AddScaled(as []*Matrix, coeffs []Value, opt Options) (*Matrix, 
 		return nil, err
 	}
 	defer ad.release()
-	return ws.AddScaled(as, coeffs, opt)
+	b, err := ws.AddScaled(as, coeffs, opt)
+	ad.note(err)
+	return b, err
 }

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"testing"
 
+	"spkadd/internal/faults"
+
 	"spkadd"
 	"spkadd/internal/cachesim"
 	"spkadd/internal/core"
@@ -406,6 +408,40 @@ func BenchmarkAdderReuseSched(b *testing.B) {
 		for _, p := range []spkadd.Phases{spkadd.PhasesTwoPass, spkadd.PhasesFused, spkadd.PhasesUpperBound} {
 			opt := spkadd.Options{Algorithm: spkadd.Hash, Phases: p, Schedule: s, SortedOutput: true}
 			b.Run(fmt.Sprintf("%v/%v", s, p), func(b *testing.B) {
+				ad := spkadd.NewAdder()
+				for warm := 0; warm < 3; warm++ {
+					if _, err := ad.Add(as, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ad.Add(as, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAdderReuseFaultsOff gates the fault-injection harness's
+// disabled cost: the injection sites (internal/faults) are compiled
+// into the kernels and the executor permanently, and with no injector
+// active a warmed Adder must still report exactly 0 allocs/op — one
+// atomic load per site, nothing more. CI greps it with the other
+// reuse benchmarks; nonzero allocs/op fails the build. The sched rows
+// additionally cross the executor's WorkerStall site.
+func BenchmarkAdderReuseFaultsOff(b *testing.B) {
+	if faults.Active() != nil {
+		b.Fatal("an injector is active; this benchmark gates the disabled path")
+	}
+	as := adderReuseInputs()
+	for _, p := range []spkadd.Phases{spkadd.PhasesTwoPass, spkadd.PhasesFused, spkadd.PhasesUpperBound} {
+		for _, threads := range []int{1, 4} {
+			opt := spkadd.Options{Algorithm: spkadd.Hash, Phases: p, SortedOutput: true, Threads: threads}
+			b.Run(fmt.Sprintf("%v/T=%d", p, threads), func(b *testing.B) {
 				ad := spkadd.NewAdder()
 				for warm := 0; warm < 3; warm++ {
 					if _, err := ad.Add(as, opt); err != nil {

@@ -145,6 +145,43 @@
 // count. OpStats reports per-phase load balance (LoadImbalance,
 // Steals). See DESIGN.md §9.
 //
+// # Errors, cancellation and failure containment
+//
+// Validation failures are sentinel errors matched with errors.Is:
+// ErrNoInputs (empty collection), ErrDimMismatch (inputs disagree on
+// shape), ErrUnsortedInput (Heap or the 2-way baselines fed unsorted
+// columns), ErrCoeffsRequirePlus (AddScaled with a non-Plus monoid),
+// ErrMonoidUnsupported (a non-Plus monoid on a 2-way baseline), and
+// the misuse sentinels ErrAdderInUse, ErrAccumulatorInUse and
+// ErrPoolClosed (a push after Close, or a second Close).
+//
+// Long-running operations take contexts: AddContext, the Adder's and
+// Accumulator's context variants, and the Pool's PushContext
+// (backpressure waits), SumContext (drain barriers) and CloseContext
+// (shutdown). A context that ends mid-operation surfaces as
+// ErrCanceled or ErrDeadline, each also matching the standard
+// context.Canceled / context.DeadlineExceeded. Cancellation never
+// corrupts state: a canceled reduction leaves the running sum and all
+// pending inputs as they were, and the next uncanceled call picks the
+// work back up.
+//
+// Panics inside the streaming stack — a kernel, an executor worker, a
+// shard reducer — are recovered at the nearest fault boundary and
+// returned as a *PanicError (panic value plus stack) instead of
+// killing the process. Because the interrupted scratch state is
+// indeterminate, the owning Adder or Accumulator is poisoned: its
+// workspace is quarantined and every later call reports the same
+// sticky error; build a fresh one to continue. A Pool contains the
+// damage to the shard that hit it: ordinary reduction errors retry up
+// to PoolOptions.MaxRetries with jittered exponential backoff before
+// marking the shard degraded, panics poison the shard immediately,
+// and in either case the remaining shards keep serving. Sum then
+// returns every shard's last good columns together with one
+// *ShardError per failed shard (naming its column range), and
+// Pool.Health reports each shard's state — HealthOK, HealthDegraded
+// or HealthPoisoned. OpStats counts PanicsRecovered, Retries and the
+// health transitions. See DESIGN.md §11 for the full failure model.
+//
 // Matrices are in compressed sparse column (CSC) form with 32-bit
 // indices and float64 values; everything applies symmetrically to CSR
 // (transpose the interpretation). Inputs may have unsorted columns for

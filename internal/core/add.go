@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
+	"spkadd/internal/faults"
 	"spkadd/internal/matrix"
 	"spkadd/internal/sched"
 )
@@ -38,12 +40,27 @@ func Add(as []*matrix.CSC, opt Options) (*matrix.CSC, error) {
 func AddTimed(as []*matrix.CSC, opt Options) (*matrix.CSC, PhaseTimings, error) {
 	ws := wsPool.Get().(*Workspace)
 	b, pt, err := ws.AddTimed(as, opt)
-	// Put on the normal return path only: if a kernel panicked (a
-	// caller mutating inputs mid-call, an invariant check firing), the
-	// workspace holds half-accumulated state and a deferred Put would
-	// feed it to an unrelated future caller as silent corruption.
-	wsPool.Put(ws)
+	// Put only when the workspace is known clean: if a kernel panicked
+	// (a caller mutating inputs mid-call, an invariant check firing) —
+	// surfaced as a *PanicError now that parallel regions recover — the
+	// workspace holds half-accumulated state and pooling it would feed
+	// that to an unrelated future caller as silent corruption.
+	if !isPanicErr(err) {
+		wsPool.Put(ws)
+	}
 	return b, pt, err
+}
+
+// AddContext is Add with cooperative cancellation: the engines check
+// ctx at phase boundaries and abandon the call with an error wrapping
+// ErrCanceled (or ErrDeadline), leaving no partial result.
+func AddContext(ctx context.Context, as []*matrix.CSC, opt Options) (*matrix.CSC, error) {
+	ws := wsPool.Get().(*Workspace)
+	b, err := ws.AddContext(ctx, as, opt)
+	if !isPanicErr(err) {
+		wsPool.Put(ws)
+	}
+	return b, err
 }
 
 // AddScaled computes the weighted sum B = Σ coeffs[i] * A_i, the form
@@ -54,7 +71,9 @@ func AddTimed(as []*matrix.CSC, opt Options) (*matrix.CSC, PhaseTimings, error) 
 func AddScaled(as []*matrix.CSC, coeffs []matrix.Value, opt Options) (*matrix.CSC, error) {
 	ws := wsPool.Get().(*Workspace)
 	b, err := ws.AddScaled(as, coeffs, opt)
-	wsPool.Put(ws) // normal return path only; see AddTimed
+	if !isPanicErr(err) { // see AddTimed
+		wsPool.Put(ws)
+	}
 	return b, err
 }
 
@@ -72,6 +91,21 @@ func validateDims(as []*matrix.CSC) error {
 		}
 	}
 	return nil
+}
+
+// kernelFault is the numeric kernels' fault-injection site, at the top
+// of every single- and two-pass numeric body. The faultKey is the
+// caller's fault zone (a pool shard's 1-based index, 0 for direct
+// calls), so a chaos schedule can target one shard's kernels. Disabled
+// cost: one atomic load per region chunk.
+func (ws *Workspace) kernelFault() {
+	key := ws.opt.faultKey
+	if faults.Panics(faults.PanicInKernel, key) {
+		if ws.opt.Stats != nil {
+			ws.opt.Stats.FaultsInjected.Add(1)
+		}
+		panic(faults.InjectedPanic{Point: faults.PanicInKernel, Key: key})
+	}
 }
 
 func unsortedErr(alg Algorithm) error {
@@ -118,10 +152,13 @@ func autoSelect(as []*matrix.CSC, opt Options, sortedIn bool) Algorithm {
 // column independently (load-balanced by output nnz). This is the
 // parallelization strategy of §III-A: thread-private data structures,
 // no synchronization inside a column.
-func (ws *Workspace) addKWay() (*matrix.CSC, PhaseTimings) {
+func (ws *Workspace) addKWay() (*matrix.CSC, PhaseTimings, error) {
 	var pt PhaseTimings
 	n := ws.as[0].Cols
 	ws.colScratch(n)
+	if err := ws.ctxCheck(); err != nil {
+		return nil, pt, err
+	}
 
 	// Symbolic phase: per-column output sizes, balanced by input nnz.
 	// The weights double as the per-column input nnz the symbolic
@@ -130,11 +167,19 @@ func (ws *Workspace) addKWay() (*matrix.CSC, PhaseTimings) {
 	// split comparable. Reservation (a no-op except under the racy
 	// schedules) stays outside the timers too: it is scratch sizing,
 	// like the workspace growth the timers never saw.
-	ws.fillInputWeights()
+	if err := ws.fillInputWeights(); err != nil {
+		return nil, pt, err
+	}
 	ws.reserveWorkers(ws.weights, true)
 	symStart := time.Now()
-	ws.runCols(n, ws.weights, ws.symFn)
+	err := ws.runCols(n, ws.weights, ws.symFn)
 	pt.Symbolic = time.Since(symStart)
+	if err != nil {
+		return nil, pt, err
+	}
+	if err := ws.ctxCheck(); err != nil {
+		return nil, pt, err
+	}
 
 	// Allocate the output in one shot from the symbolic counts.
 	b := ws.allocOutput(ws.as[0].Rows, n, ws.counts)
@@ -153,12 +198,15 @@ func (ws *Workspace) addKWay() (*matrix.CSC, PhaseTimings) {
 	}
 	ws.reserveWorkers(numBound, false)
 	numStart := time.Now()
-	ws.runCols(n, ws.counts, ws.numFn)
+	err = ws.runCols(n, ws.counts, ws.numFn)
 	pt.Numeric = time.Since(numStart)
+	if err != nil {
+		return nil, pt, err
+	}
 	if ws.opt.Stats != nil {
 		ws.opt.Stats.EntriesMoved.Add(nnz)
 	}
-	return b, pt
+	return b, pt, nil
 }
 
 // symBody is the symbolic phase body: one worker sizing the columns of
@@ -184,6 +232,7 @@ func (ws *Workspace) symBody(w, lo, hi int) {
 // numBody is the numeric phase body: fill the exactly-sized output
 // columns of [lo, hi).
 func (ws *Workspace) numBody(w, lo, hi int) {
+	ws.kernelFault()
 	s, b, mon := ws.worker(w), ws.b, ws.monP
 	for j := lo; j < hi; j++ {
 		outRows := b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]]

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"spkadd/internal/sched"
+)
+
+// ErrCanceled is returned by the context-aware entry points
+// (AddContext, PushContext, SumContext, CloseContext) when their
+// context is canceled. It wraps the context's error, so both
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled)
+// match. Cancellation never corrupts state: a canceled reduction
+// leaves the running sum and all pending inputs exactly as they were,
+// and the next uncanceled call picks the work back up.
+var ErrCanceled = errors.New("spkadd: operation canceled")
+
+// ErrDeadline is the deadline form of ErrCanceled, wrapping
+// context.DeadlineExceeded.
+var ErrDeadline = errors.New("spkadd: deadline exceeded")
+
+// PanicError is a panic recovered inside the streaming stack — in an
+// executor worker, a shard reducer, or an inline kernel — converted to
+// an error at the nearest fault boundary instead of killing the
+// process. See sched.PanicError for the fields.
+type PanicError = sched.PanicError
+
+// ctxErr wraps a context's termination as the typed cancellation
+// error. Callers check ctx.Err() != nil before calling.
+func ctxErr(ctx context.Context) error {
+	cause := context.Cause(ctx)
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadline, cause)
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// isPanicErr reports whether err carries a recovered panic — the one
+// error class after which scratch state (a workspace mid-kernel) is
+// indeterminate and must be quarantined rather than reused.
+func isPanicErr(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}
+
+// recoverToError converts a recovered panic value into a *PanicError,
+// for the recovery layers that guard inline (non-executor) code:
+// shard reducers, the Accumulator's flush, the public Adder.
+func recoverToError(r any) error {
+	return sched.NewPanicError(r, 0)
+}

@@ -215,10 +215,13 @@ type fusedCol struct {
 // then a parallel stitch copies the per-column extents into the final
 // CSC. There is no symbolic phase; PhaseTimings reports all time as
 // Numeric.
-func (ws *Workspace) addFused() (*matrix.CSC, PhaseTimings) {
+func (ws *Workspace) addFused() (*matrix.CSC, PhaseTimings, error) {
 	var pt PhaseTimings
 	n := ws.as[0].Cols
 	ws.colScratch(n)
+	if err := ws.ctxCheck(); err != nil {
+		return nil, pt, err
+	}
 	if ws.t > len(ws.arenas) {
 		arenas := make([]arena, ws.t)
 		copy(arenas, ws.arenas)
@@ -232,7 +235,9 @@ func (ws *Workspace) addFused() (*matrix.CSC, PhaseTimings) {
 	}
 	ws.cols = ws.cols[:n]
 
-	ws.fillInputWeights()
+	if err := ws.fillInputWeights(); err != nil {
+		return nil, pt, err
+	}
 	ws.reserveWorkers(ws.weights, false)
 	if ws.racySched() {
 		// Any column may land on any worker: every participating arena
@@ -243,7 +248,14 @@ func (ws *Workspace) addFused() (*matrix.CSC, PhaseTimings) {
 		}
 	}
 	start := time.Now()
-	ws.runCols(n, ws.weights, ws.fusedFn)
+	if err := ws.runCols(n, ws.weights, ws.fusedFn); err != nil {
+		pt.Numeric = time.Since(start)
+		return nil, pt, err
+	}
+	if err := ws.ctxCheck(); err != nil {
+		pt.Numeric = time.Since(start)
+		return nil, pt, err
+	}
 
 	// Stitch: assemble the final CSC from the per-column extents,
 	// load-balanced by output nnz like the two-pass numeric phase.
@@ -252,14 +264,17 @@ func (ws *Workspace) addFused() (*matrix.CSC, PhaseTimings) {
 	}
 	b := ws.allocOutput(ws.as[0].Rows, n, ws.counts)
 	ws.b = b
-	ws.runCols(n, ws.counts, ws.stitchFn)
+	err := ws.runCols(n, ws.counts, ws.stitchFn)
 	pt.Numeric = time.Since(start)
+	if err != nil {
+		return nil, pt, err
+	}
 	if ws.opt.Stats != nil {
 		// EntriesMoved counts materialized matrix storage only (see
 		// OpStats); arena staging is scratch, like a hash table.
 		ws.opt.Stats.EntriesMoved.Add(b.ColPtr[n])
 	}
-	return b, pt
+	return b, pt, nil
 }
 
 // fusedBody is the fused engine's single input pass: emit each column
@@ -267,6 +282,7 @@ func (ws *Workspace) addFused() (*matrix.CSC, PhaseTimings) {
 // including empty ones, so a recycled extents slice holds no stale
 // entries.
 func (ws *Workspace) fusedBody(w, lo, hi int) {
+	ws.kernelFault()
 	s, ar := ws.worker(w), &ws.arenas[w]
 	for j := lo; j < hi; j++ {
 		inz := int(ws.weights[j])
@@ -360,12 +376,17 @@ func dropIdentityEntries(rows []matrix.Index, vals []matrix.Value, nz int, id ma
 // (PhasesUpperBound): the staging area is allocated from the
 // per-column Σ_i nnz(A_i(:,j)) bound, filled in one pass over the
 // inputs, and compacted in parallel into the exact-size output.
-func (ws *Workspace) addUpperBound() (*matrix.CSC, PhaseTimings) {
+func (ws *Workspace) addUpperBound() (*matrix.CSC, PhaseTimings, error) {
 	var pt PhaseTimings
 	n := ws.as[0].Cols
 	ws.colScratch(n)
+	if err := ws.ctxCheck(); err != nil {
+		return nil, pt, err
+	}
 
-	ws.fillInputWeights()
+	if err := ws.fillInputWeights(); err != nil {
+		return nil, pt, err
+	}
 	ws.reserveWorkers(ws.weights, false)
 	start := time.Now()
 	ws.ubPtr = grow(ws.ubPtr, n+1)
@@ -376,25 +397,36 @@ func (ws *Workspace) addUpperBound() (*matrix.CSC, PhaseTimings) {
 	total := int(ws.ubPtr[n])
 	ws.stRows = grow(ws.stRows, total)
 	ws.stVals = grow(ws.stVals, total)
-	ws.runCols(n, ws.weights, ws.ubFn)
+	if err := ws.runCols(n, ws.weights, ws.ubFn); err != nil {
+		pt.Numeric = time.Since(start)
+		return nil, pt, err
+	}
+	if err := ws.ctxCheck(); err != nil {
+		pt.Numeric = time.Since(start)
+		return nil, pt, err
+	}
 
 	// Compact: copy each column's filled prefix to its final position.
 	// Out of place — final extents can overlap staged extents of other
 	// columns, so in-place parallel moves would race.
 	b := ws.allocOutput(ws.as[0].Rows, n, ws.counts)
 	ws.b = b
-	ws.runCols(n, ws.counts, ws.compactFn)
+	err := ws.runCols(n, ws.counts, ws.compactFn)
 	pt.Numeric = time.Since(start)
+	if err != nil {
+		return nil, pt, err
+	}
 	if ws.opt.Stats != nil {
 		ws.opt.Stats.EntriesMoved.Add(b.ColPtr[n])
 	}
-	return b, pt
+	return b, pt, nil
 }
 
 // ubBody fills the staging extents of columns [lo, hi) in one input
 // pass, recording each column's exact nnz. Empty columns keep the
 // zero count colScratch installed.
 func (ws *Workspace) ubBody(w, lo, hi int) {
+	ws.kernelFault()
 	s := ws.worker(w)
 	for j := lo; j < hi; j++ {
 		inz := int(ws.weights[j])

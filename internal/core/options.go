@@ -252,6 +252,12 @@ type Options struct {
 	// heap ops, SPA touches, entries moved) for complexity tests and
 	// the ablation benches.
 	Stats *OpStats
+
+	// faultKey is the fault-injection zone the call's kernel sites
+	// report: a Pool shard sets its 1-based shard index so chaos
+	// schedules can target one shard, direct calls use zone 0.
+	// Unexported — fault targeting is test machinery, not public API.
+	faultKey int64
 }
 
 func (o Options) cacheBytes() int64 {
@@ -310,6 +316,23 @@ type OpStats struct {
 	SchedRegions    atomic.Int64
 	SchedMaxWeight  atomic.Int64
 	SchedMeanWeight atomic.Int64
+	// Fault-tolerance counters. PanicsRecovered counts panics caught at
+	// a recovery boundary (executor region, shard reducer, accumulator
+	// flush) and converted to errors; Retries counts reduction attempts
+	// beyond the first made by the pool's bounded-retry machinery;
+	// FaultsInjected counts faults the internal/faults harness fired
+	// into code observed by these stats — zero in production, where no
+	// injector is active.
+	PanicsRecovered atomic.Int64
+	Retries         atomic.Int64
+	FaultsInjected  atomic.Int64
+	// ShardsDegraded and ShardsPoisoned count pool-shard health
+	// transitions: a shard entering the degraded state (sticky
+	// non-panic error after retries were exhausted) or the poisoned
+	// state (recovered panic; workspace quarantined). They count
+	// transitions, not current state — Pool.Health reports the latter.
+	ShardsDegraded atomic.Int64
+	ShardsPoisoned atomic.Int64
 }
 
 // RecordRegion folds one parallel region's load statistics into the

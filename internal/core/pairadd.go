@@ -12,18 +12,21 @@ import (
 // caller's executor. The result has sorted columns. This is the
 // specialised 2-way addition the paper's "2-way Incremental" and
 // "2-way Tree" rows use.
-func pairAddMerge(a, b *matrix.CSC, opt Options, ex *sched.Executor) *matrix.CSC {
+func pairAddMerge(a, b *matrix.CSC, opt Options, ex *sched.Executor) (*matrix.CSC, error) {
 	t := sched.Threads(opt.Threads)
 	n := a.Cols
 	out := &matrix.CSC{Rows: a.Rows, Cols: n, ColPtr: make([]int64, n+1)}
 
 	// Symbolic pass: count merged entries per column.
 	counts := make([]int64, n)
-	runColsOn(ex, n, t, opt.Schedule, pairWeights(a, b), opt.Stats, func(_ int, lo, hi int) {
+	err := runColsOn(ex, n, t, opt.Schedule, pairWeights(a, b), opt.Stats, func(_ int, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			counts[j] = int64(mergeCount(a.ColRows(j), b.ColRows(j)))
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for j := 0; j < n; j++ {
 		out.ColPtr[j+1] = out.ColPtr[j] + counts[j]
 	}
@@ -32,7 +35,7 @@ func pairAddMerge(a, b *matrix.CSC, opt Options, ex *sched.Executor) *matrix.CSC
 	out.Val = make([]matrix.Value, nnz)
 
 	// Numeric pass: merge into the preallocated slices.
-	runColsOn(ex, n, t, opt.Schedule, counts, opt.Stats, func(_ int, lo, hi int) {
+	err = runColsOn(ex, n, t, opt.Schedule, counts, opt.Stats, func(_ int, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			olo, ohi := out.ColPtr[j], out.ColPtr[j+1]
 			mergeInto(
@@ -42,10 +45,13 @@ func pairAddMerge(a, b *matrix.CSC, opt Options, ex *sched.Executor) *matrix.CSC
 			)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	if opt.Stats != nil {
 		opt.Stats.EntriesMoved.Add(nnz)
 	}
-	return out
+	return out, nil
 }
 
 // pairAddMap adds two matrices through a generic map accumulator per
@@ -53,7 +59,7 @@ func pairAddMerge(a, b *matrix.CSC, opt Options, ex *sched.Executor) *matrix.CSC
 // the constant factors of a library routine that cannot exploit the
 // problem structure — the repository's stand-in for the paper's
 // MKL-based 2-way baselines (mkl_sparse_d_add).
-func pairAddMap(a, b *matrix.CSC, opt Options, ex *sched.Executor) *matrix.CSC {
+func pairAddMap(a, b *matrix.CSC, opt Options, ex *sched.Executor) (*matrix.CSC, error) {
 	t := sched.Threads(opt.Threads)
 	n := a.Cols
 	// Accumulate each column in a map, then emit sorted entries.
@@ -62,7 +68,7 @@ func pairAddMap(a, b *matrix.CSC, opt Options, ex *sched.Executor) *matrix.CSC {
 		vals []matrix.Value
 	}
 	cols := make([]col, n)
-	runColsOn(ex, n, t, opt.Schedule, pairWeights(a, b), opt.Stats, func(_ int, lo, hi int) {
+	err := runColsOn(ex, n, t, opt.Schedule, pairWeights(a, b), opt.Stats, func(_ int, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			acc := make(map[matrix.Index]matrix.Value)
 			for _, src := range []*matrix.CSC{a, b} {
@@ -85,6 +91,9 @@ func pairAddMap(a, b *matrix.CSC, opt Options, ex *sched.Executor) *matrix.CSC {
 			cols[j] = c
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := &matrix.CSC{Rows: a.Rows, Cols: n, ColPtr: make([]int64, n+1)}
 	for j := 0; j < n; j++ {
 		out.ColPtr[j+1] = out.ColPtr[j] + int64(len(cols[j].rows))
@@ -99,7 +108,7 @@ func pairAddMap(a, b *matrix.CSC, opt Options, ex *sched.Executor) *matrix.CSC {
 	if opt.Stats != nil {
 		opt.Stats.EntriesMoved.Add(nnz)
 	}
-	return out
+	return out, nil
 }
 
 // pairWeights returns per-column input nnz for load balancing a pair
@@ -120,35 +129,40 @@ func pairWeights(a, b *matrix.CSC) []int64 {
 // one column, or a nil executor) run inline on the caller, unrecorded
 // — they carry no balance information and must stay free of locking
 // so a Threads==1 reduction (every multi-shard Pool) pays nothing.
-func runColsOn(ex *sched.Executor, n, t int, s Schedule, weights []int64, stats *OpStats, body func(worker, lo, hi int)) {
+//
+// A panic in the body — on a resident worker or on the inline path —
+// comes back as a *sched.PanicError; the region always completes its
+// barrier first, so no worker still runs when the error surfaces.
+func runColsOn(ex *sched.Executor, n, t int, s Schedule, weights []int64, stats *OpStats, body func(worker, lo, hi int)) error {
 	if n == 0 {
-		return
+		return nil
 	}
 	t = sched.Threads(t)
 	if t <= 1 || n == 1 || ex == nil {
-		body(0, 0, n)
-		return
+		return sched.RunInline(n, body)
 	}
 	var ls sched.LoadStats
+	var err error
 	switch s {
 	case ScheduleStatic:
-		ls = ex.Static(n, t, body)
+		ls, err = ex.Static(n, t, body)
 	case ScheduleDynamic:
-		ls = ex.Dynamic(n, t, 0, body)
+		ls, err = ex.Dynamic(n, t, 0, body)
 	case ScheduleWeightedStealing:
 		if weights == nil {
-			ls = ex.Static(n, t, body)
+			ls, err = ex.Static(n, t, body)
 		} else {
-			ls = ex.WeightedStealing(weights, t, body)
+			ls, err = ex.WeightedStealing(weights, t, body)
 		}
 	default:
 		if weights == nil {
-			ls = ex.Static(n, t, body)
+			ls, err = ex.Static(n, t, body)
 		} else {
-			ls = ex.Weighted(weights, t, body)
+			ls, err = ex.Weighted(weights, t, body)
 		}
 	}
 	if stats != nil {
 		stats.RecordRegion(ls)
 	}
+	return err
 }

@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"spkadd/internal/faults"
 	"spkadd/internal/matrix"
 	"spkadd/internal/sched"
 )
@@ -36,9 +40,81 @@ import (
 // barriers the reducers and stitches the per-shard sums — disjoint
 // column ranges — into one CSC with a pure copy; no merge is needed,
 // which is what makes column sharding the right axis to split on.
+//
+// Failure model (DESIGN.md §11): faults are contained per shard. A
+// reduction that fails with an ordinary error is retried up to
+// PoolOptions.MaxRetries times with jittered exponential backoff;
+// exhausting the retries marks the shard degraded (sticky error, last
+// good sum still served). A reduction that panics — in a kernel, on a
+// worker, anywhere — is recovered, never retried, and poisons the
+// shard: its workspace is quarantined (the scratch is mid-kernel
+// garbage) while its last good sum stays valid, because a failed
+// reduction never touches the ping-pong buffer holding it. Healthy
+// shards keep accepting and reducing work throughout; Sum stitches
+// every shard's last good sum and reports the failed shards' errors
+// alongside, and Health exposes the per-shard state.
 
-// ErrPoolClosed is returned by Push after Close has been called.
+// ErrPoolClosed is returned by Push after Close has been called, and
+// by a second Close after the first completed.
 var ErrPoolClosed = errors.New("spkadd: Pool used after Close")
+
+// HealthState classifies one pool shard's condition.
+type HealthState int
+
+const (
+	// HealthOK: the shard is reducing normally.
+	HealthOK HealthState = iota
+	// HealthDegraded: a reduction failed with an ordinary error and
+	// the bounded retries were exhausted. The error is sticky; the
+	// shard discards further work but its last good sum is still
+	// served by Sum.
+	HealthDegraded
+	// HealthPoisoned: a reduction panicked. The panic was recovered
+	// and converted to a sticky *PanicError, and the shard's workspace
+	// was quarantined — its scratch state is indeterminate. The last
+	// good sum is still served by Sum.
+	HealthPoisoned
+)
+
+var healthNames = map[HealthState]string{
+	HealthOK:       "ok",
+	HealthDegraded: "degraded",
+	HealthPoisoned: "poisoned",
+}
+
+// String returns the state's display name.
+func (h HealthState) String() string {
+	if s, ok := healthNames[h]; ok {
+		return s
+	}
+	return "Unknown"
+}
+
+// ShardHealth reports one shard's condition: its column range, its
+// state, and the sticky error for the non-OK states.
+type ShardHealth struct {
+	Shard      int
+	Col0, Col1 int
+	State      HealthState
+	Err        error
+}
+
+// ShardError attributes a sticky shard failure to its column range, so
+// a caller of Sum or Close can tell which part of the result is stale.
+// It wraps the underlying error for errors.Is/As.
+type ShardError struct {
+	Shard      int
+	Col0, Col1 int
+	Err        error
+}
+
+// Error implements the error interface.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("spkadd: pool shard %d (columns [%d, %d)): %v", e.Shard, e.Col0, e.Col1, e.Err)
+}
+
+// Unwrap exposes the underlying shard failure.
+func (e *ShardError) Unwrap() error { return e.Err }
 
 // PoolOptions configure a sharded accumulation pool.
 type PoolOptions struct {
@@ -52,6 +128,17 @@ type PoolOptions struct {
 	// pieces would exceed its share (<=0 means 256MB total, like
 	// NewAccumulator).
 	BudgetBytes int64
+	// MaxRetries bounds how many times a shard re-attempts a reduction
+	// that failed with an ordinary (non-panic) error before the error
+	// goes sticky and the shard turns degraded. 0 means no retries.
+	// Panics are never retried: a panicking reduction poisons its
+	// shard immediately.
+	MaxRetries int
+	// RetryBackoff is the base delay of the jittered exponential
+	// backoff between retry attempts (attempt i waits ~base·2^(i-1),
+	// plus up to half that again of jitter). <=0 means 500µs. The
+	// backoff aborts early when the pool is closed.
+	RetryBackoff time.Duration
 	// Add are the Options for the per-shard reductions. When Threads
 	// is unset and the pool has more than one shard, reductions run
 	// single-threaded: the shards themselves are the parallelism, and
@@ -67,10 +154,12 @@ type PoolOptions struct {
 // Pool is a concurrent, column-sharded streaming accumulator: many
 // producer goroutines Push delta matrices while per-shard reducers
 // fold them into per-column-range running sums, and Sum stitches the
-// shards into the total. Push, Sum, Close and K are safe for
+// shards into the total. Push, Sum, Close, Health and K are safe for
 // concurrent use, and Push linearizes with Sum and Close: a pushed
 // matrix is observed whole or not at all, never some shards' slices
-// without the others'.
+// without the others'. Push reserves space on every target shard
+// before enqueueing to any, so a canceled PushContext also leaves the
+// matrix wholly unobserved.
 //
 // Ownership: like the Accumulator, a pool keeps references into each
 // pushed matrix until the shard reductions that absorb it complete;
@@ -78,17 +167,24 @@ type PoolOptions struct {
 // returned by Sum is freshly allocated and caller-owned.
 //
 // Close stops the reducers after draining outstanding work; pushes
-// that lose the race with Close fail whole with ErrPoolClosed. A
-// closed pool still answers Sum and K.
+// that lose the race with Close fail whole with ErrPoolClosed, and a
+// second Close after the first completed reports ErrPoolClosed too. A
+// closed pool still answers Sum, Health and K.
 type Pool struct {
 	rows, cols int
 	shards     []*poolShard
 	closed     atomic.Bool
+	closeDone  atomic.Bool
 	absorbed   atomic.Int64
 	wg         sync.WaitGroup
+	// quitc is closed when Close begins, aborting retry backoffs.
+	quitc chan struct{}
+	// reducersDone is closed by the close watcher once every reducer
+	// has exited, so CloseContext can wait with a deadline.
+	reducersDone chan struct{}
 
 	// pushMu makes a multi-shard Push atomic against Sum and Close:
-	// producers hold it shared while slicing and enqueueing, Sum and
+	// producers hold it shared while reserving and enqueueing, Sum and
 	// Close hold it exclusively while establishing their cut. Without
 	// it a Sum racing a Push could barrier between two of the push's
 	// enqueues and stitch a matrix containing only some of its shards
@@ -125,10 +221,30 @@ func NewPool(rows, cols int, popt PoolOptions) *Pool {
 	if opt.Threads < 1 && s > 1 {
 		opt.Threads = 1
 	}
-	p := &Pool{rows: rows, cols: cols, shards: make([]*poolShard, s)}
+	retries := popt.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	backoff := popt.RetryBackoff
+	if backoff <= 0 {
+		backoff = 500 * time.Microsecond
+	}
+	p := &Pool{
+		rows: rows, cols: cols,
+		shards:       make([]*poolShard, s),
+		quitc:        make(chan struct{}),
+		reducersDone: make(chan struct{}),
+	}
 	for i := range p.shards {
 		c0, c1 := sched.Span(cols, s, i)
-		sh := &poolShard{c0: c0, c1: c1, budget: shardBudget, opt: opt}
+		sh := &poolShard{
+			c0: c0, c1: c1, budget: shardBudget, opt: opt,
+			maxRetries: retries, baseBackoff: backoff, quitc: p.quitc,
+			zone: int64(i) + 1,
+		}
+		// Reductions report faults under the shard's 1-based zone, so
+		// a chaos schedule can target one shard's kernels.
+		sh.opt.faultKey = sh.zone
 		sh.cond = sync.NewCond(&sh.mu)
 		sh.done = sync.NewCond(&sh.mu)
 		sh.space = sync.NewCond(&sh.mu)
@@ -145,13 +261,24 @@ func (p *Pool) Shards() int { return len(p.shards) }
 // Push enqueues one matrix for accumulation and returns without
 // waiting for any reduction: the matrix is sliced into per-shard
 // column views (zero-copy) and each non-empty piece is appended to
-// its shard's queue under that shard's lock alone. Producers block
-// only while a Sum or Close is establishing its cut, or when a
-// shard's queue has hit its high-water mark (2x the shard's budget
-// share) — backpressure for producers outrunning the reducers.
-// Reduction errors are deferred to Sum and Close; Push itself only
-// fails on dimension mismatch or a closed pool.
+// its shard's queue. Producers block only while a Sum or Close is
+// establishing its cut, or when a shard's queue has hit its
+// high-water mark (2x the shard's budget share) — backpressure for
+// producers outrunning the reducers. Reduction errors are deferred to
+// Sum and Close; Push itself only fails on dimension mismatch or a
+// closed pool.
 func (p *Pool) Push(a *matrix.CSC) error {
+	return p.PushContext(context.Background(), a)
+}
+
+// PushContext is Push with a cancellable high-water wait: a producer
+// blocked on a full shard unblocks when ctx ends, returning an error
+// wrapping ErrCanceled or ErrDeadline. The push stays atomic either
+// way — space is reserved on every target shard before any piece is
+// enqueued, and a cancellation mid-reserve rolls the reservations
+// back — so a canceled push leaves no slice of the matrix behind and
+// later Sums are unaffected.
+func (p *Pool) PushContext(ctx context.Context, a *matrix.CSC) error {
 	p.pushMu.RLock()
 	defer p.pushMu.RUnlock()
 	if p.closed.Load() {
@@ -161,38 +288,81 @@ func (p *Pool) Push(a *matrix.CSC) error {
 		return fmt.Errorf("%w: pushed %dx%d, pool is %dx%d",
 			ErrDimMismatch, a.Rows, a.Cols, p.rows, p.cols)
 	}
-	for _, s := range p.shards {
-		lo, hi := a.ColPtr[s.c0], a.ColPtr[s.c1]
-		if lo == hi {
-			// Nothing in this shard's columns; adding an empty piece
-			// is the identity, so skip the queue entirely.
+	if err := faults.ErrOn(faults.FailedPush, 0); err != nil {
+		if st := p.shards[0].opt.Stats; st != nil {
+			st.FaultsInjected.Add(1)
+		}
+		return fmt.Errorf("spkadd: push failed: %w", err)
+	}
+	// Reserve-then-commit keeps a multi-shard push all-or-nothing even
+	// under cancellation: first claim high-water space on every target
+	// shard (the only step that can block or fail), then append the
+	// pieces — which cannot fail — so no Sum ever observes a partial
+	// push.
+	for i, s := range p.shards {
+		bytes := pieceBytes(a, s)
+		if bytes == 0 {
 			continue
 		}
-		if err := s.enqueue(a.ColView(s.c0, s.c1), (hi-lo)*entryBytes); err != nil {
+		if err := s.reserve(ctx, bytes); err != nil {
+			for _, prev := range p.shards[:i] {
+				if b := pieceBytes(a, prev); b != 0 {
+					prev.unreserve(b)
+				}
+			}
 			return err
 		}
+	}
+	for _, s := range p.shards {
+		bytes := pieceBytes(a, s)
+		if bytes == 0 {
+			continue
+		}
+		s.commit(a.ColView(s.c0, s.c1), bytes)
 	}
 	p.absorbed.Add(1)
 	return nil
 }
 
-// Sum waits for every shard to reduce all pieces enqueued before the
-// call, then stitches the per-shard running sums into one freshly
-// allocated rows x cols matrix. The pool remains usable afterwards —
-// Sum between pushes observes the running total, like
+// pieceBytes is the in-memory footprint of a's slice of shard s's
+// columns; 0 means the shard receives nothing (adding an empty piece
+// is the identity, so it skips the queue entirely).
+func pieceBytes(a *matrix.CSC, s *poolShard) int64 {
+	return (a.ColPtr[s.c1] - a.ColPtr[s.c0]) * entryBytes
+}
+
+// Sum waits for every healthy shard to reduce all pieces enqueued
+// before the call, then stitches the per-shard running sums into one
+// freshly allocated rows x cols matrix. The pool remains usable
+// afterwards — Sum between pushes observes the running total, like
 // Accumulator.Sum. A Push racing Sum is either included whole or
 // excluded whole (Push linearizes with Sum; producers block for the
-// duration of the barrier and stitch). If any shard reduction failed
-// (for example Heap options over unsorted input), the first error is
-// returned, sticky.
+// duration of the barrier and stitch).
+//
+// Failed shards degrade the result instead of suppressing it: the
+// returned matrix always stitches every shard's last successfully
+// reduced sum — correct and current for healthy shards, stale (or
+// empty) for degraded and poisoned ones — and the error joins one
+// ShardError per failed shard so the caller can tell which column
+// ranges are affected. A nil error means every shard is healthy and
+// the total is exact.
 func (p *Pool) Sum() (*matrix.CSC, error) {
+	return p.SumContext(context.Background())
+}
+
+// SumContext is Sum with a cancellable drain barrier: when ctx ends
+// before every healthy shard has drained, it returns an error wrapping
+// ErrCanceled or ErrDeadline and no matrix. Cancellation is clean —
+// the reducers keep draining in the background and a later Sum
+// observes the same totals.
+func (p *Pool) SumContext(ctx context.Context) (*matrix.CSC, error) {
 	// The exclusive hold cuts the push stream: no Push is mid-flight
 	// while we barrier and stitch, so the result is the exact sum of a
 	// prefix of each producer's pushes. Reducers drain independently
 	// of pushMu, so the barrier cannot starve.
 	p.pushMu.Lock()
 	defer p.pushMu.Unlock()
-	if err := p.barrier(); err != nil {
+	if err := p.barrier(ctx); err != nil {
 		return nil, err
 	}
 	// Stitch under all shard locks (in index order), freezing every
@@ -230,13 +400,15 @@ func (p *Pool) Sum() (*matrix.CSC, error) {
 		out.Val = append(out.Val, s.sum.Val...)
 		nnz += s.sum.ColPtr[s.c1-s.c0]
 	}
-	return out, nil
+	return out, p.stickyErrLocked()
 }
 
 // barrier asks every shard to drain and waits until each has reduced
-// everything enqueued before the request. Requests are issued to all
-// shards first, so they drain concurrently, then awaited.
-func (p *Pool) barrier() error {
+// everything enqueued before the request (failed shards stop blocking
+// the barrier the moment their error goes sticky). Requests are
+// issued to all shards first, so they drain concurrently, then
+// awaited; ctx cancels the wait.
+func (p *Pool) barrier(ctx context.Context) error {
 	reqs := make([]int64, len(p.shards))
 	for i, s := range p.shards {
 		s.mu.Lock()
@@ -247,28 +419,54 @@ func (p *Pool) barrier() error {
 		}
 		s.mu.Unlock()
 	}
-	var first error
+	if ctx.Done() != nil {
+		// Wake the barrier waits when ctx ends. The broadcast needs
+		// each shard's lock, which a waiter holds except inside Wait —
+		// so a waiter always observes either the broadcast or the
+		// pre-Wait ctx check; no wakeup is lost.
+		stop := context.AfterFunc(ctx, func() {
+			for _, s := range p.shards {
+				s.mu.Lock()
+				s.done.Broadcast()
+				s.mu.Unlock()
+			}
+		})
+		defer stop()
+	}
 	for i, s := range p.shards {
 		s.mu.Lock()
 		for !s.exited && s.err == nil && s.flushAck < reqs[i] {
+			if ctx.Err() != nil {
+				s.mu.Unlock()
+				return ctxErr(ctx)
+			}
 			s.done.Wait()
-		}
-		if s.err != nil && first == nil {
-			first = s.err
 		}
 		s.mu.Unlock()
 	}
-	return first
+	return nil
 }
 
 // Close drains all shards, stops the reducer goroutines and returns
-// the first sticky reduction error, if any. Close is idempotent and
-// linearizes with Push: a racing Push either completes before the
-// close cut or fails whole with ErrPoolClosed. The pool still
-// answers Sum and K afterwards.
+// the shards' sticky reduction errors (joined ShardErrors), if any.
+// Close linearizes with Push: a racing Push either completes before
+// the close cut or fails whole with ErrPoolClosed. A second Close
+// after the first completed returns ErrPoolClosed — calling Close
+// twice is a lifecycle bug worth surfacing, not corrupting on. The
+// pool still answers Sum, Health and K afterwards.
 func (p *Pool) Close() error {
+	return p.CloseContext(context.Background())
+}
+
+// CloseContext is Close with a cancellable drain wait: when ctx ends
+// before the reducers finish, it returns an error wrapping
+// ErrCanceled or ErrDeadline while the shutdown continues in the
+// background — a later CloseContext waits for the same shutdown and
+// reports the shards' sticky errors.
+func (p *Pool) CloseContext(ctx context.Context) error {
 	p.pushMu.Lock()
 	if !p.closed.Swap(true) {
+		close(p.quitc)
 		for _, s := range p.shards {
 			s.mu.Lock()
 			s.closed = true
@@ -276,18 +474,78 @@ func (p *Pool) Close() error {
 			s.space.Broadcast()
 			s.mu.Unlock()
 		}
+		// The watcher decouples "reducers exited" from any single
+		// waiter, so a deadline-bounded CloseContext can abandon the
+		// wait while the shutdown completes behind it.
+		go func() {
+			p.wg.Wait()
+			close(p.reducersDone)
+		}()
+	} else if p.closeDone.Load() {
+		p.pushMu.Unlock()
+		return ErrPoolClosed
 	}
 	p.pushMu.Unlock()
-	p.wg.Wait()
-	var first error
+	if ctx.Done() != nil {
+		select {
+		case <-p.reducersDone:
+		case <-ctx.Done():
+			return ctxErr(ctx)
+		}
+	} else {
+		<-p.reducersDone
+	}
+	p.closeDone.Store(true)
+	return p.stickyErr()
+}
+
+// stickyErr joins the failed shards' sticky errors, one ShardError
+// per failed shard; nil when every shard is healthy.
+func (p *Pool) stickyErr() error {
 	for _, s := range p.shards {
 		s.mu.Lock()
-		if s.err != nil && first == nil {
-			first = s.err
+	}
+	defer func() {
+		for _, s := range p.shards {
+			s.mu.Unlock()
 		}
+	}()
+	return p.stickyErrLocked()
+}
+
+// stickyErrLocked is stickyErr with all shard locks already held.
+func (p *Pool) stickyErrLocked() error {
+	var errs []error
+	for i, s := range p.shards {
+		if s.err != nil {
+			errs = append(errs, &ShardError{Shard: i, Col0: s.c0, Col1: s.c1, Err: s.err})
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Health reports every shard's condition: OK, degraded (sticky
+// ordinary error, retries exhausted) or poisoned (recovered panic,
+// workspace quarantined). Failed shards keep serving their last good
+// sum through Sum; Health is how a caller finds out that is what it
+// is getting. Safe for concurrent use.
+func (p *Pool) Health() []ShardHealth {
+	out := make([]ShardHealth, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		h := ShardHealth{Shard: i, Col0: s.c0, Col1: s.c1, State: HealthOK}
+		if s.err != nil {
+			h.Err = s.err
+			if s.poisoned {
+				h.State = HealthPoisoned
+			} else {
+				h.State = HealthDegraded
+			}
+		}
+		out[i] = h
 		s.mu.Unlock()
 	}
-	return first
+	return out
 }
 
 // K returns the number of matrices absorbed so far.
@@ -309,15 +567,21 @@ func (p *Pool) Reductions() int {
 // producer-facing pending queue and a reducer goroutine with a
 // resident workspace and the range's running sum.
 //
-// Locking: mu guards the queue, the flush/close handshake and the sum
-// POINTER. The workspace and the sum's storage belong to the reducer
-// goroutine; reductions run outside the lock so producers enqueue
-// wait-free relative to reduction work. cond wakes the reducer (work
-// over budget, flush requested, closed); done wakes flush waiters.
+// Locking: mu guards the queue, the reservation counter, the
+// flush/close handshake, the health fields and the sum POINTER. The
+// workspace and the sum's storage belong to the reducer goroutine;
+// reductions run outside the lock so producers enqueue wait-free
+// relative to reduction work. cond wakes the reducer (work over
+// budget, flush requested, closed); done wakes flush waiters; space
+// wakes producers blocked on the high-water mark.
 type poolShard struct {
-	c0, c1 int
-	budget int64
-	opt    Options
+	c0, c1      int
+	budget      int64
+	opt         Options
+	maxRetries  int
+	baseBackoff time.Duration
+	quitc       <-chan struct{}
+	zone        int64 // 1-based fault-injection key
 
 	mu           sync.Mutex
 	cond         *sync.Cond // wakes the reducer
@@ -325,11 +589,13 @@ type poolShard struct {
 	space        *sync.Cond // wakes producers blocked on the high-water mark
 	pending      []*matrix.CSC
 	pendingBytes int64
+	reserved     int64 // bytes reserved by in-flight pushes, not yet committed
 	flushReq     int64
 	flushAck     int64
 	closed       bool
 	exited       bool
-	err          error // first reduction error, sticky
+	err          error // sticky failure; see poisoned for its class
+	poisoned     bool  // err came from a recovered panic; ws quarantined
 	sum          *matrix.CSC
 	reductions   int64
 
@@ -340,27 +606,67 @@ type poolShard struct {
 	batch []*matrix.CSC // [sum, take...] input slice for the k-way add
 }
 
-// enqueue appends one column piece to the shard's queue, waking the
-// reducer if the batch is now worth reducing. Producers that outrun
-// the reducer block at the high-water mark (2x the shard budget)
-// until a reduction claims a batch, so the queue — and the pushed
-// matrices it pins — stays bounded.
-func (s *poolShard) enqueue(piece *matrix.CSC, bytes int64) error {
+// reserve claims bytes of high-water capacity for one push, blocking
+// while the queue plus outstanding reservations are at the mark (2x
+// the shard budget) — unless the shard has failed, whose queue only
+// ever gets discarded, or the pool is closing. ctx cancels the wait.
+func (s *poolShard) reserve(ctx context.Context, bytes int64) error {
+	var stop func() bool
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.pendingBytes >= 2*s.budget && !s.closed && s.err == nil {
+	for s.pendingBytes+s.reserved >= 2*s.budget && !s.closed && s.err == nil {
+		if ctx.Err() != nil {
+			if stop != nil {
+				stop()
+			}
+			return ctxErr(ctx)
+		}
+		if stop == nil && ctx.Done() != nil {
+			// Arm the cancellation wakeup lazily: pushes that never
+			// block (the steady state) pay nothing for it. The
+			// broadcast needs mu, held here except inside Wait, so the
+			// pre-Wait ctx check and the broadcast cannot both be
+			// missed.
+			stop = context.AfterFunc(ctx, func() {
+				s.mu.Lock()
+				s.space.Broadcast()
+				s.mu.Unlock()
+			})
+		}
 		s.cond.Signal()
 		s.space.Wait()
+	}
+	if stop != nil {
+		stop()
 	}
 	if s.closed {
 		return ErrPoolClosed
 	}
+	s.reserved += bytes
+	return nil
+}
+
+// unreserve rolls one push's reservation back (the push failed on a
+// later shard), waking producers the freed capacity may admit.
+func (s *poolShard) unreserve(bytes int64) {
+	s.mu.Lock()
+	s.reserved -= bytes
+	s.space.Broadcast()
+	s.mu.Unlock()
+}
+
+// commit converts one push's reservation into a queued piece, waking
+// the reducer if the batch is now worth reducing. Cannot fail: the
+// reservation already holds the capacity.
+func (s *poolShard) commit(piece *matrix.CSC, bytes int64) {
+	s.mu.Lock()
+	s.reserved -= bytes
 	s.pending = append(s.pending, piece)
 	s.pendingBytes += bytes
 	if s.reduceNeeded() {
 		s.cond.Signal()
 	}
-	return nil
+	s.mu.Unlock()
 }
 
 // reduceNeeded reports whether the pending queue should be reduced
@@ -382,7 +688,7 @@ func (s *poolShard) sumNNZBytes() int64 {
 	return int64(s.sum.NNZ()) * entryBytes
 }
 
-// wakeNeeded reports whether the reducer has anything to do. An erred
+// wakeNeeded reports whether the reducer has anything to do. A failed
 // shard with pending pieces still wakes: the reducer discards them so
 // producers blocked on the high-water mark and barriers waiting on
 // the queue are released. Callers hold mu.
@@ -416,8 +722,10 @@ func (s *poolShard) claimBatch() {
 }
 
 // run is the shard's reducer goroutine: sleep until woken, reduce one
-// budget-sized batch outside the lock, acknowledge flush barriers
-// whenever the queue is empty, and exit once closed and drained.
+// budget-sized batch outside the lock (with bounded retries), mark
+// the shard degraded or poisoned when the batch ultimately fails,
+// acknowledge flush barriers whenever the queue is empty, and exit
+// once closed and drained.
 func (s *poolShard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	s.mu.Lock()
@@ -427,7 +735,7 @@ func (s *poolShard) run(wg *sync.WaitGroup) {
 		}
 		if len(s.pending) > 0 {
 			if s.err != nil {
-				// Sticky error: discard instead of reducing, so flush
+				// Sticky failure: discard instead of reducing, so flush
 				// barriers, backpressured producers and Close still
 				// terminate.
 				clear(s.pending)
@@ -438,11 +746,10 @@ func (s *poolShard) run(wg *sync.WaitGroup) {
 			}
 			s.claimBatch()
 			s.mu.Unlock()
-			sum, err := s.reduce()
+			sum, err := s.reduceWithRetry()
 			s.mu.Lock()
 			if err != nil {
-				s.err = err
-				s.done.Broadcast()
+				s.fail(err)
 				continue
 			}
 			s.sum = sum
@@ -464,11 +771,90 @@ func (s *poolShard) run(wg *sync.WaitGroup) {
 	}
 }
 
+// fail records the claimed batch's ultimate failure: a recovered
+// panic poisons the shard (workspace quarantined — its scratch is
+// mid-kernel garbage — and never retried); anything else marks it
+// degraded. Either way the error is sticky, the last good sum stays
+// served, and everyone waiting on this shard is released. Callers
+// hold mu.
+func (s *poolShard) fail(err error) {
+	s.err = err
+	st := s.opt.Stats
+	if isPanicErr(err) {
+		s.poisoned = true
+		s.ws = nil
+		if st != nil {
+			st.PanicsRecovered.Add(1)
+			st.ShardsPoisoned.Add(1)
+		}
+	} else if st != nil {
+		st.ShardsDegraded.Add(1)
+	}
+	s.done.Broadcast()
+	s.space.Broadcast()
+}
+
+// reduceWithRetry runs one claimed batch, retrying ordinary failures
+// up to maxRetries times with jittered exponential backoff. Panics
+// are never retried — the workspace they interrupted is not safely
+// reusable — and a pool shutdown aborts the backoff (the batch then
+// fails with its last error). The claimed batch is released only
+// here, after the final attempt, so every retry reduces the same
+// input.
+func (s *poolShard) reduceWithRetry() (*matrix.CSC, error) {
+	sum, err := s.reduce()
+	for attempt := 1; err != nil && !isPanicErr(err) && attempt <= s.maxRetries; attempt++ {
+		if st := s.opt.Stats; st != nil {
+			st.Retries.Add(1)
+		}
+		if !s.backoff(attempt) {
+			break
+		}
+		sum, err = s.reduce()
+	}
+	clear(s.take)
+	s.take = s.take[:0]
+	return sum, err
+}
+
+// backoff sleeps before retry attempt n (1-based): the base delay
+// doubled per attempt, plus up to half that again of jitter so
+// colliding shards decorrelate. Returns false when the pool began
+// closing instead — no point backing off into a shutdown.
+func (s *poolShard) backoff(n int) bool {
+	d := s.baseBackoff << (n - 1)
+	d += time.Duration(rand.Int64N(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.quitc:
+		return false
+	}
+}
+
 // reduce folds the claimed batch into the running sum with a single
 // k-way addition on the shard's resident workspace. The previous sum
 // is the first input; the workspace's ping-pong output buffers make
-// that safe (see Workspace.allocOutput). Runs outside the shard lock.
-func (s *poolShard) reduce() (*matrix.CSC, error) {
+// that safe (see Workspace.allocOutput), including across failed
+// attempts — an attempt that errors does not consume a buffer flip,
+// so retries never write the buffer holding the sum they read. A
+// panic anywhere in the reduction (kernel, validation, a worker of an
+// internally parallel region) comes back as a *PanicError. Runs
+// outside the shard lock.
+func (s *poolShard) reduce() (b *matrix.CSC, err error) {
+	if faults.SleepOn(faults.SlowReduction, s.zone) {
+		if st := s.opt.Stats; st != nil {
+			st.FaultsInjected.Add(1)
+		}
+	}
+	if ferr := faults.ErrOn(faults.FailReduction, s.zone); ferr != nil {
+		if st := s.opt.Stats; st != nil {
+			st.FaultsInjected.Add(1)
+		}
+		return nil, ferr
+	}
 	if s.ws == nil {
 		s.ws = NewWorkspace(true)
 	}
@@ -481,11 +867,16 @@ func (s *poolShard) reduce() (*matrix.CSC, error) {
 		premapped = 1
 	}
 	s.batch = append(s.batch, s.take...)
-	sum, err := s.ws.addPremapped(s.batch, s.opt, premapped)
-	// Drop the piece references so absorbed matrices can be collected.
-	clear(s.batch)
-	s.batch = s.batch[:0]
-	clear(s.take)
-	s.take = s.take[:0]
-	return sum, err
+	defer func() {
+		// Belt and suspenders for panics outside the recovered
+		// parallel regions (validation, output allocation): convert
+		// instead of killing the process. Drop the batch references
+		// either way so absorbed matrices can be collected.
+		if r := recover(); r != nil {
+			b, err = nil, recoverToError(r)
+		}
+		clear(s.batch)
+		s.batch = s.batch[:0]
+	}()
+	return s.ws.addPremapped(nil, s.batch, s.opt, premapped)
 }

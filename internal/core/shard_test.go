@@ -6,10 +6,12 @@ import (
 	"sync"
 	"testing"
 
+	"spkadd/internal/faults/leakcheck"
 	"spkadd/internal/matrix"
 )
 
 func TestPoolMatchesOneShot(t *testing.T) {
+	leakcheck.Begin(t)
 	as := erInputs(20, 600, 24, 10, 61)
 	want := matrix.ReferenceAdd(as)
 	for _, shards := range []int{1, 2, 3, 8, 24} {
@@ -115,6 +117,7 @@ func TestPoolDimCheck(t *testing.T) {
 }
 
 func TestPoolClosed(t *testing.T) {
+	leakcheck.Begin(t)
 	as := erInputs(3, 100, 8, 4, 62)
 	p := NewPool(100, 8, PoolOptions{Shards: 2, Add: Options{Algorithm: Hash, SortedOutput: true}})
 	for _, a := range as {
@@ -139,8 +142,10 @@ func TestPoolClosed(t *testing.T) {
 			t.Errorf("Sum after Close differs from one-shot sum")
 		}
 	}
-	if err := p.Close(); err != nil {
-		t.Fatal(err)
+	// A second Close is a lifecycle bug; it reports ErrPoolClosed
+	// instead of silently succeeding (or re-draining).
+	if err := p.Close(); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("second Close: %v, want ErrPoolClosed", err)
 	}
 }
 
@@ -234,6 +239,7 @@ func TestPoolClaimBatchBudgetBound(t *testing.T) {
 // torn snapshot (a push's pieces landed in some shards but not
 // others) would show unequal columns.
 func TestPoolSumAtomicPerPush(t *testing.T) {
+	leakcheck.Begin(t)
 	const rows, cols, producers, perProducer = 64, 32, 4, 60
 	ts := make([]matrix.Triple, cols)
 	for j := range ts {

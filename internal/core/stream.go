@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -49,6 +50,13 @@ type Accumulator struct {
 	pendingBytes int64
 	absorbed     int
 	reductions   int
+
+	// err is the accumulator's sticky failure: set when a reduction
+	// panics (the workspace is quarantined alongside — its scratch is
+	// mid-kernel garbage), surfaced by every later call. Cancellation
+	// and validation errors are NOT sticky: they leave the buffer and
+	// sum untouched and the next call retries the reduction.
+	err error
 
 	// ws is the accumulator's resident workspace: every reduction
 	// reuses its scratch structures — including the workspace's
@@ -123,10 +131,21 @@ func (ac *Accumulator) sumBytes() int64 {
 // outgrows the budget every push flushes, degenerating gracefully to
 // sum-plus-one-matrix reductions — the streaming minimum.
 func (ac *Accumulator) Push(a *matrix.CSC) error {
+	return ac.PushContext(context.Background(), a)
+}
+
+// PushContext is Push with cooperative cancellation of the reduction a
+// full buffer triggers. A canceled reduction is clean: the matrix is
+// NOT buffered, the pending matrices and the running sum are untouched,
+// and the next uncanceled call retries the reduction.
+func (ac *Accumulator) PushContext(ctx context.Context, a *matrix.CSC) error {
 	if err := ac.acquire(); err != nil {
 		return err
 	}
 	defer ac.release()
+	if ac.err != nil {
+		return ac.err
+	}
 	if a.Rows != ac.rows || a.Cols != ac.cols {
 		return fmt.Errorf("%w: pushed %dx%d, accumulator is %dx%d",
 			ErrDimMismatch, a.Rows, a.Cols, ac.rows, ac.cols)
@@ -134,7 +153,7 @@ func (ac *Accumulator) Push(a *matrix.CSC) error {
 	bytes := int64(a.NNZ()) * entryBytes
 	if len(ac.pending) > 0 &&
 		(ac.sumBytes()+ac.pendingBytes+bytes > ac.budget || len(ac.pending) >= maxPendingMatrices) {
-		if err := ac.flush(); err != nil {
+		if err := ac.flush(ctx); err != nil {
 			return err
 		}
 	}
@@ -146,16 +165,25 @@ func (ac *Accumulator) Push(a *matrix.CSC) error {
 
 // Flush reduces all buffered matrices into the running sum.
 func (ac *Accumulator) Flush() error {
+	return ac.FlushContext(context.Background())
+}
+
+// FlushContext is Flush with cooperative cancellation; see
+// PushContext for the cancellation contract.
+func (ac *Accumulator) FlushContext(ctx context.Context) error {
 	if err := ac.acquire(); err != nil {
 		return err
 	}
 	defer ac.release()
-	return ac.flush()
+	return ac.flush(ctx)
 }
 
 // flush is Flush without the busy-flag acquisition, for internal use
 // while the flag is already held.
-func (ac *Accumulator) flush() error {
+func (ac *Accumulator) flush(ctx context.Context) error {
+	if ac.err != nil {
+		return ac.err
+	}
 	if len(ac.pending) == 0 {
 		return nil
 	}
@@ -172,8 +200,25 @@ func (ac *Accumulator) flush() error {
 		premapped = 1
 	}
 	ac.batch = append(ac.batch, ac.pending...)
-	sum, err := ac.ws.addPremapped(ac.batch, ac.opt, premapped)
+	sum, err := ac.reduce(ctx, premapped)
 	if err != nil {
+		// Drop the batch references either way; pending still holds
+		// everything unreduced.
+		clear(ac.batch)
+		ac.batch = ac.batch[:0]
+		if isPanicErr(err) {
+			// A panic mid-kernel leaves the workspace's scratch (and the
+			// in-progress output buffer — never the buffer holding the
+			// running sum, which a failed call does not consume) in an
+			// indeterminate state: quarantine the workspace and go
+			// sticky. The running sum's storage stays valid; it is
+			// never handed to a new workspace as a write target.
+			ac.err = err
+			ac.ws = nil
+			if ac.opt.Stats != nil {
+				ac.opt.Stats.PanicsRecovered.Add(1)
+			}
+		}
 		return err
 	}
 	ac.sum = sum
@@ -189,17 +234,37 @@ func (ac *Accumulator) flush() error {
 	return nil
 }
 
+// reduce runs one batched reduction, converting a panic on the inline
+// (single-threaded) kernel path into the same *PanicError the executor
+// reports for multi-threaded regions.
+func (ac *Accumulator) reduce(ctx context.Context, premapped int) (b *matrix.CSC, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = recoverToError(r)
+		}
+	}()
+	return ac.ws.addPremapped(ctx, ac.batch, ac.opt, premapped)
+}
+
 // Sum flushes and returns the current total. The returned matrix is
 // owned by the accumulator (its storage lives in the accumulator's
 // recycled workspace buffers); it remains valid (and unmodified) until
 // further Push calls, after which callers should re-request it —
 // callers that need a longer-lived copy should Clone it.
 func (ac *Accumulator) Sum() (*matrix.CSC, error) {
+	return ac.SumContext(context.Background())
+}
+
+// SumContext is Sum with cooperative cancellation of the final flush;
+// see PushContext for the cancellation contract. In particular a
+// canceled SumContext leaves the accumulator fully consistent: a later
+// Sum reduces the same buffered matrices and returns the same total.
+func (ac *Accumulator) SumContext(ctx context.Context) (*matrix.CSC, error) {
 	if err := ac.acquire(); err != nil {
 		return nil, err
 	}
 	defer ac.release()
-	if err := ac.flush(); err != nil {
+	if err := ac.flush(ctx); err != nil {
 		return nil, err
 	}
 	if ac.sum == nil {

@@ -8,10 +8,12 @@ import (
 	"testing"
 	"testing/quick"
 
+	"spkadd/internal/faults/leakcheck"
 	"spkadd/internal/matrix"
 )
 
 func TestAccumulatorMatchesOneShot(t *testing.T) {
+	leakcheck.Begin(t)
 	as := erInputs(20, 800, 16, 12, 51)
 	want := matrix.ReferenceAdd(as)
 	// Budgets from "reduce every push" to "one big reduction".
@@ -214,6 +216,7 @@ func TestAccumulatorBusyFlag(t *testing.T) {
 // ErrAccumulatorInUse — never corrupt the resident workspace — and
 // the accumulator must account exactly for the pushes that succeeded.
 func TestAccumulatorConcurrentMisuse(t *testing.T) {
+	leakcheck.Begin(t)
 	one := erInputs(1, 400, 12, 8, 54)[0]
 	// A small budget forces reductions inside Push, widening the
 	// window in which a second goroutine can overlap.

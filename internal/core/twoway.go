@@ -9,27 +9,31 @@ import (
 // map-based (library stand-in). Every pair addition of a driver runs
 // its parallel passes on the same resident executor, so a k-way 2-way
 // baseline spawns no goroutines after the first pair.
-type pairAdder func(a, b *matrix.CSC, opt Options, ex *sched.Executor) *matrix.CSC
+type pairAdder func(a, b *matrix.CSC, opt Options, ex *sched.Executor) (*matrix.CSC, error)
 
 // addIncremental implements Algorithm 1: B <- A1, then B <- B + A_i
 // for i = 2..k. The i-th step costs the cumulative nnz, giving the
 // O(k^2 nd) behaviour of Table I.
-func addIncremental(as []*matrix.CSC, opt Options, ex *sched.Executor, add pairAdder) *matrix.CSC {
+func addIncremental(as []*matrix.CSC, opt Options, ex *sched.Executor, add pairAdder) (*matrix.CSC, error) {
 	b := as[0]
 	owned := false // don't mutate the caller's first matrix
 	for i := 1; i < len(as); i++ {
-		b = add(b, as[i], opt, ex)
+		var err error
+		b, err = add(b, as[i], opt, ex)
+		if err != nil {
+			return nil, err
+		}
 		owned = true
 	}
 	if !owned {
 		b = b.Clone()
 	}
-	return b
+	return b, nil
 }
 
 // addTree implements the balanced 2-way tree of Fig 1(c): inputs at
 // the leaves, pairwise additions up lg k levels, O(knd lg k) work.
-func addTree(as []*matrix.CSC, opt Options, ex *sched.Executor, add pairAdder) *matrix.CSC {
+func addTree(as []*matrix.CSC, opt Options, ex *sched.Executor, add pairAdder) (*matrix.CSC, error) {
 	level := make([]*matrix.CSC, len(as))
 	copy(level, as)
 	owned := make([]bool, len(as)) // whether level[i] is an intermediate we created
@@ -38,7 +42,11 @@ func addTree(as []*matrix.CSC, opt Options, ex *sched.Executor, add pairAdder) *
 		next := make([]*matrix.CSC, half)
 		nextOwned := make([]bool, half)
 		for i := 0; i < len(level)/2; i++ {
-			next[i] = add(level[2*i], level[2*i+1], opt, ex)
+			var err error
+			next[i], err = add(level[2*i], level[2*i+1], opt, ex)
+			if err != nil {
+				return nil, err
+			}
 			nextOwned[i] = true
 		}
 		if len(level)%2 == 1 {
@@ -48,7 +56,7 @@ func addTree(as []*matrix.CSC, opt Options, ex *sched.Executor, add pairAdder) *
 		level, owned = next, nextOwned
 	}
 	if !owned[0] {
-		return level[0].Clone()
+		return level[0].Clone(), nil
 	}
-	return level[0]
+	return level[0], nil
 }

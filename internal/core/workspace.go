@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -70,6 +71,7 @@ type Workspace struct {
 	t        int
 	cache    int64
 	sortedIn bool
+	ctx      context.Context // nil for context-free calls
 	sch      Schedule        // resolved schedule (plan.schedule)
 	ex       *sched.Executor // Options.Executor, or ownEx
 	b        *matrix.CSC
@@ -117,14 +119,24 @@ var wsPool = sync.Pool{New: func() any { return NewWorkspace(false) }}
 // identical semantics and output, but all scratch state (and, for a
 // recycling workspace, the output storage) comes from ws.
 func (ws *Workspace) AddTimed(as []*matrix.CSC, opt Options) (*matrix.CSC, PhaseTimings, error) {
-	return ws.addTimedPremapped(as, opt, 0)
+	return ws.addTimedPremapped(nil, as, opt, 0)
+}
+
+// AddContext is Add with cooperative cancellation: the engines check
+// ctx at phase boundaries (before the symbolic pass, between passes,
+// after the numeric pass) and abandon the call with an error wrapping
+// ErrCanceled or ErrDeadline. Cancellation is clean — no partial
+// result is installed and the workspace's scratch stays reusable.
+func (ws *Workspace) AddContext(ctx context.Context, as []*matrix.CSC, opt Options) (*matrix.CSC, error) {
+	b, _, err := ws.addTimedPremapped(ctx, as, opt, 0)
+	return b, err
 }
 
 // addTimedPremapped is AddTimed with a premapped running-sum prefix
 // (see monoidState.mapped): the streaming accumulators fold their
 // previous sum — already in the monoid's result domain — back in as
 // the first input, and it must not pass through MapInput again.
-func (ws *Workspace) addTimedPremapped(as []*matrix.CSC, opt Options, premapped int) (*matrix.CSC, PhaseTimings, error) {
+func (ws *Workspace) addTimedPremapped(ctx context.Context, as []*matrix.CSC, opt Options, premapped int) (*matrix.CSC, PhaseTimings, error) {
 	var pt PhaseTimings
 	p, err := opt.validate(as, nil, premapped)
 	if err != nil {
@@ -133,13 +145,23 @@ func (ws *Workspace) addTimedPremapped(as []*matrix.CSC, opt Options, premapped 
 	if p.copyOne {
 		return ws.copyOne(as[0], opt), pt, nil
 	}
-	return ws.addDispatch(as, p, opt, nil)
+	// The recycling output buffers ping-pong per successful call; a
+	// failed call must not consume a flip, or retrying it would write
+	// into the buffer still holding the caller's running sum while
+	// reading it.
+	cur := ws.cur
+	b, pt, err := ws.addDispatch(ctx, as, p, opt, nil)
+	if err != nil {
+		ws.cur = cur
+		return nil, pt, err
+	}
+	return b, pt, nil
 }
 
 // addPremapped is addTimedPremapped without the phase split, the
 // reduction entry point of Accumulator and Pool.
-func (ws *Workspace) addPremapped(as []*matrix.CSC, opt Options, premapped int) (*matrix.CSC, error) {
-	b, _, err := ws.addTimedPremapped(as, opt, premapped)
+func (ws *Workspace) addPremapped(ctx context.Context, as []*matrix.CSC, opt Options, premapped int) (*matrix.CSC, error) {
+	b, _, err := ws.addTimedPremapped(ctx, as, opt, premapped)
 	return b, err
 }
 
@@ -159,14 +181,19 @@ func (ws *Workspace) AddScaled(as []*matrix.CSC, coeffs []matrix.Value, opt Opti
 	if err != nil {
 		return nil, err
 	}
-	b, _, err := ws.addDispatch(as, p, opt, coeffs)
-	return b, err
+	cur := ws.cur
+	b, _, err := ws.addDispatch(nil, as, p, opt, coeffs)
+	if err != nil {
+		ws.cur = cur
+		return nil, err
+	}
+	return b, nil
 }
 
 // addDispatch routes a validated call: 2-way baselines keep their
 // native drivers (their intermediate matrices cannot be recycled), the
 // k-way algorithms run on the workspace engines.
-func (ws *Workspace) addDispatch(as []*matrix.CSC, p plan, opt Options, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
+func (ws *Workspace) addDispatch(ctx context.Context, as []*matrix.CSC, p plan, opt Options, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
 	var pt PhaseTimings
 	if opt.Stats != nil {
 		opt.Stats.RecordMonoid(p.monoid())
@@ -184,35 +211,56 @@ func (ws *Workspace) addDispatch(as []*matrix.CSC, p plan, opt Options, coeffs [
 		ex := ws.executorFor(opt, sched.Threads(opt.Threads))
 		start := time.Now()
 		var b *matrix.CSC
+		var err error
 		switch p.alg {
 		case TwoWayIncremental:
-			b = addIncremental(as, opt, ex, pairAddMerge)
+			b, err = addIncremental(as, opt, ex, pairAddMerge)
 		case TwoWayTree:
-			b = addTree(as, opt, ex, pairAddMerge)
+			b, err = addTree(as, opt, ex, pairAddMerge)
 		case MapIncremental:
-			b = addIncremental(as, opt, ex, pairAddMap)
+			b, err = addIncremental(as, opt, ex, pairAddMap)
 		case MapTree:
-			b = addTree(as, opt, ex, pairAddMap)
+			b, err = addTree(as, opt, ex, pairAddMap)
 		}
 		pt.Numeric = time.Since(start)
+		if err != nil {
+			return nil, pt, err
+		}
 		return b, pt, nil
 	default:
 		ws.begin(as, p, opt, coeffs)
+		ws.ctx = ctx
 		var b *matrix.CSC
+		var err error
 		if opt.Stats != nil {
 			opt.Stats.RecordEngine(p.engine)
 		}
 		switch p.engine {
 		case PhasesFused:
-			b, pt = ws.addFused()
+			b, pt, err = ws.addFused()
 		case PhasesUpperBound:
-			b, pt = ws.addUpperBound()
+			b, pt, err = ws.addUpperBound()
 		default:
-			b, pt = ws.addKWay()
+			b, pt, err = ws.addKWay()
 		}
 		ws.end()
+		if err != nil {
+			return nil, pt, err
+		}
 		return b, pt, nil
 	}
+}
+
+// ctxCheck is the engines' phase-boundary cancellation probe: nil for
+// context-free calls and live contexts, the typed cancellation error
+// otherwise. Checking only between phases keeps the kernels themselves
+// untouched — a canceled call finishes the pass in flight (bounded
+// work) and aborts before the next one.
+func (ws *Workspace) ctxCheck() error {
+	if ws.ctx == nil || ws.ctx.Err() == nil {
+		return nil
+	}
+	return ctxErr(ws.ctx)
 }
 
 // begin records the per-call parameters the persistent phase bodies
@@ -258,7 +306,7 @@ func (ws *Workspace) executorFor(opt Options, t int) *sched.Executor {
 // able to fire once the caller drops its handle) and Stats; only
 // ownEx stays resident, workers parked, for the next call.
 func (ws *Workspace) end() {
-	ws.as, ws.coeffs, ws.b, ws.ex = nil, nil, nil, nil
+	ws.as, ws.coeffs, ws.b, ws.ex, ws.ctx = nil, nil, nil, nil, nil
 	ws.opt = Options{}
 	ws.mon, ws.monP = monoidState{}, nil
 }
@@ -267,8 +315,8 @@ func (ws *Workspace) end() {
 // resolved schedule, recording the region's load statistics into
 // Options.Stats. weights may be nil for the Static and Dynamic
 // schedules; a weighted schedule without weights falls back to Static.
-func (ws *Workspace) runCols(n int, weights []int64, body func(worker, lo, hi int)) {
-	runColsOn(ws.ex, n, ws.t, ws.sch, weights, ws.opt.Stats, body)
+func (ws *Workspace) runCols(n int, weights []int64, body func(worker, lo, hi int)) error {
+	return runColsOn(ws.ex, n, ws.t, ws.sch, weights, ws.opt.Stats, body)
 }
 
 // racySched reports whether the call's schedule assigns columns to
@@ -372,16 +420,20 @@ func (ws *Workspace) colScratch(n int) {
 // statically: the weights this precompute exists to produce are not
 // known yet, and the per-column work is one pointer subtraction per
 // input, uniform by construction).
-func (ws *Workspace) fillInputWeights() {
+func (ws *Workspace) fillInputWeights() error {
 	n := ws.as[0].Cols
 	if n >= inputWeightsParallelMin && ws.t > 1 {
-		ls := ws.ex.Static(n, ws.t, ws.weightsFn)
+		ls, err := ws.ex.Static(n, ws.t, ws.weightsFn)
+		if err != nil {
+			return err
+		}
 		if ws.opt.Stats != nil {
 			ws.opt.Stats.RecordRegion(ls)
 		}
 	} else {
 		ws.weightsBody(0, 0, n)
 	}
+	return nil
 }
 
 func (ws *Workspace) weightsBody(_, lo, hi int) {

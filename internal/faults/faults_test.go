@@ -1,0 +1,181 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRuleOccurrenceSemantics pins the After/Every/Count arithmetic:
+// skip the first After occurrences, fire every Every-th one after
+// that, at most Count times.
+func TestRuleOccurrenceSemantics(t *testing.T) {
+	in := New(1, Rule{Point: FailReduction, Key: 7, After: 2, Every: 3, Count: 2})
+	defer Activate(in)()
+	var fired []int
+	for i := 0; i < 12; i++ {
+		if ErrOn(FailReduction, 7) != nil {
+			fired = append(fired, i)
+		}
+	}
+	// Occurrences 0,1 skipped; then 2, 5, 8, ... are every-3rd; Count
+	// caps it at two fires.
+	want := []int{2, 5}
+	if len(fired) != len(want) || fired[0] != want[0] || fired[1] != want[1] {
+		t.Errorf("fired at %v, want %v", fired, want)
+	}
+	if got := in.RuleFires(0); got != 2 {
+		t.Errorf("RuleFires(0) = %d, want 2", got)
+	}
+	if got := in.Fired(); got != 2 {
+		t.Errorf("Fired() = %d, want 2", got)
+	}
+}
+
+// TestRuleKeyMatching: a keyed rule ignores other keys; KeyAny matches
+// all of them. Occurrence counters are per (point, key) pair.
+func TestRuleKeyMatching(t *testing.T) {
+	in := New(1, Rule{Point: PanicInKernel, Key: 3, Count: 1})
+	defer Activate(in)()
+	if Panics(PanicInKernel, 1) {
+		t.Error("key 1 fired a rule keyed to 3")
+	}
+	if Panics(SlowReduction, 3) {
+		t.Error("SlowReduction fired a PanicInKernel rule")
+	}
+	if !Panics(PanicInKernel, 3) {
+		t.Error("key 3 did not fire its own rule")
+	}
+	if Panics(PanicInKernel, 3) {
+		t.Error("Count=1 rule fired twice")
+	}
+
+	any := New(1, Rule{Point: FailedPush, Key: KeyAny})
+	defer Activate(any)()
+	for _, k := range []int64{0, 1, 99} {
+		if ErrOn(FailedPush, k) == nil {
+			t.Errorf("KeyAny rule did not fire for key %d", k)
+		}
+	}
+}
+
+// TestProbDeterminism: probabilistic decisions are a pure function of
+// (seed, point, key, occurrence) — two injectors with the same seed
+// produce identical fire sequences, a different seed a different one.
+func TestProbDeterminism(t *testing.T) {
+	trace := func(seed uint64) []bool {
+		in := New(seed, Rule{Point: FailReduction, Key: KeyAny, Prob: 0.4})
+		defer Activate(in)()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = ErrOn(FailReduction, int64(i%4)) != nil
+		}
+		return out
+	}
+	a, b := trace(42), trace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at occurrence %d", i)
+		}
+	}
+	c := trace(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 64-fire traces (vanishingly unlikely)")
+	}
+	// The hit rate should be in the right ballpark for Prob=0.4.
+	hits := 0
+	for _, h := range a {
+		if h {
+			hits++
+		}
+	}
+	if hits < 10 || hits > 42 {
+		t.Errorf("Prob=0.4 fired %d/64 times, far from expectation", hits)
+	}
+}
+
+// TestSiteHelpers covers the three site shapes: PanicOn's panic value,
+// SleepOn's delay, ErrOn's default and custom errors.
+func TestSiteHelpers(t *testing.T) {
+	sentinel := errors.New("custom")
+	in := New(1,
+		Rule{Point: PanicInKernel, Key: 5},
+		Rule{Point: SlowReduction, Key: 5, Delay: time.Millisecond},
+		Rule{Point: FailReduction, Key: 5, Err: sentinel},
+		Rule{Point: FailedPush, Key: 5},
+	)
+	defer Activate(in)()
+
+	func() {
+		defer func() {
+			r := recover()
+			ip, ok := r.(InjectedPanic)
+			if !ok || ip.Point != PanicInKernel || ip.Key != 5 {
+				t.Errorf("PanicOn panicked with %v, want InjectedPanic{PanicInKernel, 5}", r)
+			}
+		}()
+		PanicOn(PanicInKernel, 5)
+	}()
+
+	start := time.Now()
+	if !SleepOn(SlowReduction, 5) {
+		t.Error("SleepOn did not fire")
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Error("SleepOn returned before the rule's delay")
+	}
+
+	if err := ErrOn(FailReduction, 5); !errors.Is(err, sentinel) {
+		t.Errorf("ErrOn = %v, want the rule's custom error", err)
+	}
+	if err := ErrOn(FailedPush, 5); !errors.Is(err, ErrInjected) {
+		t.Errorf("ErrOn with no rule error = %v, want ErrInjected", err)
+	}
+}
+
+// TestDisabledSites: with no active injector every site is inert and
+// allocation-free (the public benchmark gate measures the full adder
+// path; this is the direct check on the helpers).
+func TestDisabledSites(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("an injector is active at test start")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if Panics(PanicInKernel, 1) {
+			t.Fatal("disabled site fired")
+		}
+		if SleepOn(SlowReduction, 1) {
+			t.Fatal("disabled site fired")
+		}
+		if ErrOn(FailReduction, 1) != nil {
+			t.Fatal("disabled site fired")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled sites allocate %.1f per op, want 0", allocs)
+	}
+}
+
+// TestActivateReplaceAndDeactivate: the deactivator only clears its own
+// injector, so a stale deactivator cannot tear down a newer schedule.
+func TestActivateReplaceAndDeactivate(t *testing.T) {
+	a := New(1, Rule{Point: FailedPush, Key: KeyAny})
+	deactivateA := Activate(a)
+	b := New(2, Rule{Point: FailedPush, Key: KeyAny})
+	deactivateB := Activate(b)
+	deactivateA() // stale: must not remove b
+	if Active() != b {
+		t.Error("stale deactivator removed the newer injector")
+	}
+	deactivateB()
+	if Active() != nil {
+		t.Error("deactivator left its injector active")
+	}
+}

@@ -1,0 +1,133 @@
+// Package leakcheck fails tests that leak goroutines: a pool whose
+// Close drops a reducer, an executor whose workers outlive it, an
+// accumulator misuse path that strands a waiter. It is a minimal
+// baseline-diff checker: Begin snapshots the goroutines alive at test
+// start, and the registered cleanup fails the test if goroutines
+// created since are still alive once the test ends — after a grace
+// period with GC cycles, so resident executors reclaimed by
+// runtime.AddCleanup (a dropped Adder's worker pool) are not false
+// positives.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// maxStack bounds one snapshot of all goroutine stacks.
+const maxStack = 1 << 20
+
+// Begin snapshots the currently-live goroutines and registers a
+// cleanup that fails t if goroutines created during the test are still
+// running when it ends. Call it first thing in a test (not a
+// subtest's parent) that creates pools, executors or accumulators.
+func Begin(t testing.TB) {
+	t.Helper()
+	base := ids(snapshot())
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			// Let runtime.AddCleanup-based teardown (dropped executors'
+			// worker shutdown) fire before judging.
+			runtime.GC()
+			leaked = leakedSince(base)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n"))
+	})
+}
+
+// leakedSince returns the stacks of goroutines alive now that were not
+// in the baseline and are not runtime/testing infrastructure.
+func leakedSince(base map[string]bool) []string {
+	var leaked []string
+	for _, g := range snapshot() {
+		id := goroutineID(g)
+		if id == "" || base[id] {
+			continue
+		}
+		if ignorable(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// ignorable reports goroutines the checker never charges to the test:
+// runtime helpers and the testing framework's own machinery.
+func ignorable(stack string) bool {
+	for _, frame := range []string{
+		"testing.(*T).Run(",
+		"testing.(*M).",
+		"testing.runTests(",
+		"testing.tRunner(",
+		"runtime.goexit",
+		"runtime.gc",
+		"runtime.MutexProfile",
+		"runtime/trace",
+		"created by runtime",
+		"signal.signal_recv",
+		"go.opencensus.io",
+	} {
+		if strings.Contains(stack, frame) && !strings.Contains(stack, "spkadd/") {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot returns one entry per live goroutine (header + stack).
+func snapshot() []string {
+	buf := make([]byte, 1<<16)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		if len(buf) >= maxStack {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	gs := strings.Split(string(buf), "\n\n")
+	out := gs[:0]
+	for _, g := range gs {
+		if strings.HasPrefix(g, "goroutine ") {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// ids maps each goroutine entry to its "goroutine N" identity.
+func ids(gs []string) map[string]bool {
+	m := make(map[string]bool, len(gs))
+	for _, g := range gs {
+		if id := goroutineID(g); id != "" {
+			m[id] = true
+		}
+	}
+	return m
+}
+
+func goroutineID(g string) string {
+	var n uint64
+	var state string
+	if _, err := fmt.Sscanf(g, "goroutine %d [%s", &n, &state); err != nil {
+		return ""
+	}
+	return fmt.Sprintf("goroutine %d", n)
+}

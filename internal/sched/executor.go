@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"spkadd/internal/faults"
 )
 
 // This file implements the resident executor: a pool of persistent
@@ -134,6 +136,13 @@ type execState struct {
 	bounds   []int
 	ranges   []stealRange
 	loads    []workerLoad
+
+	// panicErr holds the first panic a region's worker recovered,
+	// cleared at region start and reported as the region's error. A
+	// panicking worker survives (its loop recovers), so the executor
+	// needs no restart — only the abandoned range is lost, and the
+	// caller learns about it through the returned *PanicError.
+	panicErr atomic.Pointer[PanicError]
 }
 
 // NewExecutor returns a resident executor with a fixed worker budget:
@@ -183,25 +192,27 @@ func (s *execState) shutdown() {
 }
 
 // Static divides [0, n) into near-equal contiguous ranges, like the
-// free Static, on resident workers.
-func (ex *Executor) Static(n, t int, body func(worker, lo, hi int)) LoadStats {
+// free Static, on resident workers. A panic in the body — on any
+// worker, or on the caller's inline share — is recovered and returned
+// as a *PanicError; the region's remaining work on the panicking
+// worker is abandoned, but the executor and its workers stay usable.
+// The same contract holds for Dynamic, Weighted and WeightedStealing.
+func (ex *Executor) Static(n, t int, body func(worker, lo, hi int)) (LoadStats, error) {
 	t = Threads(t)
 	if t > n {
 		t = n
 	}
 	if n == 0 {
-		return LoadStats{}
+		return LoadStats{}, nil
 	}
 	if t <= 1 {
-		body(0, 0, n)
-		return solo(int64(n))
+		return solo(int64(n)), RunInline(n, body)
 	}
 	s := ex.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t = s.clampLocked(t); t <= 1 {
-		body(0, 0, n)
-		return solo(int64(n))
+		return solo(int64(n)), RunInline(n, body)
 	}
 	s.mode, s.n, s.body, s.weighted = modeRange, n, body, false
 	s.bounds = grow(s.bounds, t+1)
@@ -211,27 +222,39 @@ func (ex *Executor) Static(n, t int, body func(worker, lo, hi int)) LoadStats {
 	return s.runLocked(t)
 }
 
+// RunInline executes body(0, 0, n) on the calling goroutine —
+// the single-worker fast path of every region form — converting a
+// panic into the same *PanicError a resident worker's panic produces,
+// so callers see one failure contract whatever the worker count.
+func RunInline(n int, body func(worker, lo, hi int)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = NewPanicError(r, 0)
+		}
+	}()
+	body(0, 0, n)
+	return nil
+}
+
 // Dynamic runs body over [0, n) with workers claiming fixed-size
 // chunks from a shared atomic counter, like the free Dynamic, on
 // resident workers.
-func (ex *Executor) Dynamic(n, t, chunk int, body func(worker, lo, hi int)) LoadStats {
+func (ex *Executor) Dynamic(n, t, chunk int, body func(worker, lo, hi int)) (LoadStats, error) {
 	t = Threads(t)
 	if t > n {
 		t = n
 	}
 	if n == 0 {
-		return LoadStats{}
+		return LoadStats{}, nil
 	}
 	if t <= 1 {
-		body(0, 0, n)
-		return solo(int64(n))
+		return solo(int64(n)), RunInline(n, body)
 	}
 	s := ex.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t = s.clampLocked(t); t <= 1 {
-		body(0, 0, n)
-		return solo(int64(n))
+		return solo(int64(n)), RunInline(n, body)
 	}
 	if chunk <= 0 {
 		// Heuristic from the worker count actually running (after the
@@ -251,7 +274,7 @@ func (ex *Executor) Dynamic(n, t, chunk int, body func(worker, lo, hi int)) Load
 // Weighted divides [0, len(weights)) into contiguous ranges of
 // near-equal total weight, like the free Weighted, on resident
 // workers and with the partition scratch reused across regions.
-func (ex *Executor) Weighted(weights []int64, t int, body func(worker, lo, hi int)) LoadStats {
+func (ex *Executor) Weighted(weights []int64, t int, body func(worker, lo, hi int)) (LoadStats, error) {
 	return ex.s.weightedRun(weights, t, body, false)
 }
 
@@ -262,28 +285,26 @@ func (ex *Executor) Weighted(weights []int64, t int, body func(worker, lo, hi in
 // closes the tail-latency gap a mispredicted weighted partition
 // leaves, without Dynamic's per-chunk shared-counter traffic on the
 // balanced majority of regions.
-func (ex *Executor) WeightedStealing(weights []int64, t int, body func(worker, lo, hi int)) LoadStats {
+func (ex *Executor) WeightedStealing(weights []int64, t int, body func(worker, lo, hi int)) (LoadStats, error) {
 	return ex.s.weightedRun(weights, t, body, true)
 }
 
-func (s *execState) weightedRun(weights []int64, t int, body func(worker, lo, hi int), steal bool) LoadStats {
+func (s *execState) weightedRun(weights []int64, t int, body func(worker, lo, hi int), steal bool) (LoadStats, error) {
 	n := len(weights)
 	t = Threads(t)
 	if t > n {
 		t = n
 	}
 	if n == 0 {
-		return LoadStats{}
+		return LoadStats{}, nil
 	}
 	if t <= 1 {
-		body(0, 0, n)
-		return solo(sumWeights(weights))
+		return solo(sumWeights(weights)), RunInline(n, body)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t = s.clampLocked(t); t <= 1 {
-		body(0, 0, n)
-		return solo(sumWeights(weights))
+		return solo(sumWeights(weights)), RunInline(n, body)
 	}
 	s.n, s.body, s.weighted = n, body, true
 	s.prefix, s.bounds = PartitionByWeightInto(weights, t, s.prefix, s.bounds)
@@ -326,8 +347,10 @@ func (s *execState) clampLocked(t int) int {
 // woken by channel send) as 1..parts-1. Callers hold mu, so one
 // region at a time owns the workers and the scratch. Returns the
 // region's load statistics from the per-worker executed-weight
-// counters.
-func (s *execState) runLocked(parts int) LoadStats {
+// counters, and the first panic any worker recovered (as a
+// *PanicError) — the barrier always completes first, so the scratch
+// is never reused while a surviving worker still runs.
+func (s *execState) runLocked(parts int) (LoadStats, error) {
 	for len(s.wake) < parts-1 {
 		ch := make(chan struct{}, 1)
 		s.wake = append(s.wake, ch)
@@ -339,11 +362,12 @@ func (s *execState) runLocked(parts int) LoadStats {
 	}
 	s.parts = parts
 	s.steals.Store(0)
+	s.panicErr.Store(nil)
 	s.wg.Add(parts - 1)
 	for i := 0; i < parts-1; i++ {
 		s.wake[i] <- struct{}{}
 	}
-	s.runWorker(0)
+	s.runWorkerRecover(0)
 	s.wg.Wait()
 	var total, max int64
 	for i := 0; i < parts; i++ {
@@ -353,21 +377,42 @@ func (s *execState) runLocked(parts int) LoadStats {
 			max = v
 		}
 	}
-	return LoadStats{Workers: parts, Max: max, Mean: total / int64(parts), Steals: s.steals.Load()}
+	ls := LoadStats{Workers: parts, Max: max, Mean: total / int64(parts), Steals: s.steals.Load()}
+	if pe := s.panicErr.Load(); pe != nil {
+		return ls, pe
+	}
+	return ls, nil
 }
 
 // workerLoop parks resident worker id on its wake channel; each token
 // is one region to run. The channel closing (Close, or the handle's
-// runtime cleanup) ends the loop.
+// runtime cleanup) ends the loop. Panics in the region body are
+// recovered inside runWorkerRecover, so a panicking body can never
+// kill a resident worker (which would strand the region barrier and,
+// goroutine panics being fatal, the whole process).
 func (s *execState) workerLoop(wake chan struct{}, id int) {
 	for range wake {
-		s.runWorker(id)
+		s.runWorkerRecover(id)
 		s.wg.Done()
 	}
 }
 
+// runWorkerRecover executes worker w's share of the current region,
+// converting a body panic into the region's sticky panicErr. Only the
+// first panic is kept; later ones (other workers tripping over the
+// same bug) add nothing.
+func (s *execState) runWorkerRecover(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicErr.CompareAndSwap(nil, NewPanicError(r, w))
+		}
+	}()
+	s.runWorker(w)
+}
+
 // runWorker executes worker w's share of the current region.
 func (s *execState) runWorker(w int) {
+	faults.SleepOn(faults.WorkerStall, int64(w))
 	switch s.mode {
 	case modeRange:
 		lo, hi := s.bounds[w], s.bounds[w+1]

@@ -86,24 +86,27 @@ func TestExecutorModesCover(t *testing.T) {
 		weights := skewedWeights(n, uint64(n)+3)
 		zero := make([]int64, n)
 		for _, th := range []int{1, 2, 3, 8} {
-			modes := map[string]func(*chunkRecorder) LoadStats{
-				"static":  func(r *chunkRecorder) LoadStats { return ex.Static(n, th, r.body) },
-				"dynamic": func(r *chunkRecorder) LoadStats { return ex.Dynamic(n, th, 0, r.body) },
-				"dynamic-chunk3": func(r *chunkRecorder) LoadStats {
+			modes := map[string]func(*chunkRecorder) (LoadStats, error){
+				"static":  func(r *chunkRecorder) (LoadStats, error) { return ex.Static(n, th, r.body) },
+				"dynamic": func(r *chunkRecorder) (LoadStats, error) { return ex.Dynamic(n, th, 0, r.body) },
+				"dynamic-chunk3": func(r *chunkRecorder) (LoadStats, error) {
 					return ex.Dynamic(n, th, 3, r.body)
 				},
-				"weighted": func(r *chunkRecorder) LoadStats { return ex.Weighted(weights, th, r.body) },
-				"stealing": func(r *chunkRecorder) LoadStats { return ex.WeightedStealing(weights, th, r.body) },
-				"weighted-zero": func(r *chunkRecorder) LoadStats {
+				"weighted": func(r *chunkRecorder) (LoadStats, error) { return ex.Weighted(weights, th, r.body) },
+				"stealing": func(r *chunkRecorder) (LoadStats, error) { return ex.WeightedStealing(weights, th, r.body) },
+				"weighted-zero": func(r *chunkRecorder) (LoadStats, error) {
 					return ex.Weighted(zero, th, r.body)
 				},
-				"stealing-zero": func(r *chunkRecorder) LoadStats {
+				"stealing-zero": func(r *chunkRecorder) (LoadStats, error) {
 					return ex.WeightedStealing(zero, th, r.body)
 				},
 			}
 			for name, run := range modes {
 				var rec chunkRecorder
-				ls := run(&rec)
+				ls, err := run(&rec)
+				if err != nil {
+					t.Fatalf("%s n=%d t=%d: region error: %v", name, n, th, err)
+				}
 				verifyChunks(t, rec.chunks, n, max(th, 1))
 				if n > 0 && ls.Workers < 1 {
 					t.Errorf("%s n=%d t=%d: LoadStats.Workers = %d, want >= 1", name, n, th, ls.Workers)
@@ -154,7 +157,10 @@ func TestExecutorBudget(t *testing.T) {
 		t.Fatalf("Budget() = %d, want 2", ex.Budget())
 	}
 	var rec chunkRecorder
-	ls := ex.Static(64, 8, rec.body)
+	ls, err := ex.Static(64, 8, rec.body)
+	if err != nil {
+		t.Fatalf("region error: %v", err)
+	}
 	verifyChunks(t, rec.chunks, 64, 2)
 	if ls.Workers > 2 {
 		t.Errorf("region ran %d workers, budget is 2", ls.Workers)
@@ -171,7 +177,10 @@ func TestExecutorCloseRunsInline(t *testing.T) {
 	ex.Close()
 	ex.Close() // idempotent
 	rec.chunks = rec.chunks[:0]
-	ls := ex.WeightedStealing(skewedWeights(32, 5), 4, rec.body)
+	ls, err := ex.WeightedStealing(skewedWeights(32, 5), 4, rec.body)
+	if err != nil {
+		t.Fatalf("region error: %v", err)
+	}
 	verifyChunks(t, rec.chunks, 32, 1)
 	if ls.Workers != 1 {
 		t.Errorf("closed executor ran %d workers, want 1 (inline)", ls.Workers)
@@ -191,13 +200,16 @@ func TestExecutorStealOccurs(t *testing.T) {
 	}
 	var rec chunkRecorder
 	stalled := false
-	ls := ex.WeightedStealing(weights, 2, func(w, lo, hi int) {
+	ls, err := ex.WeightedStealing(weights, 2, func(w, lo, hi int) {
 		if w == 0 && !stalled {
 			stalled = true
 			time.Sleep(20 * time.Millisecond)
 		}
 		rec.body(w, lo, hi)
 	})
+	if err != nil {
+		t.Fatalf("region error: %v", err)
+	}
 	verifyChunks(t, rec.chunks, n, 2)
 	if ls.Steals == 0 {
 		t.Error("no steals recorded despite a stalled worker; LoadStats:", ls)

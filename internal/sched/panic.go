@@ -1,0 +1,48 @@
+package sched
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic recovered inside a parallel region, converted
+// to an error at the region boundary. A panic in a worker goroutine
+// would otherwise kill the whole process — unacceptable for a resident
+// executor shared by many callers — so workers recover, the region
+// completes (the panicking worker's remaining range is abandoned), and
+// the region call reports the first recovered panic as an error. The
+// executor itself stays healthy: its workers survive the recover and
+// serve later regions.
+//
+// Value is the original panic value and Stack the panicking
+// goroutine's stack at recovery time; Worker identifies which region
+// worker panicked (0 is the calling goroutine).
+type PanicError struct {
+	Value  any
+	Stack  []byte
+	Worker int
+}
+
+// NewPanicError wraps a recovered panic value. A value that is already
+// a *PanicError is returned unchanged, so a panic crossing several
+// recovery layers keeps its original stack.
+func NewPanicError(value any, worker int) *PanicError {
+	if pe, ok := value.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: value, Stack: debug.Stack(), Worker: worker}
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("spkadd: recovered panic in parallel region (worker %d): %v", e.Worker, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (for example a
+// runtime error) to errors.Is/As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}

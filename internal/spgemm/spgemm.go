@@ -75,14 +75,18 @@ func Mul(a, b *matrix.CSC, opt Options) (*matrix.CSC, error) {
 	// Both phases run weighted — flops bound the symbolic work, exact
 	// counts the numeric work — on the caller's resident executor when
 	// one is provided.
-	runWeighted := func(weights []int64, body func(w, lo, hi int)) {
+	// A panic in a body on a shared executor comes back as an error
+	// (the executor's workers recover and survive); propagate it
+	// instead of publishing a half-filled product.
+	runWeighted := func(weights []int64, body func(w, lo, hi int)) error {
 		if opt.Executor != nil {
-			opt.Executor.Weighted(weights, t, body)
-			return
+			_, err := opt.Executor.Weighted(weights, t, body)
+			return err
 		}
 		sched.Weighted(weights, t, body)
+		return nil
 	}
-	runWeighted(flops, func(w, lo, hi int) {
+	err := runWeighted(flops, func(w, lo, hi int) {
 		ws := getWorker(w)
 		for j := lo; j < hi; j++ {
 			if flops[j] == 0 {
@@ -102,6 +106,9 @@ func Mul(a, b *matrix.CSC, opt Options) (*matrix.CSC, error) {
 			counts[j] = int64(ws.sym.Len())
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	c := &matrix.CSC{Rows: a.Rows, Cols: n, ColPtr: make([]int64, n+1)}
 	for j := 0; j < n; j++ {
@@ -112,7 +119,7 @@ func Mul(a, b *matrix.CSC, opt Options) (*matrix.CSC, error) {
 	c.Val = make([]matrix.Value, nnz)
 
 	// Numeric phase: accumulate a(:,k)*b(k,j) into hash tables.
-	runWeighted(counts, func(w, lo, hi int) {
+	err = runWeighted(counts, func(w, lo, hi int) {
 		ws := getWorker(w)
 		for j := lo; j < hi; j++ {
 			need := int(counts[j])
@@ -144,6 +151,9 @@ func Mul(a, b *matrix.CSC, opt Options) (*matrix.CSC, error) {
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 

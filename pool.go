@@ -31,12 +31,24 @@ import (
 // can stream structural unions (Any) or edge frequencies (Count) as
 // easily as sums — each shard folds its running sum back in unmapped,
 // so mapped monoids accumulate correctly across reductions.
+//
+// Failures are contained per shard (DESIGN.md §11): an ordinary
+// reduction error is retried up to PoolOptions.MaxRetries times with
+// jittered exponential backoff, then sticks and marks the shard
+// degraded; a panicking reduction is recovered, poisons its shard and
+// quarantines that shard's workspace. Healthy shards keep reducing
+// throughout. Sum always returns the stitch of every shard's last
+// good sum, joined with one ShardError per failed shard; Health
+// reports each shard's state. PushContext, SumContext and
+// CloseContext bound the blocking operations (backpressure waits,
+// drain barriers, shutdown) with a context.
 type Pool = core.Pool
 
 // PoolOptions configure NewPool: shard count (default
 // min(GOMAXPROCS, cols)), total reduction budget in bytes (divided
-// among shards; <=0 means 256MB), and the Options each per-shard
-// reduction runs with. Internally parallel reductions each run on
+// among shards; <=0 means 256MB), the retry policy for failed
+// reductions (MaxRetries, RetryBackoff), and the Options each
+// per-shard reduction runs with. Internally parallel reductions each run on
 // their shard workspace's resident Executor; set Add.Executor to
 // place every shard's reductions under one caller-wide worker budget
 // instead (regions on a shared Executor serialize, trading reduction

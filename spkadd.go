@@ -1,6 +1,7 @@
 package spkadd
 
 import (
+	"context"
 	"io"
 
 	"spkadd/internal/core"
@@ -147,6 +148,37 @@ type Executor = sched.Executor
 // more than t workers, whatever Threads its caller requests.
 func NewExecutor(t int) *Executor { return sched.NewExecutor(t) }
 
+// Fault-tolerance types: how failures inside the streaming stack are
+// reported instead of killing the process. See DESIGN.md §11.
+type (
+	// PanicError is a panic recovered inside an addition — in an
+	// executor worker, a pool shard's reducer, an accumulator's flush
+	// or an inline kernel — converted to an error at the nearest
+	// recovery boundary. Value holds the original panic value, Stack
+	// the panicking goroutine's stack.
+	PanicError = core.PanicError
+	// ShardHealth reports one pool shard's condition (see Pool.Health).
+	ShardHealth = core.ShardHealth
+	// HealthState classifies a shard: HealthOK, HealthDegraded or
+	// HealthPoisoned.
+	HealthState = core.HealthState
+	// ShardError attributes a sticky shard failure to its column
+	// range; Pool.Sum and Pool.Close join one per failed shard.
+	ShardError = core.ShardError
+)
+
+// Shard-health states reported by Pool.Health.
+const (
+	// HealthOK: the shard is reducing normally.
+	HealthOK = core.HealthOK
+	// HealthDegraded: a reduction failed and the bounded retries were
+	// exhausted; the error is sticky but the last good sum is served.
+	HealthDegraded = core.HealthDegraded
+	// HealthPoisoned: a reduction panicked; the panic was recovered,
+	// the shard's workspace quarantined, the last good sum is served.
+	HealthPoisoned = core.HealthPoisoned
+)
+
 // Errors returned by Add.
 var (
 	// ErrNoInputs reports an empty input collection.
@@ -160,8 +192,16 @@ var (
 	// goroutine while a call is in flight (use a Pool for concurrent
 	// producers).
 	ErrAccumulatorInUse = core.ErrAccumulatorInUse
-	// ErrPoolClosed reports a Push on a Pool after Close.
+	// ErrPoolClosed reports a Push on a Pool after Close, or a second
+	// Close after the first completed.
 	ErrPoolClosed = core.ErrPoolClosed
+	// ErrCanceled wraps a context cancellation observed by the
+	// context-aware entry points (AddContext, PushContext, SumContext,
+	// CloseContext); errors.Is also matches context.Canceled.
+	ErrCanceled = core.ErrCanceled
+	// ErrDeadline is the deadline form of ErrCanceled; errors.Is also
+	// matches context.DeadlineExceeded.
+	ErrDeadline = core.ErrDeadline
 	// ErrCoeffsRequirePlus reports AddScaled coefficients combined
 	// with a non-Plus monoid (scaling distributes over "+" only).
 	ErrCoeffsRequirePlus = core.ErrCoeffsRequirePlus
@@ -182,6 +222,14 @@ func Add(as []*Matrix, opt Options) (*Matrix, error) {
 // the symbolic (output sizing) and numeric phases.
 func AddTimed(as []*Matrix, opt Options) (*Matrix, PhaseTimings, error) {
 	return core.AddTimed(as, opt)
+}
+
+// AddContext is Add with cooperative cancellation: the engines check
+// ctx at phase boundaries (before the symbolic pass, between passes,
+// after the numeric pass) and abandon the call with an error wrapping
+// ErrCanceled or ErrDeadline, leaving no partial result.
+func AddContext(ctx context.Context, as []*Matrix, opt Options) (*Matrix, error) {
+	return core.AddContext(ctx, as, opt)
 }
 
 // FromTriples builds a sorted, duplicate-merged CSC matrix from
