@@ -12,17 +12,33 @@
 // the background — so the comparison here is Pool versus the
 // mutex-funneled Accumulator on an identical workload.
 //
+// With -serve, the same firehose runs as an HTTP client against a
+// live spkadd-serve daemon instead of an in-process pool: producers
+// POST wire-format delta frames (honoring 429 + Retry-After admission
+// pushback), then the snapshot endpoint's sum is verified bit-exactly
+// against the in-process reference. Start a daemon and point the
+// firehose at it:
+//
+//	go run ./cmd/spkadd-serve &
+//	go run ./examples/firehose -serve http://localhost:8471
+//
 //	go run ./examples/firehose
 package main
 
 import (
+	"bytes"
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"spkadd"
+	"spkadd/internal/server"
 )
 
 const (
@@ -42,6 +58,9 @@ func stream(p int) []*spkadd.Matrix {
 }
 
 func main() {
+	serveURL := flag.String("serve", "", "push over HTTP to a spkadd-serve daemon at this base URL instead of an in-process pool")
+	tenant := flag.String("tenant", "firehose", "tenant name when pushing to a daemon")
+	flag.Parse()
 	producers := runtime.GOMAXPROCS(0)
 	if producers < 2 {
 		producers = 2
@@ -76,6 +95,11 @@ func main() {
 	mu.Unlock()
 	funneled := time.Since(start)
 
+	if *serveURL != "" {
+		serveMode(*serveURL, *tenant, streams, want, funneled)
+		return
+	}
+
 	// Sharded pool: producers enqueue zero-copy column slices under
 	// per-shard locks; reducers drain concurrently in the background.
 	pool := spkadd.NewPool(rows, cols, spkadd.PoolOptions{BudgetBytes: 8 << 20,
@@ -99,6 +123,69 @@ func main() {
 		pool.Shards(), sharded.Round(time.Microsecond), float64(funneled)/float64(sharded))
 	fmt.Printf("\nsum: %d entries across %d columns; pool ran %d k-way reductions for %d pushes\n",
 		got.NNZ(), got.Cols, pool.Reductions(), pool.K())
+}
+
+// serveMode replays the same firehose against a live spkadd-serve
+// daemon: producers POST wire frames, backing off whenever admission
+// control answers 429, and the daemon's snapshot is verified against
+// the in-process reference sum.
+func serveMode(base, tenant string, streams [][]*spkadd.Matrix, want *spkadd.Matrix, funneled time.Duration) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	url := base + "/v1/tenants/" + tenant + "/deltas"
+	var retries429 int64
+	var mu sync.Mutex // guards retries429
+	start := time.Now()
+	run(streams, func(a *spkadd.Matrix) error {
+		frame := server.EncodeCSC(a)
+		for {
+			resp, err := client.Post(url, "application/x-spkadd-delta", bytes.NewReader(frame))
+			if err != nil {
+				return err
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				return nil
+			case http.StatusTooManyRequests:
+				// Admission pushback: honor Retry-After and resend.
+				mu.Lock()
+				retries429++
+				mu.Unlock()
+				wait := time.Second
+				if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+					wait = time.Duration(s) * time.Second
+				}
+				time.Sleep(wait)
+			default:
+				return fmt.Errorf("push = %d: %s", resp.StatusCode, body)
+			}
+		}
+	})
+	resp, err := client.Get(base + "/v1/tenants/" + tenant + "/sum?format=wire")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("snapshot = %d", resp.StatusCode)
+	}
+	wire, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := server.DecodeDelta(wire, 0)
+	if err != nil {
+		log.Fatalf("decoding snapshot: %v", err)
+	}
+	pushed := time.Since(start)
+	if !got.ToCSC().Equal(want) {
+		log.Fatalf("daemon snapshot disagrees with the in-process sum")
+	}
+	fmt.Printf("mutex-funneled Accumulator : %v (in-process reference)\n", funneled.Round(time.Microsecond))
+	fmt.Printf("spkadd-serve over HTTP     : %v, %d pushes retried on 429\n",
+		pushed.Round(time.Microsecond), retries429)
+	fmt.Printf("\nsnapshot verified bit-exact: %d entries across %d columns\n", want.NNZ(), want.Cols)
 }
 
 // run pushes every stream concurrently through push and waits.

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"spkadd/internal/core"
@@ -103,16 +105,41 @@ type BaselineCell struct {
 // machine context to interpret the numbers, and one cell per
 // (workload, algorithm, engine).
 type BaselineReport struct {
-	Schema     int            `json:"schema"`
-	CreatedAt  string         `json:"created_at"`
-	GoVersion  string         `json:"go_version"`
-	GOOS       string         `json:"goos"`
-	GOARCH     string         `json:"goarch"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Rows       int            `json:"rows"`
-	Cols       int            `json:"cols"`
-	Reps       int            `json:"reps"`
-	Cells      []BaselineCell `json:"cells"`
+	Schema     int    `json:"schema"`
+	CreatedAt  string `json:"created_at"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPU and CPUModel pin the host topology: comparing a cell
+	// against a baseline from a different core count or part is a
+	// hardware delta, not a regression. CPUModel is best-effort
+	// (empty where /proc/cpuinfo has no model name).
+	NumCPU   int            `json:"num_cpu"`
+	CPUModel string         `json:"cpu_model,omitempty"`
+	Rows     int            `json:"rows"`
+	Cols     int            `json:"cols"`
+	Reps     int            `json:"reps"`
+	Cells    []BaselineCell `json:"cells"`
+}
+
+// cpuModel reads the host CPU's marketing name from /proc/cpuinfo
+// (the first "model name" line); empty on any failure — non-Linux
+// hosts, stripped containers — rather than an error, since the field
+// is context, not data.
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
 }
 
 // Baseline measures a small, fixed grid of shapes across all
@@ -124,13 +151,16 @@ func Baseline(cfg Config, out io.Writer) error {
 	rep := BaselineReport{
 		// 2 added allocs/bytes per op; 3 added monoid cells; 4 added
 		// the schedule field (Weighted on pre-4 cells) and a schedule
-		// sweep on the first workload.
-		Schema:     4,
+		// sweep on the first workload; 5 added the host topology
+		// (num_cpu, cpu_model).
+		Schema:     5,
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
 		Rows:       rows,
 		Cols:       cols,
 		Reps:       cfg.reps(),

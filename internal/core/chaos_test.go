@@ -212,6 +212,127 @@ func TestChaosPoolRetryExhausted(t *testing.T) {
 	}
 }
 
+// TestChaosHealthLattice walks one shard through the full health
+// state lattice: ok → degraded (retry exhaustion drops the batch) →
+// ok again (the next successful reduction clears the degradation) →
+// poisoned (a panic is terminal; no later success ever clears it).
+// At every step the other shard stays OK and the stitched sum carries
+// exactly the inputs that survived.
+func TestChaosHealthLattice(t *testing.T) {
+	leakcheck.Begin(t)
+	const rows, cols = 300, 8
+	as := erInputs(6, rows, cols, 6, 81)
+	stats := &OpStats{}
+	p := NewPool(rows, cols, PoolOptions{
+		Shards:       2,
+		MaxRetries:   1,
+		RetryBackoff: 50 * time.Microsecond,
+		Add:          Options{Algorithm: Hash, SortedOutput: true, Stats: stats},
+	})
+	defer p.Close()
+	shardState := func(i int) ShardHealth { return p.Health()[i] }
+	assertStates := func(step string, want0, want1 HealthState) {
+		t.Helper()
+		if got := shardState(0).State; got != want0 {
+			t.Fatalf("%s: Health()[0] = %v, want %v", step, got, want0)
+		}
+		if got := shardState(1).State; got != want1 {
+			t.Fatalf("%s: Health()[1] = %v, want %v", step, got, want1)
+		}
+	}
+
+	// Step 1: healthy baseline.
+	if err := p.Push(as[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Sum(); err != nil {
+		t.Fatal(err)
+	}
+	assertStates("baseline", HealthOK, HealthOK)
+
+	// Step 2: exhaust the retries of shard 0 (zone key 1) — the batch
+	// holding as[1] is dropped and the shard turns degraded, while
+	// shard 1 absorbs its slice of as[1] normally.
+	deactivate := faults.Activate(faults.New(21,
+		faults.Rule{Point: faults.FailReduction, Key: 1, Count: 2}))
+	if err := p.Push(as[1]); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Sum()
+	deactivate()
+	var se *ShardError
+	if !errors.As(err, &se) || se.Shard != 0 {
+		t.Fatalf("Sum while degraded = %v, want a ShardError for shard 0", err)
+	}
+	assertStates("degraded", HealthDegraded, HealthOK)
+	if h := shardState(0); h.Dropped == 0 {
+		t.Error("degraded shard reports Dropped = 0, want the exhausted batch counted")
+	}
+	if n := stats.ShardsDegraded.Load(); n != 1 {
+		t.Errorf("ShardsDegraded = %d, want 1", n)
+	}
+
+	// Step 3: the next successful reduction recovers the shard. The
+	// dropped piece stays dropped: shard 0's columns must sum as[0] and
+	// as[2] only, shard 1's all three.
+	if err := p.Push(as[2]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Sum()
+	if err != nil {
+		t.Fatalf("Sum after recovery = %v, want nil (degradation cleared)", err)
+	}
+	assertStates("recovered", HealthOK, HealthOK)
+	if n := stats.ShardsRecovered.Load(); n != 1 {
+		t.Errorf("ShardsRecovered = %d, want 1", n)
+	}
+	if d := shardState(0).Dropped; d == 0 {
+		t.Error("recovered shard lost its Dropped record")
+	}
+	wantLossy := matrix.ReferenceAdd([]*matrix.CSC{as[0], as[2]})
+	wantFull := matrix.ReferenceAdd(as[:3])
+	c0, c1 := sched.Span(cols, 2, 0)
+	for j := 0; j < cols; j++ {
+		want := wantFull
+		if j >= c0 && j < c1 {
+			want = wantLossy
+		}
+		if !columnEqual(got, want, j) {
+			t.Errorf("column %d after recovery differs from its expected survivors", j)
+		}
+	}
+
+	// Step 4: a panic is terminal. Poison shard 0, then prove a later
+	// clean reduction cannot resurrect it.
+	deactivate = faults.Activate(faults.New(22,
+		faults.Rule{Point: faults.PanicInKernel, Key: 1, Count: 1}))
+	if err := p.Push(as[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Sum(); !errors.As(err, &se) || se.Shard != 0 {
+		t.Fatalf("Sum after panic = %v, want a ShardError for shard 0", err)
+	}
+	deactivate()
+	assertStates("poisoned", HealthPoisoned, HealthOK)
+	if err := p.Push(as[4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Sum(); !errors.As(err, &se) || se.Shard != 0 {
+		t.Fatalf("Sum after poison + clean push = %v, want the sticky ShardError", err)
+	}
+	assertStates("poisoned stays poisoned", HealthPoisoned, HealthOK)
+	var pe *PanicError
+	if h := shardState(0); !errors.As(h.Err, &pe) {
+		t.Errorf("poisoned shard's health error = %v, want *PanicError", h.Err)
+	}
+	if n := stats.ShardsPoisoned.Load(); n != 1 {
+		t.Errorf("ShardsPoisoned = %d, want 1", n)
+	}
+	if n := stats.ShardsRecovered.Load(); n != 1 {
+		t.Errorf("ShardsRecovered = %d after poisoning, want still 1", n)
+	}
+}
+
 // TestChaosPushCancelUnderBackpressure: a producer blocked on a full
 // shard (its reducer deliberately stalled) unblocks when its context
 // ends, the failed push leaves no partial slice behind, and the final

@@ -331,8 +331,12 @@ type OpStats struct {
 	// non-panic error after retries were exhausted) or the poisoned
 	// state (recovered panic; workspace quarantined). They count
 	// transitions, not current state — Pool.Health reports the latter.
-	ShardsDegraded atomic.Int64
-	ShardsPoisoned atomic.Int64
+	// ShardsRecovered counts the reverse transition: a degraded shard
+	// whose next successful reduction cleared it back to OK (poisoned
+	// shards never recover).
+	ShardsDegraded  atomic.Int64
+	ShardsPoisoned  atomic.Int64
+	ShardsRecovered atomic.Int64
 }
 
 // RecordRegion folds one parallel region's load statistics into the

@@ -44,15 +44,18 @@ import (
 // Failure model (DESIGN.md §11): faults are contained per shard. A
 // reduction that fails with an ordinary error is retried up to
 // PoolOptions.MaxRetries times with jittered exponential backoff;
-// exhausting the retries marks the shard degraded (sticky error, last
-// good sum still served). A reduction that panics — in a kernel, on a
+// exhausting the retries drops that batch (counted in
+// ShardHealth.Dropped) and marks the shard degraded. Degradation is
+// not terminal: the shard keeps reducing later batches, and the next
+// success clears it back to OK — the serving layer's "transient
+// backend trouble" state. A reduction that panics — in a kernel, on a
 // worker, anywhere — is recovered, never retried, and poisons the
-// shard: its workspace is quarantined (the scratch is mid-kernel
-// garbage) while its last good sum stays valid, because a failed
-// reduction never touches the ping-pong buffer holding it. Healthy
-// shards keep accepting and reducing work throughout; Sum stitches
-// every shard's last good sum and reports the failed shards' errors
-// alongside, and Health exposes the per-shard state.
+// shard permanently: its workspace is quarantined (the scratch is
+// mid-kernel garbage) while its last good sum stays valid, because a
+// failed reduction never touches the ping-pong buffer holding it.
+// Healthy shards keep accepting and reducing work throughout; Sum
+// stitches every shard's last good sum and reports the failed shards'
+// errors alongside, and Health exposes the per-shard state.
 
 // ErrPoolClosed is returned by Push after Close has been called, and
 // by a second Close after the first completed.
@@ -65,14 +68,18 @@ const (
 	// HealthOK: the shard is reducing normally.
 	HealthOK HealthState = iota
 	// HealthDegraded: a reduction failed with an ordinary error and
-	// the bounded retries were exhausted. The error is sticky; the
-	// shard discards further work but its last good sum is still
-	// served by Sum.
+	// the bounded retries were exhausted; that batch's input was
+	// dropped (counted in ShardHealth.Dropped). The error stays
+	// reported while the shard is degraded, but the shard keeps
+	// accepting and reducing new work — a later successful reduction
+	// clears it back to HealthOK. Its last good sum is served by Sum
+	// throughout.
 	HealthDegraded
 	// HealthPoisoned: a reduction panicked. The panic was recovered
 	// and converted to a sticky *PanicError, and the shard's workspace
-	// was quarantined — its scratch state is indeterminate. The last
-	// good sum is still served by Sum.
+	// was quarantined — its scratch state is indeterminate. Poisoning
+	// is terminal: the shard discards further work and never
+	// recovers. The last good sum is still served by Sum.
 	HealthPoisoned
 )
 
@@ -91,12 +98,26 @@ func (h HealthState) String() string {
 }
 
 // ShardHealth reports one shard's condition: its column range, its
-// state, and the sticky error for the non-OK states.
+// state, the error for the non-OK states, and the queue/loss gauges a
+// serving layer needs — how much work is still pending (the drain
+// straggler report) and how many pushed pieces the shard has dropped
+// across its lifetime (the permanent record of data a past
+// degradation lost; a recovered shard's sum is exact for everything
+// after the drop).
 type ShardHealth struct {
 	Shard      int
 	Col0, Col1 int
 	State      HealthState
 	Err        error
+	// Pending is the number of pushed pieces not yet folded into the
+	// running sum — both queued and claimed by a reduction still in
+	// flight; PendingBytes is the queued pieces' footprint. Nonzero
+	// after a deadline-bounded drain identifies the straggler shards.
+	Pending      int
+	PendingBytes int64
+	// Dropped counts pushed pieces this shard discarded: the inputs of
+	// retry-exhausted batches and everything a poisoned shard receives.
+	Dropped int64
 }
 
 // ShardError attributes a sticky shard failure to its column range, so
@@ -139,6 +160,14 @@ type PoolOptions struct {
 	// plus up to half that again of jitter). <=0 means 500µs. The
 	// backoff aborts early when the pool is closed.
 	RetryBackoff time.Duration
+	// FaultZone offsets this pool's fault-injection keys: shard i's
+	// reduction sites report key FaultZone+i+1 and the pool's push
+	// site reports key FaultZone, so a deterministic chaos schedule
+	// can target one pool — one tenant of a serving daemon — when
+	// several pools share the process. Zero keeps the 1-based shard
+	// keys of a single-pool process. Purely an observability handle:
+	// with no active injector the keys are never consulted.
+	FaultZone int64
 	// Add are the Options for the per-shard reductions. When Threads
 	// is unset and the pool has more than one shard, reductions run
 	// single-threaded: the shards themselves are the parallelism, and
@@ -173,6 +202,7 @@ type PoolOptions struct {
 type Pool struct {
 	rows, cols int
 	shards     []*poolShard
+	faultZone  int64
 	closed     atomic.Bool
 	closeDone  atomic.Bool
 	absorbed   atomic.Int64
@@ -232,6 +262,7 @@ func NewPool(rows, cols int, popt PoolOptions) *Pool {
 	p := &Pool{
 		rows: rows, cols: cols,
 		shards:       make([]*poolShard, s),
+		faultZone:    popt.FaultZone,
 		quitc:        make(chan struct{}),
 		reducersDone: make(chan struct{}),
 	}
@@ -240,7 +271,7 @@ func NewPool(rows, cols int, popt PoolOptions) *Pool {
 		sh := &poolShard{
 			c0: c0, c1: c1, budget: shardBudget, opt: opt,
 			maxRetries: retries, baseBackoff: backoff, quitc: p.quitc,
-			zone: int64(i) + 1,
+			zone: popt.FaultZone + int64(i) + 1,
 		}
 		// Reductions report faults under the shard's 1-based zone, so
 		// a chaos schedule can target one shard's kernels.
@@ -288,7 +319,7 @@ func (p *Pool) PushContext(ctx context.Context, a *matrix.CSC) error {
 		return fmt.Errorf("%w: pushed %dx%d, pool is %dx%d",
 			ErrDimMismatch, a.Rows, a.Cols, p.rows, p.cols)
 	}
-	if err := faults.ErrOn(faults.FailedPush, 0); err != nil {
+	if err := faults.ErrOn(faults.FailedPush, p.faultZone); err != nil {
 		if st := p.shards[0].opt.Stats; st != nil {
 			st.FaultsInjected.Add(1)
 		}
@@ -344,8 +375,11 @@ func pieceBytes(a *matrix.CSC, s *poolShard) int64 {
 // reduced sum — correct and current for healthy shards, stale (or
 // empty) for degraded and poisoned ones — and the error joins one
 // ShardError per failed shard so the caller can tell which column
-// ranges are affected. A nil error means every shard is healthy and
-// the total is exact.
+// ranges are affected. A nil error means every shard is currently
+// healthy; inputs a past degradation dropped are permanently gone
+// from the total, and Health's Dropped counter is their record (the
+// error was reported by the Sums issued while the shard was
+// degraded).
 func (p *Pool) Sum() (*matrix.CSC, error) {
 	return p.SumContext(context.Background())
 }
@@ -404,10 +438,12 @@ func (p *Pool) SumContext(ctx context.Context) (*matrix.CSC, error) {
 }
 
 // barrier asks every shard to drain and waits until each has reduced
-// everything enqueued before the request (failed shards stop blocking
-// the barrier the moment their error goes sticky). Requests are
-// issued to all shards first, so they drain concurrently, then
-// awaited; ctx cancels the wait.
+// everything enqueued before the request (poisoned shards stop
+// blocking the barrier the moment their error goes sticky; degraded
+// shards still drain — failing batches are dropped after their
+// bounded retries, so the wait terminates). Requests are issued to
+// all shards first, so they drain concurrently, then awaited; ctx
+// cancels the wait.
 func (p *Pool) barrier(ctx context.Context) error {
 	reqs := make([]int64, len(p.shards))
 	for i, s := range p.shards {
@@ -435,7 +471,7 @@ func (p *Pool) barrier(ctx context.Context) error {
 	}
 	for i, s := range p.shards {
 		s.mu.Lock()
-		for !s.exited && s.err == nil && s.flushAck < reqs[i] {
+		for !s.exited && !s.poisoned && s.flushAck < reqs[i] {
 			if ctx.Err() != nil {
 				s.mu.Unlock()
 				return ctxErr(ctx)
@@ -524,16 +560,23 @@ func (p *Pool) stickyErrLocked() error {
 	return errors.Join(errs...)
 }
 
-// Health reports every shard's condition: OK, degraded (sticky
-// ordinary error, retries exhausted) or poisoned (recovered panic,
-// workspace quarantined). Failed shards keep serving their last good
-// sum through Sum; Health is how a caller finds out that is what it
-// is getting. Safe for concurrent use.
+// Health reports every shard's condition: OK, degraded (an ordinary
+// reduction error exhausted its retries; the shard keeps reducing and
+// recovers on its next success) or poisoned (recovered panic,
+// workspace quarantined, terminal). Failed shards keep serving their
+// last good sum through Sum; Health is how a caller finds out that is
+// what it is getting — including the queue-depth and dropped-piece
+// gauges a serving layer turns into drain-straggler reports and loss
+// metrics. Safe for concurrent use.
 func (p *Pool) Health() []ShardHealth {
 	out := make([]ShardHealth, len(p.shards))
 	for i, s := range p.shards {
 		s.mu.Lock()
-		h := ShardHealth{Shard: i, Col0: s.c0, Col1: s.c1, State: HealthOK}
+		h := ShardHealth{
+			Shard: i, Col0: s.c0, Col1: s.c1, State: HealthOK,
+			Pending: len(s.pending) + s.inflight, PendingBytes: s.pendingBytes,
+			Dropped: s.dropped,
+		}
 		if s.err != nil {
 			h.Err = s.err
 			if s.poisoned {
@@ -594,8 +637,10 @@ type poolShard struct {
 	flushAck     int64
 	closed       bool
 	exited       bool
-	err          error // sticky failure; see poisoned for its class
+	err          error // current failure; see poisoned for its class
 	poisoned     bool  // err came from a recovered panic; ws quarantined
+	dropped      int64 // pushed pieces discarded across the shard's lifetime
+	inflight     int   // pieces claimed by the reduction currently running
 	sum          *matrix.CSC
 	reductions   int64
 
@@ -608,13 +653,14 @@ type poolShard struct {
 
 // reserve claims bytes of high-water capacity for one push, blocking
 // while the queue plus outstanding reservations are at the mark (2x
-// the shard budget) — unless the shard has failed, whose queue only
-// ever gets discarded, or the pool is closing. ctx cancels the wait.
+// the shard budget) — unless the shard is poisoned, whose queue only
+// ever gets discarded, or the pool is closing. Degraded shards still
+// reduce, so they still exert backpressure. ctx cancels the wait.
 func (s *poolShard) reserve(ctx context.Context, bytes int64) error {
 	var stop func() bool
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.pendingBytes+s.reserved >= 2*s.budget && !s.closed && s.err == nil {
+	for s.pendingBytes+s.reserved >= 2*s.budget && !s.closed && !s.poisoned {
 		if ctx.Err() != nil {
 			if stop != nil {
 				stop()
@@ -688,13 +734,13 @@ func (s *poolShard) sumNNZBytes() int64 {
 	return int64(s.sum.NNZ()) * entryBytes
 }
 
-// wakeNeeded reports whether the reducer has anything to do. A failed
-// shard with pending pieces still wakes: the reducer discards them so
-// producers blocked on the high-water mark and barriers waiting on
-// the queue are released. Callers hold mu.
+// wakeNeeded reports whether the reducer has anything to do. A
+// poisoned shard with pending pieces still wakes: the reducer
+// discards them so producers blocked on the high-water mark and
+// barriers waiting on the queue are released. Callers hold mu.
 func (s *poolShard) wakeNeeded() bool {
 	return s.closed || s.flushReq > s.flushAck || s.reduceNeeded() ||
-		(s.err != nil && len(s.pending) > 0)
+		(s.poisoned && len(s.pending) > 0)
 }
 
 // claimBatch moves a budget-bounded prefix of the pending queue into
@@ -725,7 +771,10 @@ func (s *poolShard) claimBatch() {
 // budget-sized batch outside the lock (with bounded retries), mark
 // the shard degraded or poisoned when the batch ultimately fails,
 // acknowledge flush barriers whenever the queue is empty, and exit
-// once closed and drained.
+// once closed and drained. A degraded shard keeps reducing — the
+// failed batch is dropped and counted, and the next success clears
+// the degradation; only poisoning (a quarantined workspace) makes the
+// shard discard everything it receives.
 func (s *poolShard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	s.mu.Lock()
@@ -734,10 +783,11 @@ func (s *poolShard) run(wg *sync.WaitGroup) {
 			s.cond.Wait()
 		}
 		if len(s.pending) > 0 {
-			if s.err != nil {
-				// Sticky failure: discard instead of reducing, so flush
+			if s.poisoned {
+				// Terminal failure: discard instead of reducing, so flush
 				// barriers, backpressured producers and Close still
 				// terminate.
+				s.dropped += int64(len(s.pending))
 				clear(s.pending)
 				s.pending = s.pending[:0]
 				s.pendingBytes = 0
@@ -745,12 +795,24 @@ func (s *poolShard) run(wg *sync.WaitGroup) {
 				continue
 			}
 			s.claimBatch()
+			claimed := len(s.take)
+			s.inflight = claimed
 			s.mu.Unlock()
 			sum, err := s.reduceWithRetry()
 			s.mu.Lock()
+			s.inflight = 0
 			if err != nil {
-				s.fail(err)
+				s.fail(err, claimed)
 				continue
+			}
+			if s.err != nil {
+				// A degraded shard just proved itself functional again:
+				// the degradation clears, the Dropped counter keeps the
+				// record of what the failed batches lost.
+				s.err = nil
+				if st := s.opt.Stats; st != nil {
+					st.ShardsRecovered.Add(1)
+				}
 			}
 			s.sum = sum
 			s.reductions++
@@ -773,12 +835,15 @@ func (s *poolShard) run(wg *sync.WaitGroup) {
 
 // fail records the claimed batch's ultimate failure: a recovered
 // panic poisons the shard (workspace quarantined — its scratch is
-// mid-kernel garbage — and never retried); anything else marks it
-// degraded. Either way the error is sticky, the last good sum stays
-// served, and everyone waiting on this shard is released. Callers
-// hold mu.
-func (s *poolShard) fail(err error) {
+// mid-kernel garbage — and never retried, never recovered); anything
+// else marks it degraded, dropping the batch's claimed pieces while
+// the shard keeps reducing later work. Either way the error is
+// reported, the last good sum stays served, and everyone waiting on
+// this shard is released. Callers hold mu.
+func (s *poolShard) fail(err error, claimed int) {
+	wasOK := s.err == nil
 	s.err = err
+	s.dropped += int64(claimed)
 	st := s.opt.Stats
 	if isPanicErr(err) {
 		s.poisoned = true
@@ -787,7 +852,9 @@ func (s *poolShard) fail(err error) {
 			st.PanicsRecovered.Add(1)
 			st.ShardsPoisoned.Add(1)
 		}
-	} else if st != nil {
+	} else if st != nil && wasOK {
+		// A state transition, not a repeat failure of an
+		// already-degraded shard.
 		st.ShardsDegraded.Add(1)
 	}
 	s.done.Broadcast()

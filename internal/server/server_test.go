@@ -1,0 +1,301 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"spkadd/internal/core"
+	"spkadd/internal/generate"
+	"spkadd/internal/matrix"
+)
+
+// newTestServer builds a Server with test-friendly defaults and
+// registers a generous drain as cleanup, so every test stops the
+// janitor and the tenant reducers it spawned.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Pool.Shards == 0 {
+		cfg.Pool.Shards = 2
+	}
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s
+}
+
+// delta builds one ER delta (values all 1) and its wire frame.
+func delta(rows, cols, d int, seed uint64) (*matrix.CSC, []byte) {
+	a := generate.ER(generate.Opts{Rows: rows, Cols: cols, NNZPerCol: d, Seed: seed})
+	return a, EncodeCSC(a)
+}
+
+// do runs one request through the handler and returns the recorder.
+func do(s *Server, method, target string, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, target, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func pushURL(tenant string) string { return "/v1/tenants/" + tenant + "/deltas" }
+
+// fetchSum GETs a tenant's snapshot in wire format and decodes it.
+func fetchSum(t *testing.T, s *Server, tenant string) *matrix.CSC {
+	t.Helper()
+	w := do(s, "GET", "/v1/tenants/"+tenant+"/sum?format=wire", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET sum(%s) = %d: %s", tenant, w.Code, w.Body)
+	}
+	c, err := DecodeDelta(w.Body.Bytes(), 0)
+	if err != nil {
+		t.Fatalf("decoding snapshot: %v", err)
+	}
+	return c.ToCSC()
+}
+
+// TestServerPushSum: the happy path. Deltas stream in over the wire
+// format, the snapshot equals the in-process reference sum, and the
+// JSON envelope carries k and per-shard health.
+func TestServerPushSum(t *testing.T) {
+	s := newTestServer(t, Config{})
+	const rows, cols, d = 64, 16, 4
+	var as []*matrix.CSC
+	for i := 0; i < 5; i++ {
+		a, frame := delta(rows, cols, d, uint64(i+1))
+		as = append(as, a)
+		w := do(s, "POST", pushURL("alpha"), frame)
+		if w.Code != http.StatusAccepted {
+			t.Fatalf("push %d = %d: %s", i, w.Code, w.Body)
+		}
+	}
+	if got, want := fetchSum(t, s, "alpha"), matrix.ReferenceAdd(as); !got.Equal(want) {
+		t.Error("wire snapshot disagrees with ReferenceAdd")
+	}
+	// JSON envelope.
+	w := do(s, "GET", "/v1/tenants/alpha/sum?entries=false", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET sum json = %d", w.Code)
+	}
+	var resp struct {
+		Tenant string            `json:"tenant"`
+		K      int               `json:"k"`
+		NNZ    int               `json:"nnz"`
+		Shards []shardHealthJSON `json:"shards"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("sum envelope: %v", err)
+	}
+	if resp.Tenant != "alpha" || resp.K != 5 || resp.NNZ != matrix.ReferenceAdd(as).NNZ() {
+		t.Errorf("envelope = %+v, want tenant alpha, k 5", resp)
+	}
+	if len(resp.Shards) != 2 {
+		t.Fatalf("envelope carries %d shards, want 2", len(resp.Shards))
+	}
+	for _, h := range resp.Shards {
+		if h.State != "ok" {
+			t.Errorf("shard %d state %q, want ok", h.Shard, h.State)
+		}
+	}
+	// Tenant listing.
+	w = do(s, "GET", "/v1/tenants", nil)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"alpha"`) {
+		t.Errorf("GET /v1/tenants = %d: %s", w.Code, w.Body)
+	}
+}
+
+// TestServerStatusMapping: each refusal class maps to its status.
+func TestServerStatusMapping(t *testing.T) {
+	s := newTestServer(t, Config{MaxDeltaNNZ: 8})
+	_, frame := delta(64, 16, 4, 1)
+
+	if w := do(s, "POST", pushURL("t0"), []byte("junk frame")); w.Code != http.StatusBadRequest {
+		t.Errorf("malformed frame = %d, want 400", w.Code)
+	}
+	if w := do(s, "POST", pushURL("_bad"), frameFor(t, 4, 4, 1)); w.Code != http.StatusBadRequest {
+		t.Errorf("invalid tenant name = %d, want 400", w.Code)
+	}
+	if w := do(s, "POST", pushURL("t0"), frame); w.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized frame = %d, want 413", w.Code)
+	}
+	if w := do(s, "POST", pushURL("t0"), frameFor(t, 4, 4, 2)); w.Code != http.StatusAccepted {
+		t.Fatalf("small push = %d, want 202", w.Code)
+	}
+	if w := do(s, "POST", pushURL("t0"), frameFor(t, 8, 4, 2)); w.Code != http.StatusConflict {
+		t.Errorf("dims mismatch = %d, want 409", w.Code)
+	}
+	if w := do(s, "GET", "/v1/tenants/ghost/sum", nil); w.Code != http.StatusNotFound {
+		t.Errorf("unknown tenant sum = %d, want 404", w.Code)
+	}
+	if w := do(s, "DELETE", "/v1/tenants/ghost", nil); w.Code != http.StatusNotFound {
+		t.Errorf("unknown tenant delete = %d, want 404", w.Code)
+	}
+}
+
+// frameFor encodes a 2-entry delta with the given dims.
+func frameFor(t *testing.T, rows, cols, d int) []byte {
+	t.Helper()
+	_, frame := delta(rows, cols, d, 7)
+	return frame
+}
+
+// TestServerTenantCap: at MaxTenants with nothing expired, a new
+// tenant is refused with 503 + Retry-After; once a tenant goes idle
+// past the TTL the next create evicts it and succeeds.
+func TestServerTenantCap(t *testing.T) {
+	s := newTestServer(t, Config{MaxTenants: 2, IdleTTL: 50 * time.Millisecond})
+	for _, name := range []string{"a", "b"} {
+		if w := do(s, "POST", pushURL(name), frameFor(t, 4, 4, 2)); w.Code != http.StatusAccepted {
+			t.Fatalf("push %s = %d", name, w.Code)
+		}
+	}
+	w := do(s, "POST", pushURL("c"), frameFor(t, 4, 4, 2))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap push = %d, want 503: %s", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("over-cap 503 lacks Retry-After")
+	}
+	time.Sleep(80 * time.Millisecond) // let a and b expire
+	if w := do(s, "POST", pushURL("c"), frameFor(t, 4, 4, 2)); w.Code != http.StatusAccepted {
+		t.Fatalf("push after expiry = %d, want 202 via eviction: %s", w.Code, w.Body)
+	}
+	if s.reg.evictions.Load() == 0 {
+		t.Error("eviction counter did not move")
+	}
+}
+
+// TestServerDelete: DELETE drains the tenant and frees its name.
+func TestServerDelete(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if w := do(s, "POST", pushURL("doomed"), frameFor(t, 4, 4, 2)); w.Code != http.StatusAccepted {
+		t.Fatalf("push = %d", w.Code)
+	}
+	w := do(s, "DELETE", "/v1/tenants/doomed", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("delete = %d: %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), `"abandoned": false`) {
+		t.Errorf("delete report: %s", w.Body)
+	}
+	if w := do(s, "GET", "/v1/tenants/doomed/sum", nil); w.Code != http.StatusNotFound {
+		t.Errorf("sum after delete = %d, want 404", w.Code)
+	}
+	// The name is reusable with fresh dimensions.
+	if w := do(s, "POST", pushURL("doomed"), frameFor(t, 8, 8, 2)); w.Code != http.StatusAccepted {
+		t.Errorf("recreate after delete = %d, want 202", w.Code)
+	}
+}
+
+// TestServerHealthEndpoints: healthz is always 200 and readyz tracks
+// draining; both carry the tenant inventory.
+func TestServerHealthEndpoints(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if w := do(s, "POST", pushURL("h"), frameFor(t, 4, 4, 2)); w.Code != http.StatusAccepted {
+		t.Fatalf("push = %d", w.Code)
+	}
+	w := do(s, "GET", "/healthz", nil)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"status": "ok"`) {
+		t.Errorf("healthz = %d: %s", w.Code, w.Body)
+	}
+	if w := do(s, "GET", "/readyz", nil); w.Code != http.StatusOK {
+		t.Errorf("readyz = %d, want 200", w.Code)
+	}
+	s.BeginDrain()
+	if w := do(s, "GET", "/readyz", nil); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining = %d, want 503", w.Code)
+	}
+	if w := do(s, "POST", pushURL("h"), frameFor(t, 4, 4, 2)); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("push while draining = %d, want 503", w.Code)
+	}
+	// healthz stays 200 through the drain (liveness, not readiness).
+	if w := do(s, "GET", "/healthz", nil); w.Code != http.StatusOK {
+		t.Errorf("healthz while draining = %d, want 200", w.Code)
+	}
+}
+
+// TestServerMetrics: the exposition parses as prometheus text far
+// enough to carry the tenant counters with escaped labels.
+func TestServerMetrics(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		if w := do(s, "POST", pushURL("m1"), frameFor(t, 4, 4, 2)); w.Code != http.StatusAccepted {
+			t.Fatalf("push = %d", w.Code)
+		}
+	}
+	fetchSum(t, s, "m1")
+	w := do(s, "GET", "/metrics", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		`spkadd_tenant_pushes_total{tenant="m1"} 3`,
+		`spkadd_tenant_sums_total{tenant="m1"} 1`,
+		`spkadd_tenant_k{tenant="m1"} 3`,
+		`spkadd_tenant_shards{tenant="m1",state="ok"} 2`,
+		"# TYPE spkadd_http_requests_total counter",
+		"spkadd_tenants 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if strings.Count(body, "# TYPE spkadd_tenant_pushes_total") != 1 {
+		t.Error("metric family emitted non-contiguously")
+	}
+}
+
+// TestServerPromEscape: label values escape per the exposition spec.
+func TestServerPromEscape(t *testing.T) {
+	if got := promEscape("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Errorf("promEscape = %q", got)
+	}
+}
+
+// TestServerClientCancel: a push whose client has already gone away
+// reports 408, not 429 — the server distinguishes "the client gave
+// up" from "we refused".
+func TestServerClientCancel(t *testing.T) {
+	// A stalled single shard with a tiny budget wedges admission.
+	s := newTestServer(t, Config{
+		QueueWait: 30 * time.Millisecond,
+		Pool:      core.PoolOptions{Shards: 1, BudgetBytes: 1 << 10},
+	})
+	// Fill past the high-water mark so the next push must wait.
+	for i := 0; i < 64; i++ {
+		w := do(s, "POST", pushURL("cc"), frameFor(t, 64, 4, 16))
+		if w.Code != http.StatusAccepted && w.Code != http.StatusTooManyRequests {
+			t.Fatalf("fill push = %d: %s", w.Code, w.Body)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", pushURL("cc"), bytes.NewReader(frameFor(t, 64, 4, 16))).WithContext(ctx)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusRequestTimeout && w.Code != http.StatusAccepted {
+		t.Errorf("canceled-client push = %d, want 408 (or 202 if it slipped in)", w.Code)
+	}
+}
+
+// TestServerPprof: the profiling mux is mounted.
+func TestServerPprof(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := do(s, "GET", "/debug/pprof/cmdline", nil)
+	if w.Code != http.StatusOK {
+		t.Errorf("pprof cmdline = %d", w.Code)
+	}
+	if b, _ := io.ReadAll(w.Body); len(b) == 0 {
+		t.Error("pprof cmdline empty")
+	}
+}

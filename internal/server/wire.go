@@ -1,0 +1,169 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"spkadd/internal/matrix"
+)
+
+// The COO delta wire format: the ingest body of the daemon and the
+// binary snapshot encoding of its sum endpoint. It is deliberately
+// dumb — a fixed little-endian header followed by packed triples — so
+// a client in any language is a dozen lines, and the decoder can
+// validate the whole frame with arithmetic before allocating
+// anything:
+//
+//	offset  size  field
+//	0       4     magic   "SPKD" (0x444B5053 LE)
+//	4       4     version (1)
+//	8       4     rows
+//	12      4     cols
+//	16      4     nnz
+//	20      16*nnz  entries: row uint32, col uint32, val float64
+//
+// Duplicate (row, col) entries are legal and sum on ingest, matching
+// COO assembly semantics everywhere else in the repo.
+//
+// Every decode failure is a typed error wrapping ErrWire, so the
+// handler layer maps classes (malformed vs too-large) to status codes
+// without string matching, and the fuzz harness can assert "typed
+// error, never a panic".
+
+// wireMagic spells "SPKD" when written little-endian.
+const wireMagic uint32 = 'S' | 'P'<<8 | 'K'<<16 | 'D'<<24
+
+// wireVersion is the only frame version this build speaks.
+const wireVersion = 1
+
+// wireHeaderLen and wireEntryLen are the fixed frame dimensions.
+const (
+	wireHeaderLen = 20
+	wireEntryLen  = 16
+)
+
+// MaxWireDim bounds rows and cols: indices travel as uint32 but the
+// in-memory matrix.Index is int32.
+const MaxWireDim = 1<<31 - 1
+
+// Wire decode errors. All wrap ErrWire; ErrWireTooLarge additionally
+// classifies frames that exceed a configured size cap rather than
+// being malformed.
+var (
+	// ErrWire is the class of every delta-decoding failure.
+	ErrWire = errors.New("spkadd/server: bad delta frame")
+	// ErrWireMagic: the frame does not start with "SPKD".
+	ErrWireMagic = fmt.Errorf("%w: bad magic", ErrWire)
+	// ErrWireVersion: the frame's version is not 1.
+	ErrWireVersion = fmt.Errorf("%w: unsupported version", ErrWire)
+	// ErrWireTruncated: the frame is shorter than its header, or than
+	// the nnz its header declares.
+	ErrWireTruncated = fmt.Errorf("%w: truncated", ErrWire)
+	// ErrWireTrailing: the frame carries bytes past its declared
+	// entries.
+	ErrWireTrailing = fmt.Errorf("%w: trailing bytes", ErrWire)
+	// ErrWireDims: rows or cols is zero or exceeds MaxWireDim.
+	ErrWireDims = fmt.Errorf("%w: bad dimensions", ErrWire)
+	// ErrWireRange: an entry's coordinates fall outside the declared
+	// dimensions.
+	ErrWireRange = fmt.Errorf("%w: entry out of range", ErrWire)
+	// ErrWireTooLarge: the frame declares more entries than the
+	// decoder's cap. Not malformed — the admission layer's 413.
+	ErrWireTooLarge = fmt.Errorf("%w: frame exceeds the entry cap", ErrWire)
+)
+
+// DecodeDelta parses one COO delta frame. maxNNZ caps the declared
+// entry count (<= 0 means no cap beyond the frame's own length). The
+// returned COO owns freshly allocated entries sized by the actual
+// frame length — a header lying about nnz fails the length check
+// before anything is allocated, so a 20-byte frame can never make the
+// decoder reserve gigabytes.
+func DecodeDelta(data []byte, maxNNZ int) (*matrix.COO, error) {
+	if len(data) < wireHeaderLen {
+		return nil, fmt.Errorf("%w: %d-byte frame, want at least %d", ErrWireTruncated, len(data), wireHeaderLen)
+	}
+	if m := binary.LittleEndian.Uint32(data[0:]); m != wireMagic {
+		return nil, fmt.Errorf("%w: %#08x", ErrWireMagic, m)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != wireVersion {
+		return nil, fmt.Errorf("%w: %d", ErrWireVersion, v)
+	}
+	rows := binary.LittleEndian.Uint32(data[8:])
+	cols := binary.LittleEndian.Uint32(data[12:])
+	if rows == 0 || cols == 0 || rows > MaxWireDim || cols > MaxWireDim {
+		return nil, fmt.Errorf("%w: %dx%d", ErrWireDims, rows, cols)
+	}
+	nnz := binary.LittleEndian.Uint32(data[16:])
+	if maxNNZ > 0 && uint64(nnz) > uint64(maxNNZ) {
+		return nil, fmt.Errorf("%w: %d entries, cap %d", ErrWireTooLarge, nnz, maxNNZ)
+	}
+	body := data[wireHeaderLen:]
+	want := uint64(nnz) * wireEntryLen
+	switch {
+	case uint64(len(body)) < want:
+		return nil, fmt.Errorf("%w: %d entries declared, body holds %d bytes", ErrWireTruncated, nnz, len(body))
+	case uint64(len(body)) > want:
+		return nil, fmt.Errorf("%w: %d bytes past the %d declared entries", ErrWireTrailing, uint64(len(body))-want, nnz)
+	}
+	c := &matrix.COO{
+		Rows:    int(rows),
+		Cols:    int(cols),
+		Entries: make([]matrix.Triple, nnz),
+	}
+	for i := range c.Entries {
+		e := body[i*wireEntryLen:]
+		r := binary.LittleEndian.Uint32(e[0:])
+		j := binary.LittleEndian.Uint32(e[4:])
+		if r >= rows || j >= cols {
+			return nil, fmt.Errorf("%w: entry %d at (%d,%d), frame is %dx%d", ErrWireRange, i, r, j, rows, cols)
+		}
+		c.Entries[i] = matrix.Triple{
+			Row: matrix.Index(r),
+			Col: matrix.Index(j),
+			Val: matrix.Value(math.Float64frombits(binary.LittleEndian.Uint64(e[8:]))),
+		}
+	}
+	return c, nil
+}
+
+// EncodeDelta serializes a COO delta into one wire frame.
+func EncodeDelta(c *matrix.COO) []byte {
+	buf := make([]byte, wireHeaderLen+len(c.Entries)*wireEntryLen)
+	putHeader(buf, c.Rows, c.Cols, len(c.Entries))
+	for i, t := range c.Entries {
+		putEntry(buf[wireHeaderLen+i*wireEntryLen:], t.Row, t.Col, t.Val)
+	}
+	return buf
+}
+
+// EncodeCSC serializes a CSC matrix as a wire frame of its triples in
+// column-major order — the snapshot encoding of the sum endpoint.
+func EncodeCSC(a *matrix.CSC) []byte {
+	buf := make([]byte, wireHeaderLen+a.NNZ()*wireEntryLen)
+	putHeader(buf, a.Rows, a.Cols, a.NNZ())
+	off := wireHeaderLen
+	for j := 0; j < a.Cols; j++ {
+		rows, vals := a.ColRows(j), a.ColVals(j)
+		for i := range rows {
+			putEntry(buf[off:], rows[i], matrix.Index(j), vals[i])
+			off += wireEntryLen
+		}
+	}
+	return buf
+}
+
+func putHeader(buf []byte, rows, cols, nnz int) {
+	binary.LittleEndian.PutUint32(buf[0:], wireMagic)
+	binary.LittleEndian.PutUint32(buf[4:], wireVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(rows))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(cols))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(nnz))
+}
+
+func putEntry(e []byte, r, c matrix.Index, v matrix.Value) {
+	binary.LittleEndian.PutUint32(e[0:], uint32(r))
+	binary.LittleEndian.PutUint32(e[4:], uint32(c))
+	binary.LittleEndian.PutUint64(e[8:], math.Float64bits(float64(v)))
+}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"spkadd/internal/matrix"
+)
+
+func sampleCOO() *matrix.COO {
+	c := &matrix.COO{Rows: 8, Cols: 5}
+	c.Append(0, 0, 1.5)
+	c.Append(7, 4, -2.25)
+	c.Append(3, 2, 0.125)
+	c.Append(3, 2, 1) // duplicate: legal, sums on ToCSC
+	c.Append(1, 4, math.Inf(1))
+	return c
+}
+
+// TestWireRoundTrip: encode → decode is the identity on entries,
+// including duplicates and non-finite values, and the decoded COO
+// assembles to the same CSC as the original.
+func TestWireRoundTrip(t *testing.T) {
+	c := sampleCOO()
+	frame := EncodeDelta(c)
+	if len(frame) != wireHeaderLen+len(c.Entries)*wireEntryLen {
+		t.Fatalf("frame length = %d, want %d", len(frame), wireHeaderLen+len(c.Entries)*wireEntryLen)
+	}
+	got, err := DecodeDelta(frame, 0)
+	if err != nil {
+		t.Fatalf("DecodeDelta: %v", err)
+	}
+	if got.Rows != c.Rows || got.Cols != c.Cols || len(got.Entries) != len(c.Entries) {
+		t.Fatalf("decoded %dx%d/%d entries, want %dx%d/%d",
+			got.Rows, got.Cols, len(got.Entries), c.Rows, c.Cols, len(c.Entries))
+	}
+	for i := range c.Entries {
+		if got.Entries[i] != c.Entries[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got.Entries[i], c.Entries[i])
+		}
+	}
+	if !got.ToCSC().Equal(c.ToCSC()) {
+		t.Error("decoded delta assembles to a different CSC")
+	}
+}
+
+// TestWireEncodeCSC: a CSC snapshot encodes to a frame that decodes
+// back to the same matrix.
+func TestWireEncodeCSC(t *testing.T) {
+	a := sampleCOO().ToCSC()
+	got, err := DecodeDelta(EncodeCSC(a), 0)
+	if err != nil {
+		t.Fatalf("DecodeDelta(EncodeCSC): %v", err)
+	}
+	if !got.ToCSC().Equal(a) {
+		t.Error("EncodeCSC round trip changed the matrix")
+	}
+}
+
+// TestWireEmptyDelta: zero entries is a legal frame.
+func TestWireEmptyDelta(t *testing.T) {
+	c := &matrix.COO{Rows: 3, Cols: 3}
+	got, err := DecodeDelta(EncodeDelta(c), 0)
+	if err != nil {
+		t.Fatalf("empty delta: %v", err)
+	}
+	if got.NNZ() != 0 || got.Rows != 3 || got.Cols != 3 {
+		t.Fatalf("empty delta decoded as %dx%d/%d", got.Rows, got.Cols, got.NNZ())
+	}
+}
+
+// corrupt returns a copy of frame with buf[off:off+4] overwritten.
+func corrupt(frame []byte, off int, v uint32) []byte {
+	out := bytes.Clone(frame)
+	binary.LittleEndian.PutUint32(out[off:], v)
+	return out
+}
+
+// TestWireDecodeErrors: every malformed-frame class returns its typed
+// error, and all of them wrap ErrWire.
+func TestWireDecodeErrors(t *testing.T) {
+	good := EncodeDelta(sampleCOO())
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"empty", nil, ErrWireTruncated},
+		{"short header", good[:wireHeaderLen-1], ErrWireTruncated},
+		{"bad magic", corrupt(good, 0, 0xDEADBEEF), ErrWireMagic},
+		{"bad version", corrupt(good, 4, 2), ErrWireVersion},
+		{"zero rows", corrupt(good, 8, 0), ErrWireDims},
+		{"zero cols", corrupt(good, 12, 0), ErrWireDims},
+		{"rows over int32", corrupt(good, 8, 1<<31), ErrWireDims},
+		{"truncated body", good[:len(good)-1], ErrWireTruncated},
+		{"trailing bytes", append(bytes.Clone(good), 0), ErrWireTrailing},
+		{"nnz lies high", corrupt(good, 16, 1<<30), ErrWireTruncated},
+		{"row out of range", corrupt(good, wireHeaderLen, 99), ErrWireRange},
+		{"col out of range", corrupt(good, wireHeaderLen+4, 99), ErrWireRange},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := DecodeDelta(tc.frame, 0)
+			if c != nil {
+				t.Fatal("malformed frame returned a matrix")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if !errors.Is(err, ErrWire) {
+				t.Fatalf("err = %v does not wrap ErrWire", err)
+			}
+		})
+	}
+}
+
+// TestWireEntryCap: the maxNNZ cap classifies as ErrWireTooLarge (the
+// 413, not a 400) and is checked before the body-length arithmetic so
+// a capped decoder refuses early.
+func TestWireEntryCap(t *testing.T) {
+	good := EncodeDelta(sampleCOO())
+	if _, err := DecodeDelta(good, len(sampleCOO().Entries)); err != nil {
+		t.Fatalf("frame at the cap: %v", err)
+	}
+	_, err := DecodeDelta(good, len(sampleCOO().Entries)-1)
+	if !errors.Is(err, ErrWireTooLarge) {
+		t.Fatalf("over-cap err = %v, want ErrWireTooLarge", err)
+	}
+	// A tiny frame whose header claims 2^28 entries must fail without
+	// allocating them: truncation is detected by arithmetic first.
+	lie := corrupt(good[:wireHeaderLen], 16, 1<<28)
+	if _, err := DecodeDelta(lie, 0); !errors.Is(err, ErrWireTruncated) {
+		t.Fatalf("lying header err = %v, want ErrWireTruncated", err)
+	}
+}
+
+// FuzzDecodeDelta: the decoder must return a typed ErrWire error or a
+// valid COO — never panic, and never allocate entries beyond what the
+// actual frame length supports (enforced structurally: the entry
+// slice is sized from nnz only after nnz*16 == len(body) holds).
+func FuzzDecodeDelta(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeDelta(sampleCOO()))
+	f.Add(EncodeDelta(&matrix.COO{Rows: 1, Cols: 1}))
+	f.Add(corrupt(EncodeDelta(sampleCOO()), 16, 1<<30))
+	f.Add(bytes.Repeat([]byte{0x53}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeDelta(data, 1<<16)
+		if err != nil {
+			if c != nil {
+				t.Fatal("error return carries a matrix")
+			}
+			if !errors.Is(err, ErrWire) {
+				t.Fatalf("err = %v does not wrap ErrWire", err)
+			}
+			return
+		}
+		// Success: the COO must be internally consistent and bounded
+		// by the frame that produced it.
+		if c.Rows <= 0 || c.Cols <= 0 {
+			t.Fatalf("accepted dims %dx%d", c.Rows, c.Cols)
+		}
+		if want := (len(data) - wireHeaderLen) / wireEntryLen; c.NNZ() != want {
+			t.Fatalf("accepted %d entries from a frame holding %d", c.NNZ(), want)
+		}
+		for i, e := range c.Entries {
+			if int(e.Row) >= c.Rows || int(e.Col) >= c.Cols || e.Row < 0 || e.Col < 0 {
+				t.Fatalf("entry %d (%d,%d) outside %dx%d", i, e.Row, e.Col, c.Rows, c.Cols)
+			}
+		}
+		// And it must re-encode to the identical frame (canonical form).
+		if !bytes.Equal(EncodeDelta(c), data) {
+			t.Fatal("decode → encode is not the identity on accepted frames")
+		}
+	})
+}

@@ -34,13 +34,16 @@ import (
 //
 // Failures are contained per shard (DESIGN.md §11): an ordinary
 // reduction error is retried up to PoolOptions.MaxRetries times with
-// jittered exponential backoff, then sticks and marks the shard
-// degraded; a panicking reduction is recovered, poisons its shard and
-// quarantines that shard's workspace. Healthy shards keep reducing
-// throughout. Sum always returns the stitch of every shard's last
-// good sum, joined with one ShardError per failed shard; Health
-// reports each shard's state. PushContext, SumContext and
-// CloseContext bound the blocking operations (backpressure waits,
+// jittered exponential backoff, then drops that batch and marks the
+// shard degraded — the shard keeps reducing later work and recovers
+// to OK on its next success, with the loss recorded in
+// ShardHealth.Dropped. A panicking reduction is recovered, poisons
+// its shard permanently and quarantines that shard's workspace.
+// Healthy shards keep reducing throughout. Sum always returns the
+// stitch of every shard's last good sum, joined with one ShardError
+// per currently-failed shard; Health reports each shard's state plus
+// its queue-depth and dropped-piece gauges. PushContext, SumContext
+// and CloseContext bound the blocking operations (backpressure waits,
 // drain barriers, shutdown) with a context.
 type Pool = core.Pool
 

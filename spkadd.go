@@ -172,10 +172,13 @@ const (
 	// HealthOK: the shard is reducing normally.
 	HealthOK = core.HealthOK
 	// HealthDegraded: a reduction failed and the bounded retries were
-	// exhausted; the error is sticky but the last good sum is served.
+	// exhausted; that batch was dropped, the last good sum is served,
+	// and the shard recovers to HealthOK on its next successful
+	// reduction.
 	HealthDegraded = core.HealthDegraded
 	// HealthPoisoned: a reduction panicked; the panic was recovered,
 	// the shard's workspace quarantined, the last good sum is served.
+	// Poisoning is terminal.
 	HealthPoisoned = core.HealthPoisoned
 )
 
