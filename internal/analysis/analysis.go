@@ -1,0 +1,236 @@
+// Package analysis is a dependency-free skeleton of the
+// golang.org/x/tools/go/analysis framework: an Analyzer inspects one
+// type-checked package and reports Diagnostics through its Pass. The
+// build environment is offline and the main spkadd module is
+// stdlib-only by policy, so rather than vendoring x/tools this package
+// reimplements the small slice of the model the repo's invariant suite
+// needs — per-package syntax+types analysis with positional
+// diagnostics — on top of go/ast, go/types and `go list -export`.
+//
+// The analyzers themselves live under passes/ and are driven either by
+// cmd/spkadd-vet (multichecker over package patterns, plus the go vet
+// -vettool unit protocol) or by analysistest in their own tests.
+//
+// Suppression: a finding whose position carries a
+// `//spkadd:allow(check)` comment — trailing on the same line or alone
+// on the line above — is dropped by the driver. Every suppression is a
+// reviewed, greppable exemption; the checks' names are the Analyzer
+// names.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //spkadd:allow(...) suppressions.
+	Name string
+	// Doc is the one-paragraph description printed by spkadd-vet -list.
+	Doc string
+	// Run inspects the package held by pass and reports findings via
+	// pass.Report/Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding. The driver installs a wrapper that
+	// applies //spkadd:allow suppression before recording.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, attributed to its analyzer by the
+// driver.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Target bundles the loaded artifacts of one package. Both the
+// go-list loader and the unitchecker config path produce Targets.
+type Target struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Run applies every analyzer to the target and returns the surviving
+// diagnostics in file/position order. Findings at positions covered by
+// a //spkadd:allow(name) comment are dropped, as are findings inside
+// _test.go files: the invariants guard production code paths (test
+// helpers may block on WaitGroups or loop over locks freely — the
+// race detector covers them).
+func Run(t *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allows := buildAllows(t.Fset, t.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      t.Fset,
+			Files:     t.Files,
+			Pkg:       t.Pkg,
+			TypesInfo: t.Info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = name
+			if strings.HasSuffix(t.Fset.Position(d.Pos).Filename, "_test.go") {
+				return
+			}
+			if allows.allowed(name, t.Fset, d.Pos) {
+				return
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, t.ImportPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := t.Fset.Position(diags[i].Pos), t.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// allowIndex maps file → line → set of allowed check names.
+type allowIndex map[string]map[int]map[string]bool
+
+func buildAllows(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := allowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					idx[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseAllow recognizes `//spkadd:allow(a)` and `//spkadd:allow(a,b)`,
+// optionally followed by a free-text justification.
+func parseAllow(comment string) ([]string, bool) {
+	const prefix = "//spkadd:allow("
+	if !strings.HasPrefix(comment, prefix) {
+		return nil, false
+	}
+	rest := comment[len(prefix):]
+	end := strings.IndexByte(rest, ')')
+	if end < 0 {
+		return nil, false
+	}
+	var names []string
+	for _, n := range strings.Split(rest[:end], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}
+
+// allowed reports whether check is suppressed at pos: an allow comment
+// on the same line, or alone on the line directly above.
+func (idx allowIndex) allowed(check string, fset *token.FileSet, pos token.Pos) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	p := fset.Position(pos)
+	lines := idx[p.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[p.Line][check] || lines[p.Line-1][check]
+}
+
+// HasDirective reports whether the comment group contains the exact
+// directive comment (e.g. "//spkadd:noalloc"), optionally followed by
+// a space-separated justification.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// FieldDirective scans a struct field's doc and trailing comments for
+// a directive of the form prefix + "(arg)" and returns arg.
+func FieldDirective(field *ast.Field, prefix string) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, prefix+"(") {
+				continue
+			}
+			rest := c.Text[len(prefix)+1:]
+			if end := strings.IndexByte(rest, ')'); end >= 0 {
+				return strings.TrimSpace(rest[:end]), true
+			}
+		}
+	}
+	return "", false
+}

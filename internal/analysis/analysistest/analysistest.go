@@ -1,0 +1,138 @@
+// Package analysistest runs an analyzer over a golden fixture package
+// and compares its diagnostics against `// want "regexp"` comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest. Fixtures
+// live under testdata/src/<path> and may import the standard library;
+// their imports are satisfied from compiled export data produced by
+// `go list -export`.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"spkadd/internal/analysis"
+	"spkadd/internal/analysis/load"
+)
+
+// stdExports is built once per test binary: export data for the
+// standard-library packages fixtures are allowed to import.
+var (
+	stdOnce    sync.Once
+	stdIndex   load.ExportIndex
+	stdIndexOK error
+)
+
+// FixtureImports is the closed set of packages fixtures may import.
+var FixtureImports = []string{
+	"context", "errors", "fmt", "strings", "sync", "sync/atomic", "time",
+}
+
+func exports(t *testing.T) load.ExportIndex {
+	t.Helper()
+	stdOnce.Do(func() {
+		stdIndex, stdIndexOK = load.StdExports(".", FixtureImports...)
+	})
+	if stdIndexOK != nil {
+		t.Fatalf("building stdlib export index: %v", stdIndexOK)
+	}
+	return stdIndex
+}
+
+// Run loads testdata/src/<pkgpath> relative to dir, applies the
+// analyzer, and checks the diagnostics against the fixture's want
+// comments. The fixture's import path is pkgpath itself, so analyzers
+// with package scopes can be exercised by encoding the scope into the
+// fixture's directory name.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	fixture := filepath.Join(dir, "src", filepath.FromSlash(pkgpath))
+	target, err := load.Dir(fixture, pkgpath, exports(t))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := analysis.Run(target, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+
+	wants, err := collectWants(fixture)
+	if err != nil {
+		t.Fatalf("parsing want comments: %v", err)
+	}
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := target.Fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if w.file == filepath.Base(pos.Filename) && w.line == pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d:%d: unexpected diagnostic: [%s] %s",
+				pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Join(fixture, w.file), w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRE extracts the quoted patterns of a want comment — double- or
+// back-quoted, possibly several: // want "a" `b`.
+var (
+	quoted   = `(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `)`
+	wantRE   = regexp.MustCompile(`// want ((?:` + quoted + `\s*)+)`)
+	quotedRE = regexp.MustCompile(quoted)
+)
+
+func collectWants(dir string) ([]want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRE.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", e.Name(), i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, pat, err)
+				}
+				wants = append(wants, want{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,308 @@
+// Package escape turns the compiler's escape-analysis diagnostics
+// (`go build -gcflags=-m`) into a pass/fail gate for the
+// //spkadd:noalloc hot paths: inside an annotated function, nothing
+// may escape to the heap unless a committed allowlist entry vouches
+// for it. This is the compile-time twin of the CI allocation gate —
+// BenchmarkAdderReuse* proves a warmed Adder does 0 allocs/op at
+// runtime; the audit proves the compiler didn't quietly move a
+// hot-path local to the heap, before any benchmark runs and for every
+// annotated function, not just the ones a benchmark exercises.
+//
+// The audit is line-based and Go-version-pinned (CI runs the same
+// toolchain as go.mod): it keeps only hard escape messages ("escapes
+// to heap", "moved to heap"), attributes them to annotated function
+// ranges by position, and subtracts allowlist entries of the form
+//
+//	file.go:FuncName: message substring   # justification
+//
+// matched by file basename, enclosing function, and substring.
+package escape
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Diag is one compiler diagnostic with a position.
+type Diag struct {
+	File    string // as printed by the compiler, relative to the build dir
+	Line    int
+	Col     int
+	Message string
+}
+
+// String formats the diagnostic the way the compiler printed it.
+func (d Diag) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s", d.File, d.Line, d.Col, d.Message)
+}
+
+var diagRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// escapeMessage reports whether msg is a hard heap escape (as opposed
+// to inlining chatter or parameter leak notes, which do not by
+// themselves allocate at the annotated site).
+func escapeMessage(msg string) bool {
+	return strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap")
+}
+
+// ParseM reads `go build -gcflags=-m` output and returns the heap
+// escape diagnostics, dropping inline/leak chatter and the
+// `# package` section headers.
+func ParseM(r io.Reader) ([]Diag, error) {
+	var out []Diag
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := diagRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		if !escapeMessage(m[4]) {
+			continue
+		}
+		ln, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad line number in %q: %w", line, err)
+		}
+		col, err := strconv.Atoi(m[3])
+		if err != nil {
+			return nil, fmt.Errorf("bad column in %q: %w", line, err)
+		}
+		out = append(out, Diag{File: m[1], Line: ln, Col: col, Message: m[4]})
+	}
+	return out, sc.Err()
+}
+
+// Func is one annotated noalloc function and its source extent.
+type Func struct {
+	File      string // path relative to root, forward slashes
+	Name      string // receiver-qualified when a method, e.g. (*Table).AddWith
+	StartLine int
+	EndLine   int
+}
+
+// Directive is the annotation the audit gates on; it must match
+// passes/noalloc.
+const Directive = "//spkadd:noalloc"
+
+// AnnotatedFuncs walks every non-test .go file under root (skipping
+// testdata and hidden directories, and any directory with its own
+// go.mod — nested modules are not part of this build) and returns the
+// functions carrying the noalloc directive.
+func AnnotatedFuncs(root string) ([]Func, error) {
+	var funcs []Func
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path == root {
+				return nil
+			}
+			name := d.Name()
+			if strings.HasPrefix(name, ".") || name == "testdata" {
+				return filepath.SkipDir
+			}
+			if _, statErr := os.Stat(filepath.Join(path, "go.mod")); statErr == nil {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			if !hasDirective(fd.Doc) {
+				continue
+			}
+			funcs = append(funcs, Func{
+				File:      filepath.ToSlash(rel),
+				Name:      funcName(fd),
+				StartLine: fset.Position(fd.Pos()).Line,
+				EndLine:   fset.Position(fd.End()).Line,
+			})
+		}
+		return nil
+	})
+	sort.Slice(funcs, func(i, j int) bool {
+		if funcs[i].File != funcs[j].File {
+			return funcs[i].File < funcs[j].File
+		}
+		return funcs[i].StartLine < funcs[j].StartLine
+	})
+	return funcs, err
+}
+
+func hasDirective(doc *ast.CommentGroup) bool {
+	for _, c := range doc.List {
+		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	var recv string
+	switch x := t.(type) {
+	case *ast.StarExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			recv = "(*" + id.Name + ")"
+		}
+	case *ast.Ident:
+		recv = x.Name
+	}
+	if recv == "" {
+		return fd.Name.Name
+	}
+	return recv + "." + fd.Name.Name
+}
+
+// AllowEntry vouches for one known-benign escape inside an annotated
+// function.
+type AllowEntry struct {
+	File   string // basename or relative path of the source file
+	Func   string // function name as produced by funcName
+	Substr string // substring of the compiler message
+	Line   int    // allowlist line, for reporting stale entries
+}
+
+// ParseAllowlist reads entries of the form
+//
+//	file.go:FuncName: message substring
+//
+// ignoring blank lines and #-comments (inline #-comments are stripped).
+func ParseAllowlist(r io.Reader) ([]AllowEntry, error) {
+	var entries []AllowEntry
+	sc := bufio.NewScanner(r)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, ":", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("allowlist line %d: want \"file.go:Func: message substring\", got %q", n, line)
+		}
+		e := AllowEntry{
+			File:   strings.TrimSpace(parts[0]),
+			Func:   strings.TrimSpace(parts[1]),
+			Substr: strings.TrimSpace(parts[2]),
+			Line:   n,
+		}
+		if e.File == "" || e.Func == "" || e.Substr == "" {
+			return nil, fmt.Errorf("allowlist line %d: empty field in %q", n, line)
+		}
+		entries = append(entries, e)
+	}
+	return entries, sc.Err()
+}
+
+// Result is the audit outcome.
+type Result struct {
+	// Violations are escapes inside annotated functions not covered by
+	// the allowlist, formatted for display.
+	Violations []string
+	// Stale are allowlist entries that matched nothing — candidates
+	// for deletion, reported so the list cannot rot.
+	Stale []string
+	// Audited counts the annotated functions examined.
+	Audited int
+}
+
+// Audit attributes escape diagnostics to annotated functions and
+// subtracts the allowlist.
+func Audit(diags []Diag, funcs []Func, allow []AllowEntry) Result {
+	used := make([]bool, len(allow))
+	var violations []string
+	for _, d := range diags {
+		fn, ok := enclosing(funcs, d)
+		if !ok {
+			continue
+		}
+		allowed := false
+		for i, a := range allow {
+			if matchFile(a.File, d.File) && a.Func == fn.Name && strings.Contains(d.Message, a.Substr) {
+				used[i] = true
+				allowed = true
+			}
+		}
+		if !allowed {
+			violations = append(violations, fmt.Sprintf("%s (in noalloc function %s)", d, fn.Name))
+		}
+	}
+	var stale []string
+	for i, a := range allow {
+		if !used[i] {
+			stale = append(stale, fmt.Sprintf("line %d: %s:%s: %s", a.Line, a.File, a.Func, a.Substr))
+		}
+	}
+	return Result{Violations: violations, Stale: stale, Audited: len(funcs)}
+}
+
+// enclosing finds the annotated function containing the diagnostic,
+// matching by file suffix so compiler-relative and root-relative paths
+// agree.
+func enclosing(funcs []Func, d Diag) (Func, bool) {
+	for _, f := range funcs {
+		if d.Line < f.StartLine || d.Line > f.EndLine {
+			continue
+		}
+		if matchFile(f.File, d.File) {
+			return f, true
+		}
+	}
+	return Func{}, false
+}
+
+// matchFile compares a recorded path against a compiler-printed path:
+// equal, or one is a path suffix of the other at a component boundary.
+func matchFile(recorded, printed string) bool {
+	recorded = filepath.ToSlash(recorded)
+	printed = filepath.ToSlash(printed)
+	if recorded == printed {
+		return true
+	}
+	return strings.HasSuffix(printed, "/"+recorded) ||
+		strings.HasSuffix(recorded, "/"+printed) ||
+		filepath.Base(recorded) == printed ||
+		filepath.Base(printed) == recorded
+}

@@ -1,0 +1,148 @@
+package escape
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capturedM is verbatim-shaped `go build -gcflags=-m` output: section
+// headers, inlining chatter, parameter leak notes, and the two hard
+// escape forms the audit keeps.
+const capturedM = `# spkadd/internal/kheap
+internal/kheap/kheap.go:35:6: can inline New
+internal/kheap/kheap.go:36:13: make([]Entry, 0, k) escapes to heap
+# spkadd/internal/core
+internal/core/fused.go:101:6: can inline (*Workspace).resetArena
+internal/core/fused.go:120:15: leaking param: ws
+internal/core/fused.go:133:12: new(arenaChunk) escapes to heap
+internal/core/fused.go:140:9: moved to heap: colBound
+internal/core/kernels.go:77:21: combine does not escape
+not a diagnostic line
+`
+
+func TestParseM(t *testing.T) {
+	diags, err := ParseM(strings.NewReader(capturedM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Diag{
+		{File: "internal/kheap/kheap.go", Line: 36, Col: 13, Message: "make([]Entry, 0, k) escapes to heap"},
+		{File: "internal/core/fused.go", Line: 133, Col: 12, Message: "new(arenaChunk) escapes to heap"},
+		{File: "internal/core/fused.go", Line: 140, Col: 9, Message: "moved to heap: colBound"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics %v, want %d", len(diags), diags, len(want))
+	}
+	for i := range want {
+		if diags[i] != want[i] {
+			t.Errorf("diag %d: got %+v, want %+v", i, diags[i], want[i])
+		}
+	}
+}
+
+func TestAuditAttributionAndAllowlist(t *testing.T) {
+	funcs := []Func{
+		{File: "internal/core/fused.go", Name: "(*Workspace).emitFused", StartLine: 130, EndLine: 150},
+		{File: "internal/kheap/kheap.go", Name: "New", StartLine: 35, EndLine: 40},
+	}
+	diags := []Diag{
+		// Inside emitFused, allowlisted.
+		{File: "internal/core/fused.go", Line: 133, Col: 12, Message: "new(arenaChunk) escapes to heap"},
+		// Inside emitFused, not allowlisted: violation.
+		{File: "internal/core/fused.go", Line: 140, Col: 9, Message: "moved to heap: colBound"},
+		// Inside New's range but a different file: ignored.
+		{File: "internal/core/other.go", Line: 36, Col: 1, Message: "x escapes to heap"},
+		// Outside any annotated range: ignored.
+		{File: "internal/core/fused.go", Line: 200, Col: 1, Message: "y escapes to heap"},
+	}
+	allow, err := ParseAllowlist(strings.NewReader(`
+# arena growth path, amortized by chunk reuse
+fused.go:(*Workspace).emitFused: new(arenaChunk) escapes to heap
+kheap.go:New: never happens   # stale entry
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Audit(diags, funcs, allow)
+	if res.Audited != 2 {
+		t.Errorf("Audited = %d, want 2", res.Audited)
+	}
+	if len(res.Violations) != 1 || !strings.Contains(res.Violations[0], "moved to heap: colBound") {
+		t.Errorf("violations = %v, want exactly the colBound escape", res.Violations)
+	}
+	if !strings.Contains(res.Violations[0], "(*Workspace).emitFused") {
+		t.Errorf("violation not attributed to its function: %v", res.Violations[0])
+	}
+	if len(res.Stale) != 1 || !strings.Contains(res.Stale[0], "never happens") {
+		t.Errorf("stale = %v, want exactly the unused kheap entry", res.Stale)
+	}
+}
+
+func TestParseAllowlistRejectsMalformed(t *testing.T) {
+	if _, err := ParseAllowlist(strings.NewReader("justonefield\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := ParseAllowlist(strings.NewReader("a.go: : msg\n")); err == nil {
+		t.Error("empty func field accepted")
+	}
+}
+
+func TestAnnotatedFuncs(t *testing.T) {
+	root := t.TempDir()
+	mustWrite(t, filepath.Join(root, "a.go"), `package a
+
+//spkadd:noalloc
+func Hot(x int) int {
+	return x * 2
+}
+
+type T struct{}
+
+// AddWith is the kernel.
+//
+//spkadd:noalloc hot accumulate loop
+func (t *T) AddWith(v float64) float64 {
+	return v + 1
+}
+
+func cold() {}
+`)
+	mustWrite(t, filepath.Join(root, "a_test.go"), `package a
+
+//spkadd:noalloc
+func TestishNotScanned() {}
+`)
+	nested := filepath.Join(root, "tool")
+	if err := os.MkdirAll(nested, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, filepath.Join(nested, "go.mod"), "module tool\n")
+	mustWrite(t, filepath.Join(nested, "b.go"), `package b
+
+//spkadd:noalloc
+func OtherModule() {}
+`)
+
+	funcs, err := AnnotatedFuncs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(funcs) != 2 {
+		t.Fatalf("got %d funcs %v, want 2", len(funcs), funcs)
+	}
+	if funcs[0].Name != "Hot" || funcs[0].File != "a.go" || funcs[0].StartLine >= funcs[0].EndLine {
+		t.Errorf("funcs[0] = %+v", funcs[0])
+	}
+	if funcs[1].Name != "(*T).AddWith" {
+		t.Errorf("funcs[1].Name = %q, want (*T).AddWith", funcs[1].Name)
+	}
+}
+
+func mustWrite(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module spkadd/internal/analysis
+
+go 1.24

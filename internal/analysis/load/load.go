@@ -1,0 +1,233 @@
+// Package load turns package patterns into type-checked analysis
+// targets using only the go command and the standard library: `go list
+// -export -deps -json` supplies the file lists and compiled export
+// data, the targets themselves are parsed from source, and their
+// imports — stdlib and intra-module alike — are satisfied from the
+// export files through go/importer's gc lookup hook. This is the same
+// shape as x/tools' go/packages LoadAllSyntax for the one-module,
+// no-cgo, no-vendor case the spkadd repo is.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"spkadd/internal/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Name       string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// golist runs the go command in dir and decodes its JSON stream.
+func golist(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+const listFields = "-json=ImportPath,Dir,Export,Standard,DepOnly,Name,GoFiles,ImportMap,Error"
+
+// ExportIndex maps import paths to compiled export data files, as
+// reported by `go list -export`. It satisfies the lookup contract of
+// importer.ForCompiler("gc", ...).
+type ExportIndex map[string]string
+
+// Lookup opens the export data for path.
+func (x ExportIndex) Lookup(path string) (io.ReadCloser, error) {
+	f, ok := x[path]
+	if !ok || f == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// StdExports builds an ExportIndex covering the named packages and
+// their dependencies — used by tests that type-check fixture sources
+// importing only the standard library. dir must lie inside some module
+// so the go command has a build context.
+func StdExports(dir string, pkgs ...string) (ExportIndex, error) {
+	args := append([]string{"list", "-export", "-deps", listFields}, pkgs...)
+	listed, err := golist(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	idx := ExportIndex{}
+	for _, p := range listed {
+		if p.Export != "" {
+			idx[p.ImportPath] = p.Export
+		}
+	}
+	return idx, nil
+}
+
+// Sizes returns the gc sizes for the host, matching what the compiler
+// itself would use.
+func Sizes() types.Sizes {
+	if s := types.SizesFor("gc", runtime.GOARCH); s != nil {
+		return s
+	}
+	return types.SizesFor("gc", "amd64")
+}
+
+// Packages loads, parses and type-checks the packages matching
+// patterns, resolving their imports from compiled export data. dir is
+// the directory the go command runs in (the module root or below).
+// Packages that are only dependencies of the matched set are loaded as
+// export data, never as syntax.
+func Packages(dir string, patterns []string) ([]*analysis.Target, error) {
+	args := append([]string{"list", "-export", "-deps", listFields}, patterns...)
+	listed, err := golist(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := ExportIndex{}
+	importMap := map[string]string{}
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			importMap[from] = to
+		}
+		if !p.DepOnly {
+			if p.Error != nil {
+				return nil, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+			}
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if to, ok := importMap[path]; ok {
+			path = to
+		}
+		return exports.Lookup(path)
+	})
+
+	var out []*analysis.Target
+	for _, p := range targets {
+		t, err := typecheck(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, p *listedPackage) (*analysis.Target, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    Sizes(),
+	}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+	}
+	return &analysis.Target{
+		ImportPath: p.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}
+
+// Dir loads a single directory of Go files as one package with the
+// given import path, type-checking against the provided export index
+// plus intra-fixture imports are not supported — fixtures are single
+// packages. Used by analysistest.
+func Dir(dir, importPath string, exports ExportIndex) (*analysis.Target, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		return exports.Lookup(path)
+	})
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: imp, Sizes: Sizes()}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return &analysis.Target{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}

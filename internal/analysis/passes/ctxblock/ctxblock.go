@@ -1,0 +1,204 @@
+// Package ctxblock enforces the PR 6 cancellation discipline: inside
+// the concurrency-bearing packages (internal/core, internal/sched,
+// internal/server), any function that can block — a cond-var or
+// wait-group wait, a channel send/receive, a default-less select, or a
+// mutex acquired under a loop — must accept a context.Context and
+// actually use it, so every wait in the stack is reachable by a
+// cancel. Functions that block by design without a context (dedicated
+// reducer goroutines aborted through quit channels) carry an explicit
+// reviewed `//spkadd:allow(ctxblock)` instead.
+//
+// Function literals launched by a `go` statement are skipped: they
+// block on their own goroutine, and their lifecycle is the spawning
+// function's responsibility.
+package ctxblock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spkadd/internal/analysis"
+	"spkadd/internal/analysis/typeutil"
+)
+
+// Scope lists the import-path substrings the discipline applies to.
+var Scope = []string{"internal/core", "internal/sched", "internal/server"}
+
+// Analyzer is the ctxblock invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxblock",
+	Doc:  "blocking functions in concurrency packages must accept and use a context.Context",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, s := range Scope {
+		if strings.Contains(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if analysis.HasDirective(fd.Doc, "//spkadd:allow(ctxblock)") {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+type blockOp struct {
+	pos  token.Pos
+	what string
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	blocks := blockingOps(pass, fd.Body)
+	if len(blocks) == 0 {
+		return
+	}
+	ctxParam := contextParam(pass, fd)
+	if ctxParam == nil {
+		for _, b := range blocks {
+			pass.Reportf(b.pos, "%s in %s, which has no context.Context parameter", b.what, fd.Name.Name)
+		}
+		return
+	}
+	if ctxParam.Name() == "_" || !objUsed(pass, fd.Body, ctxParam) {
+		pass.Reportf(fd.Pos(), "%s blocks but never uses its context.Context parameter", fd.Name.Name)
+	}
+}
+
+// contextParam returns the first parameter of type context.Context.
+func contextParam(pass *analysis.Pass, fd *ast.FuncDecl) *types.Var {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	params := obj.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if typeutil.IsContext(params.At(i).Type()) {
+			return params.At(i)
+		}
+	}
+	return nil
+}
+
+// objUsed reports whether obj is referenced anywhere in body.
+func objUsed(pass *analysis.Pass, body *ast.BlockStmt, obj *types.Var) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}
+
+// blockingOps collects the blocking constructs lexically inside body,
+// descending into function literals except those launched with `go`.
+func blockingOps(pass *analysis.Pass, body *ast.BlockStmt) []blockOp {
+	var (
+		ops      []blockOp
+		loop     int
+		goBodies = map[*ast.FuncLit]bool{}
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				goBodies[lit] = true
+			}
+		}
+		return true
+	})
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			if goBodies[n] {
+				return
+			}
+		case *ast.ForStmt:
+			loop++
+			defer func() { loop-- }()
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.Types[n.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					ops = append(ops, blockOp{n.Pos(), "range over channel"})
+				}
+			}
+			loop++
+			defer func() { loop-- }()
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ops = append(ops, blockOp{n.Pos(), "channel receive"})
+			}
+		case *ast.SendStmt:
+			ops = append(ops, blockOp{n.Pos(), "channel send"})
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				ops = append(ops, blockOp{n.Pos(), "blocking select"})
+			}
+		case *ast.CommClause:
+			// The channel ops in a comm clause's guard are implied by
+			// the select itself; only the case bodies can block anew.
+			for _, s := range n.Body {
+				walk(s)
+			}
+			return
+		case *ast.CallExpr:
+			info := pass.TypesInfo
+			switch {
+			case typeutil.MethodOn(info, n, "sync", "Cond", "Wait"):
+				ops = append(ops, blockOp{n.Pos(), "sync.Cond.Wait"})
+			case typeutil.MethodOn(info, n, "sync", "WaitGroup", "Wait"):
+				ops = append(ops, blockOp{n.Pos(), "sync.WaitGroup.Wait"})
+			case loop > 0 && (typeutil.MethodOn(info, n, "sync", "Mutex", "Lock") ||
+				typeutil.MethodOn(info, n, "sync", "RWMutex", "Lock") ||
+				typeutil.MethodOn(info, n, "sync", "RWMutex", "RLock")):
+				ops = append(ops, blockOp{n.Pos(), "mutex acquired under a loop"})
+			}
+		}
+		walkChildren(n, walk)
+	}
+	walk(body)
+	return ops
+}
+
+// walkChildren applies walk to n's immediate children, mirroring
+// ast.Inspect's traversal but under caller control (so FuncLit
+// subtrees can be pruned and loop depth tracked).
+func walkChildren(n ast.Node, walk func(ast.Node)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		walk(c)
+		return false
+	})
+}

@@ -1,0 +1,19 @@
+package ctxblock_test
+
+import (
+	"testing"
+
+	"spkadd/internal/analysis/analysistest"
+	"spkadd/internal/analysis/passes/ctxblock"
+)
+
+// The fixture paths embed "internal/core" so they fall inside the
+// analyzer's package scope.
+
+func TestCtxblockPositive(t *testing.T) {
+	analysistest.Run(t, "../../testdata", ctxblock.Analyzer, "ctxblock/internal/core/pos")
+}
+
+func TestCtxblockNegative(t *testing.T) {
+	analysistest.Run(t, "../../testdata", ctxblock.Analyzer, "ctxblock/internal/core/neg")
+}

@@ -1,0 +1,158 @@
+// Package lockorder enforces the pool→shard lock hierarchy. Mutex
+// fields annotated `//spkadd:lockorder(N)` belong to a total order:
+// lower levels are outer locks (the pool's RWMutex is level 1), higher
+// levels are inner (a shard's mutex is level 2). Acquiring a
+// lower-level lock while a higher-level one is still held inverts the
+// hierarchy — the deadlock shape the pool's Push/Sum linearization
+// depends on never creating. The check is lexical and per-function:
+// it tracks Lock/RLock/Unlock/RUnlock calls on annotated fields in
+// source order through each function body, which is exactly how the
+// pool code is written (no lock is passed across function boundaries
+// while held, except via methods annotated as running under a lock —
+// suppress those with //spkadd:allow(lockorder)).
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"spkadd/internal/analysis"
+	"spkadd/internal/analysis/typeutil"
+)
+
+// Directive, with an integer level argument, places a mutex field in
+// the lock hierarchy.
+const Directive = "//spkadd:lockorder"
+
+// Analyzer is the lockorder invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "locks annotated //spkadd:lockorder(N) must be acquired outermost-first",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	levels := annotatedLocks(pass)
+	if len(levels) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, levels)
+		}
+	}
+	return nil
+}
+
+// annotatedLocks maps annotated mutex field objects to their levels.
+func annotatedLocks(pass *analysis.Pass) map[*types.Var]int {
+	levels := map[*types.Var]int{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				arg, ok := analysis.FieldDirective(field, Directive)
+				if !ok {
+					continue
+				}
+				level, err := strconv.Atoi(arg)
+				if err != nil {
+					for _, name := range field.Names {
+						pass.Reportf(name.Pos(), "bad %s(%s): level must be an integer", Directive, arg)
+					}
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						levels[v] = level
+					}
+				}
+			}
+			return true
+		})
+	}
+	return levels
+}
+
+// lockCall matches x.f.M() where f is an annotated lock field and M a
+// (un)lock method; it returns the field and whether M acquires.
+func lockCall(pass *analysis.Pass, call *ast.CallExpr, levels map[*types.Var]int) (f *types.Var, acquire bool, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	var acquiring bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquiring = true
+	case "Unlock", "RUnlock":
+		acquiring = false
+	default:
+		return nil, false, false
+	}
+	inner, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	field := typeutil.SelectedField(pass.TypesInfo, inner)
+	if field == nil {
+		return nil, false, false
+	}
+	if _, tracked := levels[field]; !tracked {
+		return nil, false, false
+	}
+	return field, acquiring, true
+}
+
+// checkFunc walks fd's body in source order, maintaining the multiset
+// of held annotated locks, and reports acquisitions that invert the
+// hierarchy. Function literals are walked in place (they execute where
+// they are defined or are the lock-holding region itself).
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, levels map[*types.Var]int) {
+	held := map[*types.Var]int{} // field -> acquisition count
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if deferred[call] {
+			// A deferred unlock releases at function exit; for the
+			// lexical order of the body, the lock stays held.
+			return true
+		}
+		field, acquire, ok := lockCall(pass, call, levels)
+		if !ok {
+			return true
+		}
+		if !acquire {
+			if held[field] > 0 {
+				held[field]--
+			}
+			return true
+		}
+		for heldField, count := range held {
+			if count > 0 && levels[heldField] > levels[field] {
+				pass.Reportf(call.Pos(),
+					"lock order inversion: acquiring level-%d lock %s while holding level-%d lock %s (outermost-first order is violated)",
+					levels[field], field.Name(), levels[heldField], heldField.Name())
+			}
+		}
+		held[field]++
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"spkadd/internal/analysis/analysistest"
+	"spkadd/internal/analysis/passes/lockorder"
+)
+
+func TestLockorderPositive(t *testing.T) {
+	analysistest.Run(t, "../../testdata", lockorder.Analyzer, "lockorder/pos")
+}
+
+func TestLockorderNegative(t *testing.T) {
+	analysistest.Run(t, "../../testdata", lockorder.Analyzer, "lockorder/neg")
+}

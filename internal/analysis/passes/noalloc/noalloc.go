@@ -1,0 +1,372 @@
+// Package noalloc checks the repo's hottest functions — those
+// annotated `//spkadd:noalloc` — for constructs that allocate on every
+// execution: make/new, appends outside the self-extend form, capturing
+// closures, interface boxing, defer/go statements, slice and map
+// literals, string building. The annotation is a contract: the
+// function may run inside a warmed Adder's steady state, where
+// BenchmarkAdderReuse* pins 0 allocs/op at runtime; this analyzer
+// rejects the obvious violations at CI time, before a benchmark runs,
+// and the escape audit (internal/analysis/escape) closes the gap on
+// compiler-decided heap escapes.
+//
+// The self-extend append `x = append(x, ...)` is permitted: under the
+// workspace capacity discipline (DESIGN.md §3) the backing array is
+// pre-grown, so the append only writes. Appends whose result lands
+// anywhere else are flagged — they either allocate or silently alias.
+package noalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"spkadd/internal/analysis"
+	"spkadd/internal/analysis/typeutil"
+)
+
+// Directive marks a function allocation-free by contract.
+const Directive = "//spkadd:noalloc"
+
+// Analyzer is the noalloc invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "flags allocating constructs inside //spkadd:noalloc functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !analysis.HasDirective(fd.Doc, Directive) {
+				continue
+			}
+			sig, _ := pass.TypesInfo.Defs[fd.Name].Type().(*types.Signature)
+			w := &walker{pass: pass, fn: fd.Name.Name}
+			w.stmts(fd.Body.List, sig)
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass *analysis.Pass
+	fn   string
+}
+
+func (w *walker) stmts(list []ast.Stmt, sig *types.Signature) {
+	for _, s := range list {
+		w.stmt(s, sig)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, sig *types.Signature) {
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		w.pass.Reportf(s.Pos(), "defer in noalloc function %s", w.fn)
+		w.expr(s.Call, sig)
+	case *ast.GoStmt:
+		w.pass.Reportf(s.Pos(), "go statement in noalloc function %s", w.fn)
+		w.expr(s.Call, sig)
+	case *ast.AssignStmt:
+		w.assign(s, sig)
+	case *ast.ReturnStmt:
+		if sig != nil {
+			res := sig.Results()
+			for i, e := range s.Results {
+				if len(s.Results) == res.Len() {
+					w.checkBox(e, res.At(i).Type(), "returned")
+				}
+				w.expr(e, sig)
+			}
+		} else {
+			for _, e := range s.Results {
+				w.expr(e, sig)
+			}
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, sig)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, v := range vs.Values {
+					if len(vs.Names) == len(vs.Values) {
+						if t, ok := w.pass.TypesInfo.Defs[vs.Names[i]]; ok {
+							w.checkBox(v, t.Type(), "assigned")
+						}
+					}
+					w.expr(v, sig)
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, sig)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, sig)
+		}
+		w.expr(s.Cond, sig)
+		w.stmt(s.Body, sig)
+		if s.Else != nil {
+			w.stmt(s.Else, sig)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, sig)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, sig)
+		}
+		if s.Post != nil {
+			w.stmt(s.Post, sig)
+		}
+		w.stmt(s.Body, sig)
+	case *ast.RangeStmt:
+		w.expr(s.X, sig)
+		w.stmt(s.Body, sig)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, sig)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, sig)
+		}
+		w.stmt(s.Body, sig)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, sig)
+		}
+		w.stmt(s.Assign, sig)
+		w.stmt(s.Body, sig)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e, sig)
+		}
+		w.stmts(s.Body, sig)
+	case *ast.SelectStmt:
+		w.stmt(s.Body, sig)
+	case *ast.CommClause:
+		if s.Comm != nil {
+			w.stmt(s.Comm, sig)
+		}
+		w.stmts(s.Body, sig)
+	case *ast.SendStmt:
+		w.expr(s.Chan, sig)
+		w.expr(s.Value, sig)
+	case *ast.IncDecStmt:
+		w.expr(s.X, sig)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, sig)
+	}
+}
+
+func (w *walker) assign(s *ast.AssignStmt, sig *types.Signature) {
+	// The self-extend append form is the one permitted append.
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok &&
+			typeutil.IsBuiltin(w.pass.TypesInfo, call, "append") &&
+			len(call.Args) > 0 &&
+			types.ExprString(s.Lhs[0]) == types.ExprString(call.Args[0]) {
+			for _, a := range call.Args[1:] {
+				w.expr(a, sig)
+			}
+			return
+		}
+	}
+	for i, rhs := range s.Rhs {
+		if len(s.Lhs) == len(s.Rhs) {
+			if t := w.pass.TypesInfo.Types[s.Lhs[i]].Type; t != nil {
+				w.checkBox(rhs, t, "assigned")
+			}
+		}
+		w.expr(rhs, sig)
+	}
+	for _, lhs := range s.Lhs {
+		w.expr(lhs, sig)
+	}
+}
+
+func (w *walker) expr(e ast.Expr, sig *types.Signature) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		w.call(e, sig)
+	case *ast.FuncLit:
+		w.funcLit(e)
+		// The literal's body is checked against its own signature.
+		if t, ok := w.pass.TypesInfo.Types[e].Type.(*types.Signature); ok {
+			w.stmts(e.Body.List, t)
+		}
+	case *ast.CompositeLit:
+		switch w.pass.TypesInfo.Types[e].Type.Underlying().(type) {
+		case *types.Slice:
+			w.pass.Reportf(e.Pos(), "slice literal allocates in noalloc function %s", w.fn)
+		case *types.Map:
+			w.pass.Reportf(e.Pos(), "map literal allocates in noalloc function %s", w.fn)
+		}
+		for _, el := range e.Elts {
+			w.expr(el, sig)
+		}
+	case *ast.BinaryExpr:
+		if e.Op.String() == "+" {
+			if t := w.pass.TypesInfo.Types[e].Type; t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					w.pass.Reportf(e.Pos(), "string concatenation allocates in noalloc function %s", w.fn)
+				}
+			}
+		}
+		w.expr(e.X, sig)
+		w.expr(e.Y, sig)
+	case *ast.UnaryExpr:
+		w.expr(e.X, sig)
+	case *ast.ParenExpr:
+		w.expr(e.X, sig)
+	case *ast.StarExpr:
+		w.expr(e.X, sig)
+	case *ast.IndexExpr:
+		w.expr(e.X, sig)
+		w.expr(e.Index, sig)
+	case *ast.SliceExpr:
+		w.expr(e.X, sig)
+		w.expr(e.Low, sig)
+		w.expr(e.High, sig)
+		w.expr(e.Max, sig)
+	case *ast.SelectorExpr:
+		w.expr(e.X, sig)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, sig)
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, sig)
+	}
+}
+
+func (w *walker) call(call *ast.CallExpr, sig *types.Signature) {
+	info := w.pass.TypesInfo
+
+	// Type conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.Types[call.Args[0]].Type
+		if src != nil {
+			if types.IsInterface(dst.Underlying()) && !types.IsInterface(src.Underlying()) && !isNil(info, call.Args[0]) {
+				w.pass.Reportf(call.Pos(), "conversion boxes %s into interface in noalloc function %s", src, w.fn)
+			}
+			if allocatingConversion(dst, src) {
+				w.pass.Reportf(call.Pos(), "conversion to %s allocates in noalloc function %s", dst, w.fn)
+			}
+		}
+		w.expr(call.Args[0], sig)
+		return
+	}
+
+	switch {
+	case typeutil.IsBuiltin(info, call, "make"):
+		w.pass.Reportf(call.Pos(), "make allocates in noalloc function %s", w.fn)
+	case typeutil.IsBuiltin(info, call, "new"):
+		w.pass.Reportf(call.Pos(), "new allocates in noalloc function %s", w.fn)
+	case typeutil.IsBuiltin(info, call, "append"):
+		w.pass.Reportf(call.Pos(), "append outside the self-extend form x = append(x, ...) in noalloc function %s", w.fn)
+	case typeutil.IsBuiltin(info, call, "panic"):
+		// Failure path: the allocation happens only on the way to a
+		// crash, which the 0-allocs contract does not cover.
+		for _, a := range call.Args {
+			w.expr(a, sig)
+		}
+		return
+	default:
+		// Interface boxing at call boundaries, variadic included.
+		if fsig, ok := info.Types[call.Fun].Type.Underlying().(*types.Signature); ok && call.Ellipsis == 0 {
+			params := fsig.Params()
+			for i, arg := range call.Args {
+				var pt types.Type
+				switch {
+				case fsig.Variadic() && i >= params.Len()-1:
+					pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+				case i < params.Len():
+					pt = params.At(i).Type()
+				}
+				if pt != nil {
+					w.checkBox(arg, pt, "passed")
+				}
+			}
+		}
+	}
+	w.expr(call.Fun, sig)
+	for _, a := range call.Args {
+		w.expr(a, sig)
+	}
+}
+
+// checkBox reports e if assigning/passing/returning it to destination
+// type dst boxes a concrete value into an interface.
+func (w *walker) checkBox(e ast.Expr, dst types.Type, how string) {
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	src := w.pass.TypesInfo.Types[e].Type
+	if src == nil || types.IsInterface(src.Underlying()) || isNil(w.pass.TypesInfo, e) {
+		return
+	}
+	w.pass.Reportf(e.Pos(), "%s boxes %s into interface in noalloc function %s", how, src, w.fn)
+}
+
+func (w *walker) funcLit(lit *ast.FuncLit) {
+	info := w.pass.TypesInfo
+	reported := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		scope := v.Parent()
+		if scope == nil || scope == types.Universe || v.Pkg() == nil || scope == v.Pkg().Scope() {
+			return true // package-level or universe: no capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			w.pass.Reportf(lit.Pos(), "closure captures %s in noalloc function %s", v.Name(), w.fn)
+			reported = true
+			return false
+		}
+		return true
+	})
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// allocatingConversion reports conversions that copy storage:
+// string <-> []byte / []rune.
+func allocatingConversion(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,16 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"spkadd/internal/analysis/analysistest"
+	"spkadd/internal/analysis/passes/noalloc"
+)
+
+func TestNoallocPositive(t *testing.T) {
+	analysistest.Run(t, "../../testdata", noalloc.Analyzer, "noalloc/pos")
+}
+
+func TestNoallocNegative(t *testing.T) {
+	analysistest.Run(t, "../../testdata", noalloc.Analyzer, "noalloc/neg")
+}

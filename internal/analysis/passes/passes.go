@@ -1,0 +1,23 @@
+// Package passes registers the repo-specific invariant analyzers in
+// the order spkadd-vet runs them.
+package passes
+
+import (
+	"spkadd/internal/analysis"
+	"spkadd/internal/analysis/passes/ctxblock"
+	"spkadd/internal/analysis/passes/lockorder"
+	"spkadd/internal/analysis/passes/noalloc"
+	"spkadd/internal/analysis/passes/statsatomic"
+	"spkadd/internal/analysis/passes/typederr"
+)
+
+// All returns every invariant analyzer, in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		noalloc.Analyzer,
+		ctxblock.Analyzer,
+		typederr.Analyzer,
+		statsatomic.Analyzer,
+		lockorder.Analyzer,
+	}
+}

@@ -1,0 +1,183 @@
+// Package statsatomic guards the observability counters. A struct
+// field annotated `//spkadd:atomic` (OpStats and friends) is part of a
+// concurrently-updated statistics block; the annotation is satisfied
+// structurally when the field's type already comes from sync/atomic
+// (atomic.Int64 and kin — the only way to touch it is Load/Add/Store),
+// and otherwise every access to the field must be either the
+// `&x.field` operand of a sync/atomic call or confined to the
+// declaring type's Record* helper methods. A bare read or write of an
+// annotated plain counter is exactly the probabilistic -race finding
+// this analyzer makes deterministic.
+package statsatomic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spkadd/internal/analysis"
+	"spkadd/internal/analysis/typeutil"
+)
+
+// Directive marks a struct field as an atomically-accessed counter.
+const Directive = "//spkadd:atomic"
+
+// Analyzer is the statsatomic invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "statsatomic",
+	Doc:  "//spkadd:atomic counter fields may only be touched via sync/atomic or Record* helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	annotated := annotatedFields(pass)
+	if len(annotated) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if recordHelper(pass, fd, annotated) {
+				continue
+			}
+			checkBody(pass, fd.Body, annotated)
+		}
+	}
+	return nil
+}
+
+// annotatedFields collects the //spkadd:atomic fields declared in this
+// package that need access checking — plain-typed counters. Fields
+// whose type is from sync/atomic are safe by construction and are
+// only validated, not tracked.
+func annotatedFields(pass *analysis.Pass) map[*types.Var]bool {
+	fields := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !hasAtomicDirective(field) {
+					continue
+				}
+				for _, name := range field.Names {
+					v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if fromSyncAtomic(v.Type()) {
+						continue // atomic.Int64 etc.: type-safe already
+					}
+					if !plainCounter(v.Type()) {
+						pass.Reportf(name.Pos(),
+							"field %s is annotated %s but its type %s is neither a sync/atomic type nor an integer",
+							v.Name(), Directive, v.Type())
+						continue
+					}
+					fields[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+func hasAtomicDirective(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func fromSyncAtomic(t types.Type) bool {
+	n := typeutil.BaseNamed(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+func plainCounter(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsUnsigned) != 0
+}
+
+// recordHelper reports whether fd is a Record*/Load*-style method on a
+// type that declares one of the annotated fields — the blessed
+// accessors.
+func recordHelper(pass *analysis.Pass, fd *ast.FuncDecl, annotated map[*types.Var]bool) bool {
+	if fd.Recv == nil || !strings.HasPrefix(fd.Name.Name, "Record") {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named := typeutil.BaseNamed(recv.Type())
+	if named == nil {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if annotated[st.Field(i)] {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, annotated map[*types.Var]bool) {
+	// Collect the selector expressions that are blessed: `&x.f` as an
+	// argument to a sync/atomic function.
+	blessed := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := typeutil.Callee(pass.TypesInfo, call)
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok {
+				blessed[ast.Unparen(u.X)] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f := typeutil.SelectedField(pass.TypesInfo, sel)
+		if f == nil || !annotated[f] {
+			return true
+		}
+		if blessed[sel] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"raw access to atomic counter field %s: use sync/atomic or the type's Record* helpers", f.Name())
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package statsatomic_test
+
+import (
+	"testing"
+
+	"spkadd/internal/analysis/analysistest"
+	"spkadd/internal/analysis/passes/statsatomic"
+)
+
+func TestStatsatomicPositive(t *testing.T) {
+	analysistest.Run(t, "../../testdata", statsatomic.Analyzer, "statsatomic/pos")
+}
+
+func TestStatsatomicNegative(t *testing.T) {
+	analysistest.Run(t, "../../testdata", statsatomic.Analyzer, "statsatomic/neg")
+}

@@ -1,0 +1,112 @@
+// Package typederr enforces the repo's error taxonomy at API
+// boundaries: an error returned from an exported function or method
+// (or from a package main's functions — the CLI surface) must be a
+// declared sentinel/typed error or wrap one with %w, never an ad-hoc
+// `errors.New(...)` or a `fmt.Errorf` without a %w verb. Ad-hoc errors
+// are unmatchable by errors.Is/As, so callers — the serving daemon's
+// HTTP status mapping above all — cannot classify them.
+//
+// The check is a return-site check: it flags `return fmt.Errorf(...)`
+// with no %w in a constant format, and `return errors.New(...)`, when
+// the returned expression's static type is error. Package-level `var
+// ErrFoo = errors.New(...)` declarations are the encouraged form and
+// are untouched.
+package typederr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"spkadd/internal/analysis"
+	"spkadd/internal/analysis/typeutil"
+)
+
+// Analyzer is the typederr invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc:  "errors crossing exported API boundaries must be or wrap declared sentinels",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !isMain && !exportedBoundary(fd) {
+				continue
+			}
+			checkReturns(pass, fd)
+		}
+	}
+	return nil
+}
+
+// exportedBoundary reports whether fd is callable from outside the
+// package: an exported function, or an exported method on an exported
+// receiver type.
+func exportedBoundary(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func checkReturns(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			info := pass.TypesInfo
+			switch {
+			case typeutil.IsPkgFunc(info, call, "errors", "New"):
+				pass.Reportf(call.Pos(),
+					"errors.New at a return of %s: declare an Err* sentinel or typed error instead", fd.Name.Name)
+			case typeutil.IsPkgFunc(info, call, "fmt", "Errorf"):
+				if format, ok := constFormat(info, call); ok && !strings.Contains(format, "%w") {
+					pass.Reportf(call.Pos(),
+						"fmt.Errorf without %%w at a return of %s: wrap a declared Err* sentinel or typed error", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// constFormat extracts fmt.Errorf's format string when it is constant.
+func constFormat(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

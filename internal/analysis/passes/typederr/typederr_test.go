@@ -1,0 +1,16 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"spkadd/internal/analysis/analysistest"
+	"spkadd/internal/analysis/passes/typederr"
+)
+
+func TestTypederrPositive(t *testing.T) {
+	analysistest.Run(t, "../../testdata", typederr.Analyzer, "typederr/pos")
+}
+
+func TestTypederrNegative(t *testing.T) {
+	analysistest.Run(t, "../../testdata", typederr.Analyzer, "typederr/neg")
+}

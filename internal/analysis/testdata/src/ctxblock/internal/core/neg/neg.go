@@ -1,0 +1,62 @@
+// Package neg holds the blocking shapes ctxblock must accept: waits
+// guarded by a used context, non-blocking selects, goroutine bodies
+// (their lifecycle belongs to the spawner), and explicitly allowed
+// reducer loops.
+package neg
+
+import (
+	"context"
+	"sync"
+)
+
+type queue struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func recv(ctx context.Context, q *queue) (int, error) {
+	select {
+	case v := <-q.ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+func send(ctx context.Context, q *queue, v int) error {
+	select {
+	case q.ch <- v:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func tryRecv(q *queue) (int, bool) {
+	select {
+	case v := <-q.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+//spkadd:allow(ctxblock) dedicated reducer goroutine, aborted by closing ch
+func (q *queue) drain() int {
+	total := 0
+	for v := range q.ch {
+		total += v
+	}
+	return total
+}
+
+func spawn(q *queue) {
+	go func() {
+		<-q.ch // the goroutine's own wait, not spawn's
+	}()
+}
+
+func lockOnce(q *queue) {
+	q.mu.Lock() // a single uncontended acquisition is not a wait point
+	q.mu.Unlock()
+}

@@ -1,0 +1,61 @@
+// Package pos seeds ctxblock violations: blocking constructs in
+// functions with no (or an unused) context.Context parameter.
+package pos
+
+import (
+	"context"
+	"sync"
+)
+
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+	wg   sync.WaitGroup
+}
+
+func (q *queue) waitNoCtx() {
+	q.mu.Lock()
+	q.cond.Wait() // want `sync.Cond.Wait in waitNoCtx, which has no context.Context parameter`
+	q.mu.Unlock()
+}
+
+func (q *queue) recvNoCtx() int {
+	return <-q.ch // want `channel receive in recvNoCtx`
+}
+
+func (q *queue) sendNoCtx(v int) {
+	q.ch <- v // want `channel send in sendNoCtx`
+}
+
+func (q *queue) joinNoCtx() {
+	q.wg.Wait() // want `sync.WaitGroup.Wait in joinNoCtx`
+}
+
+func lockUnderLoop(q *queue, n int) {
+	for i := 0; i < n; i++ {
+		q.mu.Lock() // want `mutex acquired under a loop in lockUnderLoop`
+		q.mu.Unlock()
+	}
+}
+
+func drainNoCtx(q *queue) int {
+	total := 0
+	for v := range q.ch { // want `range over channel in drainNoCtx`
+		total += v
+	}
+	return total
+}
+
+func selectNoCtx(a, b chan int) int {
+	select { // want `blocking select in selectNoCtx`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func unusedCtx(ctx context.Context, q *queue) int { // want `unusedCtx blocks but never uses its context.Context parameter`
+	return <-q.ch
+}

@@ -1,0 +1,37 @@
+// Package neg holds the lock sequences lockorder must accept:
+// outermost-first nesting, disjoint critical sections, and re-acquiring
+// the outer lock after fully releasing the inner one.
+package neg
+
+import "sync"
+
+type pool struct {
+	mu sync.RWMutex //spkadd:lockorder(1)
+}
+
+type shard struct {
+	mu sync.Mutex //spkadd:lockorder(2)
+}
+
+func nested(p *pool, s *shard) {
+	p.mu.RLock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	p.mu.RUnlock()
+}
+
+func sequential(p *pool, s *shard) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+func releaseThenOuter(p *pool, s *shard) {
+	p.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	p.mu.Unlock()
+	p.mu.RLock()
+	p.mu.RUnlock()
+}

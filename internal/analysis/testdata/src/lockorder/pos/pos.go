@@ -1,0 +1,27 @@
+// Package pos seeds a lock hierarchy inversion: a level-1 (outer)
+// lock acquired while a level-2 (inner) lock is held.
+package pos
+
+import "sync"
+
+type pool struct {
+	mu sync.RWMutex //spkadd:lockorder(1)
+}
+
+type shard struct {
+	mu sync.Mutex //spkadd:lockorder(2)
+}
+
+func inverted(p *pool, s *shard) {
+	s.mu.Lock()
+	p.mu.RLock() // want `lock order inversion: acquiring level-1 lock mu while holding level-2 lock mu`
+	p.mu.RUnlock()
+	s.mu.Unlock()
+}
+
+func invertedWrite(p *pool, s *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p.mu.Lock() // want `lock order inversion`
+	p.mu.Unlock()
+}

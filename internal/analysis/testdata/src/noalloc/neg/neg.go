@@ -1,0 +1,51 @@
+// Package neg holds allocation-free shapes the noalloc analyzer must
+// accept: the self-extend append under the workspace capacity
+// discipline, non-capturing closures, plain arithmetic loops, panics
+// on the failure path, and unannotated functions doing whatever they
+// like.
+package neg
+
+//spkadd:noalloc
+func SelfAppend(dst []int, src []int) []int {
+	for _, x := range src {
+		dst = append(dst, x+1)
+	}
+	return dst
+}
+
+//spkadd:noalloc
+func Accumulate(idx []int32, vals []float64, combine func(a, b float64) float64) float64 {
+	var acc float64
+	for i, r := range idx {
+		if r < 0 {
+			panic("negative row index") // failure path: exempt
+		}
+		if combine != nil {
+			acc = combine(acc, vals[i])
+		} else {
+			acc += vals[i]
+		}
+	}
+	return acc
+}
+
+//spkadd:noalloc
+func WithStaticClosure(xs []int) int {
+	double := func(v int) int { return v * 2 } // captures nothing
+	total := 0
+	for _, x := range xs {
+		total += double(x)
+	}
+	return total
+}
+
+//spkadd:noalloc
+func ArrayLiteral() int {
+	weights := [4]int{1, 2, 3, 4} // array value: stack
+	return weights[0] + weights[3]
+}
+
+// Unannotated: allocations are not this analyzer's business.
+func Scratch(n int) []int {
+	return make([]int, n)
+}

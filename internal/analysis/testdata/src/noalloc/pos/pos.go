@@ -1,0 +1,73 @@
+// Package pos seeds one violation per noalloc check.
+package pos
+
+func sink(v any) { _ = v }
+
+func spin() {}
+
+//spkadd:noalloc
+func BadMake(n int) int {
+	tmp := make([]int, n) // want `make allocates in noalloc function BadMake`
+	return len(tmp)
+}
+
+//spkadd:noalloc
+func BadNew() *int {
+	return new(int) // want `new allocates in noalloc function BadNew`
+}
+
+//spkadd:noalloc
+func BadAppend(dst, src []int) []int {
+	out := append(dst, src...) // want `append outside the self-extend form`
+	return out
+}
+
+//spkadd:noalloc
+func BadDefer(release func()) {
+	defer release() // want `defer in noalloc function BadDefer`
+}
+
+//spkadd:noalloc
+func BadGo() {
+	go spin() // want `go statement in noalloc function BadGo`
+}
+
+//spkadd:noalloc
+func BadClosure(xs []int) int {
+	total := 0
+	add := func(x int) { total += x } // want `closure captures total`
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+//spkadd:noalloc
+func BadBoxReturn(v int) any {
+	return v // want `returned boxes int into interface`
+}
+
+//spkadd:noalloc
+func BadBoxArg(x int) {
+	sink(x) // want `passed boxes int into interface`
+}
+
+//spkadd:noalloc
+func BadSliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+//spkadd:noalloc
+func BadMapLit() map[int]int {
+	return map[int]int{1: 1} // want `map literal allocates`
+}
+
+//spkadd:noalloc
+func BadConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//spkadd:noalloc
+func BadBytes(s string) []byte {
+	return []byte(s) // want `conversion to \[\]byte allocates`
+}

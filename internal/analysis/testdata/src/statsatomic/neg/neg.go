@@ -1,0 +1,30 @@
+// Package neg holds the counter-access shapes statsatomic must
+// accept: sync/atomic calls, Record* helpers, atomic-typed fields,
+// and unannotated fields.
+package neg
+
+import "sync/atomic"
+
+type Stats struct {
+	//spkadd:atomic
+	Ops int64
+	// Total is safe by type.
+	Total atomic.Int64 //spkadd:atomic
+	// scratch is unannotated: plain access is fine.
+	scratch int64
+}
+
+func Add(s *Stats, n int64) { atomic.AddInt64(&s.Ops, n) }
+
+func Load(s *Stats) int64 { return atomic.LoadInt64(&s.Ops) }
+
+// RecordBatch is a blessed helper and may touch the field directly
+// (it serializes externally).
+func (s *Stats) RecordBatch(n int64) { s.Ops += n }
+
+func Touch(s *Stats) { s.Total.Add(1) }
+
+func Scratch(s *Stats) int64 {
+	s.scratch++
+	return s.scratch
+}

@@ -1,0 +1,34 @@
+// Package pos seeds statsatomic violations: raw reads and writes of
+// annotated counter fields.
+package pos
+
+import "sync/atomic"
+
+type Stats struct {
+	// Ops counts operations.
+	//spkadd:atomic
+	Ops int64
+	// Hits is typed atomically and needs no access checking.
+	Hits atomic.Int64 //spkadd:atomic
+	Name string
+}
+
+type Mislabeled struct {
+	//spkadd:atomic
+	Label string // want `annotated //spkadd:atomic but its type string is neither`
+}
+
+// RecordOp is a blessed helper.
+func (s *Stats) RecordOp() { atomic.AddInt64(&s.Ops, 1) }
+
+func Bump(s *Stats) {
+	s.Ops++ // want `raw access to atomic counter field Ops`
+}
+
+func Read(s *Stats) int64 {
+	return s.Ops // want `raw access to atomic counter field Ops`
+}
+
+func Reset(s *Stats) {
+	s.Ops = 0 // want `raw access to atomic counter field Ops`
+}

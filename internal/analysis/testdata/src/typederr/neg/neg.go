@@ -1,0 +1,31 @@
+// Package neg holds the error shapes typederr must accept: declared
+// sentinels, %w wrapping, unexported helpers, and reviewed
+// suppressions.
+package neg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the declared sentinel form.
+var ErrBad = errors.New("neg: bad input")
+
+func Exported(fail bool) error {
+	if fail {
+		return fmt.Errorf("while validating: %w", ErrBad)
+	}
+	return nil
+}
+
+func Passthrough() error {
+	return ErrBad
+}
+
+func internalHelper(n int) error { // unexported: not an API boundary
+	return fmt.Errorf("transient %d", n)
+}
+
+func AllowedLeaf() error {
+	return errors.New("one-shot diagnostic") //spkadd:allow(typederr) CLI-only leaf, never matched
+}

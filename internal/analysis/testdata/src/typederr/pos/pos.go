@@ -1,0 +1,21 @@
+// Package pos seeds typederr violations: ad-hoc errors returned
+// across exported boundaries.
+package pos
+
+import (
+	"errors"
+	"fmt"
+)
+
+func Exported(fail bool) error {
+	if fail {
+		return errors.New("boom") // want `errors.New at a return of Exported`
+	}
+	return fmt.Errorf("op failed with code %d", 3) // want `fmt.Errorf without %w at a return of Exported`
+}
+
+type Widget struct{}
+
+func (Widget) Do(n int) error {
+	return fmt.Errorf("do(%d) failed", n) // want `fmt.Errorf without %w at a return of Do`
+}

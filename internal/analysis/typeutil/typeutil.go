@@ -1,0 +1,105 @@
+// Package typeutil holds the small go/types helpers shared by the
+// invariant analyzers.
+package typeutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the object a call expression invokes: a *types.Func
+// for functions and methods, a *types.Builtin for builtins, nil for
+// indirect calls through function values and type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified call: pkg.F.
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether the call invokes the named function from
+// the package with the given import path (e.g. "sync/atomic",
+// "AddInt64").
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := Callee(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// IsBuiltin reports whether the call invokes the named builtin.
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// MethodOn reports whether the call is a method call named name whose
+// receiver's base type is the named type typeName from package
+// pkgPath. Pointer receivers are unwrapped.
+func MethodOn(info *types.Info, call *ast.CallExpr, pkgPath, typeName, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	named := BaseNamed(selection.Recv())
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// BaseNamed unwraps pointers and aliases down to the *types.Named
+// beneath t, or nil.
+func BaseNamed(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNamedType reports whether t (through pointers and aliases) is the
+// named type pkgPath.typeName.
+func IsNamedType(t types.Type, pkgPath, typeName string) bool {
+	n := BaseNamed(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	return IsNamedType(t, "context", "Context")
+}
+
+// SelectedField resolves a selector expression to the struct field it
+// reads, or nil when it is not a field selection.
+func SelectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	f, _ := selection.Obj().(*types.Var)
+	return f
+}

@@ -1,0 +1,136 @@
+// Package unitchecker lets spkadd-vet run under `go vet
+// -vettool=$(which spkadd-vet)`: the go command analyzes one package
+// per invocation, handing the tool a JSON config file (*.cfg) naming
+// the source files and the compiled export data of every dependency.
+// This mirrors x/tools' go/analysis/unitchecker with the fact system
+// omitted — none of the repo's analyzers exchange facts — so the vetx
+// output the go command expects is written as an empty placeholder.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"spkadd/internal/analysis"
+	"spkadd/internal/analysis/load"
+)
+
+// Config is the JSON schema of the file the go command passes to
+// -vettool tools, one per package. Field set and meaning follow
+// cmd/go/internal/work's vetConfig.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run processes one vet config file: type-check the unit, run the
+// analyzers, print findings to stderr in file:line:col form, and
+// return the exit code (0 clean, 1 operational error, 2 findings).
+// The vetx output file is always written so the go command sees the
+// action complete.
+func Run(cfgFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spkadd-vet: %v\n", err)
+		return 1
+	}
+	// Facts are not used; the output file's existence is the contract.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "spkadd-vet: writing vetx output: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	diags, fset, err := Analyze(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "spkadd-vet: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+// Analyze type-checks the unit described by cfg against its compiled
+// dependencies and applies the analyzers, returning the diagnostics
+// and the fileset that renders their positions.
+func Analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: imp, Sizes: load.Sizes()}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+	diags, err := analysis.Run(&analysis.Target{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, analyzers)
+	return diags, fset, err
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}
