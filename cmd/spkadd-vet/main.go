@@ -1,0 +1,115 @@
+// Command spkadd-vet runs the repo's invariant analyzers (DESIGN.md
+// §13): noalloc, ctxblock, typederr, statsatomic and lockorder — the
+// machine-checked form of the performance and robustness contracts the
+// library's hot paths are written against.
+//
+// Two modes:
+//
+//	spkadd-vet [packages]         multichecker over package patterns
+//	                              (default ./...), loading via the go
+//	                              command; exits 1 on any finding.
+//
+//	go vet -vettool=$(spkadd-vet) as a vet tool: the go command hands
+//	                              over one *.cfg unit at a time.
+//
+// Suppress an individual finding with a trailing
+// `//spkadd:allow(check)` comment; the escape-analysis companion gate
+// is `go run scripts/escape_audit.go`.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spkadd/internal/analysis"
+	"spkadd/internal/analysis/load"
+	"spkadd/internal/analysis/passes"
+	"spkadd/internal/analysis/unitchecker"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Vet-tool protocol first: `go vet` probes with -V=full for its
+	// build cache key, then invokes the tool once per package with a
+	// JSON config file.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "-V") {
+		// The go command hashes this line into its build cache key, so
+		// it must change whenever the tool's behavior could: hash the
+		// binary itself.
+		name := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spkadd-vet: %v\n", err)
+			return 1
+		}
+		data, err := os.ReadFile(exe)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spkadd-vet: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%s version devel buildID=%x\n", name, sha256.Sum256(data))
+		return 0
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// The go command asks which analyzer flags the tool accepts;
+		// none of ours have any.
+		fmt.Println("[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitchecker.Run(args[0], passes.All())
+	}
+
+	fs := flag.NewFlagSet("spkadd-vet", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", ".", "directory to run the go command in (the module root)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: spkadd-vet [-C dir] [-list] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Runs the spkadd invariant analyzers over the packages (default ./...).\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, a := range passes.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	targets, err := load.Packages(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spkadd-vet: %v\n", err)
+		return 1
+	}
+	findings := 0
+	for _, t := range targets {
+		diags, err := analysis.Run(t, passes.All())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spkadd-vet: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			pos := t.Fset.Position(d.Pos)
+			fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "spkadd-vet: %d finding(s) across %d package(s)\n", findings, len(targets))
+		return 1
+	}
+	return 0
+}

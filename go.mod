@@ -1,3 +1,10 @@
 module spkadd
 
 go 1.24
+
+// The invariant-analysis toolchain (cmd/spkadd-vet, the escape audit)
+// lives in a nested module so the spkadd library itself stays
+// dependency-free; the local replace keeps the whole build offline.
+require spkadd/internal/analysis v0.0.0
+
+replace spkadd/internal/analysis => ./internal/analysis
