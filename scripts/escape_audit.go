@@ -1,0 +1,91 @@
+//go:build ignore
+
+// Escape audit: the compile-time twin of the CI allocation gate.
+//
+// Usage (from the repository root):
+//
+//	go run scripts/escape_audit.go [-allowlist scripts/escape_allowlist.txt] [packages...]
+//
+// It rebuilds the named packages (default ./...) with -gcflags=-m,
+// collects the compiler's "escapes to heap" / "moved to heap"
+// diagnostics, and fails if any fall inside a function annotated
+// //spkadd:noalloc unless a committed allowlist entry vouches for it.
+// Stale allowlist entries (matching nothing) fail too, so the list
+// cannot rot. See internal/analysis/escape for the parsing and
+// attribution rules, and DESIGN.md §13 for the invariant this gate
+// enforces.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"spkadd/internal/analysis/escape"
+)
+
+func main() {
+	allowPath := flag.String("allowlist", "scripts/escape_allowlist.txt", "allowlist file (file.go:Func: message substring)")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	funcs, err := escape.AnnotatedFuncs(".")
+	if err != nil {
+		fatal(err)
+	}
+	if len(funcs) == 0 {
+		fatal(fmt.Errorf("no %s functions found; run from the repository root", escape.Directive))
+	}
+
+	args := append([]string{"build", "-o", os.DevNull, "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		// -m diagnostics go to stderr on success too; a build failure
+		// means the output is an error message, not diagnostics.
+		fatal(fmt.Errorf("go %v: %v\n%s", args, err, out.String()))
+	}
+	diags, err := escape.ParseM(&out)
+	if err != nil {
+		fatal(err)
+	}
+
+	var allow []escape.AllowEntry
+	if f, err := os.Open(*allowPath); err == nil {
+		allow, err = escape.ParseAllowlist(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else if !os.IsNotExist(err) {
+		fatal(err)
+	}
+
+	res := escape.Audit(diags, funcs, allow)
+	bad := false
+	for _, v := range res.Violations {
+		fmt.Fprintf(os.Stderr, "escape_audit: %s\n", v)
+		bad = true
+	}
+	for _, s := range res.Stale {
+		fmt.Fprintf(os.Stderr, "escape_audit: stale allowlist entry (%s): delete it or it will hide a future escape\n", s)
+		bad = true
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Printf("escape_audit: %d noalloc function(s) audited, %d escape diagnostic(s) scanned, 0 violations\n",
+		res.Audited, len(diags))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "escape_audit:", err)
+	os.Exit(1)
+}
