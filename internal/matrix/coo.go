@@ -31,7 +31,7 @@ func (c *COO) NNZ() int { return len(c.Entries) }
 func (c *COO) Validate() error {
 	for p, t := range c.Entries {
 		if t.Row < 0 || int(t.Row) >= c.Rows || t.Col < 0 || int(t.Col) >= c.Cols {
-			return fmt.Errorf("matrix: entry %d (%d,%d) out of range %dx%d", p, t.Row, t.Col, c.Rows, c.Cols)
+			return fmt.Errorf("%w: entry %d (%d,%d) out of range %dx%d", ErrInvalid, p, t.Row, t.Col, c.Rows, c.Cols)
 		}
 	}
 	return nil

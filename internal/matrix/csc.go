@@ -1,7 +1,6 @@
 package matrix
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -61,28 +60,28 @@ func (a *CSC) At(i, j int) Value {
 // ColPtr monotone covering RowIdx/Val, and all row indices in range.
 func (a *CSC) Validate() error {
 	if a.Rows < 0 || a.Cols < 0 {
-		return fmt.Errorf("matrix: negative dimensions %dx%d", a.Rows, a.Cols)
+		return fmt.Errorf("%w: negative dimensions %dx%d", ErrInvalid, a.Rows, a.Cols)
 	}
 	if len(a.ColPtr) != a.Cols+1 {
-		return fmt.Errorf("matrix: len(ColPtr)=%d, want Cols+1=%d", len(a.ColPtr), a.Cols+1)
+		return fmt.Errorf("%w: len(ColPtr)=%d, want Cols+1=%d", ErrInvalid, len(a.ColPtr), a.Cols+1)
 	}
 	if len(a.RowIdx) != len(a.Val) {
-		return fmt.Errorf("matrix: len(RowIdx)=%d != len(Val)=%d", len(a.RowIdx), len(a.Val))
+		return fmt.Errorf("%w: len(RowIdx)=%d != len(Val)=%d", ErrInvalid, len(a.RowIdx), len(a.Val))
 	}
 	if a.ColPtr[0] != 0 {
-		return errors.New("matrix: ColPtr[0] != 0")
+		return fmt.Errorf("%w: ColPtr[0] != 0", ErrInvalid)
 	}
 	for j := 0; j < a.Cols; j++ {
 		if a.ColPtr[j+1] < a.ColPtr[j] {
-			return fmt.Errorf("matrix: ColPtr not monotone at column %d", j)
+			return fmt.Errorf("%w: ColPtr not monotone at column %d", ErrInvalid, j)
 		}
 	}
 	if a.ColPtr[a.Cols] != int64(len(a.RowIdx)) {
-		return fmt.Errorf("matrix: ColPtr[Cols]=%d != nnz=%d", a.ColPtr[a.Cols], len(a.RowIdx))
+		return fmt.Errorf("%w: ColPtr[Cols]=%d != nnz=%d", ErrInvalid, a.ColPtr[a.Cols], len(a.RowIdx))
 	}
 	for p, r := range a.RowIdx {
 		if r < 0 || int(r) >= a.Rows {
-			return fmt.Errorf("matrix: row index %d out of range [0,%d) at position %d", r, a.Rows, p)
+			return fmt.Errorf("%w: row index %d out of range [0,%d) at position %d", ErrInvalid, r, a.Rows, p)
 		}
 	}
 	return nil

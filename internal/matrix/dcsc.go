@@ -28,39 +28,39 @@ func (d *DCSC) NZC() int { return len(d.ColID) }
 // Validate checks the structural invariants.
 func (d *DCSC) Validate() error {
 	if d.Rows < 0 || d.Cols < 0 {
-		return fmt.Errorf("matrix: negative dimensions %dx%d", d.Rows, d.Cols)
+		return fmt.Errorf("%w: negative dimensions %dx%d", ErrInvalid, d.Rows, d.Cols)
 	}
 	if len(d.ColPtr) != len(d.ColID)+1 {
-		return fmt.Errorf("matrix: len(ColPtr)=%d, want len(ColID)+1=%d", len(d.ColPtr), len(d.ColID)+1)
+		return fmt.Errorf("%w: len(ColPtr)=%d, want len(ColID)+1=%d", ErrInvalid, len(d.ColPtr), len(d.ColID)+1)
 	}
 	if len(d.RowIdx) != len(d.Val) {
-		return fmt.Errorf("matrix: len(RowIdx)=%d != len(Val)=%d", len(d.RowIdx), len(d.Val))
+		return fmt.Errorf("%w: len(RowIdx)=%d != len(Val)=%d", ErrInvalid, len(d.RowIdx), len(d.Val))
 	}
 	if len(d.ColPtr) > 0 {
 		if d.ColPtr[0] != 0 {
-			return fmt.Errorf("matrix: ColPtr[0] != 0")
+			return fmt.Errorf("%w: ColPtr[0] != 0", ErrInvalid)
 		}
 		if d.ColPtr[len(d.ColPtr)-1] != int64(len(d.RowIdx)) {
-			return fmt.Errorf("matrix: ColPtr end %d != nnz %d", d.ColPtr[len(d.ColPtr)-1], len(d.RowIdx))
+			return fmt.Errorf("%w: ColPtr end %d != nnz %d", ErrInvalid, d.ColPtr[len(d.ColPtr)-1], len(d.RowIdx))
 		}
 	}
 	for c := range d.ColID {
 		if d.ColID[c] < 0 || int(d.ColID[c]) >= d.Cols {
-			return fmt.Errorf("matrix: column id %d out of range", d.ColID[c])
+			return fmt.Errorf("%w: column id %d out of range", ErrInvalid, d.ColID[c])
 		}
 		if c > 0 && d.ColID[c] <= d.ColID[c-1] {
-			return fmt.Errorf("matrix: ColID not strictly ascending at %d", c)
+			return fmt.Errorf("%w: ColID not strictly ascending at %d", ErrInvalid, c)
 		}
 		if d.ColPtr[c+1] < d.ColPtr[c] {
-			return fmt.Errorf("matrix: ColPtr not monotone at %d", c)
+			return fmt.Errorf("%w: ColPtr not monotone at %d", ErrInvalid, c)
 		}
 		if d.ColPtr[c+1] == d.ColPtr[c] {
-			return fmt.Errorf("matrix: stored column %d is empty (must be compressed away)", d.ColID[c])
+			return fmt.Errorf("%w: stored column %d is empty (must be compressed away)", ErrInvalid, d.ColID[c])
 		}
 	}
 	for _, r := range d.RowIdx {
 		if r < 0 || int(r) >= d.Rows {
-			return fmt.Errorf("matrix: row index %d out of range", r)
+			return fmt.Errorf("%w: row index %d out of range", ErrInvalid, r)
 		}
 	}
 	return nil

@@ -1,0 +1,12 @@
+package matrix
+
+import "errors"
+
+// ErrInvalid is the sentinel wrapped by every structural-invariant
+// failure reported by the Validate methods; errors.Is(err, ErrInvalid)
+// distinguishes malformed matrices from I/O or parse failures.
+var ErrInvalid = errors.New("matrix: invalid structure")
+
+// ErrFormat is the sentinel wrapped by MatrixMarket parse failures in
+// ReadMatrixMarket.
+var ErrFormat = errors.New("matrix: bad MatrixMarket input")

@@ -38,20 +38,20 @@ func ReadMatrixMarket(r io.Reader) (*CSC, error) {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	pattern := false
 	if !sc.Scan() {
-		return nil, fmt.Errorf("matrix: empty MatrixMarket stream")
+		return nil, fmt.Errorf("%w: empty MatrixMarket stream", ErrFormat)
 	}
 	header := strings.ToLower(sc.Text())
 	if !strings.HasPrefix(header, "%%matrixmarket") {
-		return nil, fmt.Errorf("matrix: missing MatrixMarket banner")
+		return nil, fmt.Errorf("%w: missing MatrixMarket banner", ErrFormat)
 	}
 	if !strings.Contains(header, "coordinate") {
-		return nil, fmt.Errorf("matrix: only coordinate format supported")
+		return nil, fmt.Errorf("%w: only coordinate format supported", ErrFormat)
 	}
 	if strings.Contains(header, "pattern") {
 		pattern = true
 	}
 	if strings.Contains(header, "complex") || strings.Contains(header, "symmetric") {
-		return nil, fmt.Errorf("matrix: unsupported MatrixMarket qualifier in %q", header)
+		return nil, fmt.Errorf("%w: unsupported MatrixMarket qualifier in %q", ErrFormat, header)
 	}
 	// Skip comments, read size line.
 	var rows, cols, nnz int
@@ -61,7 +61,7 @@ func ReadMatrixMarket(r io.Reader) (*CSC, error) {
 			continue
 		}
 		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("matrix: bad size line %q: %v", line, err)
+			return nil, fmt.Errorf("%w: bad size line %q: %v", ErrFormat, line, err)
 		}
 		break
 	}
@@ -77,21 +77,21 @@ func ReadMatrixMarket(r io.Reader) (*CSC, error) {
 			want = 2
 		}
 		if len(fields) < want {
-			return nil, fmt.Errorf("matrix: short entry line %q", line)
+			return nil, fmt.Errorf("%w: short entry line %q", ErrFormat, line)
 		}
 		i, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: bad row index in %q: %v", ErrFormat, line, err)
 		}
 		j, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: bad column index in %q: %v", ErrFormat, line, err)
 		}
 		v := 1.0
 		if !pattern {
 			v, err = strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%w: bad value in %q: %v", ErrFormat, line, err)
 			}
 		}
 		coo.Append(Index(i-1), Index(j-1), v)
@@ -103,7 +103,7 @@ func ReadMatrixMarket(r io.Reader) (*CSC, error) {
 		return nil, err
 	}
 	if coo.NNZ() != nnz {
-		return nil, fmt.Errorf("matrix: header promised %d entries, got %d", nnz, coo.NNZ())
+		return nil, fmt.Errorf("%w: header promised %d entries, got %d", ErrFormat, nnz, coo.NNZ())
 	}
 	return coo.ToCSC(), nil
 }
