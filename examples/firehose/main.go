@@ -27,6 +27,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -129,6 +130,10 @@ func main() {
 // daemon: producers POST wire frames, backing off whenever admission
 // control answers 429, and the daemon's snapshot is verified against
 // the in-process reference sum.
+// errPushRejected marks a push the server refused with a terminal
+// status (anything but 429/503 pushback).
+var errPushRejected = errors.New("push rejected")
+
 func serveMode(base, tenant string, streams [][]*spkadd.Matrix, want *spkadd.Matrix, funneled time.Duration) {
 	client := &http.Client{Timeout: 30 * time.Second}
 	url := base + "/v1/tenants/" + tenant + "/deltas"
@@ -158,7 +163,7 @@ func serveMode(base, tenant string, streams [][]*spkadd.Matrix, want *spkadd.Mat
 				}
 				time.Sleep(wait)
 			default:
-				return fmt.Errorf("push = %d: %s", resp.StatusCode, body)
+				return fmt.Errorf("%w: status %d: %s", errPushRejected, resp.StatusCode, body)
 			}
 		}
 	})

@@ -1,6 +1,12 @@
 package bench
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownExperiment reports an experiment name Run does not know.
+var ErrUnknownExperiment = errors.New("bench: unknown experiment")
 
 // Experiment names accepted by Run, in paper order.
 var Experiments = []string{"fig2er", "fig2rmat", "table3", "table4", "fig3", "fig4", "table5", "fig6"}
@@ -46,6 +52,6 @@ func Run(name string, cfg Config) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("bench: unknown experiment %q (want one of %v, \"phases\", \"reuse\", \"pool\", \"monoid\", \"sched\", \"tune\", \"ablation\", or \"all\")", name, Experiments)
+		return fmt.Errorf("%w: %q (want one of %v, \"phases\", \"reuse\", \"pool\", \"monoid\", \"sched\", \"tune\", \"ablation\", or \"all\")", ErrUnknownExperiment, name, Experiments)
 	}
 }

@@ -11,6 +11,7 @@
 package spgemm
 
 import (
+	"errors"
 	"fmt"
 
 	"spkadd/internal/hashtab"
@@ -39,10 +40,13 @@ func (o Options) loadFactor() float64 {
 	return hashtab.ClampLoadFactor(o.LoadFactor)
 }
 
+// ErrDimMismatch reports operands whose inner dimensions disagree.
+var ErrDimMismatch = errors.New("spgemm: dimension mismatch")
+
 // Mul computes C = A*B. A is m x k, B is k x n, C is m x n.
 func Mul(a, b *matrix.CSC, opt Options) (*matrix.CSC, error) {
 	if a.Cols != b.Rows {
-		return nil, fmt.Errorf("spgemm: dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+		return nil, fmt.Errorf("%w: %dx%d * %dx%d", ErrDimMismatch, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	t := sched.Threads(opt.Threads)
 	n := b.Cols

@@ -14,6 +14,7 @@
 package summa
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -71,20 +72,28 @@ type Report struct {
 	CommVolumeBytes int64
 }
 
+// Sentinels for the argument checks; callers select on these with
+// errors.Is.
+var (
+	ErrDimMismatch = errors.New("summa: dimension mismatch")
+	ErrBadGrid     = errors.New("summa: grid must be >= 1")
+	ErrUnsorted    = errors.New("summa: operands must have sorted columns for block distribution")
+)
+
 // Run multiplies a (m x l) by b (l x n) on a Grid x Grid simulated
 // process grid and returns the assembled product with the phase
 // report.
 func Run(a, b *matrix.CSC, cfg Config) (*matrix.CSC, Report, error) {
 	var rep Report
 	if a.Cols != b.Rows {
-		return nil, rep, fmt.Errorf("summa: dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+		return nil, rep, fmt.Errorf("%w: %dx%d * %dx%d", ErrDimMismatch, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	g := cfg.Grid
 	if g < 1 {
-		return nil, rep, fmt.Errorf("summa: grid must be >= 1, got %d", g)
+		return nil, rep, fmt.Errorf("%w: got %d", ErrBadGrid, g)
 	}
 	if !a.IsColumnSorted() || !b.IsColumnSorted() {
-		return nil, rep, fmt.Errorf("summa: operands must have sorted columns for block distribution")
+		return nil, rep, ErrUnsorted
 	}
 
 	// Distribute: A on the grid as g x g row/column blocks (the
