@@ -281,6 +281,8 @@ func (ws *Workspace) addFused() (*matrix.CSC, PhaseTimings, error) {
 // into the worker's arena. Every column of [lo, hi) is written —
 // including empty ones, so a recycled extents slice holds no stale
 // entries.
+//
+//spkadd:noalloc executor region body of the fused engine (arena growth is amortized in arena.alloc)
 func (ws *Workspace) fusedBody(w, lo, hi int) {
 	ws.kernelFault()
 	s, ar := ws.worker(w), &ws.arenas[w]
@@ -302,6 +304,8 @@ func (ws *Workspace) fusedBody(w, lo, hi int) {
 
 // stitchBody copies the staged extents of columns [lo, hi) into the
 // final CSC.
+//
+//spkadd:noalloc executor region body: copies arena columns into the final CSC
 func (ws *Workspace) stitchBody(_, lo, hi int) {
 	b := ws.b
 	for j := lo; j < hi; j++ {
@@ -319,6 +323,8 @@ func (ws *Workspace) stitchBody(_, lo, hi int) {
 // engines see values before the output is sized, so only they can
 // drop identity-valued results (validation pins DropIdentity monoids
 // here).
+//
+//spkadd:noalloc single-pass emit: accumulate one column straight into arena-backed storage
 func emitColInto(ws *workerState, as []*matrix.CSC, j, inz int, alg Algorithm, sorted bool, coeffs []matrix.Value, mon *monoidState, outRows []matrix.Index, outVals []matrix.Value) int {
 	nz := 0
 	switch alg {
@@ -425,6 +431,8 @@ func (ws *Workspace) addUpperBound() (*matrix.CSC, PhaseTimings, error) {
 // ubBody fills the staging extents of columns [lo, hi) in one input
 // pass, recording each column's exact nnz. Empty columns keep the
 // zero count colScratch installed.
+//
+//spkadd:noalloc executor region body of the upper-bound engine
 func (ws *Workspace) ubBody(w, lo, hi int) {
 	ws.kernelFault()
 	s := ws.worker(w)
@@ -442,6 +450,8 @@ func (ws *Workspace) ubBody(w, lo, hi int) {
 
 // compactBody copies the filled staging prefix of columns [lo, hi)
 // into the exact-size output.
+//
+//spkadd:noalloc executor region body: compacts upper-bound columns into place
 func (ws *Workspace) compactBody(_, lo, hi int) {
 	b := ws.b
 	for j := lo; j < hi; j++ {

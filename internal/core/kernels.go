@@ -482,6 +482,8 @@ func slidingHashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix
 // outRows/outVals may be larger than the result (the single-pass
 // engines pass the Σ_i nnz(A_i(:,j)) upper bound); the number of
 // entries written is returned.
+//
+//spkadd:noalloc per-column heap merge, the HeapSpKAdd inner loop
 func heapMergeCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, coeffs []matrix.Value, mon *monoidState) int {
 	if mon != nil {
 		return heapMergeColM(w, as, j, outRows, outVals, mon)
@@ -522,6 +524,8 @@ func heapMergeCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Inde
 // monoid's combine in the deterministic Mat tie-break order, so the
 // result bit pattern matches the other engines'. Coefficients never
 // reach here (they are Plus-only).
+//
+//spkadd:noalloc per-column heap merge, generic-monoid variant
 func heapMergeColM(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, mon *monoidState) int {
 	h := w.kheap(len(as))
 	pos := w.pos

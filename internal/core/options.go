@@ -275,37 +275,37 @@ func (o Options) loadFactor() float64 {
 // updated atomically at phase boundaries, so the overhead inside
 // kernels is zero.
 type OpStats struct {
-	HashProbes atomic.Int64
-	HeapOps    atomic.Int64
-	SPATouches atomic.Int64
+	HashProbes atomic.Int64 //spkadd:atomic
+	HeapOps    atomic.Int64 //spkadd:atomic
+	SPATouches atomic.Int64 //spkadd:atomic
 	// EntriesMoved counts entries written to materialized matrix
 	// storage: the intermediate sums of the 2-way algorithms and the
 	// final output. Scratch structures (hash tables, SPAs, the
 	// single-pass engines' arena/staging buffers) don't count, so the
 	// counter is comparable across engines.
-	EntriesMoved atomic.Int64
+	EntriesMoved atomic.Int64 //spkadd:atomic
 	// SymProbes counts the subset of HashProbes spent in the symbolic
 	// (output-sizing) tables. The single-pass engines never size the
 	// output symbolically, so SymProbes stays zero under PhasesFused
 	// and PhasesUpperBound — the observable proof that each input is
 	// read exactly once.
-	SymProbes atomic.Int64
+	SymProbes atomic.Int64 //spkadd:atomic
 	// engineUsed records the Phases engine the most recent dispatched
 	// addition actually ran (read via EngineUsed). Options.Phases is a
 	// request, not a guarantee: SlidingHash and the 2-way baselines
 	// keep their native two-pass drivers whatever the caller asks for,
 	// and this is where that fallback becomes observable. Stored as
 	// engine+1 so the zero value means "no addition dispatched yet".
-	engineUsed atomic.Int64
+	engineUsed atomic.Int64 //spkadd:atomic
 	// monoidUsed records the resolved combine monoid of the most
 	// recent dispatched addition (read via MonoidUsed), like
 	// engineUsed: a nil Options.Monoid resolves to ops.Plus, and this
 	// is where that resolution — and the fast-path/generic-path split
 	// it implies — becomes observable.
-	monoidUsed atomic.Pointer[ops.Monoid]
+	monoidUsed atomic.Pointer[ops.Monoid] //spkadd:atomic
 	// Steals counts range suffixes the WeightedStealing schedule moved
 	// from a busy worker to an idle one, across all recorded regions.
-	Steals atomic.Int64
+	Steals atomic.Int64 //spkadd:atomic
 	// SchedRegions counts the multi-worker parallel regions (one per
 	// phase per addition: symbolic, numeric, fused pass, stitch, ...)
 	// the executor dispatched; single-worker phases run inline and are
@@ -313,9 +313,9 @@ type OpStats struct {
 	// region's maximum and mean per-worker executed weight — the
 	// caller's column weights under the weighted schedules, column
 	// counts otherwise — so LoadImbalance reports the observed balance.
-	SchedRegions    atomic.Int64
-	SchedMaxWeight  atomic.Int64
-	SchedMeanWeight atomic.Int64
+	SchedRegions    atomic.Int64 //spkadd:atomic
+	SchedMaxWeight  atomic.Int64 //spkadd:atomic
+	SchedMeanWeight atomic.Int64 //spkadd:atomic
 	// Fault-tolerance counters. PanicsRecovered counts panics caught at
 	// a recovery boundary (executor region, shard reducer, accumulator
 	// flush) and converted to errors; Retries counts reduction attempts
@@ -323,9 +323,9 @@ type OpStats struct {
 	// FaultsInjected counts faults the internal/faults harness fired
 	// into code observed by these stats — zero in production, where no
 	// injector is active.
-	PanicsRecovered atomic.Int64
-	Retries         atomic.Int64
-	FaultsInjected  atomic.Int64
+	PanicsRecovered atomic.Int64 //spkadd:atomic
+	Retries         atomic.Int64 //spkadd:atomic
+	FaultsInjected  atomic.Int64 //spkadd:atomic
 	// ShardsDegraded and ShardsPoisoned count pool-shard health
 	// transitions: a shard entering the degraded state (sticky
 	// non-panic error after retries were exhausted) or the poisoned
@@ -334,9 +334,9 @@ type OpStats struct {
 	// ShardsRecovered counts the reverse transition: a degraded shard
 	// whose next successful reduction cleared it back to OK (poisoned
 	// shards never recover).
-	ShardsDegraded  atomic.Int64
-	ShardsPoisoned  atomic.Int64
-	ShardsRecovered atomic.Int64
+	ShardsDegraded  atomic.Int64 //spkadd:atomic
+	ShardsPoisoned  atomic.Int64 //spkadd:atomic
+	ShardsRecovered atomic.Int64 //spkadd:atomic
 }
 
 // RecordRegion folds one parallel region's load statistics into the

@@ -220,6 +220,8 @@ type Pool struct {
 	// enqueues and stitch a matrix containing only some of its shards
 	// — a total no prefix of pushes could produce. Reducers never
 	// touch it, so reduction work proceeds under either hold.
+	//
+	//spkadd:lockorder(1)
 	pushMu sync.RWMutex
 }
 
@@ -537,6 +539,8 @@ func (p *Pool) CloseContext(ctx context.Context) error {
 
 // stickyErr joins the failed shards' sticky errors, one ShardError
 // per failed shard; nil when every shard is healthy.
+//
+//spkadd:allow(ctxblock) short per-shard critical sections; nothing waits on external progress
 func (p *Pool) stickyErr() error {
 	for _, s := range p.shards {
 		s.mu.Lock()
@@ -568,6 +572,8 @@ func (p *Pool) stickyErrLocked() error {
 // what it is getting — including the queue-depth and dropped-piece
 // gauges a serving layer turns into drain-straggler reports and loss
 // metrics. Safe for concurrent use.
+//
+//spkadd:allow(ctxblock) short per-shard critical sections; nothing waits on external progress
 func (p *Pool) Health() []ShardHealth {
 	out := make([]ShardHealth, len(p.shards))
 	for i, s := range p.shards {
@@ -596,6 +602,8 @@ func (p *Pool) K() int { return int(p.absorbed.Load()) }
 
 // Reductions returns the total number of k-way additions the shards
 // have run, a measure of how the budget translated into batching.
+//
+//spkadd:allow(ctxblock) short per-shard critical sections; nothing waits on external progress
 func (p *Pool) Reductions() int {
 	total := 0
 	for _, s := range p.shards {
@@ -626,6 +634,7 @@ type poolShard struct {
 	quitc       <-chan struct{}
 	zone        int64 // 1-based fault-injection key
 
+	//spkadd:lockorder(2)
 	mu           sync.Mutex
 	cond         *sync.Cond // wakes the reducer
 	done         *sync.Cond // wakes flush-barrier waiters
@@ -775,6 +784,8 @@ func (s *poolShard) claimBatch() {
 // failed batch is dropped and counted, and the next success clears
 // the degradation; only poisoning (a quarantined workspace) makes the
 // shard discard everything it receives.
+//
+//spkadd:allow(ctxblock) reducer goroutine: lives for the pool's lifetime, woken by cond, exits on close; Push/Flush carry the context
 func (s *poolShard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	s.mu.Lock()
@@ -888,6 +899,8 @@ func (s *poolShard) reduceWithRetry() (*matrix.CSC, error) {
 // doubled per attempt, plus up to half that again of jitter so
 // colliding shards decorrelate. Returns false when the pool began
 // closing instead — no point backing off into a shutdown.
+//
+//spkadd:allow(ctxblock) bounded by the retry timer and aborted by pool close via quitc
 func (s *poolShard) backoff(n int) bool {
 	d := s.baseBackoff << (n - 1)
 	d += time.Duration(rand.Int64N(int64(d)/2 + 1))

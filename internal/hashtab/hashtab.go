@@ -146,6 +146,8 @@ func (t *Table) Add(r matrix.Index, v matrix.Value) {
 // with combine(stored, v). Add is exactly AddWith with "+" inlined;
 // the kernels select between them once per column, so the generic
 // path's indirect call is paid only by non-Plus monoids.
+//
+//spkadd:noalloc per-entry hot path of every hash kernel
 func (t *Table) AddWith(r matrix.Index, v matrix.Value, combine func(a, b matrix.Value) matrix.Value) {
 	h := (hashMul * uint32(r)) & t.mask
 	for {

@@ -350,6 +350,8 @@ func (s *execState) clampLocked(t int) int {
 // counters, and the first panic any worker recovered (as a
 // *PanicError) — the barrier always completes first, so the scratch
 // is never reused while a surviving worker still runs.
+//
+//spkadd:allow(ctxblock) region barrier: workers always finish their share; a ctx-abandoned barrier would strand the shared scratch
 func (s *execState) runLocked(parts int) (LoadStats, error) {
 	for len(s.wake) < parts-1 {
 		ch := make(chan struct{}, 1)
@@ -390,6 +392,8 @@ func (s *execState) runLocked(parts int) (LoadStats, error) {
 // recovered inside runWorkerRecover, so a panicking body can never
 // kill a resident worker (which would strand the region barrier and,
 // goroutine panics being fatal, the whole process).
+//
+//spkadd:allow(ctxblock) resident worker: parked for the executor's lifetime, released by channel close
 func (s *execState) workerLoop(wake chan struct{}, id int) {
 	for range wake {
 		s.runWorkerRecover(id)

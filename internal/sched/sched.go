@@ -27,6 +27,8 @@ func Threads(t int) int {
 
 // Static divides [0, n) into t near-equal contiguous ranges and runs
 // body(worker, lo, hi) on each concurrently.
+//
+//spkadd:allow(ctxblock) fork-join barrier: the wait is bounded by body completion; cancellation belongs in the body
 func Static(n, t int, body func(worker, lo, hi int)) {
 	t = Threads(t)
 	if t > n {
@@ -65,6 +67,8 @@ func Span(n, t, w int) (lo, hi int) {
 // chunks from an atomic counter. chunk <= 0 selects a heuristic
 // (n/(8t), at least 1). This is the load-balancing mode for skewed
 // (RMAT-like) column distributions.
+//
+//spkadd:allow(ctxblock) fork-join barrier: the wait is bounded by body completion; cancellation belongs in the body
 func Dynamic(n, t, chunk int, body func(worker, lo, hi int)) {
 	t = Threads(t)
 	if t > n {
@@ -110,6 +114,8 @@ func Dynamic(n, t, chunk int, body func(worker, lo, hi int)) {
 // Weighted divides [0, n) into t contiguous ranges of near-equal total
 // weight and runs them concurrently. weights must have length n; zero
 // and negative weights are treated as zero.
+//
+//spkadd:allow(ctxblock) fork-join barrier: the wait is bounded by body completion; cancellation belongs in the body
 func Weighted(weights []int64, t int, body func(worker, lo, hi int)) {
 	n := len(weights)
 	t = Threads(t)

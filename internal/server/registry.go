@@ -59,13 +59,13 @@ type tenant struct {
 	stats      *core.OpStats
 	created    time.Time
 
-	lastUsed atomic.Int64 // unix nanos of the last push or sum
+	lastUsed atomic.Int64 //spkadd:atomic unix nanos of the last push or sum
 
 	// Serving counters for /metrics.
-	pushes      atomic.Int64
-	pushEntries atomic.Int64
-	sums        atomic.Int64
-	rejected    atomic.Int64 // pushes refused: backpressure, poisoned, draining
+	pushes      atomic.Int64 //spkadd:atomic
+	pushEntries atomic.Int64 //spkadd:atomic
+	sums        atomic.Int64 //spkadd:atomic
+	rejected    atomic.Int64 //spkadd:atomic pushes refused: backpressure, poisoned, draining
 }
 
 func (t *tenant) touch() { t.lastUsed.Store(time.Now().UnixNano()) }
@@ -94,7 +94,7 @@ type registry struct {
 	nextID  int64
 	closed  bool
 
-	evictions atomic.Int64
+	evictions atomic.Int64 //spkadd:atomic
 }
 
 func newRegistry(cfg Config) *registry {

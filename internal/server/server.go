@@ -117,8 +117,8 @@ type Server struct {
 	janitorDone chan struct{}
 
 	// HTTP metrics: requests by status class, admission rejections.
-	req2xx, req4xx, req5xx atomic.Int64
-	rejected               atomic.Int64
+	req2xx, req4xx, req5xx atomic.Int64 //spkadd:atomic
+	rejected               atomic.Int64 //spkadd:atomic
 }
 
 // New returns a Server and starts its eviction janitor (stopped by
@@ -161,6 +161,8 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // janitor periodically evicts idle tenants until drain begins.
+//
+//spkadd:allow(ctxblock) background sweeper: lives until drain, released by janitorStop
 func (s *Server) janitor() {
 	defer close(s.janitorDone)
 	ttl := s.cfg.IdleTTL
@@ -644,4 +646,3 @@ func errString(err error) string {
 	}
 	return err.Error()
 }
-

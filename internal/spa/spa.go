@@ -69,6 +69,8 @@ func (s *SPA) Add(r matrix.Index, v matrix.Value) {
 // O(1) and no identity element is ever materialized in the dense
 // array. Add is AddWith with "+" inlined; callers pick once per
 // column.
+//
+//spkadd:noalloc per-entry hot path of the SPA kernels
 func (s *SPA) AddWith(r matrix.Index, v matrix.Value, combine func(a, b matrix.Value) matrix.Value) {
 	s.Touches++
 	if s.stamps[r] == s.gen {
