@@ -7,7 +7,7 @@
 # script proves the actual binary wires them together: flags, signal
 # handling, listener shutdown ordering, exit codes.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 ADDR="127.0.0.1:${SPKADD_SMOKE_PORT:-18471}"
 WORK="$(mktemp -d)"
