@@ -30,6 +30,7 @@ func TestAllocGateRegexSelectsReuseBenchmarks(t *testing.T) {
 		"BenchmarkAdderReuseMonoid",
 		"BenchmarkAdderReuseSched",
 		"BenchmarkAdderReuseFaultsOff",
+		"BenchmarkAdderReusePlanner",
 	} {
 		if !re.MatchString(name) {
 			t.Errorf("%s not selected by %q", name, AllocGateBench)

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"time"
+
+	"spkadd/internal/core"
+	"spkadd/internal/generate"
+	"spkadd/internal/matrix"
+	"spkadd/internal/stats"
+	"spkadd/internal/tuner"
+)
+
+// plannerWarmRounds is the per-cell warmup budget at full exploration:
+// enough epsilon-1 draws that every arm of the cell's mask has been
+// sampled several times before the table is frozen for measurement.
+const plannerWarmRounds = 3 * tuner.NumArms
+
+// Planner is the self-tuning planner's A/B gate: a schedule × skew ×
+// k × d grid where every cell interleaves static-Auto calls against a
+// tuner frozen to pure exploitation after a full-exploration warmup,
+// plus one deliberately mis-predicted cell — a cache budget lie that
+// makes static Auto pick SlidingHash where the real machine favors
+// Hash — that the learned table must win outright. The experiment
+// FAILS (returns an error) if the warmed tuner loses to static Auto by
+// more than noise on any cell, or fails to win the mis-predicted one:
+// this is the regression gate DESIGN.md §14 promises, not just a
+// report.
+func Planner(cfg Config) error {
+	m := 1 << 15 / cfg.scale()
+	tn := tuner.New(42)
+	if cfg.TunerState != "" {
+		if err := tn.LoadFile(cfg.TunerState); err != nil {
+			switch {
+			case errors.Is(err, fs.ErrNotExist):
+				// Cold start: first run with this state file.
+			case errors.Is(err, tuner.ErrBadSnapshot):
+				fmt.Fprintf(cfg.Out, "planner: ignoring bad tuner state: %v\n", err)
+			default:
+				return fmt.Errorf("planner: loading tuner state: %w", err)
+			}
+		}
+	}
+
+	type cell struct {
+		pattern    string
+		k, d       int
+		schedule   core.Schedule
+		cacheBytes int64 // 0 = cfg default; the mispredict cell lies
+		mispredict bool
+	}
+	var cells []cell
+	for _, sc := range []core.Schedule{core.ScheduleWeighted, core.ScheduleWeightedStealing} {
+		for _, w := range []struct {
+			pattern string
+			k, d    int
+		}{
+			{"ER", 8, 64},
+			{"ER", 32, 128},
+			{"RMAT", 8, 64},
+			{"RMAT", 32, 128},
+		} {
+			cells = append(cells, cell{pattern: w.pattern, k: w.k, d: w.d, schedule: sc})
+		}
+	}
+	// The mis-predicted cell: an 8KB cache claim makes autoSelect's
+	// symbolic-footprint test (k·d·4 bytes = 16KB > 8KB) choose
+	// SlidingHash, whose 8KB-capped tables slide over many row ranges —
+	// while the machine actually running the cell fits plain Hash
+	// tables in cache easily. The cache budget is not part of the
+	// workload signature, so the warmed table already knows the true
+	// cost of both families for this shape and must override.
+	cells = append(cells, cell{pattern: "ER", k: 32, d: 128, schedule: core.ScheduleWeighted, cacheBytes: 8 << 10, mispredict: true})
+
+	fmt.Fprintf(cfg.Out, "Planner A/B: static Auto vs warmed tuner (s), m=%d n=64, reps=%d (min reported)\n", m, cfg.reps()+2)
+	fmt.Fprintf(cfg.Out, "%-18s %-17s %10s %10s %7s  %-24s\n", "Workload", "Schedule", "static", "tuned", "ratio", "plan (tuned vs static)")
+
+	var failures []string
+	wonMispredict := false
+	for _, c := range cells {
+		o := generate.Opts{Rows: m, Cols: 64, NNZPerCol: c.d, Seed: 71}
+		var as []*matrix.CSC
+		if c.pattern == "RMAT" {
+			as = generate.RMATCollection(c.k, o, generate.Graph500)
+		} else {
+			as = generate.ERCollection(c.k, o)
+		}
+		base := core.Options{
+			Schedule:   c.schedule,
+			Threads:    cfg.Threads,
+			CacheBytes: cfg.cacheBytes(),
+		}
+		if c.cacheBytes != 0 {
+			base.CacheBytes = c.cacheBytes
+		}
+		tuned := base
+		tuned.Tuner = tn
+		var st core.OpStats
+		tuned.Stats = &st
+
+		// Warmup at full exploration: fill the cell's table rows (and
+		// every arm's scratch in the pooled workspaces).
+		tn.SetEpsilon(1)
+		for r := 0; r < plannerWarmRounds; r++ {
+			if _, err := core.Add(as, tuned); err != nil {
+				return fmt.Errorf("planner warmup %s: %w", c.pattern, err)
+			}
+		}
+		tn.SetEpsilon(0)
+
+		// Interleaved measurement: static and tuned alternate so drift
+		// (frequency scaling, cache state) hits both sides equally.
+		reps := cfg.reps() + 2
+		var sSam, tSam stats.Sample
+		for r := 0; r < reps; r++ {
+			ds, _, err := timeAdd(as, base, 1)
+			if err != nil {
+				return fmt.Errorf("planner static %s: %w", c.pattern, err)
+			}
+			sSam.Add(ds)
+			dt, _, err := timeAdd(as, tuned, 1)
+			if err != nil {
+				return fmt.Errorf("planner tuned %s: %w", c.pattern, err)
+			}
+			tSam.Add(dt)
+		}
+		sMin, tMin := sSam.Min(), tSam.Min()
+		ratio := float64(tMin) / float64(sMin)
+		chosen, staticArm, _ := st.PlannerDecision()
+		name := fmt.Sprintf("%s k=%d d=%d", c.pattern, c.k, c.d)
+		if c.mispredict {
+			name += "*"
+		}
+		fmt.Fprintf(cfg.Out, "%-18s %-17v %10s %10s %7.2f  %-24s\n",
+			name, c.schedule, fmtDur(sMin), fmtDur(tMin), ratio,
+			fmt.Sprintf("%s vs %s", armName(chosen), armName(staticArm)))
+
+		// Gate: the tuner may not lose by more than noise. The noise
+		// band is generous — min-of-reps plus spread plus an absolute
+		// floor — because this also runs as a one-rep CI smoke; a real
+		// planner regression (picking a structurally slower plan)
+		// overshoots it by multiples.
+		noise := time.Duration((sSam.Stddev() + tSam.Stddev()) * float64(time.Second))
+		tol := sMin*3/10 + 2*noise + 200*time.Microsecond
+		if tMin > sMin+tol {
+			failures = append(failures, fmt.Sprintf("%s %v: tuned %v vs static %v (tolerance %v)",
+				name, c.schedule, tMin, sMin, tol))
+		}
+		if c.mispredict && tMin < sMin {
+			wonMispredict = true
+		}
+	}
+	fmt.Fprintln(cfg.Out, "(* = mis-predicted cell: the cache budget lies to static Auto; the tuner must win it)")
+	fmt.Fprintln(cfg.Out)
+
+	if cfg.TunerState != "" {
+		if err := tn.SaveFile(cfg.TunerState); err != nil {
+			return fmt.Errorf("planner: saving tuner state: %w", err)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%w: tuner lost to static Auto beyond noise on %d cell(s): %v", ErrPlannerRegression, len(failures), failures)
+	}
+	if !wonMispredict {
+		return fmt.Errorf("%w: warmed tuner failed to win the mis-predicted cell", ErrPlannerRegression)
+	}
+	return nil
+}
+
+// ErrPlannerRegression reports a planner A/B cell where the warmed
+// tuner lost to static Auto beyond the noise band (or failed to win
+// the deliberately mis-predicted cell).
+var ErrPlannerRegression = errors.New("bench: planner regression")
+
+// armName renders a tuner arm for the report tables.
+func armName(arm int8) string {
+	if arm < 0 || int(arm) >= tuner.NumArms {
+		return "static"
+	}
+	c := tuner.Arms[arm]
+	alg, engine, sched := "Hash", "", "W"
+	if c.Alg == tuner.AlgSliding {
+		alg = "Sliding"
+	}
+	switch c.Engine {
+	case tuner.EngineFused:
+		engine = "Fused"
+	case tuner.EngineUpperBound:
+		engine = "UpperBd"
+	default:
+		engine = "TwoPass"
+	}
+	if c.Sched == tuner.SchedStealing {
+		sched = "WS"
+	}
+	return alg + "/" + engine + "/" + sched
+}

@@ -44,6 +44,8 @@ func Run(name string, cfg Config) error {
 		return Tune(cfg)
 	case "ablation":
 		return Ablation(cfg)
+	case "planner":
+		return Planner(cfg)
 	case "all":
 		for _, e := range Experiments {
 			if err := Run(e, cfg); err != nil {
@@ -52,6 +54,6 @@ func Run(name string, cfg Config) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("%w: %q (want one of %v, \"phases\", \"reuse\", \"pool\", \"monoid\", \"sched\", \"tune\", \"ablation\", or \"all\")", ErrUnknownExperiment, name, Experiments)
+		return fmt.Errorf("%w: %q (want one of %v, \"phases\", \"reuse\", \"pool\", \"monoid\", \"sched\", \"tune\", \"ablation\", \"planner\", or \"all\")", ErrUnknownExperiment, name, Experiments)
 	}
 }

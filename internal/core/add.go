@@ -127,19 +127,15 @@ func allColumnsSorted(as []*matrix.CSC) bool {
 // autoSelect implements the paper's practical guidance (Fig 2): the
 // hash family wins across shapes and sparsities; choose SlidingHash
 // once the estimated per-thread symbolic tables spill out of the
-// last-level cache, and plain Hash otherwise.
-func autoSelect(as []*matrix.CSC, opt Options, sortedIn bool) Algorithm {
-	t := sched.Threads(opt.Threads)
-	n := as[0].Cols
-	if n == 0 {
+// last-level cache, and plain Hash otherwise. The density estimate is
+// the shared workloadEstimate, the same one pickPhases and the tuner
+// signature read.
+func autoSelect(est workloadEstimate, opt Options) Algorithm {
+	if est.cols == 0 {
 		return Hash
 	}
-	total := 0
-	for _, a := range as {
-		total += a.NNZ()
-	}
-	avgColInz := total / n
-	memSym := int64(avgColInz) * BytesPerSymbolicEntry * int64(t)
+	t := sched.Threads(opt.Threads)
+	memSym := int64(est.avgColNNZ) * BytesPerSymbolicEntry * int64(t)
 	if memSym > opt.cacheBytes() {
 		return SlidingHash
 	}

@@ -228,11 +228,11 @@ func TestUnsortedOutputStillCorrect(t *testing.T) {
 func TestAutoSelection(t *testing.T) {
 	as := erInputs(4, 300, 8, 20, 8)
 	// Huge cache: plain hash.
-	if alg := autoSelect(as, Options{CacheBytes: 1 << 30}, true); alg != Hash {
+	if alg := autoSelect(estimateWorkload(as), Options{CacheBytes: 1 << 30}); alg != Hash {
 		t.Errorf("large cache: auto = %v, want Hash", alg)
 	}
 	// Tiny cache: sliding hash.
-	if alg := autoSelect(as, Options{CacheBytes: 64}, true); alg != SlidingHash {
+	if alg := autoSelect(estimateWorkload(as), Options{CacheBytes: 64}); alg != SlidingHash {
 		t.Errorf("tiny cache: auto = %v, want SlidingHash", alg)
 	}
 	// End to end through Auto.

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+
+	"spkadd/internal/matrix"
+	"spkadd/internal/sched"
+	"spkadd/internal/tuner"
+)
+
+// This file is the single source of the per-call workload estimate —
+// the shape summary (k, mean column density, duplicate rate) that
+// autoSelect, pickPhases and the self-tuning planner's signature all
+// consume. Before it existed, autoSelect and pickPhases each computed
+// their own total-nnz scan and density estimate, which let the two
+// heuristics silently drift apart; TestEstimateSharedAcrossHeuristics
+// pins them to this one computation.
+
+// workloadEstimate summarizes one call's inputs for the planning
+// heuristics: everything here is O(k) to compute (one NNZ read per
+// input) and derived once per call in validate.
+type workloadEstimate struct {
+	k    int
+	rows int
+	cols int
+	// total is Σ_i nnz(A_i), the paper's knd.
+	total int64
+	// avgColNNZ is total/cols — the mean combined input nnz per output
+	// column, the paper's kd. Zero when cols is zero.
+	avgColNNZ float64
+	// dupRate estimates the duplicate fraction with the balls-into-bins
+	// model: throwing avgColNNZ entries uniformly at rows rows yields
+	// rows·(1-(1-1/rows)^avg) distinct rows in expectation; the rest
+	// are duplicates. Zero when rows or avgColNNZ is zero.
+	dupRate float64
+}
+
+// estimateWorkload computes the shared estimate. as must be non-empty
+// and dimension-checked (validate calls it after validateDims).
+//
+//spkadd:noalloc
+func estimateWorkload(as []*matrix.CSC) workloadEstimate {
+	e := workloadEstimate{k: len(as), rows: as[0].Rows, cols: as[0].Cols}
+	total := 0
+	for _, a := range as {
+		total += a.NNZ()
+	}
+	e.total = int64(total)
+	if e.cols > 0 {
+		e.avgColNNZ = float64(total) / float64(e.cols)
+	}
+	if e.rows > 0 && e.avgColNNZ > 0 {
+		distinct := float64(e.rows) * -math.Expm1(e.avgColNNZ*math.Log1p(-1/float64(e.rows)))
+		e.dupRate = 1 - distinct/e.avgColNNZ
+	}
+	return e
+}
+
+// maxColInputNNZ upper-bounds the heaviest combined input column:
+// Σ_i max_j nnz(A_i(:,j)). One O(cols) scan per input, no extra
+// storage — computed only when a tuner is consulted, where its ratio
+// to the mean separates uniform (ER-like) from skewed (RMAT-like)
+// workloads in the signature.
+//
+//spkadd:noalloc
+func maxColInputNNZ(as []*matrix.CSC) int64 {
+	var sum int64
+	for _, a := range as {
+		var max int64
+		ptr := a.ColPtr
+		for j := 0; j < a.Cols; j++ {
+			if c := ptr[j+1] - ptr[j]; c > max {
+				max = c
+			}
+		}
+		sum += max
+	}
+	return sum
+}
+
+// The arm-code translation between internal/tuner's host-agnostic plan
+// codes and core's enums. tuner deliberately does not import core, so
+// the mapping lives here, next to the only caller.
+
+//spkadd:noalloc
+func armAlg(a tuner.Alg) Algorithm {
+	if a == tuner.AlgSliding {
+		return SlidingHash
+	}
+	return Hash
+}
+
+//spkadd:noalloc
+func armEngine(e tuner.Engine) Phases {
+	switch e {
+	case tuner.EngineFused:
+		return PhasesFused
+	case tuner.EngineUpperBound:
+		return PhasesUpperBound
+	}
+	return PhasesTwoPass
+}
+
+//spkadd:noalloc
+func armSched(s tuner.Sched) Schedule {
+	if s == tuner.SchedStealing {
+		return ScheduleWeightedStealing
+	}
+	return ScheduleWeighted
+}
+
+//spkadd:noalloc
+func phasesEngine(p Phases) tuner.Engine {
+	switch p {
+	case PhasesFused:
+		return tuner.EngineFused
+	case PhasesUpperBound:
+		return tuner.EngineUpperBound
+	}
+	return tuner.EngineTwoPass
+}
+
+// staticArm maps the statically resolved plan to its tuner arm index,
+// or -1 when the plan is outside the arm table (never the case for a
+// call armMask admitted, but the planner treats -1 as "nothing to
+// record for the static side" rather than trusting that).
+//
+//spkadd:noalloc
+func staticArm(p *plan) int8 {
+	for a := 0; a < tuner.NumArms; a++ {
+		c := tuner.Arms[a]
+		if armAlg(c.Alg) == p.alg && armEngine(c.Engine) == p.engine && armSched(c.Sched) == p.schedule {
+			return int8(a)
+		}
+	}
+	return -1
+}
+
+// armMask computes the bitset of tuner arms valid for this call — the
+// caller's explicit constraints, enforced before learning gets a vote:
+//
+//   - Only the hash family is tuned. A pinned non-hash algorithm (the
+//     baselines, Heap, SPA) disables the planner for the call; a
+//     pinned Hash or SlidingHash restricts arms to that algorithm.
+//   - Only the weighted schedules are tuned. The default
+//     ScheduleWeighted admits both weighted arms (the planner may
+//     discover stealing pays); an explicit ScheduleWeightedStealing
+//     restricts to stealing arms; Static and Dynamic are explicit
+//     opt-ins the planner never overrides.
+//   - A pinned Phases engine restricts Hash arms to that engine.
+//     SlidingHash arms stay eligible: sliding keeps its native
+//     two-pass driver whatever the caller asks, exactly as the static
+//     path's fallback does.
+//   - A DropIdentity monoid needs a single-pass engine, so only the
+//     fused and upper-bound Hash arms remain.
+//
+//spkadd:noalloc
+func (o Options) armMask(p *plan) uint32 {
+	switch o.Algorithm {
+	case Auto, Hash, SlidingHash:
+	default:
+		return 0
+	}
+	if p.schedule != ScheduleWeighted && p.schedule != ScheduleWeightedStealing {
+		return 0
+	}
+	var mask uint32
+	for a := 0; a < tuner.NumArms; a++ {
+		c := tuner.Arms[a]
+		if o.Algorithm == Hash && c.Alg != tuner.AlgHash {
+			continue
+		}
+		if o.Algorithm == SlidingHash && c.Alg != tuner.AlgSliding {
+			continue
+		}
+		if p.schedule == ScheduleWeightedStealing && c.Sched != tuner.SchedStealing {
+			continue
+		}
+		if o.Phases != PhasesAuto && c.Alg == tuner.AlgHash && c.Engine != phasesEngine(o.Phases) {
+			continue
+		}
+		if p.generic && p.mon.drop && (c.Alg != tuner.AlgHash || c.Engine == tuner.EngineTwoPass) {
+			continue
+		}
+		mask |= 1 << a
+	}
+	return mask
+}
+
+// consultTuner lets Options.Tuner overrule the statically resolved
+// {algorithm, engine, schedule} from its learned cost table. Called at
+// the end of validate, after every constraint check: the mask encodes
+// what the caller pinned, so no tuner decision can reach a
+// configuration validate would have rejected. On any decision —
+// including a fallback to the static plan — the plan carries the
+// signature key and arm so the dispatcher measures the call and
+// records its cost, which is how both the static plan's and the
+// explored plans' costs enter the table.
+//
+// The path is allocation-free: it runs inside plan resolution on the
+// warmed Adder's zero-alloc steady state (BenchmarkPlanResolve and the
+// CI allocation gate hold it there).
+//
+//spkadd:noalloc
+func (o Options) consultTuner(p *plan, est workloadEstimate, as []*matrix.CSC) {
+	mask := o.armMask(p)
+	if mask == 0 {
+		return
+	}
+	sig := tuner.Signature{
+		K:          est.k,
+		MeanColNNZ: est.avgColNNZ,
+		MaxColNNZ:  maxColInputNNZ(as),
+		DupRate:    est.dupRate,
+		Sorted:     p.sortedIn,
+		Generic:    p.generic,
+		Threads:    sched.Threads(o.Threads),
+	}
+	key := sig.Key()
+	static := staticArm(p)
+	arm, dec := o.Tuner.Lookup(key, mask, static)
+	if s := o.Stats; s != nil {
+		s.PlannerLookups.Add(1)
+		switch dec {
+		case tuner.Explore:
+			s.PlannerExplores.Add(1)
+		case tuner.Fallback:
+			s.PlannerFallbacks.Add(1)
+		}
+		s.RecordPlanner(arm, static)
+	}
+	if arm < 0 {
+		return
+	}
+	if dec != tuner.Fallback {
+		c := tuner.Arms[arm]
+		p.alg = armAlg(c.Alg)
+		p.engine = armEngine(c.Engine)
+		p.schedule = armSched(c.Sched)
+	}
+	p.sigKey, p.arm, p.total = key, arm, est.total
+}

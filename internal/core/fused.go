@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"time"
 
 	"spkadd/internal/matrix"
@@ -62,40 +61,31 @@ func fusedSupported(alg Algorithm) bool {
 }
 
 // pickPhases resolves the engine for one call. An explicit request is
-// honored whenever the algorithm supports it; Auto estimates the
-// duplicate rate with a balls-into-bins model and checks memory
+// honored whenever the algorithm supports it; Auto reads the shared
+// workloadEstimate's balls-into-bins duplicate rate (the same estimate
+// autoSelect and the tuner signature consume) and checks memory
 // headroom (see the Phases constants and DESIGN.md).
-func pickPhases(as []*matrix.CSC, alg Algorithm, opt Options) Phases {
+func pickPhases(est workloadEstimate, alg Algorithm, opt Options) Phases {
 	if !fusedSupported(alg) {
 		return PhasesTwoPass
 	}
 	if opt.Phases != PhasesAuto {
 		return opt.Phases
 	}
-	m, n := as[0].Rows, as[0].Cols
-	total := 0
-	for _, a := range as {
-		total += a.NNZ()
-	}
-	if m == 0 || n == 0 || total == 0 {
+	if est.rows == 0 || est.cols == 0 || est.total == 0 {
 		return PhasesFused
 	}
-	avg := float64(total) / float64(n) // mean input nnz per column
 	// Memory headroom: the fused hash engine sizes per-worker tables
 	// by input nnz instead of output nnz. If those larger tables would
 	// spill the last-level cache, the two-pass engine's smaller
 	// numeric tables recover more than the saved symbolic pass costs.
 	if alg == Hash {
 		t := sched.Threads(opt.Threads)
-		if int64(avg)*BytesPerAddEntry*int64(t) > opt.cacheBytes() {
+		if int64(est.avgColNNZ)*BytesPerAddEntry*int64(t) > opt.cacheBytes() {
 			return PhasesTwoPass
 		}
 	}
-	// Duplicate-rate estimate: throwing avg entries uniformly at m
-	// rows yields m(1-(1-1/m)^avg) distinct rows in expectation.
-	distinct := float64(m) * -math.Expm1(avg*math.Log1p(-1/float64(m)))
-	dupRate := 1 - distinct/avg
-	if dupRate <= autoDupRateCutoff && int64(total)*entryBytes <= upperBoundStagingCap {
+	if est.dupRate <= autoDupRateCutoff && est.total*entryBytes <= upperBoundStagingCap {
 		return PhasesUpperBound
 	}
 	return PhasesFused

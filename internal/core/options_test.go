@@ -11,8 +11,8 @@ func TestLoadFactorClamp(t *testing.T) {
 		in   float64
 		want float64
 	}{
-		{0, 0.5},    // unset: default
-		{-3, 0.5},   // nonsense: default
+		{0, 0.5},  // unset: default
+		{-3, 0.5}, // nonsense: default
 		{0.25, 0.25},
 		{0.9, 0.9},
 		{1, 1},

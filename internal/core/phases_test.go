@@ -229,26 +229,26 @@ func TestPhasesSortedOutputBitIdentical(t *testing.T) {
 func TestPhasesAutoPolicy(t *testing.T) {
 	// Rare duplicates within the staging cap: upper bound.
 	sparse := erInputs(4, 100000, 8, 16, 81)
-	if p := pickPhases(sparse, Hash, Options{}); p != PhasesUpperBound {
+	if p := pickPhases(estimateWorkload(sparse), Hash, Options{}); p != PhasesUpperBound {
 		t.Errorf("sparse ER: auto = %v, want UpperBound", p)
 	}
 	// Heavy duplicates (k identical supports): fused.
 	base := generate.ER(generate.Opts{Rows: 200, Cols: 8, NNZPerCol: 16, Seed: 82})
 	dup := []*matrix.CSC{base, base.Clone(), base.Clone(), base.Clone(), base.Clone(), base.Clone(), base.Clone(), base.Clone()}
-	if p := pickPhases(dup, Hash, Options{}); p != PhasesFused {
+	if p := pickPhases(estimateWorkload(dup), Hash, Options{}); p != PhasesFused {
 		t.Errorf("duplicate-heavy: auto = %v, want Fused", p)
 	}
 	// Fused hash tables spilling the cache: two-pass.
-	if p := pickPhases(sparse, Hash, Options{CacheBytes: 16}); p != PhasesTwoPass {
+	if p := pickPhases(estimateWorkload(sparse), Hash, Options{CacheBytes: 16}); p != PhasesTwoPass {
 		t.Errorf("tiny cache: auto = %v, want TwoPass", p)
 	}
 	// Unsupported algorithms always resolve to two-pass, even when
 	// asked for a single-pass engine.
-	if p := pickPhases(sparse, SlidingHash, Options{Phases: PhasesFused}); p != PhasesTwoPass {
+	if p := pickPhases(estimateWorkload(sparse), SlidingHash, Options{Phases: PhasesFused}); p != PhasesTwoPass {
 		t.Errorf("sliding hash: resolved %v, want TwoPass", p)
 	}
 	// An explicit request on a supported algorithm is honored.
-	if p := pickPhases(dup, Heap, Options{Phases: PhasesUpperBound}); p != PhasesUpperBound {
+	if p := pickPhases(estimateWorkload(dup), Heap, Options{Phases: PhasesUpperBound}); p != PhasesUpperBound {
 		t.Errorf("explicit request: resolved %v, want UpperBound", p)
 	}
 }

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spkadd/internal/matrix"
+	"spkadd/internal/sched"
+	"spkadd/internal/tuner"
+)
+
+// TestEstimateSharedAcrossHeuristics pins autoSelect and pickPhases to
+// the one shared workloadEstimate: the estimate's fields must equal
+// the formulas the two heuristics historically computed independently,
+// and both decisions must flip exactly at the thresholds the shared
+// estimate predicts — so the heuristics can no longer drift apart.
+func TestEstimateSharedAcrossHeuristics(t *testing.T) {
+	for _, tc := range []struct{ k, rows, cols, d int }{
+		{4, 300, 8, 20},
+		{8, 100000, 64, 16},
+		{2, 50, 5, 3},
+	} {
+		as := erInputs(tc.k, tc.rows, tc.cols, tc.d, 81)
+		est := estimateWorkload(as)
+
+		total := 0
+		for _, a := range as {
+			total += a.NNZ()
+		}
+		if est.k != tc.k || est.rows != tc.rows || est.cols != tc.cols || est.total != int64(total) {
+			t.Fatalf("estimate shape = (%d, %d, %d, %d), want (%d, %d, %d, %d)",
+				est.k, est.rows, est.cols, est.total, tc.k, tc.rows, tc.cols, total)
+		}
+		avg := float64(total) / float64(tc.cols)
+		if est.avgColNNZ != avg {
+			t.Errorf("avgColNNZ = %g, want %g", est.avgColNNZ, avg)
+		}
+		distinct := float64(tc.rows) * -math.Expm1(avg*math.Log1p(-1/float64(tc.rows)))
+		if want := 1 - distinct/avg; est.dupRate != want {
+			t.Errorf("dupRate = %g, want %g (the balls-into-bins estimate)", est.dupRate, want)
+		}
+
+		// autoSelect flips Hash -> SlidingHash exactly at the symbolic
+		// table footprint the shared estimate predicts.
+		threads := sched.Threads(1)
+		memSym := int64(est.avgColNNZ) * BytesPerSymbolicEntry * int64(threads)
+		if alg := autoSelect(est, Options{Threads: 1, CacheBytes: memSym}); alg != Hash {
+			t.Errorf("at exactly the footprint: auto = %v, want Hash", alg)
+		}
+		if alg := autoSelect(est, Options{Threads: 1, CacheBytes: memSym - 1}); alg != SlidingHash {
+			t.Errorf("one byte under: auto = %v, want SlidingHash", alg)
+		}
+
+		// pickPhases flips Hash's engine to TwoPass at the numeric
+		// footprint from the same estimate.
+		memNum := int64(est.avgColNNZ) * BytesPerAddEntry * int64(threads)
+		if p := pickPhases(est, Hash, Options{Threads: 1, CacheBytes: memNum - 1}); p != PhasesTwoPass {
+			t.Errorf("under numeric footprint: engine = %v, want TwoPass", p)
+		}
+		if p := pickPhases(est, Hash, Options{Threads: 1, CacheBytes: memNum}); p == PhasesTwoPass {
+			t.Error("at numeric footprint: engine fell back to TwoPass")
+		}
+		// And its duplicate-rate branch reads est.dupRate.
+		wantEngine := PhasesFused
+		if est.dupRate <= autoDupRateCutoff && est.total*entryBytes <= upperBoundStagingCap {
+			wantEngine = PhasesUpperBound
+		}
+		if p := pickPhases(est, Hash, Options{Threads: 1, CacheBytes: memNum}); p != wantEngine {
+			t.Errorf("dup-rate branch: engine = %v, want %v", p, wantEngine)
+		}
+	}
+}
+
+func TestMaxColInputNNZ(t *testing.T) {
+	// Two inputs with known per-column shapes: maxima 3 and 2.
+	a := &matrix.CSC{Rows: 4, Cols: 3, ColPtr: []int64{0, 3, 4, 4},
+		RowIdx: []matrix.Index{0, 1, 2, 0}, Val: []matrix.Value{1, 1, 1, 1}}
+	b := &matrix.CSC{Rows: 4, Cols: 3, ColPtr: []int64{0, 1, 3, 3},
+		RowIdx: []matrix.Index{0, 0, 1}, Val: []matrix.Value{1, 1, 1}}
+	if got := maxColInputNNZ([]*matrix.CSC{a, b}); got != 5 {
+		t.Fatalf("maxColInputNNZ = %d, want 5", got)
+	}
+}
+
+// plannerOpts returns options consulting a fresh, exploitation-only
+// tuner plus stats, over a small ER collection.
+func plannerSetup(seed uint64) ([]*matrix.CSC, *tuner.Tuner, *OpStats) {
+	as := erInputs(8, 512, 64, 8, seed)
+	tn := tuner.New(seed)
+	tn.SetEpsilon(0)
+	return as, tn, &OpStats{}
+}
+
+func TestTunerColdFallsBackToStaticPlan(t *testing.T) {
+	as, tn, st := plannerSetup(3)
+	static, err := Options{Threads: 1}.validate(as, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.arm != -1 {
+		t.Fatalf("tuner-less plan carries arm %d, want -1", static.arm)
+	}
+	p, err := Options{Threads: 1, Tuner: tn, Stats: st}.validate(as, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.alg != static.alg || p.engine != static.engine || p.schedule != static.schedule {
+		t.Fatalf("cold tuner changed the plan: {%v %v %v} != {%v %v %v}",
+			p.alg, p.engine, p.schedule, static.alg, static.engine, static.schedule)
+	}
+	if p.arm < 0 || p.sigKey == 0 || p.total == 0 {
+		t.Fatalf("cold fallback must still carry recording state, got arm=%d key=%#x total=%d", p.arm, p.sigKey, p.total)
+	}
+	if got := st.PlannerLookups.Load(); got != 1 {
+		t.Errorf("PlannerLookups = %d, want 1", got)
+	}
+	if got := st.PlannerFallbacks.Load(); got != 1 {
+		t.Errorf("PlannerFallbacks = %d, want 1", got)
+	}
+	if chosen, staticArm, ok := st.PlannerDecision(); !ok || chosen != staticArm {
+		t.Errorf("decision = (%d, %d, %v), want chosen == static", chosen, staticArm, ok)
+	}
+}
+
+func TestTunerOverridesStaticPlan(t *testing.T) {
+	as, tn, st := plannerSetup(4)
+	opt := Options{Threads: 1, Tuner: tn, Stats: st}
+	p, err := opt.validate(as, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Teach the table that the sliding/stealing arm (the one the static
+	// heuristics would never pick here) is far cheaper than the static
+	// choice.
+	var slidingStealing int8 = -1
+	for a := range tuner.Arms {
+		if tuner.Arms[a].Alg == tuner.AlgSliding && tuner.Arms[a].Sched == tuner.SchedStealing {
+			slidingStealing = int8(a)
+		}
+	}
+	tn.Record(p.sigKey, p.arm, time.Millisecond, p.total)
+	tn.Record(p.sigKey, slidingStealing, time.Microsecond, p.total)
+	p2, err := opt.validate(as, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.alg != SlidingHash || p2.schedule != ScheduleWeightedStealing || p2.engine != PhasesTwoPass {
+		t.Fatalf("warmed plan = {%v %v %v}, want the learned sliding/stealing arm", p2.alg, p2.engine, p2.schedule)
+	}
+	if p2.arm != slidingStealing {
+		t.Fatalf("plan arm = %d, want %d", p2.arm, slidingStealing)
+	}
+	if chosen, staticArm, ok := st.PlannerDecision(); !ok || chosen == staticArm {
+		t.Errorf("decision = (%d, %d, %v), want an override", chosen, staticArm, ok)
+	}
+	// The overridden plan must still produce the right sum end to end.
+	got, err := Add(as, Options{Threads: 1, Tuner: tn, SortedOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(matrix.ReferenceAdd(as)) {
+		t.Error("tuned plan produced a wrong result")
+	}
+}
+
+func TestTunerRespectsPinnedOptions(t *testing.T) {
+	as, tn, st := plannerSetup(5)
+	// Train every sliding/stealing arm to look free so any leak in the
+	// masking would flip the plan.
+	probe, err := Options{Threads: 1, Tuner: tn}.validate(as, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range tuner.Arms {
+		cost := time.Millisecond
+		if tuner.Arms[a].Alg == tuner.AlgSliding || tuner.Arms[a].Sched == tuner.SchedStealing || tuner.Arms[a].Engine == tuner.EngineTwoPass {
+			cost = time.Nanosecond
+		}
+		tn.Record(probe.sigKey, int8(a), cost, probe.total)
+	}
+
+	// A pinned algorithm restricts the arms to it.
+	p, err := Options{Threads: 1, Tuner: tn, Algorithm: Hash, Stats: st}.validate(as, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.alg != Hash {
+		t.Errorf("pinned Hash: planned %v", p.alg)
+	}
+	// A pinned engine restricts Hash arms to that engine.
+	p, err = Options{Threads: 1, Tuner: tn, Algorithm: Hash, Phases: PhasesFused}.validate(as, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.engine != PhasesFused {
+		t.Errorf("pinned Fused: planned %v", p.engine)
+	}
+	// Static/Dynamic schedules and non-hash algorithms disable the
+	// planner entirely.
+	before := st.PlannerLookups.Load()
+	p, err = Options{Threads: 1, Tuner: tn, Schedule: ScheduleStatic, Stats: st}.validate(as, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.arm != -1 || p.schedule != ScheduleStatic {
+		t.Errorf("pinned Static schedule: arm=%d schedule=%v, want untouched", p.arm, p.schedule)
+	}
+	p, err = Options{Threads: 1, Tuner: tn, Algorithm: SPA, Stats: st}.validate(as, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.arm != -1 || p.alg != SPA {
+		t.Errorf("pinned SPA: arm=%d alg=%v, want untouched", p.arm, p.alg)
+	}
+	if got := st.PlannerLookups.Load(); got != before {
+		t.Errorf("untunable calls recorded %d lookups", got-before)
+	}
+}
+
+// TestWorkspaceResidentTunerLearns drives a recycling workspace (the
+// Adder's engine) with a resident tuner: calls consult it by default,
+// costs flow back, and the results stay bit-identical to the static
+// reference.
+func TestWorkspaceResidentTunerLearns(t *testing.T) {
+	as := erInputs(6, 400, 32, 10, 11)
+	want := matrix.ReferenceAdd(as)
+	ws := NewWorkspace(true)
+	tn := tuner.New(9)
+	ws.SetTuner(tn)
+	if ws.Tuner() != tn {
+		t.Fatal("Tuner() does not return the installed tuner")
+	}
+	st := &OpStats{}
+	for i := 0; i < 12; i++ {
+		got, err := ws.Add(as, Options{Threads: 1, SortedOutput: true, Stats: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("call %d: tuned result differs from reference", i)
+		}
+	}
+	if tn.Len() == 0 {
+		t.Error("resident tuner learned no signatures")
+	}
+	if st.PlannerLookups.Load() != 12 {
+		t.Errorf("PlannerLookups = %d, want 12", st.PlannerLookups.Load())
+	}
+	// An explicit per-call tuner takes precedence over the resident one.
+	other := tuner.New(1)
+	if _, err := ws.Add(as, Options{Threads: 1, Tuner: other}); err != nil {
+		t.Fatal(err)
+	}
+	if other.Len() == 0 {
+		t.Error("per-call tuner was not consulted")
+	}
+}
+
+// TestPoolSharesTuner wires one tuner through PoolOptions.Add: every
+// shard's reductions feed the same table, the sharing pattern
+// spkadd-serve uses across tenants.
+func TestPoolSharesTuner(t *testing.T) {
+	tn := tuner.New(13)
+	deltas := erInputs(6, 300, 24, 6, 17)
+	pool := NewPool(300, 24, PoolOptions{Shards: 2, Add: Options{Tuner: tn}})
+	for _, d := range deltas {
+		if err := pool.Push(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := pool.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(matrix.ReferenceAdd(deltas)) {
+		t.Error("tuned pool sum differs from reference")
+	}
+	if tn.Len() == 0 {
+		t.Error("pool reductions fed no signatures into the shared tuner")
+	}
+}
+
+// TestPlanResolveAllocFree is the test-side half of satellite gate on
+// plan resolution: validate (the Adder's per-call planning work) must
+// not allocate, with or without a tuner in the loop. The benchmark
+// BenchmarkPlanResolve reports the same property with timings; this
+// test enforces it on every `go test` run (validate is unexported, so
+// the root-package CI gate cannot see it directly).
+func TestPlanResolveAllocFree(t *testing.T) {
+	as := erInputs(8, 1<<11, 64, 4, 21)
+	opt := Options{Threads: 1}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := opt.validate(as, nil, 0); err != nil {
+			panic(err)
+		}
+	}); avg != 0 {
+		t.Errorf("static plan resolution: %g allocs/op, want 0", avg)
+	}
+	tn := tuner.New(33)
+	topt := Options{Threads: 1, Tuner: tn}
+	p, err := topt.validate(as, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.Record(p.sigKey, p.arm, time.Millisecond, p.total) // warm: lookups now exploit
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := topt.validate(as, nil, 0); err != nil {
+			panic(err)
+		}
+	}); avg != 0 {
+		t.Errorf("tuned plan resolution: %g allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkPlanResolve times plan resolution — the planning overhead
+// every Adder call pays — with and without a warmed tuner in the loop,
+// reporting allocations (both must be 0 allocs/op; enforced by
+// TestPlanResolveAllocFree and, end to end, by the CI allocation gate
+// over BenchmarkAdderReusePlanner).
+func BenchmarkPlanResolve(b *testing.B) {
+	as := erInputs(8, 1<<11, 64, 4, 21)
+	b.Run("static", func(b *testing.B) {
+		opt := Options{Threads: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.validate(as, nil, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tuned", func(b *testing.B) {
+		tn := tuner.New(33)
+		opt := Options{Threads: 1, Tuner: tn}
+		p, err := opt.validate(as, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tn.Record(p.sigKey, p.arm, time.Millisecond, p.total)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.validate(as, nil, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

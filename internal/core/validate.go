@@ -85,6 +85,16 @@ type plan struct {
 	// mon is meaningless.
 	generic bool
 	mon     monoidState
+	// Tuner bookkeeping (consultTuner). arm is the tuner arm this call
+	// runs, -1 when no tuner decision applies (no tuner configured,
+	// untunable call, single-input copy); sigKey is the quantized
+	// workload signature and total the input entry count that
+	// normalizes the recorded cost. The dispatcher measures the call
+	// and feeds (sigKey, arm, elapsed, total) back to the tuner iff
+	// arm >= 0.
+	sigKey uint32
+	arm    int8
+	total  int64
 }
 
 // monoid returns the resolved monoid definition (ops.Plus on the fast
@@ -102,6 +112,7 @@ func (p *plan) monoid() *ops.Monoid {
 // domain (see monoidState.mapped); plain calls pass 0.
 func (o Options) validate(as []*matrix.CSC, coeffs []matrix.Value, premapped int) (plan, error) {
 	var p plan
+	p.arm = -1 // arm 0 is a valid tuner arm; -1 means "none chosen"
 	if coeffs != nil && len(coeffs) != len(as) {
 		return p, fmt.Errorf("%w: %d coefficients for %d matrices", ErrDimMismatch, len(coeffs), len(as))
 	}
@@ -143,9 +154,10 @@ func (o Options) validate(as []*matrix.CSC, coeffs []matrix.Value, premapped int
 	}
 
 	p.sortedIn = allColumnsSorted(as)
+	est := estimateWorkload(as)
 	alg := o.Algorithm
 	if alg == Auto {
-		alg = autoSelect(as, o, p.sortedIn)
+		alg = autoSelect(est, o)
 	}
 	p.alg = alg
 	switch alg {
@@ -168,7 +180,7 @@ func (o Options) validate(as []*matrix.CSC, coeffs []matrix.Value, premapped int
 	// their native two-pass drivers; DropIdentity additionally needs
 	// a single-pass engine, because only those see values before the
 	// output is sized.
-	p.engine = pickPhases(as, alg, o)
+	p.engine = pickPhases(est, alg, o)
 	if p.generic && p.mon.drop {
 		if !fusedSupported(alg) {
 			return p, fmt.Errorf("%w: DropIdentity monoid %s needs a single-pass engine, but %v has none",
@@ -181,6 +193,12 @@ func (o Options) validate(as []*matrix.CSC, coeffs []matrix.Value, premapped int
 		if p.engine == PhasesTwoPass { // PhasesAuto preferred two-pass
 			p.engine = PhasesFused
 		}
+	}
+	// The self-tuning planner gets the last word, after every
+	// constraint check: it only ever moves the plan between
+	// configurations the caller's options admit (see armMask).
+	if o.Tuner != nil {
+		o.consultTuner(&p, est, as)
 	}
 	return p, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"spkadd/internal/matrix"
 	"spkadd/internal/sched"
+	"spkadd/internal/tuner"
 )
 
 // Workspace owns every scratch structure a k-way SpKAdd call needs —
@@ -53,6 +54,14 @@ type Workspace struct {
 
 	outs [2]cscBuf
 	cur  int
+
+	// tun is the workspace-resident self-tuning planner (SetTuner):
+	// the default Options.Tuner for calls that carry none of their
+	// own. Like the executor it survives across calls, but unlike the
+	// rest of the workspace a *tuner.Tuner is safe to share — the
+	// Adder, a Pool's shards and a server's tenants can all feed one
+	// table.
+	tun *tuner.Tuner
 
 	// ownEx is the workspace-resident executor: a pool of parked
 	// worker goroutines plus the partitioning scratch every parallel
@@ -110,6 +119,16 @@ func NewWorkspace(recycleOutput bool) *Workspace {
 	return ws
 }
 
+// SetTuner installs (or, with nil, clears) the workspace-resident
+// self-tuning planner: calls whose Options carry no Tuner of their
+// own consult it during plan resolution and feed their measured cost
+// back afterwards. The pooled workspaces behind the package-level Add
+// never set one — one-shot callers opt in per call via Options.Tuner.
+func (ws *Workspace) SetTuner(t *tuner.Tuner) { ws.tun = t }
+
+// Tuner returns the workspace-resident planner, nil when none is set.
+func (ws *Workspace) Tuner() *tuner.Tuner { return ws.tun }
+
 // wsPool backs the package-level Add/AddTimed/AddScaled: one-shot
 // callers get scratch amortization across calls for free, while the
 // output stays caller-owned (no recycling).
@@ -138,6 +157,9 @@ func (ws *Workspace) AddContext(ctx context.Context, as []*matrix.CSC, opt Optio
 // the first input, and it must not pass through MapInput again.
 func (ws *Workspace) addTimedPremapped(ctx context.Context, as []*matrix.CSC, opt Options, premapped int) (*matrix.CSC, PhaseTimings, error) {
 	var pt PhaseTimings
+	if opt.Tuner == nil {
+		opt.Tuner = ws.tun // workspace-resident planner, nil when unset
+	}
 	p, err := opt.validate(as, nil, premapped)
 	if err != nil {
 		return nil, pt, err
@@ -150,10 +172,20 @@ func (ws *Workspace) addTimedPremapped(ctx context.Context, as []*matrix.CSC, op
 	// into the buffer still holding the caller's running sum while
 	// reading it.
 	cur := ws.cur
+	// Tuner-planned calls are measured wall-to-wall around the
+	// dispatch; the cost lands in the table only after success, outside
+	// the measured region (Record is CAS-only, no allocation).
+	var start time.Time
+	if p.arm >= 0 {
+		start = time.Now()
+	}
 	b, pt, err := ws.addDispatch(ctx, as, p, opt, nil)
 	if err != nil {
 		ws.cur = cur
 		return nil, pt, err
+	}
+	if p.arm >= 0 {
+		opt.Tuner.Record(p.sigKey, p.arm, time.Since(start), p.total)
 	}
 	return b, pt, nil
 }
@@ -177,15 +209,25 @@ func (ws *Workspace) AddScaled(as []*matrix.CSC, coeffs []matrix.Value, opt Opti
 	if len(coeffs) != len(as) {
 		return nil, fmt.Errorf("%w: %d coefficients for %d matrices", ErrDimMismatch, len(coeffs), len(as))
 	}
+	if opt.Tuner == nil {
+		opt.Tuner = ws.tun
+	}
 	p, err := opt.validate(as, coeffs, 0)
 	if err != nil {
 		return nil, err
 	}
 	cur := ws.cur
+	var start time.Time
+	if p.arm >= 0 {
+		start = time.Now()
+	}
 	b, _, err := ws.addDispatch(nil, as, p, opt, coeffs)
 	if err != nil {
 		ws.cur = cur
 		return nil, err
+	}
+	if p.arm >= 0 {
+		opt.Tuner.Record(p.sigKey, p.arm, time.Since(start), p.total)
 	}
 	return b, nil
 }

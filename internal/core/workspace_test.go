@@ -54,8 +54,8 @@ func TestWorkspaceReuseParity(t *testing.T) {
 		d             int
 	}
 	shapes := []shape{
-		{"ER", 8, 2048, 64, 16},  // medium
-		{"ER", 2, 128, 4, 2},     // shrink everything
+		{"ER", 8, 2048, 64, 16},                                                   // medium
+		{"ER", 2, 128, 4, 2},                                                      // shrink everything
 		{"RMAT", 16, 4096, 32, 8} /* grow again, skewed */, {"ER", 4, 64, 128, 1}, // wide and hypersparse
 		{"ER", 3, 512, 16, 0}, // empty columns throughout
 	}

@@ -1,0 +1,154 @@
+package tuner
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+)
+
+// ErrBadSnapshot is returned by Load for any snapshot the tuner will
+// not trust: short reads, a wrong magic, an unknown version, an arm
+// count from a different build, or a checksum mismatch. Callers are
+// expected to treat it as "start cold", never as fatal — a snapshot is
+// only learned state.
+var ErrBadSnapshot = errors.New("tuner: bad snapshot")
+
+const (
+	snapshotMagic   = 0x53504B54 // "SPKT"
+	snapshotVersion = 1
+	// snapshotHeader is magic+version+numArms+entryCount, each uint32.
+	snapshotHeader = 16
+	// snapshotEntry is key + one packed cell per arm.
+	snapshotEntry = 4 + 8*NumArms
+)
+
+// Save writes the table as a versioned binary snapshot: a fixed
+// header, one record per occupied signature, and a trailing CRC32 over
+// everything before it. Concurrent Records during a Save are safe; the
+// snapshot is a consistent-enough point-in-time read of each atomic
+// cell (cells are independent, so no cross-cell invariant can tear).
+func (t *Tuner) Save(w io.Writer) error {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].key.Load() != 0 {
+			n++
+		}
+	}
+	buf := make([]byte, snapshotHeader+n*snapshotEntry+4)
+	binary.LittleEndian.PutUint32(buf[0:], snapshotMagic)
+	binary.LittleEndian.PutUint32(buf[4:], snapshotVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(NumArms))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(n))
+	off := snapshotHeader
+	for i := range t.slots {
+		s := &t.slots[i]
+		key := s.key.Load()
+		if key == 0 {
+			continue
+		}
+		if off+snapshotEntry > len(buf)-4 {
+			break // a slot filled between the count pass and here
+		}
+		binary.LittleEndian.PutUint32(buf[off:], key)
+		for a := range s.arms {
+			binary.LittleEndian.PutUint64(buf[off+4+8*a:], s.arms[a].Load())
+		}
+		off += snapshotEntry
+	}
+	// Late-arriving slots shrink the real entry count; rewrite it so
+	// the header matches what was actually serialized.
+	binary.LittleEndian.PutUint32(buf[12:], uint32((off-snapshotHeader)/snapshotEntry))
+	buf = buf[:off+4]
+	binary.LittleEndian.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("tuner: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load merges a snapshot produced by Save into the table. Every
+// validation failure — truncation, magic, version, arm count, CRC —
+// reports ErrBadSnapshot (wrapped with detail), leaving the table
+// exactly as it was: a rejected snapshot costs only its learned state.
+func (t *Tuner) Load(r io.Reader) error {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("tuner: reading snapshot: %w", err)
+	}
+	if len(buf) < snapshotHeader+4 {
+		return fmt.Errorf("%w: truncated (%d bytes)", ErrBadSnapshot, len(buf))
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:]); m != snapshotMagic {
+		return fmt.Errorf("%w: bad magic %#x", ErrBadSnapshot, m)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != snapshotVersion {
+		return fmt.Errorf("%w: unknown version %d", ErrBadSnapshot, v)
+	}
+	if a := binary.LittleEndian.Uint32(buf[8:]); a != uint32(NumArms) {
+		return fmt.Errorf("%w: arm count %d, built with %d", ErrBadSnapshot, a, NumArms)
+	}
+	n := int(binary.LittleEndian.Uint32(buf[12:]))
+	want := snapshotHeader + n*snapshotEntry + 4
+	if len(buf) != want {
+		return fmt.Errorf("%w: %d bytes for %d entries, want %d", ErrBadSnapshot, len(buf), n, want)
+	}
+	body := buf[:len(buf)-4]
+	if got, wantCRC := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(buf[len(buf)-4:]); got != wantCRC {
+		return fmt.Errorf("%w: checksum %#x, want %#x", ErrBadSnapshot, got, wantCRC)
+	}
+	for i := 0; i < n; i++ {
+		off := snapshotHeader + i*snapshotEntry
+		key := binary.LittleEndian.Uint32(buf[off:])
+		if key == 0 {
+			continue
+		}
+		s := t.findOrInsert(key)
+		if s == nil {
+			continue // table full: drop the remainder silently
+		}
+		for a := 0; a < NumArms; a++ {
+			s.arms[a].Store(binary.LittleEndian.Uint64(buf[off+4+8*a:]))
+		}
+	}
+	return nil
+}
+
+// SaveFile atomically persists the table to path (temp file + rename,
+// the same discipline the bench baseline writer uses).
+func (t *Tuner) SaveFile(path string) error {
+	tmp := fmt.Sprintf("%s.tmp.%d", path, time.Now().UnixNano())
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("tuner: creating snapshot file: %w", err)
+	}
+	if err := t.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tuner: closing snapshot file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tuner: renaming snapshot file: %w", err)
+	}
+	return nil
+}
+
+// LoadFile merges the snapshot at path. A missing file is the normal
+// cold start and reports os.ErrNotExist (wrapped); a present-but-bad
+// file reports ErrBadSnapshot.
+func (t *Tuner) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("tuner: opening snapshot file: %w", err)
+	}
+	defer f.Close()
+	return t.Load(f)
+}

@@ -1,0 +1,448 @@
+// Package tuner implements the self-tuning planner behind
+// Options.Tuner: an online learned cost model that replaces the static
+// algorithm/engine/schedule heuristics with observed per-call costs.
+//
+// The paper's O(knd) analysis says the winning kernel depends on the
+// workload shape — k, per-column density d, duplicate rate, skew,
+// sortedness — yet the static planner (autoSelect, pickPhases) guesses
+// from constants tuned once on one host. The tuner closes the loop: it
+// quantizes each call's shape into a compact Signature, keeps an
+// exponentially decayed cost estimate per (signature, plan arm) pair,
+// and answers lookups with the cheapest arm observed so far,
+// epsilon-greedy exploring so a cold table converges and a drifting
+// workload re-learns.
+//
+// Design constraints, in order:
+//
+//   - Lookup is allocation-free and lock-free (//spkadd:noalloc): it
+//     runs inside plan resolution, on the warmed Adder's zero-alloc
+//     steady state. The table is a fixed-capacity open-addressing
+//     array of atomics allocated at construction; a full table stops
+//     learning new signatures instead of growing.
+//   - Record is cheap and concurrent: a Pool's shards and a serving
+//     daemon's tenants share one table, so updates are CAS loops on
+//     packed (EWMA cost, sample count) cells — the same atomic
+//     discipline as OpStats.
+//   - Exploration is deterministic under a seeded source (splitmix64
+//     advanced by atomic add), so tests replay decisions exactly.
+//   - The table persists across runs as a versioned, checksummed
+//     binary snapshot (Save/Load); corrupt or mismatched snapshots are
+//     rejected with ErrBadSnapshot and cost only the learned state.
+//
+// The package is deliberately ignorant of internal/core's types: an
+// arm is an index into Arms, a fixed table of (algorithm, engine,
+// schedule) codes, and core maps codes to its enums. That keeps the
+// dependency one-way (core imports tuner) and the bandit logic
+// testable in isolation.
+package tuner
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Alg codes the tunable algorithms. Only the hash family is ever
+// chosen by the static Auto heuristic, and only it is tuned: the 2-way
+// baselines exist to be measured against, and Heap/SPA are pinned by
+// callers who want them.
+type Alg uint8
+
+const (
+	// AlgHash is the flat hash-table algorithm (core.Hash).
+	AlgHash Alg = iota
+	// AlgSliding is the cache-capped sliding variant (core.SlidingHash).
+	AlgSliding
+)
+
+// Engine codes the execution engines (core.Phases).
+type Engine uint8
+
+const (
+	// EngineTwoPass is the classic symbolic+numeric driver.
+	EngineTwoPass Engine = iota
+	// EngineFused is the single-pass arena engine.
+	EngineFused
+	// EngineUpperBound is the single-pass staging engine.
+	EngineUpperBound
+)
+
+// Sched codes the tunable schedules. Static and Dynamic are explicit
+// opt-ins and never tuned.
+type Sched uint8
+
+const (
+	// SchedWeighted is weighted contiguous partitioning (the default).
+	SchedWeighted Sched = iota
+	// SchedStealing is weighted partitioning with work stealing.
+	SchedStealing
+)
+
+// Choice is one concrete plan the tuner can select: an algorithm, the
+// engine it runs on, and the column schedule.
+type Choice struct {
+	Alg    Alg
+	Engine Engine
+	Sched  Sched
+}
+
+// Arms is the fixed candidate-plan table. An arm index is the unit of
+// learning: each signature bucket holds one cost cell per arm. The
+// sliding-hash arms carry EngineTwoPass because SlidingHash has no
+// single-pass engine — its native driver is what the cell measures.
+var Arms = [...]Choice{
+	{AlgHash, EngineFused, SchedWeighted},
+	{AlgHash, EngineUpperBound, SchedWeighted},
+	{AlgHash, EngineTwoPass, SchedWeighted},
+	{AlgSliding, EngineTwoPass, SchedWeighted},
+	{AlgHash, EngineFused, SchedStealing},
+	{AlgHash, EngineUpperBound, SchedStealing},
+	{AlgHash, EngineTwoPass, SchedStealing},
+	{AlgSliding, EngineTwoPass, SchedStealing},
+}
+
+// NumArms is the arm count; masks passed to Lookup are bitsets over
+// [0, NumArms).
+const NumArms = len(Arms)
+
+// Decision classifies how Lookup arrived at its arm.
+type Decision uint8
+
+const (
+	// Fallback: the table had nothing usable (unseen signature, or no
+	// valid arm with samples) and the static heuristic's arm was
+	// returned unchanged.
+	Fallback Decision = iota
+	// Exploit: the cheapest observed valid arm was returned.
+	Exploit
+	// Explore: an epsilon-greedy coin flip picked a uniformly random
+	// valid arm to keep the estimates fresh.
+	Explore
+)
+
+const (
+	// tableSlots is the fixed open-addressing capacity (power of two).
+	// A slot is ~70 bytes; 4096 slots keep the whole table well inside
+	// a last-level cache slice while holding far more distinct
+	// quantized signatures than any realistic workload produces.
+	tableSlots = 4096
+	// maxProbe bounds the linear probe; past it a lookup misses and an
+	// insert is dropped (the table is nearly full around that point
+	// anyway).
+	maxProbe = 16
+	// alpha is the EWMA step: each new sample contributes a quarter,
+	// so old observations decay exponentially with a ~2.4-sample
+	// half-life — fast enough to re-learn a drifted workload, slow
+	// enough to ride out scheduling noise.
+	alpha = 0.25
+	// defaultEpsilon is the exploration rate: 1 in 16 lookups tries a
+	// random valid arm instead of the incumbent.
+	defaultEpsilon = 1.0 / 16
+)
+
+// slot is one signature bucket: the quantized key (0 = empty) and one
+// packed cost cell per arm — float32 EWMA cost bits in the high word,
+// a saturating sample count in the low word, updated by CAS so
+// concurrent recorders never lose each other's samples.
+type slot struct {
+	key  atomic.Uint32 //spkadd:atomic
+	arms [NumArms]atomic.Uint64
+}
+
+// Tuner is the learned cost table plus its exploration state. Safe
+// for concurrent use by any number of lookers and recorders.
+type Tuner struct {
+	slots    []slot
+	occupied atomic.Int64  //spkadd:atomic
+	eps      atomic.Uint64 //spkadd:atomic float64 bits of the exploration rate
+	rng      atomic.Uint64 //spkadd:atomic splitmix64 state
+}
+
+// New returns an empty tuner whose exploration draws from the given
+// seed. The same seed replays the same explore/exploit sequence for a
+// fixed call order, which is what the deterministic planner tests pin.
+func New(seed uint64) *Tuner {
+	t := &Tuner{slots: make([]slot, tableSlots)}
+	t.rng.Store(seed)
+	t.eps.Store(math.Float64bits(defaultEpsilon))
+	return t
+}
+
+// SetEpsilon sets the exploration rate in [0, 1]. Zero freezes the
+// tuner into pure exploitation — what the A/B benchmark uses after its
+// warmup phase, and what a latency-critical deployment can pin once
+// the table has converged.
+func (t *Tuner) SetEpsilon(e float64) {
+	if e < 0 {
+		e = 0
+	}
+	if e > 1 {
+		e = 1
+	}
+	t.eps.Store(math.Float64bits(e))
+}
+
+// Epsilon returns the current exploration rate.
+func (t *Tuner) Epsilon() float64 { return math.Float64frombits(t.eps.Load()) }
+
+// Len returns the number of distinct signatures the table holds.
+func (t *Tuner) Len() int { return int(t.occupied.Load()) }
+
+// Signature is one call's workload shape, pre-quantization. Key folds
+// it into the table's bucket space; raw values outside the quantized
+// ranges saturate into the edge buckets.
+type Signature struct {
+	// K is the input count.
+	K int
+	// MeanColNNZ is the mean combined input nnz per output column
+	// (Σ_i nnz(A_i) / cols) — the paper's d.
+	MeanColNNZ float64
+	// MaxColNNZ upper-bounds the heaviest combined column
+	// (Σ_i max_j nnz(A_i(:,j))); its ratio to the mean is the skew
+	// bucket separating ER-like from RMAT-like inputs.
+	MaxColNNZ int64
+	// DupRate is the estimated duplicate fraction (the balls-into-bins
+	// estimate the static engine heuristic uses).
+	DupRate float64
+	// Sorted reports whether every input column is row-sorted.
+	Sorted bool
+	// Generic reports the generic-combine (non-Plus monoid) path.
+	Generic bool
+	// Threads is the resolved worker count.
+	Threads int
+}
+
+// Key quantizes the signature into its table key: log2 buckets for k,
+// d and threads, coarse threshold buckets for duplicate rate and skew,
+// and the two path bits. Bit 31 is always set so a valid key is never
+// 0 (the empty-slot marker).
+//
+//spkadd:noalloc
+func (s Signature) Key() uint32 {
+	k := log2Bucket(s.K, 7)
+	d := log2Bucket(int(s.MeanColNNZ), 15)
+	th := log2Bucket(s.Threads, 7)
+	dup := thresholdBucket(s.DupRate, 0.05, 0.25, 0.5)
+	mean := s.MeanColNNZ
+	if mean < 1 {
+		mean = 1
+	}
+	skew := thresholdBucket(float64(s.MaxColNNZ)/mean, 2, 4, 16)
+	key := k | d<<3 | dup<<7 | skew<<9 | th<<11
+	if s.Sorted {
+		key |= 1 << 14
+	}
+	if s.Generic {
+		key |= 1 << 15
+	}
+	return key | 1<<31
+}
+
+// log2Bucket buckets v by bit length, clamped to [0, max].
+//
+//spkadd:noalloc
+func log2Bucket(v, max int) uint32 {
+	if v < 1 {
+		return 0
+	}
+	b := bits.Len(uint(v)) - 1
+	if b > max {
+		b = max
+	}
+	return uint32(b)
+}
+
+// thresholdBucket buckets v into 0..3 by three ascending cutoffs.
+//
+//spkadd:noalloc
+func thresholdBucket(v, t0, t1, t2 float64) uint32 {
+	switch {
+	case v < t0:
+		return 0
+	case v < t1:
+		return 1
+	case v < t2:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// next advances the shared splitmix64 stream. The atomic add makes
+// concurrent draws race-free (each caller gets a distinct state), and
+// a single-goroutine caller sees the exact seeded sequence.
+//
+//spkadd:noalloc
+func (t *Tuner) next() uint64 {
+	x := t.rng.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// hash spreads a quantized key over the slot space.
+//
+//spkadd:noalloc
+func hash(key uint32) uint32 {
+	h := key * 2654435761
+	return h ^ h>>16
+}
+
+// find returns the slot holding key, or nil on a miss. Read-only:
+// never inserts (inserts happen in Record, outside any measured
+// region).
+//
+//spkadd:noalloc
+func (t *Tuner) find(key uint32) *slot {
+	h := hash(key)
+	for i := uint32(0); i < maxProbe; i++ {
+		s := &t.slots[(h+i)&(tableSlots-1)]
+		switch s.key.Load() {
+		case key:
+			return s
+		case 0:
+			return nil
+		}
+	}
+	return nil
+}
+
+// cell unpacks one arm cell into its EWMA cost and sample count.
+//
+//spkadd:noalloc
+func cell(v uint64) (cost float32, count uint32) {
+	return math.Float32frombits(uint32(v >> 32)), uint32(v)
+}
+
+// Lookup consults the table for one call: key is the quantized
+// signature, mask the bitset of arms valid for the call (constraints
+// the caller already enforced: sortedness, a pinned algorithm or
+// engine, monoid rules), staticArm the arm the static heuristics
+// resolved to (-1 when the static plan is not representable as an
+// arm). It returns the arm to run and how it was chosen; on Fallback
+// the returned arm is staticArm.
+//
+// The path is allocation- and lock-free: one probe sequence, one
+// epsilon draw, at most NumArms atomic loads. Table updates never
+// happen here.
+//
+//spkadd:noalloc
+func (t *Tuner) Lookup(key uint32, mask uint32, staticArm int8) (int8, Decision) {
+	if mask == 0 {
+		return staticArm, Fallback
+	}
+	s := t.find(key)
+	if s == nil {
+		return staticArm, Fallback
+	}
+	if eps := math.Float64frombits(t.eps.Load()); eps > 0 {
+		// 53 uniform bits → [0, 1); compare against the rate.
+		if float64(t.next()>>11)*(1.0/(1<<53)) < eps {
+			n := bits.OnesCount32(mask)
+			pick := int(t.next() % uint64(n))
+			for a := 0; a < NumArms; a++ {
+				if mask&(1<<a) == 0 {
+					continue
+				}
+				if pick == 0 {
+					return int8(a), Explore
+				}
+				pick--
+			}
+		}
+	}
+	best := int8(-1)
+	var bestCost float32
+	for a := 0; a < NumArms; a++ {
+		if mask&(1<<a) == 0 {
+			continue
+		}
+		cost, count := cell(s.arms[a].Load())
+		if count == 0 {
+			continue
+		}
+		if best < 0 || cost < bestCost {
+			best, bestCost = int8(a), cost
+		}
+	}
+	if best < 0 {
+		return staticArm, Fallback
+	}
+	return best, Exploit
+}
+
+// Record folds one completed call's measurement into the table:
+// elapsed wall time over entries total input nonzeros, normalized to
+// nanoseconds per entry so costs compare across calls that share a
+// signature bucket but not an exact shape. Unknown signatures are
+// inserted here — never on the lookup path — so learning a new
+// workload costs one CAS outside the measured region. A full table
+// (or an exhausted probe window) drops the sample.
+func (t *Tuner) Record(key uint32, arm int8, elapsed time.Duration, entries int64) {
+	if arm < 0 || int(arm) >= NumArms || entries <= 0 || key == 0 {
+		return
+	}
+	s := t.findOrInsert(key)
+	if s == nil {
+		return
+	}
+	cost := float32(float64(elapsed.Nanoseconds()) / float64(entries))
+	c := &s.arms[arm]
+	for {
+		old := c.Load()
+		ewma, count := cell(old)
+		if count == 0 {
+			ewma = cost
+		} else {
+			ewma = (1-alpha)*ewma + alpha*cost
+		}
+		if count != ^uint32(0) {
+			count++
+		}
+		if c.CompareAndSwap(old, uint64(math.Float32bits(ewma))<<32|uint64(count)) {
+			return
+		}
+	}
+}
+
+// findOrInsert returns key's slot, claiming an empty one if needed;
+// nil when the probe window is exhausted.
+func (t *Tuner) findOrInsert(key uint32) *slot {
+	h := hash(key)
+	for i := uint32(0); i < maxProbe; i++ {
+		s := &t.slots[(h+i)&(tableSlots-1)]
+		k := s.key.Load()
+		if k == key {
+			return s
+		}
+		if k == 0 {
+			if s.key.CompareAndSwap(0, key) {
+				t.occupied.Add(1)
+				return s
+			}
+			if s.key.Load() == key { // lost the race to ourselves
+				return s
+			}
+		}
+	}
+	return nil
+}
+
+// Cost returns one arm's current estimate (nanoseconds per input
+// entry) and sample count for a signature key; ok is false for unseen
+// signatures. Observability and test surface, not a planning API.
+func (t *Tuner) Cost(key uint32, arm int8) (cost float64, count uint32, ok bool) {
+	if arm < 0 || int(arm) >= NumArms {
+		return 0, 0, false
+	}
+	s := t.find(key)
+	if s == nil {
+		return 0, 0, false
+	}
+	c, n := cell(s.arms[arm].Load())
+	return float64(c), n, true
+}

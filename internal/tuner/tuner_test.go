@@ -1,0 +1,313 @@
+package tuner
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"spkadd/internal/faults/leakcheck"
+)
+
+// sig returns a representative signature for tests.
+func sig() Signature {
+	return Signature{K: 8, MeanColNNZ: 64, MaxColNNZ: 128, DupRate: 0.1, Sorted: true, Threads: 4}
+}
+
+func allArms() uint32 { return 1<<NumArms - 1 }
+
+func TestSignatureKeyQuantization(t *testing.T) {
+	base := sig()
+	key := base.Key()
+	if key == 0 {
+		t.Fatal("key must never be 0 (the empty-slot marker)")
+	}
+	// Same bucket: small perturbations within a quantization bucket
+	// share the key — that is what lets one cell accumulate samples
+	// across calls of similar shape.
+	near := base
+	near.MeanColNNZ = 65
+	near.MaxColNNZ = 130
+	if near.Key() != key {
+		t.Errorf("near-identical shapes should share a key: %#x != %#x", near.Key(), key)
+	}
+	// Different buckets: each signature dimension must move the key.
+	for name, mut := range map[string]func(*Signature){
+		"k":       func(s *Signature) { s.K = 64 },
+		"density": func(s *Signature) { s.MeanColNNZ = 2048 },
+		"dup":     func(s *Signature) { s.DupRate = 0.6 },
+		"skew":    func(s *Signature) { s.MaxColNNZ = 4096 },
+		"sorted":  func(s *Signature) { s.Sorted = false },
+		"generic": func(s *Signature) { s.Generic = true },
+		"threads": func(s *Signature) { s.Threads = 1 },
+	} {
+		m := base
+		mut(&m)
+		if m.Key() == key {
+			t.Errorf("%s change did not move the key", name)
+		}
+	}
+	// Extremes saturate instead of wrapping into other fields' bits.
+	huge := Signature{K: 1 << 20, MeanColNNZ: 1e12, MaxColNNZ: 1 << 40, DupRate: 5, Threads: 1 << 20}
+	if huge.Key() == 0 || huge.Key()&(1<<31) == 0 {
+		t.Error("saturated key lost its marker bit")
+	}
+}
+
+func TestLookupColdFallsBack(t *testing.T) {
+	tn := New(1)
+	arm, dec := tn.Lookup(sig().Key(), allArms(), 3)
+	if dec != Fallback || arm != 3 {
+		t.Fatalf("cold lookup = (%d, %v), want (3, Fallback)", arm, dec)
+	}
+	if arm, dec := tn.Lookup(sig().Key(), 0, 5); dec != Fallback || arm != 5 {
+		t.Fatalf("empty mask = (%d, %v), want (5, Fallback)", arm, dec)
+	}
+}
+
+func TestLookupExploitsCheapestArm(t *testing.T) {
+	tn := New(1)
+	tn.SetEpsilon(0)
+	key := sig().Key()
+	// Arm 2 is 10x cheaper than arms 0 and 1.
+	for i := 0; i < 5; i++ {
+		tn.Record(key, 0, 100*time.Microsecond, 1000)
+		tn.Record(key, 1, 150*time.Microsecond, 1000)
+		tn.Record(key, 2, 10*time.Microsecond, 1000)
+	}
+	if arm, dec := tn.Lookup(key, allArms(), 0); dec != Exploit || arm != 2 {
+		t.Fatalf("lookup = (%d, %v), want (2, Exploit)", arm, dec)
+	}
+	// Masking out the winner promotes the runner-up.
+	mask := allArms() &^ (1 << 2)
+	if arm, dec := tn.Lookup(key, mask, 0); dec != Exploit || arm != 0 {
+		t.Fatalf("masked lookup = (%d, %v), want (0, Exploit)", arm, dec)
+	}
+	// A mask with no sampled arm falls back.
+	if arm, dec := tn.Lookup(key, 1<<5, 5); dec != Fallback || arm != 5 {
+		t.Fatalf("unsampled mask = (%d, %v), want (5, Fallback)", arm, dec)
+	}
+}
+
+func TestExplorationDeterministicUnderSeed(t *testing.T) {
+	run := func(seed uint64) ([]int8, []Decision) {
+		tn := New(seed)
+		tn.SetEpsilon(1) // always explore
+		key := sig().Key()
+		tn.Record(key, 0, time.Microsecond, 1000)
+		arms := make([]int8, 64)
+		decs := make([]Decision, 64)
+		for i := range arms {
+			arms[i], decs[i] = tn.Lookup(key, allArms(), 0)
+		}
+		return arms, decs
+	}
+	a1, d1 := run(42)
+	a2, d2 := run(42)
+	for i := range a1 {
+		if d1[i] != Explore {
+			t.Fatalf("lookup %d: decision %v with epsilon 1, want Explore", i, d1[i])
+		}
+		if a1[i] != a2[i] || d1[i] != d2[i] {
+			t.Fatalf("same seed diverged at lookup %d: (%d,%v) != (%d,%v)", i, a1[i], d1[i], a2[i], d2[i])
+		}
+	}
+	// The explored arms must cover more than one arm over 64 draws.
+	seen := map[int8]bool{}
+	for _, a := range a1 {
+		seen[a] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("64 exploration draws covered %d arm(s)", len(seen))
+	}
+	if a3, _ := run(7); func() bool {
+		for i := range a1 {
+			if a1[i] != a3[i] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Error("different seeds produced identical exploration sequences")
+	}
+}
+
+func TestDecayRelearnsDriftedWorkload(t *testing.T) {
+	tn := New(1)
+	tn.SetEpsilon(0)
+	key := sig().Key()
+	// Arm 0 starts cheap, arm 1 expensive.
+	for i := 0; i < 10; i++ {
+		tn.Record(key, 0, 10*time.Microsecond, 1000)
+		tn.Record(key, 1, 100*time.Microsecond, 1000)
+	}
+	if arm, _ := tn.Lookup(key, 0b11, 0); arm != 0 {
+		t.Fatalf("pre-drift winner = %d, want 0", arm)
+	}
+	// The workload drifts: arm 0 becomes 20x more expensive. The EWMA
+	// (alpha=0.25) must cross over within a handful of samples.
+	for i := 0; i < 20; i++ {
+		tn.Record(key, 0, 200*time.Microsecond, 1000)
+		tn.Record(key, 1, 100*time.Microsecond, 1000)
+	}
+	if arm, dec := tn.Lookup(key, 0b11, 0); dec != Exploit || arm != 1 {
+		t.Fatalf("post-drift lookup = (%d, %v), want (1, Exploit)", arm, dec)
+	}
+}
+
+func TestCostNormalizedPerEntry(t *testing.T) {
+	tn := New(1)
+	key := sig().Key()
+	tn.Record(key, 0, time.Millisecond, 1_000_000)
+	cost, count, ok := tn.Cost(key, 0)
+	if !ok || count != 1 {
+		t.Fatalf("Cost = (_, %d, %v), want 1 sample", count, ok)
+	}
+	if cost < 0.9 || cost > 1.1 { // 1e6 ns / 1e6 entries = 1 ns/entry
+		t.Errorf("cost = %g ns/entry, want ~1", cost)
+	}
+	// Invalid records are dropped, not misfiled.
+	tn.Record(key, -1, time.Millisecond, 1000)
+	tn.Record(key, int8(NumArms), time.Millisecond, 1000)
+	tn.Record(key, 0, time.Millisecond, 0)
+	tn.Record(0, 0, time.Millisecond, 1000)
+	if _, count, _ := tn.Cost(key, 0); count != 1 {
+		t.Errorf("invalid records changed the table: count = %d, want 1", count)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tn := New(1)
+	keys := []uint32{sig().Key(), Signature{K: 32, MeanColNNZ: 512, MaxColNNZ: 1 << 14, Threads: 2}.Key()}
+	for _, k := range keys {
+		tn.Record(k, 0, 50*time.Microsecond, 1000)
+		tn.Record(k, 3, 20*time.Microsecond, 1000)
+	}
+	var buf bytes.Buffer
+	if err := tn.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(99)
+	if err := fresh.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != tn.Len() {
+		t.Fatalf("loaded %d signatures, want %d", fresh.Len(), tn.Len())
+	}
+	for _, k := range keys {
+		for _, arm := range []int8{0, 3} {
+			want, wn, _ := tn.Cost(k, arm)
+			got, gn, ok := fresh.Cost(k, arm)
+			if !ok || got != want || gn != wn {
+				t.Errorf("key %#x arm %d: loaded (%g, %d, %v), want (%g, %d)", k, arm, got, gn, ok, want, wn)
+			}
+		}
+	}
+	// And the loaded table plans like the original.
+	fresh.SetEpsilon(0)
+	if arm, dec := fresh.Lookup(keys[0], allArms(), 0); dec != Exploit || arm != 3 {
+		t.Errorf("loaded lookup = (%d, %v), want (3, Exploit)", arm, dec)
+	}
+}
+
+func TestSnapshotRejected(t *testing.T) {
+	tn := New(1)
+	tn.Record(sig().Key(), 0, time.Microsecond, 1000)
+	var buf bytes.Buffer
+	if err := tn.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	corrupt := func(name string, mut func([]byte) []byte) {
+		data := mut(append([]byte(nil), good...))
+		fresh := New(1)
+		err := fresh.Load(bytes.NewReader(data))
+		if !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: err = %v, want ErrBadSnapshot", name, err)
+		}
+		if fresh.Len() != 0 {
+			t.Errorf("%s: rejected snapshot mutated the table (%d entries)", name, fresh.Len())
+		}
+	}
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)/2] })
+	corrupt("empty", func(b []byte) []byte { return nil })
+	corrupt("bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	corrupt("wrong version", func(b []byte) []byte { b[4] = 99; return b })
+	corrupt("wrong arm count", func(b []byte) []byte { b[8] = byte(NumArms + 1); return b })
+	corrupt("flipped payload bit", func(b []byte) []byte { b[len(b)-10] ^= 1; return b })
+	corrupt("bad checksum", func(b []byte) []byte { b[len(b)-1] ^= 1; return b })
+	corrupt("trailing garbage", func(b []byte) []byte { return append(b, 0xAA) })
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuner.state")
+	tn := New(1)
+	tn.Record(sig().Key(), 2, time.Microsecond, 1000)
+	if err := tn.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(1)
+	if err := fresh.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 1 {
+		t.Fatalf("loaded %d signatures, want 1", fresh.Len())
+	}
+	// A missing file is the normal cold start, distinguishable from a
+	// bad snapshot.
+	err := New(1).LoadFile(filepath.Join(t.TempDir(), "absent"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing file: err = %v, want fs.ErrNotExist", err)
+	}
+	if errors.Is(err, ErrBadSnapshot) {
+		t.Error("missing file misreported as a bad snapshot")
+	}
+}
+
+// TestConcurrentRecordLookup hammers one shared tuner from concurrent
+// recorders, lookers and snapshotters — the Pool-shards/server-tenants
+// sharing pattern — under the race detector, with goroutine leak
+// checking.
+func TestConcurrentRecordLookup(t *testing.T) {
+	leakcheck.Begin(t)
+	tn := New(42)
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	sigs := make([]uint32, 16)
+	for i := range sigs {
+		sigs[i] = Signature{K: 1 << (i % 5), MeanColNNZ: float64(int(1) << (i % 8)), MaxColNNZ: 64, Threads: 1 + i%4}.Key()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := sigs[(w*31+i)%len(sigs)]
+				arm := int8((w + i) % NumArms)
+				tn.Record(key, arm, time.Duration(1+i%100)*time.Microsecond, 1000)
+				if got, dec := tn.Lookup(key, allArms(), 0); dec != Fallback && (got < 0 || int(got) >= NumArms) {
+					t.Errorf("lookup returned arm %d out of range", got)
+					return
+				}
+				if i%500 == 0 {
+					var buf bytes.Buffer
+					if err := tn.Save(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tn.Len() != len(sigs) {
+		t.Errorf("table holds %d signatures, want %d", tn.Len(), len(sigs))
+	}
+}
