@@ -51,27 +51,41 @@ var ErrAdderInUse = errors.New("spkadd: Adder used from multiple goroutines conc
 // returns the same sticky *PanicError — because results computed on
 // corrupt scratch would be silently wrong. Discard it and build a new
 // one.
-type Adder struct {
+type AdderOf[T Number] struct {
 	busy atomic.Bool
-	ws   *core.Workspace
+	ws   *core.WorkspaceOf[T]
 	// err is the sticky poison error: the first *PanicError a call
 	// returned. Only read/written while busy is held.
 	err error
 }
+
+// Adder is the float64 adder, the paper's element type. AdderOf
+// instantiates the same machinery for float32, int32, int64 and bool
+// — a float32 Adder moves half the value bytes per entry, the win
+// `spkadd-bench -exp dtype` measures.
+type Adder = AdderOf[Value]
 
 // NewAdder returns an Adder with its workspace pre-created. The first
 // additions still size the scratch structures to the workload; buffers
 // only ever grow, so a warmed Adder stays allocation-free while input
 // shapes do not exceed what it has seen.
 func NewAdder() *Adder {
-	return &Adder{ws: core.NewWorkspace(true)}
+	return NewAdderOf[Value]()
+}
+
+// NewAdderOf is NewAdder for any supported element type. Element
+// types narrower than float64 (float32, int32, bool) halve or better
+// the value-array traffic of every call; bool requires an explicit
+// Options.Monoid (AnyFor) since it has no "+".
+func NewAdderOf[T Number]() *AdderOf[T] {
+	return &AdderOf[T]{ws: core.NewWorkspaceOf[T](true)}
 }
 
 // acquire takes the adder's busy flag and returns its workspace,
 // creating it on first use of a zero-value Adder. The atomic flag
 // orders the lazy initialization: only the goroutine holding the flag
 // touches ad.ws.
-func (ad *Adder) acquire() (*core.Workspace, error) {
+func (ad *AdderOf[T]) acquire() (*core.WorkspaceOf[T], error) {
 	if !ad.busy.CompareAndSwap(false, true) {
 		return nil, ErrAdderInUse
 	}
@@ -81,18 +95,18 @@ func (ad *Adder) acquire() (*core.Workspace, error) {
 		return nil, err
 	}
 	if ad.ws == nil {
-		ad.ws = core.NewWorkspace(true)
+		ad.ws = core.NewWorkspaceOf[T](true)
 	}
 	return ad.ws, nil
 }
 
-func (ad *Adder) release() { ad.busy.Store(false) }
+func (ad *AdderOf[T]) release() { ad.busy.Store(false) }
 
 // note records a finished call's error, poisoning the Adder when it
 // carries a recovered panic: the workspace's scratch — and possibly
 // the resident output buffers — are mid-kernel garbage, so it is
 // quarantined rather than reused. Called while busy is held.
-func (ad *Adder) note(err error) {
+func (ad *AdderOf[T]) note(err error) {
 	if err == nil {
 		return
 	}
@@ -112,7 +126,7 @@ func (ad *Adder) note(err error) {
 // The Tuner may be shared with other Adders, Pools or a serving
 // process — it is safe for concurrent use even though the Adder is
 // not. Returns ErrAdderInUse if a call is in flight.
-func (ad *Adder) SetTuner(t *Tuner) error {
+func (ad *AdderOf[T]) SetTuner(t *Tuner) error {
 	ws, err := ad.acquire()
 	if err != nil {
 		return err
@@ -126,7 +140,7 @@ func (ad *Adder) SetTuner(t *Tuner) error {
 // Add, reusing the Adder's scratch and output storage. The result is
 // owned by the Adder; see the type documentation for the lifetime
 // rules.
-func (ad *Adder) Add(as []*Matrix, opt Options) (*Matrix, error) {
+func (ad *AdderOf[T]) Add(as []*MatrixOf[T], opt OptionsOf[T]) (*MatrixOf[T], error) {
 	ws, err := ad.acquire()
 	if err != nil {
 		return nil, err
@@ -142,7 +156,7 @@ func (ad *Adder) Add(as []*Matrix, opt Options) (*Matrix, error) {
 // ErrCanceled or ErrDeadline. Cancellation is clean — no result is
 // installed, the Adder's scratch stays reusable, and the next call
 // proceeds normally.
-func (ad *Adder) AddContext(ctx context.Context, as []*Matrix, opt Options) (*Matrix, error) {
+func (ad *AdderOf[T]) AddContext(ctx context.Context, as []*MatrixOf[T], opt OptionsOf[T]) (*MatrixOf[T], error) {
 	ws, err := ad.acquire()
 	if err != nil {
 		return nil, err
@@ -155,7 +169,7 @@ func (ad *Adder) AddContext(ctx context.Context, as []*Matrix, opt Options) (*Ma
 
 // AddTimed is Add, additionally reporting the symbolic/numeric phase
 // split.
-func (ad *Adder) AddTimed(as []*Matrix, opt Options) (*Matrix, PhaseTimings, error) {
+func (ad *AdderOf[T]) AddTimed(as []*MatrixOf[T], opt OptionsOf[T]) (*MatrixOf[T], PhaseTimings, error) {
 	ws, err := ad.acquire()
 	if err != nil {
 		return nil, PhaseTimings{}, err
@@ -169,7 +183,7 @@ func (ad *Adder) AddTimed(as []*Matrix, opt Options) (*Matrix, PhaseTimings, err
 // AddScaled computes the weighted sum B = Σ coeffs[i]·A_i like the
 // package-level AddScaled, reusing the Adder's scratch and output
 // storage.
-func (ad *Adder) AddScaled(as []*Matrix, coeffs []Value, opt Options) (*Matrix, error) {
+func (ad *AdderOf[T]) AddScaled(as []*MatrixOf[T], coeffs []T, opt OptionsOf[T]) (*MatrixOf[T], error) {
 	ws, err := ad.acquire()
 	if err != nil {
 		return nil, err

@@ -505,6 +505,77 @@ func BenchmarkAdderReusePlanner(b *testing.B) {
 	}
 }
 
+// convertInputs maps the float64 reuse inputs into a T-valued twin
+// collection via f; the index structure is shared (it is read-only
+// during an addition).
+func convertInputs[T spkadd.Number](as []*spkadd.Matrix, f func(float64) T) []*spkadd.MatrixOf[T] {
+	out := make([]*spkadd.MatrixOf[T], len(as))
+	for i, a := range as {
+		vals := make([]T, len(a.Val))
+		for p, v := range a.Val {
+			vals[p] = f(v)
+		}
+		out[i] = &spkadd.MatrixOf[T]{Rows: a.Rows, Cols: a.Cols, ColPtr: a.ColPtr, RowIdx: a.RowIdx, Val: vals}
+	}
+	return out
+}
+
+// dtypeReuseLoop is the shared body of BenchmarkAdderReuseDtype: a
+// warmed AdderOf[T] in its steady state, which must report 0 allocs/op
+// for every instantiation exactly like the float64 Adder.
+func dtypeReuseLoop[T spkadd.Number](b *testing.B, as []*spkadd.MatrixOf[T], opt spkadd.OptionsOf[T]) {
+	ad := spkadd.NewAdderOf[T]()
+	for warm := 0; warm < 3; warm++ {
+		if _, err := ad.Add(as, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ad.Add(as, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdderReuseDtype is BenchmarkAdderReuse across the non-
+// float64 instantiations of the generic value axis: float32, int32 and
+// int64 on the Plus fast path, bool on the Any monoid (bool has no
+// "+"). The CI allocation gate greps it with the other reuse
+// benchmarks — a warmed generic Adder must report exactly 0 allocs/op
+// for every element type, proving the type-parameterized kernels
+// didn't reintroduce per-call boxing or escapes anywhere on the
+// steady-state path.
+func BenchmarkAdderReuseDtype(b *testing.B) {
+	as := adderReuseInputs()
+	engines := []spkadd.Phases{spkadd.PhasesTwoPass, spkadd.PhasesFused, spkadd.PhasesUpperBound}
+	for _, p := range engines {
+		b.Run(fmt.Sprintf("float32/%v", p), func(b *testing.B) {
+			dtypeReuseLoop(b, convertInputs(as, func(v float64) float32 { return float32(v) }),
+				spkadd.OptionsOf[float32]{Algorithm: spkadd.Hash, Phases: p, SortedOutput: true, Threads: 1})
+		})
+	}
+	for _, p := range engines {
+		b.Run(fmt.Sprintf("int32/%v", p), func(b *testing.B) {
+			dtypeReuseLoop(b, convertInputs(as, func(v float64) int32 { return int32(v*100) + 1 }),
+				spkadd.OptionsOf[int32]{Algorithm: spkadd.Hash, Phases: p, SortedOutput: true, Threads: 1})
+		})
+	}
+	for _, p := range engines {
+		b.Run(fmt.Sprintf("int64/%v", p), func(b *testing.B) {
+			dtypeReuseLoop(b, convertInputs(as, func(v float64) int64 { return int64(v*100) + 1 }),
+				spkadd.OptionsOf[int64]{Algorithm: spkadd.Hash, Phases: p, SortedOutput: true, Threads: 1})
+		})
+	}
+	for _, p := range engines {
+		b.Run(fmt.Sprintf("bool/%v", p), func(b *testing.B) {
+			dtypeReuseLoop(b, convertInputs(as, func(v float64) bool { return true }),
+				spkadd.OptionsOf[bool]{Algorithm: spkadd.Hash, Phases: p, Monoid: spkadd.AnyFor[bool](), SortedOutput: true, Threads: 1})
+		})
+	}
+}
+
 // BenchmarkAdderOneShot is the one-shot Add counterpart of
 // BenchmarkAdderReuse: same workload and configurations, fresh output
 // (and pooled scratch) every call.

@@ -85,6 +85,35 @@
 // re-map the sum, so prefer an Accumulator for streaming Count. See
 // DESIGN.md §8 and examples/overlay.
 //
+// # Value types
+//
+// The value axis is a type parameter. Matrix, Options, Monoid, Adder,
+// Accumulator and Pool are the float64 instantiations — the paper's
+// element type, and the default everything in this documentation
+// assumes — of generic forms suffixed Of: MatrixOf[T], OptionsOf[T],
+// AdderOf[T], and so on, over Number (float32, float64, int32, int64,
+// bool). Every float64 call site reads exactly as it did before the
+// axis became generic; choosing another element type is a type
+// argument, not a different API:
+//
+//	as := []*spkadd.MatrixOf[float32]{...}
+//	sum, _ := spkadd.Add(as, spkadd.OptionsOf[float32]{})
+//
+// float32 (and int32) shrink a stored entry from 12 to 8 bytes, which
+// is a direct win wherever value traffic is the bottleneck — large-d
+// additions streaming from memory, accumulators straddling a cache
+// level (`spkadd-bench -exp dtype` measures the A/B; the committed
+// baseline tracks float32 cells). int32/int64 count exactly where
+// floats would round. bool is the structural element type for
+// reachability and overlay workloads: it has no "+", so boolean
+// additions must name a monoid explicitly (AnyFor[bool] is the
+// natural one) and AddScaled does not apply. The Plus fast path, the
+// zero-allocation Adder steady state and engine-identical results
+// hold per instantiation — see TestDtypeParity,
+// BenchmarkAdderReuseDtype and examples/reach. Mixing element types
+// in one addition is not supported; convert inputs first. DESIGN.md
+// §15 covers how the type parameter layers through the kernels.
+//
 // # Repeated additions
 //
 // Add draws its scratch structures from an internal pool, so one-shot
@@ -224,7 +253,8 @@
 // client.
 //
 // Matrices are in compressed sparse column (CSC) form with 32-bit
-// indices and float64 values; everything applies symmetrically to CSR
-// (transpose the interpretation). Inputs may have unsorted columns for
-// the SPA, Hash and SlidingHash algorithms.
+// indices and generic values (float64 by default — see "Value types");
+// everything applies symmetrically to CSR (transpose the
+// interpretation). Inputs may have unsorted columns for the SPA, Hash
+// and SlidingHash algorithms.
 package spkadd

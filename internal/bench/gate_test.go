@@ -31,6 +31,7 @@ func TestAllocGateRegexSelectsReuseBenchmarks(t *testing.T) {
 		"BenchmarkAdderReuseSched",
 		"BenchmarkAdderReuseFaultsOff",
 		"BenchmarkAdderReusePlanner",
+		"BenchmarkAdderReuseDtype",
 	} {
 		if !re.MatchString(name) {
 			t.Errorf("%s not selected by %q", name, AllocGateBench)

@@ -98,7 +98,12 @@ type BaselineCell struct {
 	// Planner marks the schema-6 planner sweep: "static" for the
 	// heuristic Auto plan, "tuned" for the same cell resolved by a
 	// warmed self-tuning planner. Empty on all other cells.
-	Planner     string  `json:"planner,omitempty"`
+	Planner string `json:"planner,omitempty"`
+	// Dtype is the element type of the value axis (schema 7):
+	// "float64" on the classic grid, "float32" on the narrow-value
+	// sweep. Cells from pre-7 baselines have no dtype and are all
+	// float64.
+	Dtype       string  `json:"dtype"`
 	Seconds     float64 `json:"seconds"`
 	NNZIn       int     `json:"nnz_in"`
 	NNZOut      int     `json:"nnz_out"`
@@ -158,8 +163,9 @@ func Baseline(cfg Config, out io.Writer) error {
 		// the schedule field (Weighted on pre-4 cells) and a schedule
 		// sweep on the first workload; 5 added the host topology
 		// (num_cpu, cpu_model); 6 added the planner sweep (static Auto
-		// vs warmed tuner on the first workload).
-		Schema:     6,
+		// vs warmed tuner on the first workload); 7 added the dtype
+		// field and a float32 sweep on the second workload.
+		Schema:     7,
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -197,6 +203,26 @@ func Baseline(cfg Config, out io.Writer) error {
 					cell, err := measureBaselineCell(c, as, in, opt, cfg)
 					if err != nil {
 						return fmt.Errorf("baseline %s %s %v %v: %w", c.pattern, mon.Name, alg, p, err)
+					}
+					rep.Cells = append(rep.Cells, cell)
+				}
+			}
+		}
+		if ci == 1 {
+			// Dtype sweep (schema 7): the same algorithm × engine grid
+			// under Plus with float32 values — entries shrink from 12 to
+			// 8 bytes, so these cells track the narrow-value bandwidth
+			// win on the baseline's largest-d workload.
+			as32 := make([]*matrix.CSCOf[float32], len(as))
+			for i, a := range as {
+				as32[i] = toF32(a)
+			}
+			for _, alg := range []core.Algorithm{core.Hash, core.SPA, core.Heap} {
+				for _, p := range core.PhasesPolicies {
+					opt := core.OptionsOf[float32]{Algorithm: alg, Phases: p, Threads: cfg.Threads, CacheBytes: cfg.cacheBytes()}
+					cell, err := measureBaselineCell(c, as32, in, opt, cfg)
+					if err != nil {
+						return fmt.Errorf("baseline %s float32 %v %v: %w", c.pattern, alg, p, err)
 					}
 					rep.Cells = append(rep.Cells, cell)
 				}
@@ -249,24 +275,51 @@ func Baseline(cfg Config, out io.Writer) error {
 	return enc.Encode(rep)
 }
 
+// dtypeName spells the element type T the way baseline cells and the
+// dtype experiment report it.
+func dtypeName[T matrix.Number]() string {
+	var z T
+	switch any(z).(type) {
+	case float64:
+		return "float64"
+	case float32:
+		return "float32"
+	case int32:
+		return "int32"
+	case int64:
+		return "int64"
+	case bool:
+		return "bool"
+	}
+	return "unknown"
+}
+
 // measureBaselineCell warms one configuration, times it, and samples
-// the allocation deltas of the timed repetitions.
-func measureBaselineCell(c phasesCase, as []*matrix.CSC, in int, opt core.Options, cfg Config) (BaselineCell, error) {
+// the allocation deltas of the timed repetitions. Generic over the
+// element type so the schema-7 dtype sweep measures float32 cells with
+// the same harness as the float64 grid.
+func measureBaselineCell[T matrix.Number](c phasesCase, as []*matrix.CSCOf[T], in int, opt core.OptionsOf[T], cfg Config) (BaselineCell, error) {
 	b, _, err := core.AddTimed(as, opt) // warm once, then time
 	if err != nil {
 		return BaselineCell{}, err
 	}
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
-	dur, _, err := timeAdd(as, opt, cfg.reps())
-	if err != nil {
-		return BaselineCell{}, err
+	var dur time.Duration = -1
+	for r := 0; r < cfg.reps(); r++ {
+		start := time.Now()
+		if _, _, err := core.AddTimed(as, opt); err != nil {
+			return BaselineCell{}, err
+		}
+		if d := time.Since(start); dur < 0 || d < dur {
+			dur = d
+		}
 	}
 	runtime.ReadMemStats(&m1)
 	reps := float64(cfg.reps())
-	mon := opt.Monoid
-	if mon == nil {
-		mon = ops.Plus
+	monName := ops.Plus.Name
+	if opt.Monoid != nil {
+		monName = opt.Monoid.Name
 	}
 	return BaselineCell{
 		Pattern:     c.pattern,
@@ -274,8 +327,9 @@ func measureBaselineCell(c phasesCase, as []*matrix.CSC, in int, opt core.Option
 		D:           c.d,
 		Algorithm:   opt.Algorithm.String(),
 		Engine:      opt.Phases.String(),
-		Monoid:      mon.Name,
+		Monoid:      monName,
 		Schedule:    opt.Schedule.String(),
+		Dtype:       dtypeName[T](),
 		Seconds:     dur.Seconds(),
 		NNZIn:       in,
 		NNZOut:      b.NNZ(),

@@ -46,6 +46,8 @@ func Run(name string, cfg Config) error {
 		return Ablation(cfg)
 	case "planner":
 		return Planner(cfg)
+	case "dtype":
+		return Dtype(cfg)
 	case "all":
 		for _, e := range Experiments {
 			if err := Run(e, cfg); err != nil {
@@ -54,6 +56,6 @@ func Run(name string, cfg Config) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("%w: %q (want one of %v, \"phases\", \"reuse\", \"pool\", \"monoid\", \"sched\", \"tune\", \"ablation\", \"planner\", or \"all\")", ErrUnknownExperiment, name, Experiments)
+		return fmt.Errorf("%w: %q (want one of %v, \"phases\", \"reuse\", \"pool\", \"monoid\", \"sched\", \"tune\", \"ablation\", \"planner\", \"dtype\", or \"all\")", ErrUnknownExperiment, name, Experiments)
 	}
 }

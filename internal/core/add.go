@@ -22,7 +22,7 @@ var ErrDimMismatch = errors.New("spkadd: input dimension mismatch")
 var ErrUnsortedInput = errors.New("spkadd: algorithm requires columns sorted by row index")
 
 // Add computes B = Σ A_i with the configured algorithm.
-func Add(as []*matrix.CSC, opt Options) (*matrix.CSC, error) {
+func Add[T matrix.Number](as []*matrix.CSCOf[T], opt OptionsOf[T]) (*matrix.CSCOf[T], error) {
 	b, _, err := AddTimed(as, opt)
 	return b, err
 }
@@ -37,8 +37,8 @@ func Add(as []*matrix.CSC, opt Options) (*matrix.CSC, error) {
 // freshly allocated (the caller owns it). Callers that also want the
 // output storage recycled use a Workspace (or the public Adder)
 // directly.
-func AddTimed(as []*matrix.CSC, opt Options) (*matrix.CSC, PhaseTimings, error) {
-	ws := wsPool.Get().(*Workspace)
+func AddTimed[T matrix.Number](as []*matrix.CSCOf[T], opt OptionsOf[T]) (*matrix.CSCOf[T], PhaseTimings, error) {
+	ws := wsPoolFor[T]().Get().(*WorkspaceOf[T])
 	b, pt, err := ws.AddTimed(as, opt)
 	// Put only when the workspace is known clean: if a kernel panicked
 	// (a caller mutating inputs mid-call, an invariant check firing) —
@@ -46,7 +46,7 @@ func AddTimed(as []*matrix.CSC, opt Options) (*matrix.CSC, PhaseTimings, error) 
 	// workspace holds half-accumulated state and pooling it would feed
 	// that to an unrelated future caller as silent corruption.
 	if !isPanicErr(err) {
-		wsPool.Put(ws)
+		wsPoolFor[T]().Put(ws)
 	}
 	return b, pt, err
 }
@@ -54,11 +54,11 @@ func AddTimed(as []*matrix.CSC, opt Options) (*matrix.CSC, PhaseTimings, error) 
 // AddContext is Add with cooperative cancellation: the engines check
 // ctx at phase boundaries and abandon the call with an error wrapping
 // ErrCanceled (or ErrDeadline), leaving no partial result.
-func AddContext(ctx context.Context, as []*matrix.CSC, opt Options) (*matrix.CSC, error) {
-	ws := wsPool.Get().(*Workspace)
+func AddContext[T matrix.Number](ctx context.Context, as []*matrix.CSCOf[T], opt OptionsOf[T]) (*matrix.CSCOf[T], error) {
+	ws := wsPoolFor[T]().Get().(*WorkspaceOf[T])
 	b, err := ws.AddContext(ctx, as, opt)
 	if !isPanicErr(err) {
-		wsPool.Put(ws)
+		wsPoolFor[T]().Put(ws)
 	}
 	return b, err
 }
@@ -68,18 +68,18 @@ func AddContext(ctx context.Context, as []*matrix.CSC, opt Options) (*matrix.CSC
 // algorithms support coefficients (the 2-way baselines would need
 // coefficient bookkeeping at every tree level); Auto resolves to a
 // k-way algorithm, so the zero Options value works.
-func AddScaled(as []*matrix.CSC, coeffs []matrix.Value, opt Options) (*matrix.CSC, error) {
-	ws := wsPool.Get().(*Workspace)
+func AddScaled[T matrix.Number](as []*matrix.CSCOf[T], coeffs []T, opt OptionsOf[T]) (*matrix.CSCOf[T], error) {
+	ws := wsPoolFor[T]().Get().(*WorkspaceOf[T])
 	b, err := ws.AddScaled(as, coeffs, opt)
 	if !isPanicErr(err) { // see AddTimed
-		wsPool.Put(ws)
+		wsPoolFor[T]().Put(ws)
 	}
 	return b, err
 }
 
 // validateDims checks the input collection for emptiness and dimension
 // agreement.
-func validateDims(as []*matrix.CSC) error {
+func validateDims[T matrix.Number](as []*matrix.CSCOf[T]) error {
 	if len(as) == 0 {
 		return ErrNoInputs
 	}
@@ -98,7 +98,7 @@ func validateDims(as []*matrix.CSC) error {
 // caller's fault zone (a pool shard's 1-based index, 0 for direct
 // calls), so a chaos schedule can target one shard's kernels. Disabled
 // cost: one atomic load per region chunk.
-func (ws *Workspace) kernelFault() {
+func (ws *WorkspaceOf[T]) kernelFault() {
 	key := ws.opt.faultKey
 	if faults.Panics(faults.PanicInKernel, key) {
 		if ws.opt.Stats != nil {
@@ -115,7 +115,7 @@ func unsortedErr(alg Algorithm) error {
 // allColumnsSorted reports whether every input has sorted columns.
 // The scan is linear in the total input nnz, far below the cost of the
 // addition itself.
-func allColumnsSorted(as []*matrix.CSC) bool {
+func allColumnsSorted[T matrix.Number](as []*matrix.CSCOf[T]) bool {
 	for _, a := range as {
 		if !a.IsColumnSorted() {
 			return false
@@ -130,7 +130,7 @@ func allColumnsSorted(as []*matrix.CSC) bool {
 // last-level cache, and plain Hash otherwise. The density estimate is
 // the shared workloadEstimate, the same one pickPhases and the tuner
 // signature read.
-func autoSelect(est workloadEstimate, opt Options) Algorithm {
+func autoSelect[T matrix.Number](est workloadEstimate, opt OptionsOf[T]) Algorithm {
 	if est.cols == 0 {
 		return Hash
 	}
@@ -148,7 +148,7 @@ func autoSelect(est workloadEstimate, opt Options) Algorithm {
 // column independently (load-balanced by output nnz). This is the
 // parallelization strategy of §III-A: thread-private data structures,
 // no synchronization inside a column.
-func (ws *Workspace) addKWay() (*matrix.CSC, PhaseTimings, error) {
+func (ws *WorkspaceOf[T]) addKWay() (*matrix.CSCOf[T], PhaseTimings, error) {
 	var pt PhaseTimings
 	n := ws.as[0].Cols
 	ws.colScratch(n)
@@ -207,7 +207,7 @@ func (ws *Workspace) addKWay() (*matrix.CSC, PhaseTimings, error) {
 
 // symBody is the symbolic phase body: one worker sizing the columns of
 // [lo, hi) with its thread-private structures.
-func (ws *Workspace) symBody(w, lo, hi int) {
+func (ws *WorkspaceOf[T]) symBody(w, lo, hi int) {
 	s := ws.worker(w)
 	for j := lo; j < hi; j++ {
 		inz := int(ws.weights[j])
@@ -227,7 +227,7 @@ func (ws *Workspace) symBody(w, lo, hi int) {
 
 // numBody is the numeric phase body: fill the exactly-sized output
 // columns of [lo, hi).
-func (ws *Workspace) numBody(w, lo, hi int) {
+func (ws *WorkspaceOf[T]) numBody(w, lo, hi int) {
 	ws.kernelFault()
 	s, b, mon := ws.worker(w), ws.b, ws.monP
 	for j := lo; j < hi; j++ {

@@ -25,7 +25,7 @@ func mergeCount(ar, br []matrix.Index) int {
 // mergeInto merges two sorted columns into out slices of exactly the
 // right length (as returned by mergeCount), summing values on equal
 // row indices. It returns the number of entries written.
-func mergeInto(ar []matrix.Index, av []matrix.Value, br []matrix.Index, bv []matrix.Value, or []matrix.Index, ov []matrix.Value) int {
+func mergeInto[T matrix.Arith](ar []matrix.Index, av []T, br []matrix.Index, bv []T, or []matrix.Index, ov []T) int {
 	i, j, o := 0, 0, 0
 	for i < len(ar) && j < len(br) {
 		switch {
@@ -61,13 +61,13 @@ func mergeInto(ar []matrix.Index, av []matrix.Value, br []matrix.Index, bv []mat
 // self-referencing closure: the closure form puts a funcval on the
 // heap per call, which would be the only steady-state allocation in a
 // reused workspace's sorted-output path.
-func sortPairs(rows []matrix.Index, vals []matrix.Value) {
+func sortPairs[T matrix.Number](rows []matrix.Index, vals []T) {
 	if len(rows) > 1 {
 		quickSortPairs(rows, vals, 0, len(rows)-1)
 	}
 }
 
-func quickSortPairs(rows []matrix.Index, vals []matrix.Value, lo, hi int) {
+func quickSortPairs[T matrix.Number](rows []matrix.Index, vals []T, lo, hi int) {
 	for hi-lo > 12 {
 		p := partitionPairs(rows, vals, lo, hi)
 		if p-lo < hi-p {
@@ -86,7 +86,7 @@ func quickSortPairs(rows []matrix.Index, vals []matrix.Value, lo, hi int) {
 	}
 }
 
-func partitionPairs(rows []matrix.Index, vals []matrix.Value, lo, hi int) int {
+func partitionPairs[T matrix.Number](rows []matrix.Index, vals []T, lo, hi int) int {
 	mid := lo + (hi-lo)/2
 	if rows[mid] < rows[lo] {
 		swapPair(rows, vals, mid, lo)
@@ -114,7 +114,7 @@ func partitionPairs(rows []matrix.Index, vals []matrix.Value, lo, hi int) int {
 	return i
 }
 
-func swapPair(rows []matrix.Index, vals []matrix.Value, i, j int) {
+func swapPair[T matrix.Number](rows []matrix.Index, vals []T, i, j int) {
 	rows[i], rows[j] = rows[j], rows[i]
 	vals[i], vals[j] = vals[j], vals[i]
 }

@@ -7,10 +7,10 @@ import "spkadd/internal/matrix"
 // is the CSC representation of its transpose, so the addition runs on
 // zero-copy transposed views — rows play the role of columns — and the
 // result is re-viewed as CSR. No data is copied or converted.
-func AddCSR(as []*matrix.CSR, opt Options) (*matrix.CSR, error) {
-	views := make([]*matrix.CSC, len(as))
+func AddCSR[T matrix.Number](as []*matrix.CSROf[T], opt OptionsOf[T]) (*matrix.CSROf[T], error) {
+	views := make([]*matrix.CSCOf[T], len(as))
 	for i, a := range as {
-		views[i] = &matrix.CSC{
+		views[i] = &matrix.CSCOf[T]{
 			Rows:   a.Cols,
 			Cols:   a.Rows,
 			ColPtr: a.RowPtr,
@@ -22,7 +22,7 @@ func AddCSR(as []*matrix.CSR, opt Options) (*matrix.CSR, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &matrix.CSR{
+	return &matrix.CSROf[T]{
 		Rows:   sum.Cols,
 		Cols:   sum.Rows,
 		RowPtr: sum.ColPtr,

@@ -32,7 +32,9 @@ func TestSlidingCacheFormulaPath(t *testing.T) {
 
 func TestSlidingPartsArithmetic(t *testing.T) {
 	cases := []struct {
-		nnz, b, t  int
+		nnz        int
+		b          int64
+		t          int
 		cache      int64
 		maxEntries int
 		wantParts  int

@@ -8,6 +8,15 @@ import (
 	"spkadd/internal/tuner"
 )
 
+// wideOf reports whether T is wider than 4 bytes (float64/int64): the
+// tuner signature's element-width bit, so wide and narrow calls learn
+// separate cost cells.
+//
+//spkadd:noalloc
+func wideOf[T matrix.Number]() bool {
+	return entryBytesOf[T]() > BytesPerSymbolicEntry+4
+}
+
 // This file is the single source of the per-call workload estimate —
 // the shape summary (k, mean column density, duplicate rate) that
 // autoSelect, pickPhases and the self-tuning planner's signature all
@@ -39,7 +48,7 @@ type workloadEstimate struct {
 // and dimension-checked (validate calls it after validateDims).
 //
 //spkadd:noalloc
-func estimateWorkload(as []*matrix.CSC) workloadEstimate {
+func estimateWorkload[T matrix.Number](as []*matrix.CSCOf[T]) workloadEstimate {
 	e := workloadEstimate{k: len(as), rows: as[0].Rows, cols: as[0].Cols}
 	total := 0
 	for _, a := range as {
@@ -63,7 +72,7 @@ func estimateWorkload(as []*matrix.CSC) workloadEstimate {
 // workloads in the signature.
 //
 //spkadd:noalloc
-func maxColInputNNZ(as []*matrix.CSC) int64 {
+func maxColInputNNZ[T matrix.Number](as []*matrix.CSCOf[T]) int64 {
 	var sum int64
 	for _, a := range as {
 		var max int64
@@ -126,7 +135,7 @@ func phasesEngine(p Phases) tuner.Engine {
 // record for the static side" rather than trusting that).
 //
 //spkadd:noalloc
-func staticArm(p *plan) int8 {
+func staticArm[T matrix.Number](p *planOf[T]) int8 {
 	for a := 0; a < tuner.NumArms; a++ {
 		c := tuner.Arms[a]
 		if armAlg(c.Alg) == p.alg && armEngine(c.Engine) == p.engine && armSched(c.Sched) == p.schedule {
@@ -155,7 +164,7 @@ func staticArm(p *plan) int8 {
 //     fused and upper-bound Hash arms remain.
 //
 //spkadd:noalloc
-func (o Options) armMask(p *plan) uint32 {
+func (o OptionsOf[T]) armMask(p *planOf[T]) uint32 {
 	switch o.Algorithm {
 	case Auto, Hash, SlidingHash:
 	default:
@@ -202,7 +211,7 @@ func (o Options) armMask(p *plan) uint32 {
 // CI allocation gate hold it there).
 //
 //spkadd:noalloc
-func (o Options) consultTuner(p *plan, est workloadEstimate, as []*matrix.CSC) {
+func (o OptionsOf[T]) consultTuner(p *planOf[T], est workloadEstimate, as []*matrix.CSCOf[T]) {
 	mask := o.armMask(p)
 	if mask == 0 {
 		return
@@ -215,6 +224,7 @@ func (o Options) consultTuner(p *plan, est workloadEstimate, as []*matrix.CSC) {
 		Sorted:     p.sortedIn,
 		Generic:    p.generic,
 		Threads:    sched.Threads(o.Threads),
+		Wide:       wideOf[T](),
 	}
 	key := sig.Key()
 	static := staticArm(p)

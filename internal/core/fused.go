@@ -31,9 +31,10 @@ import (
 
 const (
 	// upperBoundStagingCap bounds the staging buffer PhasesAuto lets
-	// the upper-bound engine allocate (12 bytes per input entry)
-	// before preferring the arena-based fused engine, whose footprint
-	// tracks the output instead of the input.
+	// the upper-bound engine allocate (entryBytesOf per input entry —
+	// 12 for float64/int64, 8 for float32/int32, 5 for bool) before
+	// preferring the arena-based fused engine, whose footprint tracks
+	// the output instead of the input.
 	upperBoundStagingCap = 1 << 30
 	// autoDupRateCutoff is the estimated duplicate fraction above
 	// which PhasesAuto stops considering the upper-bound engine: past
@@ -65,7 +66,7 @@ func fusedSupported(alg Algorithm) bool {
 // workloadEstimate's balls-into-bins duplicate rate (the same estimate
 // autoSelect and the tuner signature consume) and checks memory
 // headroom (see the Phases constants and DESIGN.md).
-func pickPhases(est workloadEstimate, alg Algorithm, opt Options) Phases {
+func pickPhases[T matrix.Number](est workloadEstimate, alg Algorithm, opt OptionsOf[T]) Phases {
 	if !fusedSupported(alg) {
 		return PhasesTwoPass
 	}
@@ -79,13 +80,15 @@ func pickPhases(est workloadEstimate, alg Algorithm, opt Options) Phases {
 	// by input nnz instead of output nnz. If those larger tables would
 	// spill the last-level cache, the two-pass engine's smaller
 	// numeric tables recover more than the saved symbolic pass costs.
+	// Entry cost is T's — a float32 call keeps the fused engine (and
+	// the staging budget below) viable at twice the input size.
 	if alg == Hash {
 		t := sched.Threads(opt.Threads)
-		if int64(est.avgColNNZ)*BytesPerAddEntry*int64(t) > opt.cacheBytes() {
+		if int64(est.avgColNNZ)*entryBytesOf[T]()*int64(t) > opt.cacheBytes() {
 			return PhasesTwoPass
 		}
 	}
-	if est.dupRate <= autoDupRateCutoff && est.total*entryBytes <= upperBoundStagingCap {
+	if est.dupRate <= autoDupRateCutoff && est.total*entryBytesOf[T]() <= upperBoundStagingCap {
 		return PhasesUpperBound
 	}
 	return PhasesFused
@@ -93,14 +96,14 @@ func pickPhases(est workloadEstimate, alg Algorithm, opt Options) Phases {
 
 // allocCSC builds an empty CSC whose ColPtr is the prefix sum of the
 // per-column counts, with RowIdx/Val allocated to match.
-func allocCSC(rows, cols int, counts []int64) *matrix.CSC {
-	b := &matrix.CSC{Rows: rows, Cols: cols, ColPtr: make([]int64, cols+1)}
+func allocCSC[T matrix.Number](rows, cols int, counts []int64) *matrix.CSCOf[T] {
+	b := &matrix.CSCOf[T]{Rows: rows, Cols: cols, ColPtr: make([]int64, cols+1)}
 	for j := 0; j < cols; j++ {
 		b.ColPtr[j+1] = b.ColPtr[j] + counts[j]
 	}
 	nnz := b.ColPtr[cols]
 	b.RowIdx = make([]matrix.Index, nnz)
-	b.Val = make([]matrix.Value, nnz)
+	b.Val = make([]T, nnz)
 	return b
 }
 
@@ -109,19 +112,19 @@ func allocCSC(rows, cols int, counts []int64) *matrix.CSC {
 // within their capacity, so sub-slices handed out earlier stay valid
 // for the stitch. reset rewinds every chunk instead of dropping it, so
 // a workspace-resident arena serves later calls without allocating.
-type arena struct {
-	chunks []arenaChunk
+type arenaOf[T matrix.Number] struct {
+	chunks []arenaChunkOf[T]
 	cur    int // chunk currently being filled
 }
 
-type arenaChunk struct {
+type arenaChunkOf[T matrix.Number] struct {
 	rows []matrix.Index
-	vals []matrix.Value
+	vals []T
 }
 
 // reset rewinds the arena for a new call, keeping every chunk's
 // storage.
-func (ar *arena) reset() {
+func (ar *arenaOf[T]) reset() {
 	for i := range ar.chunks {
 		ar.chunks[i].rows = ar.chunks[i].rows[:0]
 		ar.chunks[i].vals = ar.chunks[i].vals[:0]
@@ -133,16 +136,16 @@ func (ar *arena) reset() {
 // (capacity-clipped so appends cannot cross into a neighbour),
 // advancing past recycled chunks that are too small and appending a
 // new chunk only when none fits.
-func (ar *arena) alloc(n int) ([]matrix.Index, []matrix.Value) {
+func (ar *arenaOf[T]) alloc(n int) ([]matrix.Index, []T) {
 	for {
 		if ar.cur >= len(ar.chunks) {
 			size := arenaChunkEntries
 			if n > size {
 				size = n
 			}
-			ar.chunks = append(ar.chunks, arenaChunk{
+			ar.chunks = append(ar.chunks, arenaChunkOf[T]{
 				rows: make([]matrix.Index, 0, size),
-				vals: make([]matrix.Value, 0, size),
+				vals: make([]T, 0, size),
 			})
 		}
 		c := &ar.chunks[ar.cur]
@@ -166,7 +169,7 @@ func (ar *arena) alloc(n int) ([]matrix.Index, []matrix.Value) {
 // steady-state allocations are amortized toward zero rather than
 // strictly zero — the workspace-staged engines (two-pass,
 // upper-bound) keep the strict contract at any size.
-func (ar *arena) reserve(n int) {
+func (ar *arenaOf[T]) reserve(n int) {
 	if n < arenaChunkEntries {
 		n = arenaChunkEntries
 	}
@@ -175,16 +178,16 @@ func (ar *arena) reserve(n int) {
 			return
 		}
 	}
-	ar.chunks = append(ar.chunks, arenaChunk{
+	ar.chunks = append(ar.chunks, arenaChunkOf[T]{
 		rows: make([]matrix.Index, 0, n),
-		vals: make([]matrix.Value, 0, n),
+		vals: make([]T, 0, n),
 	})
 }
 
 // shrink gives the tail `unused` entries of the most recent alloc back
 // to the chunk, so upper-bound allocations (the heap kernel reserves
 // input nnz before knowing the merged count) don't strand arena space.
-func (ar *arena) shrink(unused int) {
+func (ar *arenaOf[T]) shrink(unused int) {
 	if unused <= 0 {
 		return
 	}
@@ -193,11 +196,11 @@ func (ar *arena) shrink(unused int) {
 	c.vals = c.vals[:len(c.vals)-unused]
 }
 
-// fusedCol records where one output column was staged in its worker's
-// arena; len(rows) is the column's final nnz.
-type fusedCol struct {
+// fusedColOf records where one output column was staged in its
+// worker's arena; len(rows) is the column's final nnz.
+type fusedColOf[T matrix.Number] struct {
 	rows []matrix.Index
-	vals []matrix.Value
+	vals []T
 }
 
 // addFused is the fused single-pass engine (PhasesFused): one pass
@@ -205,7 +208,7 @@ type fusedCol struct {
 // then a parallel stitch copies the per-column extents into the final
 // CSC. There is no symbolic phase; PhaseTimings reports all time as
 // Numeric.
-func (ws *Workspace) addFused() (*matrix.CSC, PhaseTimings, error) {
+func (ws *WorkspaceOf[T]) addFused() (*matrix.CSCOf[T], PhaseTimings, error) {
 	var pt PhaseTimings
 	n := ws.as[0].Cols
 	ws.colScratch(n)
@@ -213,7 +216,7 @@ func (ws *Workspace) addFused() (*matrix.CSC, PhaseTimings, error) {
 		return nil, pt, err
 	}
 	if ws.t > len(ws.arenas) {
-		arenas := make([]arena, ws.t)
+		arenas := make([]arenaOf[T], ws.t)
 		copy(arenas, ws.arenas)
 		ws.arenas = arenas
 	}
@@ -221,7 +224,7 @@ func (ws *Workspace) addFused() (*matrix.CSC, PhaseTimings, error) {
 		ws.arenas[i].reset()
 	}
 	if cap(ws.cols) < n {
-		ws.cols = make([]fusedCol, n)
+		ws.cols = make([]fusedColOf[T], n)
 	}
 	ws.cols = ws.cols[:n]
 
@@ -273,13 +276,13 @@ func (ws *Workspace) addFused() (*matrix.CSC, PhaseTimings, error) {
 // entries.
 //
 //spkadd:noalloc executor region body of the fused engine (arena growth is amortized in arena.alloc)
-func (ws *Workspace) fusedBody(w, lo, hi int) {
+func (ws *WorkspaceOf[T]) fusedBody(w, lo, hi int) {
 	ws.kernelFault()
 	s, ar := ws.worker(w), &ws.arenas[w]
 	for j := lo; j < hi; j++ {
 		inz := int(ws.weights[j])
 		if inz == 0 {
-			ws.cols[j] = fusedCol{}
+			ws.cols[j] = fusedColOf[T]{}
 			continue
 		}
 		// Reserve the input-nnz upper bound, emit, and return the
@@ -287,7 +290,7 @@ func (ws *Workspace) fusedBody(w, lo, hi int) {
 		rows, vals := ar.alloc(inz)
 		nz := emitColInto(s, ws.as, j, inz, ws.alg, ws.opt.SortedOutput, ws.coeffs, ws.monP, rows, vals)
 		ar.shrink(inz - nz)
-		ws.cols[j] = fusedCol{rows: rows[:nz], vals: vals[:nz]}
+		ws.cols[j] = fusedColOf[T]{rows: rows[:nz], vals: vals[:nz]}
 	}
 	s.flushStats(ws.opt.Stats)
 }
@@ -296,7 +299,7 @@ func (ws *Workspace) fusedBody(w, lo, hi int) {
 // final CSC.
 //
 //spkadd:noalloc executor region body: copies arena columns into the final CSC
-func (ws *Workspace) stitchBody(_, lo, hi int) {
+func (ws *WorkspaceOf[T]) stitchBody(_, lo, hi int) {
 	b := ws.b
 	for j := lo; j < hi; j++ {
 		copy(b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]], ws.cols[j].rows)
@@ -315,7 +318,7 @@ func (ws *Workspace) stitchBody(_, lo, hi int) {
 // here).
 //
 //spkadd:noalloc single-pass emit: accumulate one column straight into arena-backed storage
-func emitColInto(ws *workerState, as []*matrix.CSC, j, inz int, alg Algorithm, sorted bool, coeffs []matrix.Value, mon *monoidState, outRows []matrix.Index, outVals []matrix.Value) int {
+func emitColInto[T matrix.Number](ws *workerStateOf[T], as []*matrix.CSCOf[T], j, inz int, alg Algorithm, sorted bool, coeffs []T, mon *monoidStateOf[T], outRows []matrix.Index, outVals []T) int {
 	nz := 0
 	switch alg {
 	case Hash:
@@ -356,7 +359,7 @@ func emitColInto(ws *workerState, as []*matrix.CSC, j, inz int, alg Algorithm, s
 // those whose value equals the monoid identity, and returns the new
 // count. Compaction is order-preserving, so a sorted column stays
 // sorted.
-func dropIdentityEntries(rows []matrix.Index, vals []matrix.Value, nz int, id matrix.Value) int {
+func dropIdentityEntries[T matrix.Number](rows []matrix.Index, vals []T, nz int, id T) int {
 	out := 0
 	for p := 0; p < nz; p++ {
 		if vals[p] == id {
@@ -372,7 +375,7 @@ func dropIdentityEntries(rows []matrix.Index, vals []matrix.Value, nz int, id ma
 // (PhasesUpperBound): the staging area is allocated from the
 // per-column Σ_i nnz(A_i(:,j)) bound, filled in one pass over the
 // inputs, and compacted in parallel into the exact-size output.
-func (ws *Workspace) addUpperBound() (*matrix.CSC, PhaseTimings, error) {
+func (ws *WorkspaceOf[T]) addUpperBound() (*matrix.CSCOf[T], PhaseTimings, error) {
 	var pt PhaseTimings
 	n := ws.as[0].Cols
 	ws.colScratch(n)
@@ -423,7 +426,7 @@ func (ws *Workspace) addUpperBound() (*matrix.CSC, PhaseTimings, error) {
 // zero count colScratch installed.
 //
 //spkadd:noalloc executor region body of the upper-bound engine
-func (ws *Workspace) ubBody(w, lo, hi int) {
+func (ws *WorkspaceOf[T]) ubBody(w, lo, hi int) {
 	ws.kernelFault()
 	s := ws.worker(w)
 	for j := lo; j < hi; j++ {
@@ -442,7 +445,7 @@ func (ws *Workspace) ubBody(w, lo, hi int) {
 // into the exact-size output.
 //
 //spkadd:noalloc executor region body: compacts upper-bound columns into place
-func (ws *Workspace) compactBody(_, lo, hi int) {
+func (ws *WorkspaceOf[T]) compactBody(_, lo, hi int) {
 	b := ws.b
 	for j := lo; j < hi; j++ {
 		copy(b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]], ws.stRows[ws.ubPtr[j]:ws.ubPtr[j]+ws.counts[j]])

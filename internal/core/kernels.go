@@ -4,10 +4,11 @@ import (
 	"spkadd/internal/hashtab"
 	"spkadd/internal/kheap"
 	"spkadd/internal/matrix"
+	"spkadd/internal/sched"
 	"spkadd/internal/spa"
 )
 
-// workerState holds the thread-private data structures of one worker:
+// workerStateOf holds the thread-private data structures of one worker:
 // the paper's design keeps one heap / SPA / hash table per thread and
 // reuses it across all columns the thread processes (§III-A) — and,
 // living in a Workspace, across every call the workspace serves.
@@ -19,25 +20,33 @@ import (
 // stays within [hw/4, hw], the band in which the window is at most 4x
 // oversized, preserving the narrow-window cache guarantee hashtab's
 // Grow exists to provide.
-type workerState struct {
-	table *hashtab.Table
+type workerStateOf[T matrix.Number] struct {
+	table *hashtab.TableOf[T]
 	sym   *hashtab.Symbolic
-	heap  *kheap.Heap
-	acc   *spa.SPA
+	heap  *kheap.HeapOf[T]
+	acc   *spa.SPAOf[T]
 	pos   []int64 // per-matrix cursors for the heap kernel
+	// kit binds the instantiation's Plus fast-path loops (nil for
+	// bool, whose calls are always monoid-generic; see kitFor).
+	kit   *numKit[T]
 	lf    float64
 	tabHW int // key count the numeric table's window was sized for
 	symHW int // likewise for the symbolic table
 }
 
-func newWorkerState(k int, lf float64) *workerState {
-	return &workerState{lf: lf, pos: make([]int64, k)}
+func newWorkerStateOf[T matrix.Number](k int, lf float64) *workerStateOf[T] {
+	return &workerStateOf[T]{lf: lf, pos: make([]int64, k), kit: kitFor[T]()}
+}
+
+// newWorkerState is the float64 constructor (the paper's element type).
+func newWorkerState(k int, lf float64) *workerStateOf[matrix.Value] {
+	return newWorkerStateOf[matrix.Value](k, lf)
 }
 
 // prepare adapts a workspace-resident worker to a new call's input
 // count and load factor. A load-factor change invalidates the
 // high-water marks so the next table request re-derives its window.
-func (w *workerState) prepare(k int, lf float64) {
+func (w *workerStateOf[T]) prepare(k int, lf float64) {
 	if lf != w.lf {
 		w.lf = lf
 		w.tabHW, w.symHW = 0, 0
@@ -48,7 +57,7 @@ func (w *workerState) prepare(k int, lf float64) {
 	w.pos = w.pos[:k]
 }
 
-func (w *workerState) hashTable(n int) *hashtab.Table {
+func (w *workerStateOf[T]) hashTable(n int) *hashtab.TableOf[T] {
 	if n <= w.tabHW && n >= w.tabHW>>2 && w.table != nil {
 		w.table.Reset()
 		return w.table
@@ -61,9 +70,9 @@ func (w *workerState) hashTable(n int) *hashtab.Table {
 // tables are sized to fit a cache budget (or the Fig 4 MaxTableEntries
 // cap), and the high-water band's up-to-4x-oversized window would
 // silently void that in-cache guarantee.
-func (w *workerState) hashTableSized(n int) *hashtab.Table {
+func (w *workerStateOf[T]) hashTableSized(n int) *hashtab.TableOf[T] {
 	if w.table == nil {
-		w.table = hashtab.NewTable(n, w.lf)
+		w.table = hashtab.NewTableOf[T](n, w.lf)
 	} else {
 		w.table.Grow(n, w.lf)
 	}
@@ -71,7 +80,7 @@ func (w *workerState) hashTableSized(n int) *hashtab.Table {
 	return w.table
 }
 
-func (w *workerState) symTable(n int) *hashtab.Symbolic {
+func (w *workerStateOf[T]) symTable(n int) *hashtab.Symbolic {
 	if n <= w.symHW && n >= w.symHW>>2 && w.sym != nil {
 		w.sym.Reset()
 		return w.sym
@@ -80,7 +89,7 @@ func (w *workerState) symTable(n int) *hashtab.Symbolic {
 }
 
 // symTableSized is hashTableSized for the symbolic table.
-func (w *workerState) symTableSized(n int) *hashtab.Symbolic {
+func (w *workerStateOf[T]) symTableSized(n int) *hashtab.Symbolic {
 	if w.sym == nil {
 		w.sym = hashtab.NewSymbolic(n, w.lf)
 	} else {
@@ -90,9 +99,9 @@ func (w *workerState) symTableSized(n int) *hashtab.Symbolic {
 	return w.sym
 }
 
-func (w *workerState) kheap(k int) *kheap.Heap {
+func (w *workerStateOf[T]) kheap(k int) *kheap.HeapOf[T] {
 	if w.heap == nil {
-		w.heap = kheap.New(k)
+		w.heap = kheap.NewOf[T](k)
 		return w.heap
 	}
 	w.heap.Reset()
@@ -100,9 +109,9 @@ func (w *workerState) kheap(k int) *kheap.Heap {
 	return w.heap
 }
 
-func (w *workerState) spa(m int) *spa.SPA {
+func (w *workerStateOf[T]) spa(m int) *spa.SPAOf[T] {
 	if w.acc == nil {
-		w.acc = spa.New(m)
+		w.acc = spa.NewOf[T](m)
 		return w.acc
 	}
 	w.acc.Grow(m)
@@ -111,7 +120,7 @@ func (w *workerState) spa(m int) *spa.SPA {
 
 // flushStats adds the worker's structure counters into s and resets
 // them so repeated phases don't double count.
-func (w *workerState) flushStats(s *OpStats) {
+func (w *workerStateOf[T]) flushStats(s *OpStats) {
 	if s == nil {
 		return
 	}
@@ -135,7 +144,7 @@ func (w *workerState) flushStats(s *OpStats) {
 }
 
 // colInputNNZ returns Σ_i nnz(A_i(:,j)).
-func colInputNNZ(as []*matrix.CSC, j int) int {
+func colInputNNZ[T matrix.Number](as []*matrix.CSCOf[T], j int) int {
 	n := 0
 	for _, a := range as {
 		n += a.ColNNZ(j)
@@ -143,12 +152,150 @@ func colInputNNZ(as []*matrix.CSC, j int) int {
 	return n
 }
 
+// --- The Plus fast-path kit ---
+//
+// The kernels are generic over every matrix.Number, but the "+" fast
+// path exists only for the arithmetic types — bool has no "+=", and a
+// per-element type switch would put dispatch back inside the loops the
+// generic refactor must not slow down. Go resolves the tension with a
+// constraint split: the fast-path loops are free functions constrained
+// to matrix.Arith (so each instantiation inlines hashtab.Accum /
+// spa.Accum to a branch-once "+=" loop), collected into a per-type
+// numKit bound once at worker construction. A [T Number] kernel
+// crosses into [T Arith] code through one indirect call per column —
+// never per element — and bool, the only Number outside Arith, gets a
+// nil kit that validation guarantees is never consulted (a bool call
+// without an explicit monoid fails validate).
+
+// pairAdder is a 2-way addition routine: merge-based (specialised) or
+// map-based (library stand-in). It lives in the kit because both
+// implementations are Plus-only (validate rejects generic monoids on
+// the 2-way baselines).
+type pairAdder[T matrix.Number] func(a, b *matrix.CSCOf[T], opt OptionsOf[T], ex *sched.Executor) (*matrix.CSCOf[T], error)
+
+// numKit collects one arithmetic instantiation's Plus fast-path
+// kernels. Fields, not methods: the concrete functions carry the
+// tighter matrix.Arith constraint, which a method on a [T Number] type
+// cannot.
+type numKit[T matrix.Number] struct {
+	hashAccum    func(tab *hashtab.TableOf[T], as []*matrix.CSCOf[T], j int, coeffs []T)
+	spaAccum     func(acc *spa.SPAOf[T], as []*matrix.CSCOf[T], j int, coeffs []T)
+	slidingAccum func(tab *hashtab.TableOf[T], as []*matrix.CSCOf[T], j int, r1, r2 matrix.Index, sortedIn bool, coeffs []T)
+	heapMerge    func(w *workerStateOf[T], as []*matrix.CSCOf[T], j int, outRows []matrix.Index, outVals, coeffs []T) int
+	pairMerge    pairAdder[T]
+	pairMap      pairAdder[T]
+}
+
+func makeKit[T matrix.Arith]() numKit[T] {
+	return numKit[T]{
+		hashAccum:    hashAccumPlus[T],
+		spaAccum:     spaAccumPlus[T],
+		slidingAccum: slidingAccumPlus[T],
+		heapMerge:    heapMergePlus[T],
+		pairMerge:    pairAddMerge[T],
+		pairMap:      pairAddMap[T],
+	}
+}
+
+var (
+	kitF64 = makeKit[float64]()
+	kitF32 = makeKit[float32]()
+	kitI32 = makeKit[int32]()
+	kitI64 = makeKit[int64]()
+)
+
+// kitFor returns T's Plus fast-path kit, nil for bool (validation
+// never lets a bool call reach a Plus path). The type switch runs once
+// per worker construction, not per call.
+func kitFor[T matrix.Number]() *numKit[T] {
+	var z T
+	switch any(z).(type) {
+	case float64:
+		return any(&kitF64).(*numKit[T])
+	case float32:
+		return any(&kitF32).(*numKit[T])
+	case int32:
+		return any(&kitI32).(*numKit[T])
+	case int64:
+		return any(&kitI64).(*numKit[T])
+	}
+	return nil
+}
+
+// hashAccumPlus is the hash algorithm's Plus accumulation loop
+// (lines 5-12 of Algorithm 5): per entry, one inlined stamped probe
+// with "+=".
+//
+//spkadd:noalloc per-column Plus loop of the hash kernels
+func hashAccumPlus[T matrix.Arith](tab *hashtab.TableOf[T], as []*matrix.CSCOf[T], j int, coeffs []T) {
+	for i, a := range as {
+		c := coeff(coeffs, i)
+		rows, vals := a.ColRows(j), a.ColVals(j)
+		for p := range rows {
+			hashtab.Accum(tab, rows[p], vals[p]*c)
+		}
+	}
+}
+
+// spaAccumPlus is the SPA's Plus accumulation loop (lines 5-7 of
+// Algorithm 4).
+//
+//spkadd:noalloc per-column Plus loop of the SPA kernels
+func spaAccumPlus[T matrix.Arith](acc *spa.SPAOf[T], as []*matrix.CSCOf[T], j int, coeffs []T) {
+	for i, a := range as {
+		c := coeff(coeffs, i)
+		rows, vals := a.ColRows(j), a.ColVals(j)
+		for p := range rows {
+			spa.Accum(acc, rows[p], vals[p]*c)
+		}
+	}
+}
+
+// slidingAccumPlus accumulates the [r1, r2) row-range slice of column
+// j into tab — the Plus inner loop of Algorithm 8's per-part pass.
+//
+//spkadd:noalloc per-part Plus loop of the sliding hash kernel
+func slidingAccumPlus[T matrix.Arith](tab *hashtab.TableOf[T], as []*matrix.CSCOf[T], j int, r1, r2 matrix.Index, sortedIn bool, coeffs []T) {
+	for i, a := range as {
+		c := coeff(coeffs, i)
+		if sortedIn {
+			rows, vals := a.ColRange(j, r1, r2)
+			for p := range rows {
+				hashtab.Accum(tab, rows[p], vals[p]*c)
+			}
+			continue
+		}
+		rows, vals := a.ColRows(j), a.ColVals(j)
+		for p := range rows {
+			if rows[p] >= r1 && rows[p] < r2 {
+				hashtab.Accum(tab, rows[p], vals[p]*c)
+			}
+		}
+	}
+}
+
+// coeff returns the scaling coefficient for input matrix i; a nil
+// slice means unscaled addition. Multiplying by the default 1 is exact
+// for every arithmetic type (IEEE-754 for the floats), so the unscaled
+// path needs no branch.
+func coeff[T matrix.Arith](coeffs []T, i int) T {
+	if coeffs == nil {
+		return 1
+	}
+	return coeffs[i]
+}
+
 // --- Symbolic kernels: nnz(B(:,j)) per algorithm ---
+//
+// The symbolic phase never touches values, so these are generic over
+// every element type with no Arith split: one shared index-only
+// hashtab.Symbolic serves all instantiations, and the heap/SPA
+// symbolic passes carry zero values of T.
 
 // hashSymbolicCol is Algorithm 6: count distinct row indices with an
 // index-only hash table sized by inz = Σ_i nnz(A_i(:,j)), which the
 // driver already computed for load balancing.
-func hashSymbolicCol(w *workerState, as []*matrix.CSC, j, inz int) int {
+func hashSymbolicCol[T matrix.Number](w *workerStateOf[T], as []*matrix.CSCOf[T], j, inz int) int {
 	if inz == 0 {
 		return 0
 	}
@@ -164,7 +311,7 @@ func hashSymbolicCol(w *workerState, as []*matrix.CSC, j, inz int) int {
 // slidingParts computes the partition count of Algorithms 7-8:
 // ceil(nnz*b*T/M), or ceil(nnz/maxEntries) when an explicit table cap
 // is set (the Fig 4 sweep knob).
-func slidingParts(nnz, bytesPerEntry, threads int, cacheBytes int64, maxEntries int) int {
+func slidingParts(nnz int, bytesPerEntry int64, threads int, cacheBytes int64, maxEntries int) int {
 	if nnz <= 0 {
 		return 1
 	}
@@ -172,7 +319,7 @@ func slidingParts(nnz, bytesPerEntry, threads int, cacheBytes int64, maxEntries 
 	if maxEntries > 0 {
 		parts = (nnz + maxEntries - 1) / maxEntries
 	} else {
-		need := int64(nnz) * int64(bytesPerEntry) * int64(threads)
+		need := int64(nnz) * bytesPerEntry * int64(threads)
 		parts = int((need + cacheBytes - 1) / cacheBytes)
 	}
 	if parts < 1 {
@@ -187,7 +334,7 @@ func slidingParts(nnz, bytesPerEntry, threads int, cacheBytes int64, maxEntries 
 // columns are sorted (the paper's implementation) and by a filtering
 // scan otherwise (Table I lists sliding hash as not requiring sorted
 // inputs).
-func slidingSymbolicCol(w *workerState, as []*matrix.CSC, j, inz, threads int, cacheBytes int64, maxEntries int, sortedIn bool) int {
+func slidingSymbolicCol[T matrix.Number](w *workerStateOf[T], as []*matrix.CSCOf[T], j, inz, threads int, cacheBytes int64, maxEntries int, sortedIn bool) int {
 	if inz == 0 {
 		return 0
 	}
@@ -219,7 +366,7 @@ func slidingSymbolicCol(w *workerState, as []*matrix.CSC, j, inz, threads int, c
 		}
 		tab := w.symTableSized(partInz)
 		for _, a := range as {
-			forEachInRange(a, j, r1, r2, sortedIn, func(r matrix.Index, _ matrix.Value) {
+			forEachRowInRange(a, j, r1, r2, sortedIn, func(r matrix.Index) {
 				tab.Insert(r)
 			})
 		}
@@ -230,7 +377,7 @@ func slidingSymbolicCol(w *workerState, as []*matrix.CSC, j, inz, threads int, c
 
 // colRangeNNZ counts entries of column j with row in [r1, r2), by
 // binary search on sorted columns or a scan otherwise.
-func colRangeNNZ(a *matrix.CSC, j int, r1, r2 matrix.Index, sortedIn bool) int {
+func colRangeNNZ[T matrix.Number](a *matrix.CSCOf[T], j int, r1, r2 matrix.Index, sortedIn bool) int {
 	if sortedIn {
 		return a.ColRangeNNZ(j, r1, r2)
 	}
@@ -243,8 +390,25 @@ func colRangeNNZ(a *matrix.CSC, j int, r1, r2 matrix.Index, sortedIn bool) int {
 	return n
 }
 
+// forEachRowInRange visits the row indices of column j in [r1, r2) —
+// the symbolic (value-free) half of the range visitors.
+func forEachRowInRange[T matrix.Number](a *matrix.CSCOf[T], j int, r1, r2 matrix.Index, sortedIn bool, visit func(matrix.Index)) {
+	if sortedIn {
+		rows, _ := a.ColRange(j, r1, r2)
+		for p := range rows {
+			visit(rows[p])
+		}
+		return
+	}
+	for _, r := range a.ColRows(j) {
+		if r >= r1 && r < r2 {
+			visit(r)
+		}
+	}
+}
+
 // forEachInRange visits the entries of column j with row in [r1, r2).
-func forEachInRange(a *matrix.CSC, j int, r1, r2 matrix.Index, sortedIn bool, visit func(matrix.Index, matrix.Value)) {
+func forEachInRange[T matrix.Number](a *matrix.CSCOf[T], j int, r1, r2 matrix.Index, sortedIn bool, visit func(matrix.Index, T)) {
 	if sortedIn {
 		rows, vals := a.ColRange(j, r1, r2)
 		for p := range rows {
@@ -262,13 +426,13 @@ func forEachInRange(a *matrix.CSC, j int, r1, r2 matrix.Index, sortedIn bool, vi
 
 // heapSymbolicCol counts distinct rows with the k-way heap merge, the
 // "heap could also be used" variant the paper mentions in §II-D.
-func heapSymbolicCol(w *workerState, as []*matrix.CSC, j int) int {
+func heapSymbolicCol[T matrix.Number](w *workerStateOf[T], as []*matrix.CSCOf[T], j int) int {
 	h := w.kheap(len(as))
 	pos := w.pos
 	for i, a := range as {
 		pos[i] = a.ColPtr[j]
 		if pos[i] < a.ColPtr[j+1] {
-			h.Push(kheap.Tuple{Row: a.RowIdx[pos[i]], Mat: int32(i)})
+			h.Push(kheap.TupleOf[T]{Row: a.RowIdx[pos[i]], Mat: int32(i)})
 			pos[i]++
 		}
 	}
@@ -283,7 +447,7 @@ func heapSymbolicCol(w *workerState, as []*matrix.CSC, j int) int {
 		i := top.Mat
 		a := as[i]
 		if pos[i] < a.ColPtr[j+1] {
-			h.ReplaceMin(kheap.Tuple{Row: a.RowIdx[pos[i]], Mat: i})
+			h.ReplaceMin(kheap.TupleOf[T]{Row: a.RowIdx[pos[i]], Mat: i})
 			pos[i]++
 		} else {
 			h.Pop()
@@ -292,12 +456,16 @@ func heapSymbolicCol(w *workerState, as []*matrix.CSC, j int) int {
 	return nz
 }
 
-// spaSymbolicCol counts distinct rows with the SPA.
-func spaSymbolicCol(w *workerState, as []*matrix.CSC, j int) int {
+// spaSymbolicCol counts distinct rows with the SPA. The insert is
+// AddWith under a first-value-wins combine: value-free, so it works
+// for every element type (bool included) and still counts each
+// distinct row exactly once per generation.
+func spaSymbolicCol[T matrix.Number](w *workerStateOf[T], as []*matrix.CSCOf[T], j int) int {
 	acc := w.spa(as[0].Rows)
+	var z T
 	for _, a := range as {
 		for _, r := range a.ColRows(j) {
-			acc.Add(r, 0)
+			acc.AddWith(r, z, keepFirst[T])
 		}
 	}
 	nz := acc.Len()
@@ -305,26 +473,26 @@ func spaSymbolicCol(w *workerState, as []*matrix.CSC, j int) int {
 	return nz
 }
 
+// keepFirst is the symbolic SPA's no-op combine (values are never
+// read). A named top-level function, not a closure: the funcval is a
+// package singleton, so the symbolic body stays allocation-free.
+func keepFirst[T matrix.Number](a, _ T) T { return a }
+
 // --- Numeric kernels: fill B(:,j) into preallocated slices ---
 //
 // Every numeric kernel takes the call's resolved monoid handle. A nil
-// *monoidState selects the specialized float64-Plus path — the exact
-// inlined "+=" loops this library always had — and a non-nil handle
-// selects the generic combine path. The branch happens once per
-// column (or once per call), never per element, so the default Plus
-// configuration pays nothing for the generality.
+// *monoidStateOf selects the specialized T-Plus path — the exact
+// inlined "+=" loops this library always had, reached through the
+// worker's kit — and a non-nil handle selects the generic combine
+// path. The branch happens once per column (or once per call), never
+// per element, so the default Plus configuration pays nothing for the
+// generality.
 
 // accumInputsInto accumulates column j of every input into tab
 // (lines 5-12 of Algorithm 5) and returns it.
-func accumInputsInto(tab *hashtab.Table, as []*matrix.CSC, j int, coeffs []matrix.Value, mon *monoidState) *hashtab.Table {
+func accumInputsInto[T matrix.Number](kit *numKit[T], tab *hashtab.TableOf[T], as []*matrix.CSCOf[T], j int, coeffs []T, mon *monoidStateOf[T]) *hashtab.TableOf[T] {
 	if mon == nil {
-		for i, a := range as {
-			c := coeff(coeffs, i)
-			rows, vals := a.ColRows(j), a.ColVals(j)
-			for p := range rows {
-				tab.Add(rows[p], vals[p]*c)
-			}
-		}
+		kit.hashAccum(tab, as, j, coeffs)
 		return tab
 	}
 	// Generic path: coeffs are Plus-only (validation enforces it), so
@@ -352,23 +520,17 @@ func accumInputsInto(tab *hashtab.Table, as []*matrix.CSC, j int, coeffs []matri
 // hash table, sized for `size` keys (output nnz in the two-pass
 // engine, input nnz in the single-pass engines), and returns the
 // table.
-func hashAccumCol(w *workerState, as []*matrix.CSC, j, size int, coeffs []matrix.Value, mon *monoidState) *hashtab.Table {
-	return accumInputsInto(w.hashTable(size), as, j, coeffs, mon)
+func hashAccumCol[T matrix.Number](w *workerStateOf[T], as []*matrix.CSCOf[T], j, size int, coeffs []T, mon *monoidStateOf[T]) *hashtab.TableOf[T] {
+	return accumInputsInto(w.kit, w.hashTable(size), as, j, coeffs, mon)
 }
 
 // spaAccumCol accumulates column j of every input into the worker's
 // SPA (lines 5-7 of Algorithm 4) and returns it; callers emit and
 // Clear it.
-func spaAccumCol(w *workerState, as []*matrix.CSC, j int, coeffs []matrix.Value, mon *monoidState) *spa.SPA {
+func spaAccumCol[T matrix.Number](w *workerStateOf[T], as []*matrix.CSCOf[T], j int, coeffs []T, mon *monoidStateOf[T]) *spa.SPAOf[T] {
 	acc := w.spa(as[0].Rows)
 	if mon == nil {
-		for i, a := range as {
-			c := coeff(coeffs, i)
-			rows, vals := a.ColRows(j), a.ColVals(j)
-			for p := range rows {
-				acc.Add(rows[p], vals[p]*c)
-			}
-		}
+		w.kit.spaAccum(acc, as, j, coeffs)
 		return acc
 	}
 	combine := mon.combine
@@ -392,7 +554,7 @@ func spaAccumCol(w *workerState, as []*matrix.CSC, j int, coeffs []matrix.Value,
 // output extent. Three-index slices cap appends at the column's
 // allocation: a symbolic/numeric disagreement reallocates instead of
 // corrupting the next column, and the length check catches it.
-func emitHashTab(tab *hashtab.Table, outRows []matrix.Index, outVals []matrix.Value, sorted bool) {
+func emitHashTab[T matrix.Number](tab *hashtab.TableOf[T], outRows []matrix.Index, outVals []T, sorted bool) {
 	need := len(outRows)
 	r, v := tab.AppendEntries(outRows[:0:need], outVals[:0:need])
 	if len(r) != need || &r[0] != &outRows[0] {
@@ -405,7 +567,7 @@ func emitHashTab(tab *hashtab.Table, outRows []matrix.Index, outVals []matrix.Va
 
 // hashAddCol is Algorithm 5. outRows/outVals have exactly nnz(B(:,j))
 // elements.
-func hashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, coeffs []matrix.Value, mon *monoidState) {
+func hashAddCol[T matrix.Number](w *workerStateOf[T], as []*matrix.CSCOf[T], j int, outRows []matrix.Index, outVals []T, sorted bool, coeffs []T, mon *monoidStateOf[T]) {
 	if len(outRows) == 0 {
 		return
 	}
@@ -416,16 +578,18 @@ func hashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index,
 // whose tables fit the per-thread cache share. Parts are emitted in
 // ascending row ranges, so sorting within parts yields a fully sorted
 // column.
-func slidingHashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, threads int, cacheBytes int64, maxEntries int, sortedIn bool, coeffs []matrix.Value, mon *monoidState) {
+func slidingHashAddCol[T matrix.Number](w *workerStateOf[T], as []*matrix.CSCOf[T], j int, outRows []matrix.Index, outVals []T, sorted bool, threads int, cacheBytes int64, maxEntries int, sortedIn bool, coeffs []T, mon *monoidStateOf[T]) {
 	onz := len(outRows)
 	if onz == 0 {
 		return
 	}
 	// Like the symbolic half, tables are sized exactly — the in-cache
 	// guarantee is the algorithm, so the high-water band is bypassed.
-	parts := slidingParts(onz, BytesPerAddEntry, threads, cacheBytes, maxEntries)
+	// The per-entry byte cost is T's, so a float32 column needs half
+	// the parts a float64 one does for the same cache share.
+	parts := slidingParts(onz, entryBytesOf[T](), threads, cacheBytes, maxEntries)
 	if parts == 1 {
-		emitHashTab(accumInputsInto(w.hashTableSized(onz), as, j, coeffs, mon), outRows, outVals, sorted)
+		emitHashTab(accumInputsInto(w.kit, w.hashTableSized(onz), as, j, coeffs, mon), outRows, outVals, sorted)
 		return
 	}
 	m := as[0].Rows
@@ -442,21 +606,16 @@ func slidingHashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix
 		}
 		tab := w.hashTableSized(partInz)
 		if mon == nil {
-			for i, a := range as {
-				c := coeff(coeffs, i)
-				forEachInRange(a, j, r1, r2, sortedIn, func(r matrix.Index, v matrix.Value) {
-					tab.Add(r, v*c)
-				})
-			}
+			w.kit.slidingAccum(tab, as, j, r1, r2, sortedIn, coeffs)
 		} else {
 			combine := mon.combine
 			for i, a := range as {
 				if mi := mon.mapFor(i); mi == nil {
-					forEachInRange(a, j, r1, r2, sortedIn, func(r matrix.Index, v matrix.Value) {
+					forEachInRange(a, j, r1, r2, sortedIn, func(r matrix.Index, v T) {
 						tab.AddWith(r, v, combine)
 					})
 				} else {
-					forEachInRange(a, j, r1, r2, sortedIn, func(r matrix.Index, v matrix.Value) {
+					forEachInRange(a, j, r1, r2, sortedIn, func(r matrix.Index, v T) {
 						tab.AddWith(r, mi(v), combine)
 					})
 				}
@@ -482,18 +641,24 @@ func slidingHashAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix
 // outRows/outVals may be larger than the result (the single-pass
 // engines pass the Σ_i nnz(A_i(:,j)) upper bound); the number of
 // entries written is returned.
-//
-//spkadd:noalloc per-column heap merge, the HeapSpKAdd inner loop
-func heapMergeCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, coeffs []matrix.Value, mon *monoidState) int {
+func heapMergeCol[T matrix.Number](w *workerStateOf[T], as []*matrix.CSCOf[T], j int, outRows []matrix.Index, outVals []T, coeffs []T, mon *monoidStateOf[T]) int {
 	if mon != nil {
 		return heapMergeColM(w, as, j, outRows, outVals, mon)
 	}
+	return w.kit.heapMerge(w, as, j, outRows, outVals, coeffs)
+}
+
+// heapMergePlus is heapMergeCol's Plus fast path, the HeapSpKAdd
+// inner loop with "+=" inlined per arithmetic instantiation.
+//
+//spkadd:noalloc per-column heap merge, the HeapSpKAdd inner loop
+func heapMergePlus[T matrix.Arith](w *workerStateOf[T], as []*matrix.CSCOf[T], j int, outRows []matrix.Index, outVals, coeffs []T) int {
 	h := w.kheap(len(as))
 	pos := w.pos
 	for i, a := range as {
 		pos[i] = a.ColPtr[j]
 		if pos[i] < a.ColPtr[j+1] {
-			h.Push(kheap.Tuple{Row: a.RowIdx[pos[i]], Mat: int32(i), Val: a.Val[pos[i]] * coeff(coeffs, i)})
+			h.Push(kheap.TupleOf[T]{Row: a.RowIdx[pos[i]], Mat: int32(i), Val: a.Val[pos[i]] * coeff(coeffs, i)})
 			pos[i]++
 		}
 	}
@@ -510,7 +675,7 @@ func heapMergeCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Inde
 		i := top.Mat
 		a := as[i]
 		if pos[i] < a.ColPtr[j+1] {
-			h.ReplaceMin(kheap.Tuple{Row: a.RowIdx[pos[i]], Mat: i, Val: a.Val[pos[i]] * coeff(coeffs, int(i))})
+			h.ReplaceMin(kheap.TupleOf[T]{Row: a.RowIdx[pos[i]], Mat: i, Val: a.Val[pos[i]] * coeff(coeffs, int(i))})
 			pos[i]++
 		} else {
 			h.Pop()
@@ -526,7 +691,7 @@ func heapMergeCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Inde
 // reach here (they are Plus-only).
 //
 //spkadd:noalloc per-column heap merge, generic-monoid variant
-func heapMergeColM(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, mon *monoidState) int {
+func heapMergeColM[T matrix.Number](w *workerStateOf[T], as []*matrix.CSCOf[T], j int, outRows []matrix.Index, outVals []T, mon *monoidStateOf[T]) int {
 	h := w.kheap(len(as))
 	pos := w.pos
 	// The refill step pulls from whichever matrix the heap surfaces,
@@ -541,7 +706,7 @@ func heapMergeColM(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Ind
 			if mapIn != nil && i >= mapped {
 				v = mapIn(v)
 			}
-			h.Push(kheap.Tuple{Row: a.RowIdx[pos[i]], Mat: int32(i), Val: v})
+			h.Push(kheap.TupleOf[T]{Row: a.RowIdx[pos[i]], Mat: int32(i), Val: v})
 			pos[i]++
 		}
 	}
@@ -562,7 +727,7 @@ func heapMergeColM(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Ind
 			if mapIn != nil && int(i) >= mapped {
 				v = mapIn(v)
 			}
-			h.ReplaceMin(kheap.Tuple{Row: a.RowIdx[pos[i]], Mat: i, Val: v})
+			h.ReplaceMin(kheap.TupleOf[T]{Row: a.RowIdx[pos[i]], Mat: i, Val: v})
 			pos[i]++
 		} else {
 			h.Pop()
@@ -573,7 +738,7 @@ func heapMergeColM(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Ind
 
 // heapAddCol runs the heap merge against an exactly-sized output, the
 // two-pass numeric phase of Algorithm 3.
-func heapAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, coeffs []matrix.Value, mon *monoidState) {
+func heapAddCol[T matrix.Number](w *workerStateOf[T], as []*matrix.CSCOf[T], j int, outRows []matrix.Index, outVals []T, coeffs []T, mon *monoidStateOf[T]) {
 	if heapMergeCol(w, as, j, outRows, outVals, coeffs, mon) != len(outRows) {
 		panic("core: heap symbolic nnz disagrees with numeric nnz")
 	}
@@ -581,7 +746,7 @@ func heapAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index,
 
 // spaAddCol is Algorithm 4: accumulate into the dense SPA, then emit
 // (sorted when requested) and sparsely clear.
-func spaAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, outVals []matrix.Value, sorted bool, coeffs []matrix.Value, mon *monoidState) {
+func spaAddCol[T matrix.Number](w *workerStateOf[T], as []*matrix.CSCOf[T], j int, outRows []matrix.Index, outVals []T, sorted bool, coeffs []T, mon *monoidStateOf[T]) {
 	acc := spaAccumCol(w, as, j, coeffs, mon)
 	need := len(outRows)
 	var r []matrix.Index
@@ -594,14 +759,4 @@ func spaAddCol(w *workerState, as []*matrix.CSC, j int, outRows []matrix.Index, 
 		panic("core: SPA symbolic nnz disagrees with numeric nnz")
 	}
 	acc.Clear()
-}
-
-// coeff returns the scaling coefficient for input matrix i; a nil
-// slice means unscaled addition. Multiplying by the default 1.0 is
-// exact under IEEE-754, so the unscaled path needs no branch.
-func coeff(coeffs []matrix.Value, i int) matrix.Value {
-	if coeffs == nil {
-		return 1
-	}
-	return coeffs[i]
 }

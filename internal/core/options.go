@@ -12,8 +12,10 @@ package core
 import (
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"spkadd/internal/hashtab"
+	"spkadd/internal/matrix"
 	"spkadd/internal/ops"
 	"spkadd/internal/sched"
 	"spkadd/internal/tuner"
@@ -183,18 +185,22 @@ const (
 	// BytesPerSymbolicEntry is b in Algorithm 7: a symbolic hash-table
 	// slot holds one 32-bit row index.
 	BytesPerSymbolicEntry = 4
-	// BytesPerAddEntry is b in Algorithm 8: an addition-phase slot
-	// holds a 32-bit row index and a 64-bit value.
+	// BytesPerAddEntry is b in Algorithm 8 for the default float64
+	// element type: an addition-phase slot holds a 32-bit row index and
+	// a 64-bit value. Other element types size their slots with
+	// entryBytesOf — float32 halves the value bytes, bool carries one.
 	BytesPerAddEntry = 12
 	// DefaultCacheBytes is the default last-level cache budget M
 	// (the paper's Intel Skylake has a 32MB LLC).
 	DefaultCacheBytes = 32 << 20
 )
 
-// Options configure an SpKAdd call. The zero value is valid: Auto
-// algorithm, GOMAXPROCS threads, weighted scheduling, sorted output
-// off, Skylake-like cache budget.
-type Options struct {
+// OptionsOf configure an SpKAdd call over element type T. The zero
+// value is valid for the arithmetic types: Auto algorithm, GOMAXPROCS
+// threads, weighted scheduling, sorted output off, Skylake-like cache
+// budget. Boolean matrices have no "+" and must select a monoid
+// explicitly (ops.AnyFor[bool]() is the usual choice).
+type OptionsOf[T matrix.Number] struct {
 	Algorithm Algorithm
 	// Threads is the worker count T; <1 means GOMAXPROCS.
 	Threads int
@@ -236,15 +242,16 @@ type Options struct {
 	// 2-way baselines, which keep their native drivers.
 	Phases Phases
 	// Monoid selects the combine operation folded over colliding
-	// entries: nil (or ops.Plus) means float64 addition, the paper's
-	// operation, served by specialized inlined kernels; any other
-	// monoid — built-in Min/Max/Any/Count or user-defined — runs the
-	// same engines through the generic combine path. Non-Plus monoids
-	// are supported by the k-way algorithms only (the 2-way baselines
-	// hardwire pairwise "+") and reject coefficients: coeffs·A
-	// distributes over + but not over min, max or counting. See
-	// internal/ops and DESIGN.md §8.
-	Monoid *ops.Monoid
+	// entries: nil (or ops.PlusFor[T]()) means T's addition, the
+	// paper's operation, served by specialized inlined kernels; any
+	// other monoid — built-in Min/Max/Any/Count or user-defined — runs
+	// the same engines through the generic combine path. Non-Plus
+	// monoids are supported by the k-way algorithms only (the 2-way
+	// baselines hardwire pairwise "+") and reject coefficients:
+	// coeffs·A distributes over + but not over min, max or counting.
+	// Boolean element types have no Plus, so a nil Monoid is a
+	// validation error for them. See internal/ops and DESIGN.md §8.
+	Monoid *ops.MonoidOf[T]
 	// MaxTableEntries, when positive, caps sliding-hash tables at the
 	// given entry count instead of deriving the cap from CacheBytes.
 	// This is the knob behind the paper's Fig 4 table-size sweeps.
@@ -275,15 +282,29 @@ type Options struct {
 	faultKey int64
 }
 
-func (o Options) cacheBytes() int64 {
+// Options are the float64 call options, the paper's configuration.
+type Options = OptionsOf[matrix.Value]
+
+func (o OptionsOf[T]) cacheBytes() int64 {
 	if o.CacheBytes <= 0 {
 		return DefaultCacheBytes
 	}
 	return o.CacheBytes
 }
 
-func (o Options) loadFactor() float64 {
+func (o OptionsOf[T]) loadFactor() float64 {
 	return hashtab.ClampLoadFactor(o.LoadFactor)
+}
+
+// entryBytesOf is the in-memory footprint of one stored (row, value)
+// entry of element type T: a 4-byte index plus T's width — 12 bytes
+// for float64/int64, 8 for float32/int32, 5 for bool. It parameterizes
+// every byte-budget heuristic (engine selection, streaming budgets,
+// pool shares) so float32 workloads really see twice the entries per
+// cache line and per budget.
+func entryBytesOf[T matrix.Number]() int64 {
+	var z T
+	return BytesPerSymbolicEntry + int64(unsafe.Sizeof(z))
 }
 
 // OpStats aggregates work counters across workers. All fields are

@@ -12,10 +12,10 @@ import (
 // caller's executor. The result has sorted columns. This is the
 // specialised 2-way addition the paper's "2-way Incremental" and
 // "2-way Tree" rows use.
-func pairAddMerge(a, b *matrix.CSC, opt Options, ex *sched.Executor) (*matrix.CSC, error) {
+func pairAddMerge[T matrix.Arith](a, b *matrix.CSCOf[T], opt OptionsOf[T], ex *sched.Executor) (*matrix.CSCOf[T], error) {
 	t := sched.Threads(opt.Threads)
 	n := a.Cols
-	out := &matrix.CSC{Rows: a.Rows, Cols: n, ColPtr: make([]int64, n+1)}
+	out := &matrix.CSCOf[T]{Rows: a.Rows, Cols: n, ColPtr: make([]int64, n+1)}
 
 	// Symbolic pass: count merged entries per column.
 	counts := make([]int64, n)
@@ -32,7 +32,7 @@ func pairAddMerge(a, b *matrix.CSC, opt Options, ex *sched.Executor) (*matrix.CS
 	}
 	nnz := out.ColPtr[n]
 	out.RowIdx = make([]matrix.Index, nnz)
-	out.Val = make([]matrix.Value, nnz)
+	out.Val = make([]T, nnz)
 
 	// Numeric pass: merge into the preallocated slices.
 	err = runColsOn(ex, n, t, opt.Schedule, counts, opt.Stats, func(_ int, lo, hi int) {
@@ -59,19 +59,19 @@ func pairAddMerge(a, b *matrix.CSC, opt Options, ex *sched.Executor) (*matrix.CS
 // the constant factors of a library routine that cannot exploit the
 // problem structure — the repository's stand-in for the paper's
 // MKL-based 2-way baselines (mkl_sparse_d_add).
-func pairAddMap(a, b *matrix.CSC, opt Options, ex *sched.Executor) (*matrix.CSC, error) {
+func pairAddMap[T matrix.Arith](a, b *matrix.CSCOf[T], opt OptionsOf[T], ex *sched.Executor) (*matrix.CSCOf[T], error) {
 	t := sched.Threads(opt.Threads)
 	n := a.Cols
 	// Accumulate each column in a map, then emit sorted entries.
 	type col struct {
 		rows []matrix.Index
-		vals []matrix.Value
+		vals []T
 	}
 	cols := make([]col, n)
 	err := runColsOn(ex, n, t, opt.Schedule, pairWeights(a, b), opt.Stats, func(_ int, lo, hi int) {
 		for j := lo; j < hi; j++ {
-			acc := make(map[matrix.Index]matrix.Value)
-			for _, src := range []*matrix.CSC{a, b} {
+			acc := make(map[matrix.Index]T)
+			for _, src := range []*matrix.CSCOf[T]{a, b} {
 				rows, vals := src.ColRows(j), src.ColVals(j)
 				for p := range rows {
 					acc[rows[p]] += vals[p]
@@ -79,7 +79,7 @@ func pairAddMap(a, b *matrix.CSC, opt Options, ex *sched.Executor) (*matrix.CSC,
 			}
 			c := col{
 				rows: make([]matrix.Index, 0, len(acc)),
-				vals: make([]matrix.Value, 0, len(acc)),
+				vals: make([]T, 0, len(acc)),
 			}
 			for r := range acc {
 				c.rows = append(c.rows, r)
@@ -94,13 +94,13 @@ func pairAddMap(a, b *matrix.CSC, opt Options, ex *sched.Executor) (*matrix.CSC,
 	if err != nil {
 		return nil, err
 	}
-	out := &matrix.CSC{Rows: a.Rows, Cols: n, ColPtr: make([]int64, n+1)}
+	out := &matrix.CSCOf[T]{Rows: a.Rows, Cols: n, ColPtr: make([]int64, n+1)}
 	for j := 0; j < n; j++ {
 		out.ColPtr[j+1] = out.ColPtr[j] + int64(len(cols[j].rows))
 	}
 	nnz := out.ColPtr[n]
 	out.RowIdx = make([]matrix.Index, 0, nnz)
-	out.Val = make([]matrix.Value, 0, nnz)
+	out.Val = make([]T, 0, nnz)
 	for j := 0; j < n; j++ {
 		out.RowIdx = append(out.RowIdx, cols[j].rows...)
 		out.Val = append(out.Val, cols[j].vals...)
@@ -113,7 +113,7 @@ func pairAddMap(a, b *matrix.CSC, opt Options, ex *sched.Executor) (*matrix.CSC,
 
 // pairWeights returns per-column input nnz for load balancing a pair
 // addition.
-func pairWeights(a, b *matrix.CSC) []int64 {
+func pairWeights[T matrix.Number](a, b *matrix.CSCOf[T]) []int64 {
 	w := make([]int64, a.Cols)
 	for j := range w {
 		w[j] = int64(a.ColNNZ(j) + b.ColNNZ(j))

@@ -137,8 +137,8 @@ func (e *ShardError) Error() string {
 // Unwrap exposes the underlying shard failure.
 func (e *ShardError) Unwrap() error { return e.Err }
 
-// PoolOptions configure a sharded accumulation pool.
-type PoolOptions struct {
+// PoolOptionsOf configure a sharded accumulation pool.
+type PoolOptionsOf[T matrix.Number] struct {
 	// Shards is the column-shard count S. <=0 selects the heuristic
 	// min(GOMAXPROCS, cols): one reducer per core saturates the
 	// machine. Explicit values clamp to [1, cols] — a shard narrower
@@ -177,8 +177,11 @@ type PoolOptions struct {
 	// every shard's reductions under one caller-wide worker budget
 	// instead — noting that regions on a shared executor serialize,
 	// trading reduction throughput for a hard concurrency cap.
-	Add Options
+	Add OptionsOf[T]
 }
+
+// PoolOptions is the float64 pool configuration.
+type PoolOptions = PoolOptionsOf[matrix.Value]
 
 // Pool is a concurrent, column-sharded streaming accumulator: many
 // producer goroutines Push delta matrices while per-shard reducers
@@ -199,9 +202,9 @@ type PoolOptions struct {
 // that lose the race with Close fail whole with ErrPoolClosed, and a
 // second Close after the first completed reports ErrPoolClosed too. A
 // closed pool still answers Sum, Health and K.
-type Pool struct {
+type PoolOf[T matrix.Number] struct {
 	rows, cols int
-	shards     []*poolShard
+	shards     []*poolShardOf[T]
 	faultZone  int64
 	closed     atomic.Bool
 	closeDone  atomic.Bool
@@ -225,9 +228,21 @@ type Pool struct {
 	pushMu sync.RWMutex
 }
 
+// Pool is the float64 pool, the paper's element type.
+type Pool = PoolOf[matrix.Value]
+
+// poolShard is the float64 shard (the in-package chaos tests build
+// shards directly).
+type poolShard = poolShardOf[matrix.Value]
+
 // NewPool returns a pool for rows x cols matrices. See PoolOptions for
 // the shard-count and budget defaults.
 func NewPool(rows, cols int, popt PoolOptions) *Pool {
+	return NewPoolOf[matrix.Value](rows, cols, popt)
+}
+
+// NewPoolOf is NewPool for any supported element type.
+func NewPoolOf[T matrix.Number](rows, cols int, popt PoolOptionsOf[T]) *PoolOf[T] {
 	s := popt.Shards
 	if s <= 0 {
 		s = sched.Threads(0)
@@ -261,16 +276,16 @@ func NewPool(rows, cols int, popt PoolOptions) *Pool {
 	if backoff <= 0 {
 		backoff = 500 * time.Microsecond
 	}
-	p := &Pool{
+	p := &PoolOf[T]{
 		rows: rows, cols: cols,
-		shards:       make([]*poolShard, s),
+		shards:       make([]*poolShardOf[T], s),
 		faultZone:    popt.FaultZone,
 		quitc:        make(chan struct{}),
 		reducersDone: make(chan struct{}),
 	}
 	for i := range p.shards {
 		c0, c1 := sched.Span(cols, s, i)
-		sh := &poolShard{
+		sh := &poolShardOf[T]{
 			c0: c0, c1: c1, budget: shardBudget, opt: opt,
 			maxRetries: retries, baseBackoff: backoff, quitc: p.quitc,
 			zone: popt.FaultZone + int64(i) + 1,
@@ -289,7 +304,7 @@ func NewPool(rows, cols int, popt PoolOptions) *Pool {
 }
 
 // Shards returns the pool's shard count.
-func (p *Pool) Shards() int { return len(p.shards) }
+func (p *PoolOf[T]) Shards() int { return len(p.shards) }
 
 // Push enqueues one matrix for accumulation and returns without
 // waiting for any reduction: the matrix is sliced into per-shard
@@ -300,7 +315,7 @@ func (p *Pool) Shards() int { return len(p.shards) }
 // producers outrunning the reducers. Reduction errors are deferred to
 // Sum and Close; Push itself only fails on dimension mismatch or a
 // closed pool.
-func (p *Pool) Push(a *matrix.CSC) error {
+func (p *PoolOf[T]) Push(a *matrix.CSCOf[T]) error {
 	return p.PushContext(context.Background(), a)
 }
 
@@ -311,7 +326,7 @@ func (p *Pool) Push(a *matrix.CSC) error {
 // enqueued, and a cancellation mid-reserve rolls the reservations
 // back — so a canceled push leaves no slice of the matrix behind and
 // later Sums are unaffected.
-func (p *Pool) PushContext(ctx context.Context, a *matrix.CSC) error {
+func (p *PoolOf[T]) PushContext(ctx context.Context, a *matrix.CSCOf[T]) error {
 	p.pushMu.RLock()
 	defer p.pushMu.RUnlock()
 	if p.closed.Load() {
@@ -360,8 +375,8 @@ func (p *Pool) PushContext(ctx context.Context, a *matrix.CSC) error {
 // pieceBytes is the in-memory footprint of a's slice of shard s's
 // columns; 0 means the shard receives nothing (adding an empty piece
 // is the identity, so it skips the queue entirely).
-func pieceBytes(a *matrix.CSC, s *poolShard) int64 {
-	return (a.ColPtr[s.c1] - a.ColPtr[s.c0]) * entryBytes
+func pieceBytes[T matrix.Number](a *matrix.CSCOf[T], s *poolShardOf[T]) int64 {
+	return (a.ColPtr[s.c1] - a.ColPtr[s.c0]) * entryBytesOf[T]()
 }
 
 // Sum waits for every healthy shard to reduce all pieces enqueued
@@ -382,7 +397,7 @@ func pieceBytes(a *matrix.CSC, s *poolShard) int64 {
 // from the total, and Health's Dropped counter is their record (the
 // error was reported by the Sums issued while the shard was
 // degraded).
-func (p *Pool) Sum() (*matrix.CSC, error) {
+func (p *PoolOf[T]) Sum() (*matrix.CSCOf[T], error) {
 	return p.SumContext(context.Background())
 }
 
@@ -391,7 +406,7 @@ func (p *Pool) Sum() (*matrix.CSC, error) {
 // ErrCanceled or ErrDeadline and no matrix. Cancellation is clean —
 // the reducers keep draining in the background and a later Sum
 // observes the same totals.
-func (p *Pool) SumContext(ctx context.Context) (*matrix.CSC, error) {
+func (p *PoolOf[T]) SumContext(ctx context.Context) (*matrix.CSCOf[T], error) {
 	// The exclusive hold cuts the push stream: no Push is mid-flight
 	// while we barrier and stitch, so the result is the exact sum of a
 	// prefix of each producer's pushes. Reducers drain independently
@@ -420,7 +435,7 @@ func (p *Pool) SumContext(ctx context.Context) (*matrix.CSC, error) {
 			total += s.sum.NNZ()
 		}
 	}
-	out := matrix.NewCSC(p.rows, p.cols, total)
+	out := matrix.NewCSCOf[T](p.rows, p.cols, total)
 	var nnz int64
 	for _, s := range p.shards {
 		if s.sum == nil {
@@ -446,7 +461,7 @@ func (p *Pool) SumContext(ctx context.Context) (*matrix.CSC, error) {
 // bounded retries, so the wait terminates). Requests are issued to
 // all shards first, so they drain concurrently, then awaited; ctx
 // cancels the wait.
-func (p *Pool) barrier(ctx context.Context) error {
+func (p *PoolOf[T]) barrier(ctx context.Context) error {
 	reqs := make([]int64, len(p.shards))
 	for i, s := range p.shards {
 		s.mu.Lock()
@@ -492,7 +507,7 @@ func (p *Pool) barrier(ctx context.Context) error {
 // after the first completed returns ErrPoolClosed — calling Close
 // twice is a lifecycle bug worth surfacing, not corrupting on. The
 // pool still answers Sum, Health and K afterwards.
-func (p *Pool) Close() error {
+func (p *PoolOf[T]) Close() error {
 	return p.CloseContext(context.Background())
 }
 
@@ -501,7 +516,7 @@ func (p *Pool) Close() error {
 // ErrCanceled or ErrDeadline while the shutdown continues in the
 // background — a later CloseContext waits for the same shutdown and
 // reports the shards' sticky errors.
-func (p *Pool) CloseContext(ctx context.Context) error {
+func (p *PoolOf[T]) CloseContext(ctx context.Context) error {
 	p.pushMu.Lock()
 	if !p.closed.Swap(true) {
 		close(p.quitc)
@@ -541,7 +556,7 @@ func (p *Pool) CloseContext(ctx context.Context) error {
 // per failed shard; nil when every shard is healthy.
 //
 //spkadd:allow(ctxblock) short per-shard critical sections; nothing waits on external progress
-func (p *Pool) stickyErr() error {
+func (p *PoolOf[T]) stickyErr() error {
 	for _, s := range p.shards {
 		s.mu.Lock()
 	}
@@ -554,7 +569,7 @@ func (p *Pool) stickyErr() error {
 }
 
 // stickyErrLocked is stickyErr with all shard locks already held.
-func (p *Pool) stickyErrLocked() error {
+func (p *PoolOf[T]) stickyErrLocked() error {
 	var errs []error
 	for i, s := range p.shards {
 		if s.err != nil {
@@ -574,7 +589,7 @@ func (p *Pool) stickyErrLocked() error {
 // metrics. Safe for concurrent use.
 //
 //spkadd:allow(ctxblock) short per-shard critical sections; nothing waits on external progress
-func (p *Pool) Health() []ShardHealth {
+func (p *PoolOf[T]) Health() []ShardHealth {
 	out := make([]ShardHealth, len(p.shards))
 	for i, s := range p.shards {
 		s.mu.Lock()
@@ -598,13 +613,13 @@ func (p *Pool) Health() []ShardHealth {
 }
 
 // K returns the number of matrices absorbed so far.
-func (p *Pool) K() int { return int(p.absorbed.Load()) }
+func (p *PoolOf[T]) K() int { return int(p.absorbed.Load()) }
 
 // Reductions returns the total number of k-way additions the shards
 // have run, a measure of how the budget translated into batching.
 //
 //spkadd:allow(ctxblock) short per-shard critical sections; nothing waits on external progress
-func (p *Pool) Reductions() int {
+func (p *PoolOf[T]) Reductions() int {
 	total := 0
 	for _, s := range p.shards {
 		s.mu.Lock()
@@ -625,10 +640,10 @@ func (p *Pool) Reductions() int {
 // relative to reduction work. cond wakes the reducer (work over
 // budget, flush requested, closed); done wakes flush waiters; space
 // wakes producers blocked on the high-water mark.
-type poolShard struct {
+type poolShardOf[T matrix.Number] struct {
 	c0, c1      int
 	budget      int64
-	opt         Options
+	opt         OptionsOf[T]
 	maxRetries  int
 	baseBackoff time.Duration
 	quitc       <-chan struct{}
@@ -639,7 +654,7 @@ type poolShard struct {
 	cond         *sync.Cond // wakes the reducer
 	done         *sync.Cond // wakes flush-barrier waiters
 	space        *sync.Cond // wakes producers blocked on the high-water mark
-	pending      []*matrix.CSC
+	pending      []*matrix.CSCOf[T]
 	pendingBytes int64
 	reserved     int64 // bytes reserved by in-flight pushes, not yet committed
 	flushReq     int64
@@ -650,14 +665,14 @@ type poolShard struct {
 	poisoned     bool  // err came from a recovered panic; ws quarantined
 	dropped      int64 // pushed pieces discarded across the shard's lifetime
 	inflight     int   // pieces claimed by the reduction currently running
-	sum          *matrix.CSC
+	sum          *matrix.CSCOf[T]
 	reductions   int64
 
 	// Reducer-private; never touched while a reduction is in flight
 	// except by the reducer itself.
-	ws    *Workspace
-	take  []*matrix.CSC // the batch claimed from pending
-	batch []*matrix.CSC // [sum, take...] input slice for the k-way add
+	ws    *WorkspaceOf[T]
+	take  []*matrix.CSCOf[T] // the batch claimed from pending
+	batch []*matrix.CSCOf[T] // [sum, take...] input slice for the k-way add
 }
 
 // reserve claims bytes of high-water capacity for one push, blocking
@@ -665,7 +680,7 @@ type poolShard struct {
 // the shard budget) — unless the shard is poisoned, whose queue only
 // ever gets discarded, or the pool is closing. Degraded shards still
 // reduce, so they still exert backpressure. ctx cancels the wait.
-func (s *poolShard) reserve(ctx context.Context, bytes int64) error {
+func (s *poolShardOf[T]) reserve(ctx context.Context, bytes int64) error {
 	var stop func() bool
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -703,7 +718,7 @@ func (s *poolShard) reserve(ctx context.Context, bytes int64) error {
 
 // unreserve rolls one push's reservation back (the push failed on a
 // later shard), waking producers the freed capacity may admit.
-func (s *poolShard) unreserve(bytes int64) {
+func (s *poolShardOf[T]) unreserve(bytes int64) {
 	s.mu.Lock()
 	s.reserved -= bytes
 	s.space.Broadcast()
@@ -713,7 +728,7 @@ func (s *poolShard) unreserve(bytes int64) {
 // commit converts one push's reservation into a queued piece, waking
 // the reducer if the batch is now worth reducing. Cannot fail: the
 // reservation already holds the capacity.
-func (s *poolShard) commit(piece *matrix.CSC, bytes int64) {
+func (s *poolShardOf[T]) commit(piece *matrix.CSCOf[T], bytes int64) {
 	s.mu.Lock()
 	s.reserved -= bytes
 	s.pending = append(s.pending, piece)
@@ -729,25 +744,25 @@ func (s *poolShard) commit(piece *matrix.CSC, bytes int64) {
 // total input (running sum + pending) against the budget, plus the
 // pending-count cap so zero-byte pieces cannot grow the queue
 // unboundedly. Callers hold mu.
-func (s *poolShard) reduceNeeded() bool {
+func (s *poolShardOf[T]) reduceNeeded() bool {
 	if len(s.pending) == 0 {
 		return false
 	}
 	return s.sumNNZBytes()+s.pendingBytes > s.budget || len(s.pending) >= maxPendingMatrices
 }
 
-func (s *poolShard) sumNNZBytes() int64 {
+func (s *poolShardOf[T]) sumNNZBytes() int64 {
 	if s.sum == nil {
 		return 0
 	}
-	return int64(s.sum.NNZ()) * entryBytes
+	return int64(s.sum.NNZ()) * entryBytesOf[T]()
 }
 
 // wakeNeeded reports whether the reducer has anything to do. A
 // poisoned shard with pending pieces still wakes: the reducer
 // discards them so producers blocked on the high-water mark and
 // barriers waiting on the queue are released. Callers hold mu.
-func (s *poolShard) wakeNeeded() bool {
+func (s *poolShardOf[T]) wakeNeeded() bool {
 	return s.closed || s.flushReq > s.flushAck || s.reduceNeeded() ||
 		(s.poisoned && len(s.pending) > 0)
 }
@@ -757,7 +772,7 @@ func (s *poolShard) wakeNeeded() bool {
 // reduction's input (sum + claimed) would pass the budget — always at
 // least one, mirroring Accumulator's budget + one matrix bound — or
 // the count cap. Callers hold mu.
-func (s *poolShard) claimBatch() {
+func (s *poolShardOf[T]) claimBatch() {
 	n, bytes := 0, int64(0)
 	sumBytes := s.sumNNZBytes()
 	for n < len(s.pending) && n < maxPendingMatrices {
@@ -786,7 +801,7 @@ func (s *poolShard) claimBatch() {
 // shard discard everything it receives.
 //
 //spkadd:allow(ctxblock) reducer goroutine: lives for the pool's lifetime, woken by cond, exits on close; Push/Flush carry the context
-func (s *poolShard) run(wg *sync.WaitGroup) {
+func (s *poolShardOf[T]) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	s.mu.Lock()
 	for {
@@ -851,7 +866,7 @@ func (s *poolShard) run(wg *sync.WaitGroup) {
 // the shard keeps reducing later work. Either way the error is
 // reported, the last good sum stays served, and everyone waiting on
 // this shard is released. Callers hold mu.
-func (s *poolShard) fail(err error, claimed int) {
+func (s *poolShardOf[T]) fail(err error, claimed int) {
 	wasOK := s.err == nil
 	s.err = err
 	s.dropped += int64(claimed)
@@ -879,7 +894,7 @@ func (s *poolShard) fail(err error, claimed int) {
 // fails with its last error). The claimed batch is released only
 // here, after the final attempt, so every retry reduces the same
 // input.
-func (s *poolShard) reduceWithRetry() (*matrix.CSC, error) {
+func (s *poolShardOf[T]) reduceWithRetry() (*matrix.CSCOf[T], error) {
 	sum, err := s.reduce()
 	for attempt := 1; err != nil && !isPanicErr(err) && attempt <= s.maxRetries; attempt++ {
 		if st := s.opt.Stats; st != nil {
@@ -901,7 +916,7 @@ func (s *poolShard) reduceWithRetry() (*matrix.CSC, error) {
 // closing instead — no point backing off into a shutdown.
 //
 //spkadd:allow(ctxblock) bounded by the retry timer and aborted by pool close via quitc
-func (s *poolShard) backoff(n int) bool {
+func (s *poolShardOf[T]) backoff(n int) bool {
 	d := s.baseBackoff << (n - 1)
 	d += time.Duration(rand.Int64N(int64(d)/2 + 1))
 	t := time.NewTimer(d)
@@ -923,7 +938,7 @@ func (s *poolShard) backoff(n int) bool {
 // panic anywhere in the reduction (kernel, validation, a worker of an
 // internally parallel region) comes back as a *PanicError. Runs
 // outside the shard lock.
-func (s *poolShard) reduce() (b *matrix.CSC, err error) {
+func (s *poolShardOf[T]) reduce() (b *matrix.CSCOf[T], err error) {
 	if faults.SleepOn(faults.SlowReduction, s.zone) {
 		if st := s.opt.Stats; st != nil {
 			st.FaultsInjected.Add(1)
@@ -936,7 +951,7 @@ func (s *poolShard) reduce() (b *matrix.CSC, err error) {
 		return nil, ferr
 	}
 	if s.ws == nil {
-		s.ws = NewWorkspace(true)
+		s.ws = NewWorkspaceOf[T](true)
 	}
 	s.batch = s.batch[:0]
 	premapped := 0

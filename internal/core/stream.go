@@ -39,14 +39,14 @@ var ErrAccumulatorInUse = errors.New("spkadd: Accumulator used from multiple gor
 // resolves to a single-pass engine (the common PhasesAuto outcome for
 // in-cache workloads) each batched reduction reads its inputs exactly
 // once.
-type Accumulator struct {
+type AccumulatorOf[T matrix.Number] struct {
 	rows, cols int
-	opt        Options
+	opt        OptionsOf[T]
 	budget     int64
 	busy       atomic.Bool
 
-	sum          *matrix.CSC
-	pending      []*matrix.CSC
+	sum          *matrix.CSCOf[T]
+	pending      []*matrix.CSCOf[T]
 	pendingBytes int64
 	absorbed     int
 	reductions   int
@@ -67,13 +67,17 @@ type Accumulator struct {
 	// (ping-pong) output buffers: the previous sum is always an input
 	// to the next reduction, which writes the other buffer, so no
 	// reduction reads storage it is overwriting.
-	ws *Workspace
+	ws *WorkspaceOf[T]
 	// batch is the reusable [sum, pending...] input slice.
-	batch []*matrix.CSC
+	batch []*matrix.CSCOf[T]
 }
 
-// entryBytes is the in-memory footprint of one stored entry
-// (4-byte index + 8-byte value).
+// Accumulator is the float64 accumulator, the paper's element type.
+type Accumulator = AccumulatorOf[matrix.Value]
+
+// entryBytes is the in-memory footprint of one stored float64 entry
+// (4-byte index + 8-byte value); entryBytesOf generalizes it per
+// element type.
 const entryBytes = 12
 
 // maxPendingMatrices caps how many matrices an Accumulator (or a Pool
@@ -91,31 +95,36 @@ const maxPendingMatrices = 1024
 // the batch size only affects memory, not the asymptotic work, as long
 // as each reduction is k-way.
 func NewAccumulator(rows, cols int, budgetBytes int64, opt Options) *Accumulator {
+	return NewAccumulatorOf[matrix.Value](rows, cols, budgetBytes, opt)
+}
+
+// NewAccumulatorOf is NewAccumulator for any supported element type.
+func NewAccumulatorOf[T matrix.Number](rows, cols int, budgetBytes int64, opt OptionsOf[T]) *AccumulatorOf[T] {
 	if budgetBytes <= 0 {
 		budgetBytes = 256 << 20
 	}
-	return &Accumulator{rows: rows, cols: cols, opt: opt, budget: budgetBytes}
+	return &AccumulatorOf[T]{rows: rows, cols: cols, opt: opt, budget: budgetBytes}
 }
 
 // acquire takes the accumulator's busy flag, detecting overlapping
 // calls from a second goroutine.
-func (ac *Accumulator) acquire() error {
+func (ac *AccumulatorOf[T]) acquire() error {
 	if !ac.busy.CompareAndSwap(false, true) {
 		return ErrAccumulatorInUse
 	}
 	return nil
 }
 
-func (ac *Accumulator) release() { ac.busy.Store(false) }
+func (ac *AccumulatorOf[T]) release() { ac.busy.Store(false) }
 
 // sumBytes is the in-memory footprint of the running sum. A k-way
 // reduction reads sum + pending, so the sum's bytes count toward the
 // reduction budget exactly like the buffered matrices'.
-func (ac *Accumulator) sumBytes() int64 {
+func (ac *AccumulatorOf[T]) sumBytes() int64 {
 	if ac.sum == nil {
 		return 0
 	}
-	return int64(ac.sum.NNZ()) * entryBytes
+	return int64(ac.sum.NNZ()) * entryBytesOf[T]()
 }
 
 // Push buffers one matrix, reducing the buffer first if adding it
@@ -130,7 +139,7 @@ func (ac *Accumulator) sumBytes() int64 {
 // joins the next reduction instead. Once the running sum alone
 // outgrows the budget every push flushes, degenerating gracefully to
 // sum-plus-one-matrix reductions — the streaming minimum.
-func (ac *Accumulator) Push(a *matrix.CSC) error {
+func (ac *AccumulatorOf[T]) Push(a *matrix.CSCOf[T]) error {
 	return ac.PushContext(context.Background(), a)
 }
 
@@ -138,7 +147,7 @@ func (ac *Accumulator) Push(a *matrix.CSC) error {
 // full buffer triggers. A canceled reduction is clean: the matrix is
 // NOT buffered, the pending matrices and the running sum are untouched,
 // and the next uncanceled call retries the reduction.
-func (ac *Accumulator) PushContext(ctx context.Context, a *matrix.CSC) error {
+func (ac *AccumulatorOf[T]) PushContext(ctx context.Context, a *matrix.CSCOf[T]) error {
 	if err := ac.acquire(); err != nil {
 		return err
 	}
@@ -150,7 +159,7 @@ func (ac *Accumulator) PushContext(ctx context.Context, a *matrix.CSC) error {
 		return fmt.Errorf("%w: pushed %dx%d, accumulator is %dx%d",
 			ErrDimMismatch, a.Rows, a.Cols, ac.rows, ac.cols)
 	}
-	bytes := int64(a.NNZ()) * entryBytes
+	bytes := int64(a.NNZ()) * entryBytesOf[T]()
 	if len(ac.pending) > 0 &&
 		(ac.sumBytes()+ac.pendingBytes+bytes > ac.budget || len(ac.pending) >= maxPendingMatrices) {
 		if err := ac.flush(ctx); err != nil {
@@ -164,13 +173,13 @@ func (ac *Accumulator) PushContext(ctx context.Context, a *matrix.CSC) error {
 }
 
 // Flush reduces all buffered matrices into the running sum.
-func (ac *Accumulator) Flush() error {
+func (ac *AccumulatorOf[T]) Flush() error {
 	return ac.FlushContext(context.Background())
 }
 
 // FlushContext is Flush with cooperative cancellation; see
 // PushContext for the cancellation contract.
-func (ac *Accumulator) FlushContext(ctx context.Context) error {
+func (ac *AccumulatorOf[T]) FlushContext(ctx context.Context) error {
 	if err := ac.acquire(); err != nil {
 		return err
 	}
@@ -180,7 +189,7 @@ func (ac *Accumulator) FlushContext(ctx context.Context) error {
 
 // flush is Flush without the busy-flag acquisition, for internal use
 // while the flag is already held.
-func (ac *Accumulator) flush(ctx context.Context) error {
+func (ac *AccumulatorOf[T]) flush(ctx context.Context) error {
 	if ac.err != nil {
 		return ac.err
 	}
@@ -188,7 +197,7 @@ func (ac *Accumulator) flush(ctx context.Context) error {
 		return nil
 	}
 	if ac.ws == nil {
-		ac.ws = NewWorkspace(true)
+		ac.ws = NewWorkspaceOf[T](true)
 	}
 	ac.batch = ac.batch[:0]
 	premapped := 0
@@ -237,7 +246,7 @@ func (ac *Accumulator) flush(ctx context.Context) error {
 // reduce runs one batched reduction, converting a panic on the inline
 // (single-threaded) kernel path into the same *PanicError the executor
 // reports for multi-threaded regions.
-func (ac *Accumulator) reduce(ctx context.Context, premapped int) (b *matrix.CSC, err error) {
+func (ac *AccumulatorOf[T]) reduce(ctx context.Context, premapped int) (b *matrix.CSCOf[T], err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = recoverToError(r)
@@ -251,7 +260,7 @@ func (ac *Accumulator) reduce(ctx context.Context, premapped int) (b *matrix.CSC
 // recycled workspace buffers); it remains valid (and unmodified) until
 // further Push calls, after which callers should re-request it —
 // callers that need a longer-lived copy should Clone it.
-func (ac *Accumulator) Sum() (*matrix.CSC, error) {
+func (ac *AccumulatorOf[T]) Sum() (*matrix.CSCOf[T], error) {
 	return ac.SumContext(context.Background())
 }
 
@@ -259,7 +268,7 @@ func (ac *Accumulator) Sum() (*matrix.CSC, error) {
 // see PushContext for the cancellation contract. In particular a
 // canceled SumContext leaves the accumulator fully consistent: a later
 // Sum reduces the same buffered matrices and returns the same total.
-func (ac *Accumulator) SumContext(ctx context.Context) (*matrix.CSC, error) {
+func (ac *AccumulatorOf[T]) SumContext(ctx context.Context) (*matrix.CSCOf[T], error) {
 	if err := ac.acquire(); err != nil {
 		return nil, err
 	}
@@ -268,14 +277,14 @@ func (ac *Accumulator) SumContext(ctx context.Context) (*matrix.CSC, error) {
 		return nil, err
 	}
 	if ac.sum == nil {
-		return matrix.NewCSC(ac.rows, ac.cols, 0), nil
+		return matrix.NewCSCOf[T](ac.rows, ac.cols, 0), nil
 	}
 	return ac.sum, nil
 }
 
 // K returns the number of matrices absorbed so far.
-func (ac *Accumulator) K() int { return ac.absorbed }
+func (ac *AccumulatorOf[T]) K() int { return ac.absorbed }
 
 // Reductions returns how many k-way additions have run, a measure of
 // how the budget translated into batching.
-func (ac *Accumulator) Reductions() int { return ac.reductions }
+func (ac *AccumulatorOf[T]) Reductions() int { return ac.reductions }

@@ -5,16 +5,10 @@ import (
 	"spkadd/internal/sched"
 )
 
-// pairAdder is a 2-way addition routine: merge-based (specialised) or
-// map-based (library stand-in). Every pair addition of a driver runs
-// its parallel passes on the same resident executor, so a k-way 2-way
-// baseline spawns no goroutines after the first pair.
-type pairAdder func(a, b *matrix.CSC, opt Options, ex *sched.Executor) (*matrix.CSC, error)
-
 // addIncremental implements Algorithm 1: B <- A1, then B <- B + A_i
 // for i = 2..k. The i-th step costs the cumulative nnz, giving the
 // O(k^2 nd) behaviour of Table I.
-func addIncremental(as []*matrix.CSC, opt Options, ex *sched.Executor, add pairAdder) (*matrix.CSC, error) {
+func addIncremental[T matrix.Number](as []*matrix.CSCOf[T], opt OptionsOf[T], ex *sched.Executor, add pairAdder[T]) (*matrix.CSCOf[T], error) {
 	b := as[0]
 	owned := false // don't mutate the caller's first matrix
 	for i := 1; i < len(as); i++ {
@@ -33,13 +27,13 @@ func addIncremental(as []*matrix.CSC, opt Options, ex *sched.Executor, add pairA
 
 // addTree implements the balanced 2-way tree of Fig 1(c): inputs at
 // the leaves, pairwise additions up lg k levels, O(knd lg k) work.
-func addTree(as []*matrix.CSC, opt Options, ex *sched.Executor, add pairAdder) (*matrix.CSC, error) {
-	level := make([]*matrix.CSC, len(as))
+func addTree[T matrix.Number](as []*matrix.CSCOf[T], opt OptionsOf[T], ex *sched.Executor, add pairAdder[T]) (*matrix.CSCOf[T], error) {
+	level := make([]*matrix.CSCOf[T], len(as))
 	copy(level, as)
 	owned := make([]bool, len(as)) // whether level[i] is an intermediate we created
 	for len(level) > 1 {
 		half := (len(level) + 1) / 2
-		next := make([]*matrix.CSC, half)
+		next := make([]*matrix.CSCOf[T], half)
 		nextOwned := make([]bool, half)
 		for i := 0; i < len(level)/2; i++ {
 			var err error

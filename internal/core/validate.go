@@ -26,20 +26,21 @@ var ErrCoeffsRequirePlus = errors.New("spkadd: coefficients require the Plus mon
 // requested configuration: a non-Plus monoid on a 2-way baseline
 // (their pairwise drivers hardwire "+"), a DropIdentity monoid on the
 // two-pass driver (the symbolic phase sizes the output before values
-// exist), or a monoid without a Combine function.
+// exist), a monoid without a Combine function, or a nil Monoid on an
+// element type with no default Plus (bool).
 var ErrMonoidUnsupported = errors.New("spkadd: monoid unsupported for this configuration")
 
-// monoidState is the per-call resolution of Options.Monoid for the
-// generic combine path. It is held by value inside plan and
+// monoidStateOf is the per-call resolution of Options.Monoid for the
+// generic combine path. It is held by value inside the plan and
 // Workspace — never heap-allocated per call — so a warmed non-Plus
-// Adder keeps the zero-allocation steady state. A nil *monoidState at
-// a kernel boundary means the Plus fast path: the kernels branch on
+// Adder keeps the zero-allocation steady state. A nil *monoidStateOf
+// at a kernel boundary means the Plus fast path: the kernels branch on
 // it once per column, and the specialized inlined "+=" loops run
 // exactly as before this layer existed.
-type monoidState struct {
-	def     *ops.Monoid
-	combine func(a, b matrix.Value) matrix.Value
-	mapIn   func(v matrix.Value) matrix.Value
+type monoidStateOf[T matrix.Number] struct {
+	def     *ops.MonoidOf[T]
+	combine func(a, b T) T
+	mapIn   func(v T) T
 	// mapped counts leading inputs that are already in the monoid's
 	// result domain — the running sum an Accumulator or Pool shard
 	// folds back into each reduction — and therefore skip MapInput
@@ -54,18 +55,18 @@ type monoidState struct {
 // resolve it once per matrix and branch on nil outside their element
 // loops, so no-map monoids (Min, Max, user Combine-only) pay no
 // per-element indirect call for a mapping they don't have.
-func (m *monoidState) mapFor(i int) func(matrix.Value) matrix.Value {
+func (m *monoidStateOf[T]) mapFor(i int) func(T) T {
 	if i < m.mapped {
 		return nil
 	}
 	return m.mapIn
 }
 
-// plan is a fully validated and resolved addition call: the concrete
+// planOf is a fully validated and resolved addition call: the concrete
 // algorithm, the execution engine it will run on, input sortedness,
 // and the combine monoid. Producing the whole plan in one place keeps
 // every entry point's behaviour identical.
-type plan struct {
+type planOf[T matrix.Number] struct {
 	alg      Algorithm
 	engine   Phases
 	sortedIn bool
@@ -81,10 +82,10 @@ type plan struct {
 	// apply — and run the engines with k=1.
 	copyOne bool
 	// generic selects the generic combine path; when false the
-	// kernels run their specialized inlined float64-Plus loops and
-	// mon is meaningless.
+	// kernels run their specialized inlined T-Plus loops and mon is
+	// meaningless.
 	generic bool
-	mon     monoidState
+	mon     monoidStateOf[T]
 	// Tuner bookkeeping (consultTuner). arm is the tuner arm this call
 	// runs, -1 when no tuner decision applies (no tuner configured,
 	// untunable call, single-input copy); sigKey is the quantized
@@ -97,11 +98,11 @@ type plan struct {
 	total  int64
 }
 
-// monoid returns the resolved monoid definition (ops.Plus on the fast
+// monoid returns the resolved monoid definition (T's Plus on the fast
 // path), for stats recording.
-func (p *plan) monoid() *ops.Monoid {
+func (p *planOf[T]) monoid() *ops.MonoidOf[T] {
 	if !p.generic {
-		return ops.Plus
+		return ops.PlusFor[T]()
 	}
 	return p.mon.def
 }
@@ -109,9 +110,9 @@ func (p *plan) monoid() *ops.Monoid {
 // validate checks one addition call — inputs, coefficients, options —
 // and resolves it to a plan. coeffs is nil for unscaled additions.
 // premapped counts leading inputs already in the monoid's result
-// domain (see monoidState.mapped); plain calls pass 0.
-func (o Options) validate(as []*matrix.CSC, coeffs []matrix.Value, premapped int) (plan, error) {
-	var p plan
+// domain (see monoidStateOf.mapped); plain calls pass 0.
+func (o OptionsOf[T]) validate(as []*matrix.CSCOf[T], coeffs []T, premapped int) (planOf[T], error) {
+	var p planOf[T]
 	p.arm = -1 // arm 0 is a valid tuner arm; -1 means "none chosen"
 	if coeffs != nil && len(coeffs) != len(as) {
 		return p, fmt.Errorf("%w: %d coefficients for %d matrices", ErrDimMismatch, len(coeffs), len(as))
@@ -124,11 +125,17 @@ func (o Options) validate(as []*matrix.CSC, coeffs []matrix.Value, premapped int
 		p.schedule = ScheduleWeighted
 	}
 
+	plus := ops.PlusFor[T]()
 	m := o.Monoid
 	if m == nil {
-		m = ops.Plus
+		// T's canonical Plus — nil for bool, which has no "+": boolean
+		// matrices must name their combine (Any is the usual union).
+		if plus == nil {
+			return p, fmt.Errorf("%w: element type has no default Plus monoid; set Options.Monoid (e.g. ops.AnyFor)", ErrMonoidUnsupported)
+		}
+		m = plus
 	}
-	if m != ops.Plus {
+	if m != plus {
 		if !m.Valid() {
 			return p, fmt.Errorf("%w: monoid %q has no Combine", ErrMonoidUnsupported, m.String())
 		}
@@ -136,7 +143,7 @@ func (o Options) validate(as []*matrix.CSC, coeffs []matrix.Value, premapped int
 			return p, fmt.Errorf("%w: got %s", ErrCoeffsRequirePlus, m.Name)
 		}
 		p.generic = true
-		p.mon = monoidState{
+		p.mon = monoidStateOf[T]{
 			def:     m,
 			combine: m.Combine,
 			mapIn:   m.MapInput, // nil when values pass through unmapped

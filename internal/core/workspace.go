@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"spkadd/internal/matrix"
+	"spkadd/internal/ops"
 	"spkadd/internal/sched"
 	"spkadd/internal/tuner"
 )
@@ -34,7 +35,7 @@ import (
 // per-call parameters from workspace fields; a fresh closure per call
 // would put one funcval on the heap per phase and break the
 // zero-allocation steady state.
-type Workspace struct {
+type WorkspaceOf[T matrix.Number] struct {
 	// recycleOut selects AddInto-style destination reuse: the output
 	// CSC is built in one of two workspace-owned buffer sets that
 	// alternate between calls (see allocOutput). Enabled for the
@@ -43,17 +44,21 @@ type Workspace struct {
 	recycleOut bool
 
 	// Scratch reused across calls.
-	workers []*workerState
-	arenas  []arena
-	weights []int64    // per-column Σ_i nnz(A_i(:,j))
-	counts  []int64    // per-column output nnz
-	cols    []fusedCol // fused engine's per-column arena extents
-	ubPtr   []int64    // upper-bound engine's staging column pointers
+	workers []*workerStateOf[T]
+	arenas  []arenaOf[T]
+	weights []int64          // per-column Σ_i nnz(A_i(:,j))
+	counts  []int64          // per-column output nnz
+	cols    []fusedColOf[T]  // fused engine's per-column arena extents
+	ubPtr   []int64          // upper-bound engine's staging column pointers
 	stRows  []matrix.Index
-	stVals  []matrix.Value
+	stVals  []T
 
-	outs [2]cscBuf
+	outs [2]cscBufOf[T]
 	cur  int
+
+	// kit binds the instantiation's Plus fast paths once per
+	// workspace (nil for bool; see kitFor).
+	kit *numKit[T]
 
 	// tun is the workspace-resident self-tuning planner (SetTuner):
 	// the default Options.Tuner for calls that carry none of their
@@ -73,33 +78,36 @@ type Workspace struct {
 	ownEx *sched.Executor
 
 	// Per-call state read by the persistent phase bodies.
-	as       []*matrix.CSC
-	coeffs   []matrix.Value
+	as       []*matrix.CSCOf[T]
+	coeffs   []T
 	alg      Algorithm
-	opt      Options
+	opt      OptionsOf[T]
 	t        int
 	cache    int64
 	sortedIn bool
 	ctx      context.Context // nil for context-free calls
 	sch      Schedule        // resolved schedule (plan.schedule)
 	ex       *sched.Executor // Options.Executor, or ownEx
-	b        *matrix.CSC
+	b        *matrix.CSCOf[T]
 	// mon is the call's resolved combine monoid, held by value so
 	// non-Plus calls allocate nothing; monP is the kernel-facing
 	// handle — nil on the Plus fast path, &mon on the generic path.
-	mon  monoidState
-	monP *monoidState
+	mon  monoidStateOf[T]
+	monP *monoidStateOf[T]
 
 	symFn, numFn, fusedFn, stitchFn, ubFn, compactFn, weightsFn func(w, lo, hi int)
 }
 
-// cscBuf is one recyclable output destination: the CSC header and its
-// grow-only backing arrays.
-type cscBuf struct {
-	m      matrix.CSC
+// Workspace is the float64 workspace, the paper's element type.
+type Workspace = WorkspaceOf[matrix.Value]
+
+// cscBufOf is one recyclable output destination: the CSC header and
+// its grow-only backing arrays.
+type cscBufOf[T matrix.Number] struct {
+	m      matrix.CSCOf[T]
 	colPtr []int64
 	rowIdx []matrix.Index
-	val    []matrix.Value
+	val    []T
 }
 
 // NewWorkspace returns an empty workspace. With recycleOutput the
@@ -108,7 +116,12 @@ type cscBuf struct {
 // call); without it every call allocates a fresh, caller-owned output
 // while still reusing all scratch.
 func NewWorkspace(recycleOutput bool) *Workspace {
-	ws := &Workspace{recycleOut: recycleOutput}
+	return NewWorkspaceOf[matrix.Value](recycleOutput)
+}
+
+// NewWorkspaceOf is NewWorkspace for any supported element type.
+func NewWorkspaceOf[T matrix.Number](recycleOutput bool) *WorkspaceOf[T] {
+	ws := &WorkspaceOf[T]{recycleOut: recycleOutput, kit: kitFor[T]()}
 	ws.symFn = ws.symBody
 	ws.numFn = ws.numBody
 	ws.fusedFn = ws.fusedBody
@@ -124,20 +137,46 @@ func NewWorkspace(recycleOutput bool) *Workspace {
 // own consult it during plan resolution and feed their measured cost
 // back afterwards. The pooled workspaces behind the package-level Add
 // never set one — one-shot callers opt in per call via Options.Tuner.
-func (ws *Workspace) SetTuner(t *tuner.Tuner) { ws.tun = t }
+func (ws *WorkspaceOf[T]) SetTuner(t *tuner.Tuner) { ws.tun = t }
 
 // Tuner returns the workspace-resident planner, nil when none is set.
-func (ws *Workspace) Tuner() *tuner.Tuner { return ws.tun }
+func (ws *WorkspaceOf[T]) Tuner() *tuner.Tuner { return ws.tun }
 
-// wsPool backs the package-level Add/AddTimed/AddScaled: one-shot
+// The wsPools back the package-level Add/AddTimed/AddScaled: one-shot
 // callers get scratch amortization across calls for free, while the
-// output stays caller-owned (no recycling).
-var wsPool = sync.Pool{New: func() any { return NewWorkspace(false) }}
+// output stays caller-owned (no recycling). One pool per supported
+// element type — a pool must hand back a workspace of the caller's
+// instantiation, and a sync.Pool cannot be generic.
+var (
+	wsPoolF64 = sync.Pool{New: func() any { return NewWorkspaceOf[float64](false) }}
+	wsPoolF32 = sync.Pool{New: func() any { return NewWorkspaceOf[float32](false) }}
+	wsPoolI32 = sync.Pool{New: func() any { return NewWorkspaceOf[int32](false) }}
+	wsPoolI64 = sync.Pool{New: func() any { return NewWorkspaceOf[int64](false) }}
+	wsPoolB   = sync.Pool{New: func() any { return NewWorkspaceOf[bool](false) }}
+)
+
+// wsPoolFor returns T's package workspace pool. The type switch runs
+// once per package-level call, far off the hot path.
+func wsPoolFor[T matrix.Number]() *sync.Pool {
+	var z T
+	switch any(z).(type) {
+	case float64:
+		return &wsPoolF64
+	case float32:
+		return &wsPoolF32
+	case int32:
+		return &wsPoolI32
+	case int64:
+		return &wsPoolI64
+	default:
+		return &wsPoolB
+	}
+}
 
 // AddTimed is the workspace-bound form of the package-level AddTimed:
 // identical semantics and output, but all scratch state (and, for a
 // recycling workspace, the output storage) comes from ws.
-func (ws *Workspace) AddTimed(as []*matrix.CSC, opt Options) (*matrix.CSC, PhaseTimings, error) {
+func (ws *WorkspaceOf[T]) AddTimed(as []*matrix.CSCOf[T], opt OptionsOf[T]) (*matrix.CSCOf[T], PhaseTimings, error) {
 	return ws.addTimedPremapped(nil, as, opt, 0)
 }
 
@@ -146,7 +185,7 @@ func (ws *Workspace) AddTimed(as []*matrix.CSC, opt Options) (*matrix.CSC, Phase
 // after the numeric pass) and abandon the call with an error wrapping
 // ErrCanceled or ErrDeadline. Cancellation is clean — no partial
 // result is installed and the workspace's scratch stays reusable.
-func (ws *Workspace) AddContext(ctx context.Context, as []*matrix.CSC, opt Options) (*matrix.CSC, error) {
+func (ws *WorkspaceOf[T]) AddContext(ctx context.Context, as []*matrix.CSCOf[T], opt OptionsOf[T]) (*matrix.CSCOf[T], error) {
 	b, _, err := ws.addTimedPremapped(ctx, as, opt, 0)
 	return b, err
 }
@@ -155,7 +194,7 @@ func (ws *Workspace) AddContext(ctx context.Context, as []*matrix.CSC, opt Optio
 // (see monoidState.mapped): the streaming accumulators fold their
 // previous sum — already in the monoid's result domain — back in as
 // the first input, and it must not pass through MapInput again.
-func (ws *Workspace) addTimedPremapped(ctx context.Context, as []*matrix.CSC, opt Options, premapped int) (*matrix.CSC, PhaseTimings, error) {
+func (ws *WorkspaceOf[T]) addTimedPremapped(ctx context.Context, as []*matrix.CSCOf[T], opt OptionsOf[T], premapped int) (*matrix.CSCOf[T], PhaseTimings, error) {
 	var pt PhaseTimings
 	if opt.Tuner == nil {
 		opt.Tuner = ws.tun // workspace-resident planner, nil when unset
@@ -192,20 +231,20 @@ func (ws *Workspace) addTimedPremapped(ctx context.Context, as []*matrix.CSC, op
 
 // addPremapped is addTimedPremapped without the phase split, the
 // reduction entry point of Accumulator and Pool.
-func (ws *Workspace) addPremapped(ctx context.Context, as []*matrix.CSC, opt Options, premapped int) (*matrix.CSC, error) {
+func (ws *WorkspaceOf[T]) addPremapped(ctx context.Context, as []*matrix.CSCOf[T], opt OptionsOf[T], premapped int) (*matrix.CSCOf[T], error) {
 	b, _, err := ws.addTimedPremapped(ctx, as, opt, premapped)
 	return b, err
 }
 
 // Add is AddTimed without the phase split.
-func (ws *Workspace) Add(as []*matrix.CSC, opt Options) (*matrix.CSC, error) {
+func (ws *WorkspaceOf[T]) Add(as []*matrix.CSCOf[T], opt OptionsOf[T]) (*matrix.CSCOf[T], error) {
 	b, _, err := ws.AddTimed(as, opt)
 	return b, err
 }
 
 // AddScaled is the workspace-bound form of the package-level
 // AddScaled.
-func (ws *Workspace) AddScaled(as []*matrix.CSC, coeffs []matrix.Value, opt Options) (*matrix.CSC, error) {
+func (ws *WorkspaceOf[T]) AddScaled(as []*matrix.CSCOf[T], coeffs []T, opt OptionsOf[T]) (*matrix.CSCOf[T], error) {
 	if len(coeffs) != len(as) {
 		return nil, fmt.Errorf("%w: %d coefficients for %d matrices", ErrDimMismatch, len(coeffs), len(as))
 	}
@@ -235,10 +274,10 @@ func (ws *Workspace) AddScaled(as []*matrix.CSC, coeffs []matrix.Value, opt Opti
 // addDispatch routes a validated call: 2-way baselines keep their
 // native drivers (their intermediate matrices cannot be recycled), the
 // k-way algorithms run on the workspace engines.
-func (ws *Workspace) addDispatch(ctx context.Context, as []*matrix.CSC, p plan, opt Options, coeffs []matrix.Value) (*matrix.CSC, PhaseTimings, error) {
+func (ws *WorkspaceOf[T]) addDispatch(ctx context.Context, as []*matrix.CSCOf[T], p planOf[T], opt OptionsOf[T], coeffs []T) (*matrix.CSCOf[T], PhaseTimings, error) {
 	var pt PhaseTimings
 	if opt.Stats != nil {
-		opt.Stats.RecordMonoid(p.monoid())
+		opt.Stats.RecordMonoid(ops.Describe(p.monoid()))
 	}
 	switch p.alg {
 	case TwoWayIncremental, TwoWayTree, MapIncremental, MapTree:
@@ -252,17 +291,21 @@ func (ws *Workspace) addDispatch(ctx context.Context, as []*matrix.CSC, p plan, 
 		}
 		ex := ws.executorFor(opt, sched.Threads(opt.Threads))
 		start := time.Now()
-		var b *matrix.CSC
+		var b *matrix.CSCOf[T]
 		var err error
+		// The pair adders come through the kit: they are Plus-only
+		// (validate rejects generic monoids here), so their inner
+		// merges are the Arith-constrained "+=" loops. A bool call
+		// never reaches this arm for the same reason.
 		switch p.alg {
 		case TwoWayIncremental:
-			b, err = addIncremental(as, opt, ex, pairAddMerge)
+			b, err = addIncremental(as, opt, ex, ws.kit.pairMerge)
 		case TwoWayTree:
-			b, err = addTree(as, opt, ex, pairAddMerge)
+			b, err = addTree(as, opt, ex, ws.kit.pairMerge)
 		case MapIncremental:
-			b, err = addIncremental(as, opt, ex, pairAddMap)
+			b, err = addIncremental(as, opt, ex, ws.kit.pairMap)
 		case MapTree:
-			b, err = addTree(as, opt, ex, pairAddMap)
+			b, err = addTree(as, opt, ex, ws.kit.pairMap)
 		}
 		pt.Numeric = time.Since(start)
 		if err != nil {
@@ -272,7 +315,7 @@ func (ws *Workspace) addDispatch(ctx context.Context, as []*matrix.CSC, p plan, 
 	default:
 		ws.begin(as, p, opt, coeffs)
 		ws.ctx = ctx
-		var b *matrix.CSC
+		var b *matrix.CSCOf[T]
 		var err error
 		if opt.Stats != nil {
 			opt.Stats.RecordEngine(p.engine)
@@ -298,7 +341,7 @@ func (ws *Workspace) addDispatch(ctx context.Context, as []*matrix.CSC, p plan, 
 // otherwise. Checking only between phases keeps the kernels themselves
 // untouched — a canceled call finishes the pass in flight (bounded
 // work) and aborts before the next one.
-func (ws *Workspace) ctxCheck() error {
+func (ws *WorkspaceOf[T]) ctxCheck() error {
 	if ws.ctx == nil || ws.ctx.Err() == nil {
 		return nil
 	}
@@ -307,7 +350,7 @@ func (ws *Workspace) ctxCheck() error {
 
 // begin records the per-call parameters the persistent phase bodies
 // read, and sizes the per-worker state slice.
-func (ws *Workspace) begin(as []*matrix.CSC, p plan, opt Options, coeffs []matrix.Value) {
+func (ws *WorkspaceOf[T]) begin(as []*matrix.CSCOf[T], p planOf[T], opt OptionsOf[T], coeffs []T) {
 	ws.as, ws.coeffs, ws.alg, ws.opt, ws.sortedIn = as, coeffs, p.alg, opt, p.sortedIn
 	ws.sch = p.schedule
 	ws.mon = p.mon
@@ -319,7 +362,7 @@ func (ws *Workspace) begin(as []*matrix.CSC, p plan, opt Options, coeffs []matri
 	ws.cache = opt.cacheBytes()
 	ws.ex = ws.executorFor(opt, ws.t)
 	if ws.t > len(ws.workers) {
-		workers := make([]*workerState, ws.t)
+		workers := make([]*workerStateOf[T], ws.t)
 		copy(workers, ws.workers)
 		ws.workers = workers
 	}
@@ -331,7 +374,7 @@ func (ws *Workspace) begin(as []*matrix.CSC, p plan, opt Options, coeffs []matri
 // single-threaded call never touches an executor — runColsOn runs its
 // regions inline — so a workspace that only ever serves Threads==1
 // calls parks no goroutines at all.
-func (ws *Workspace) executorFor(opt Options, t int) *sched.Executor {
+func (ws *WorkspaceOf[T]) executorFor(opt OptionsOf[T], t int) *sched.Executor {
 	if opt.Executor != nil {
 		return opt.Executor
 	}
@@ -347,24 +390,24 @@ func (ws *Workspace) executorFor(opt Options, t int) *sched.Executor {
 // hold the caller's shared Executor (whose runtime cleanup must be
 // able to fire once the caller drops its handle) and Stats; only
 // ownEx stays resident, workers parked, for the next call.
-func (ws *Workspace) end() {
+func (ws *WorkspaceOf[T]) end() {
 	ws.as, ws.coeffs, ws.b, ws.ex, ws.ctx = nil, nil, nil, nil, nil
-	ws.opt = Options{}
-	ws.mon, ws.monP = monoidState{}, nil
+	ws.opt = OptionsOf[T]{}
+	ws.mon, ws.monP = monoidStateOf[T]{}, nil
 }
 
 // runCols dispatches columns [0, n) to the call's executor under the
 // resolved schedule, recording the region's load statistics into
 // Options.Stats. weights may be nil for the Static and Dynamic
 // schedules; a weighted schedule without weights falls back to Static.
-func (ws *Workspace) runCols(n int, weights []int64, body func(worker, lo, hi int)) error {
+func (ws *WorkspaceOf[T]) runCols(n int, weights []int64, body func(worker, lo, hi int)) error {
 	return runColsOn(ws.ex, n, ws.t, ws.sch, weights, ws.opt.Stats, body)
 }
 
 // racySched reports whether the call's schedule assigns columns to
 // workers nondeterministically (chunk claiming, stealing): the same
 // call may hand any column to any worker on different runs.
-func (ws *Workspace) racySched() bool {
+func (ws *WorkspaceOf[T]) racySched() bool {
 	return ws.t > 1 && (ws.sch == ScheduleDynamic || ws.sch == ScheduleWeightedStealing)
 }
 
@@ -380,7 +423,7 @@ func (ws *Workspace) racySched() bool {
 // exactly the schedules that exist to fix skew. Reservation only
 // grows backing storage; the per-column probe-window sizing (the
 // cache behaviour the hash algorithms are built around) is untouched.
-func (ws *Workspace) reserveWorkers(bound []int64, sym bool) {
+func (ws *WorkspaceOf[T]) reserveWorkers(bound []int64, sym bool) {
 	if !ws.racySched() {
 		return
 	}
@@ -411,7 +454,7 @@ func (ws *Workspace) reserveWorkers(bound []int64, sym bool) {
 // for workers the executor will never wake (a budget-capped shared
 // pool under a larger Threads request) would multiply memory for
 // nothing.
-func (ws *Workspace) reserveCount(n int) int {
+func (ws *WorkspaceOf[T]) reserveCount(n int) int {
 	t := ws.t
 	if b := ws.ex.Budget(); b > 0 && b < t {
 		t = b
@@ -436,10 +479,10 @@ func maxWeight(bound []int64) int64 {
 // (worker ids handed out by sched are distinct among concurrently
 // running goroutines, so this is race-free) and adapting a reused one
 // to this call's k and load factor.
-func (ws *Workspace) worker(w int) *workerState {
+func (ws *WorkspaceOf[T]) worker(w int) *workerStateOf[T] {
 	s := ws.workers[w]
 	if s == nil {
-		s = newWorkerState(len(ws.as), ws.opt.loadFactor())
+		s = newWorkerStateOf[T](len(ws.as), ws.opt.loadFactor())
 		ws.workers[w] = s
 		return s
 	}
@@ -448,7 +491,7 @@ func (ws *Workspace) worker(w int) *workerState {
 }
 
 // colScratch sizes and zeroes the per-column weight and count arrays.
-func (ws *Workspace) colScratch(n int) {
+func (ws *WorkspaceOf[T]) colScratch(n int) {
 	ws.weights = grow(ws.weights, n)
 	ws.counts = grow(ws.counts, n)
 	clear(ws.weights)
@@ -462,7 +505,7 @@ func (ws *Workspace) colScratch(n int) {
 // statically: the weights this precompute exists to produce are not
 // known yet, and the per-column work is one pointer subtraction per
 // input, uniform by construction).
-func (ws *Workspace) fillInputWeights() error {
+func (ws *WorkspaceOf[T]) fillInputWeights() error {
 	n := ws.as[0].Cols
 	if n >= inputWeightsParallelMin && ws.t > 1 {
 		ls, err := ws.ex.Static(n, ws.t, ws.weightsFn)
@@ -478,7 +521,7 @@ func (ws *Workspace) fillInputWeights() error {
 	return nil
 }
 
-func (ws *Workspace) weightsBody(_, lo, hi int) {
+func (ws *WorkspaceOf[T]) weightsBody(_, lo, hi int) {
 	for _, a := range ws.as {
 		ptr := a.ColPtr
 		for j := lo; j < hi; j++ {
@@ -493,9 +536,9 @@ func (ws *Workspace) weightsBody(_, lo, hi int) {
 // (ping-pong), so the matrix returned by the previous call may safely
 // appear among the next call's inputs — the streaming pattern
 // sum = ws.Add([sum, delta]) never reads a buffer while writing it.
-func (ws *Workspace) allocOutput(rows, cols int, counts []int64) *matrix.CSC {
+func (ws *WorkspaceOf[T]) allocOutput(rows, cols int, counts []int64) *matrix.CSCOf[T] {
 	if !ws.recycleOut {
-		return allocCSC(rows, cols, counts)
+		return allocCSC[T](rows, cols, counts)
 	}
 	ws.cur ^= 1
 	o := &ws.outs[ws.cur]
@@ -507,17 +550,17 @@ func (ws *Workspace) allocOutput(rows, cols int, counts []int64) *matrix.CSC {
 	nnz := int(o.colPtr[cols])
 	if cap(o.rowIdx) < nnz || cap(o.val) < nnz {
 		o.rowIdx = make([]matrix.Index, nnz)
-		o.val = make([]matrix.Value, nnz)
+		o.val = make([]T, nnz)
 	}
 	o.rowIdx, o.val = o.rowIdx[:nnz], o.val[:nnz]
-	o.m = matrix.CSC{Rows: rows, Cols: cols, ColPtr: o.colPtr[:cols+1], RowIdx: o.rowIdx, Val: o.val}
+	o.m = matrix.CSCOf[T]{Rows: rows, Cols: cols, ColPtr: o.colPtr[:cols+1], RowIdx: o.rowIdx, Val: o.val}
 	return &o.m
 }
 
 // copyOne handles the k=1 case: the sum of one matrix is a copy. A
 // recycling workspace copies into its resident destination to keep the
 // ownership contract (result valid until the next call) uniform.
-func (ws *Workspace) copyOne(a *matrix.CSC, opt Options) *matrix.CSC {
+func (ws *WorkspaceOf[T]) copyOne(a *matrix.CSCOf[T], opt OptionsOf[T]) *matrix.CSCOf[T] {
 	if !ws.recycleOut {
 		out := a.Clone()
 		if opt.SortedOutput && !out.IsColumnSorted() {

@@ -3,10 +3,17 @@
 // (Algorithm 6): power-of-two sized tables with the multiplicative
 // masking hash HASH(r) = (a*r) & (2^q - 1) and linear probing.
 //
-// Two variants are provided: Table stores (row, value) pairs and
+// Two variants are provided: TableOf stores (row, value) pairs and
 // accumulates values on duplicate insert (the numeric addition phase);
 // Symbolic stores row indices only and counts distinct keys (the
-// symbolic phase, 4 bytes per entry instead of 12).
+// symbolic phase, 4 bytes per entry regardless of value type).
+//
+// The value axis is generic over matrix.Number. The "+" fast path is
+// the free function Accum, constrained to matrix.Arith so its `+=` is
+// a single machine instruction per instantiation (a method cannot
+// carry a tighter constraint than its receiver type); the monoid-
+// generic path is the AddWith method, available for every T including
+// bool. Table aliases the float64 instantiation.
 //
 // A worker reuses one table across every column it processes, so Reset
 // must not cost O(capacity): slots carry an epoch stamp and Reset just
@@ -65,10 +72,11 @@ func SizeFor(n int, loadFactor float64) int {
 	return p
 }
 
-// Table is the numeric-phase hash table holding (row, value) entries.
-type Table struct {
+// TableOf is the numeric-phase hash table holding (row, value) entries
+// of element type T.
+type TableOf[T matrix.Number] struct {
 	keys   []matrix.Index
-	vals   []matrix.Value
+	vals   []T
 	stamps []uint32
 	epoch  uint32
 	mask   uint32 // active window size - 1 (window may be smaller than storage)
@@ -81,21 +89,29 @@ type Table struct {
 	Probes int64
 }
 
-// NewTable returns a table with capacity for at least n keys.
+// Table is the float64 numeric-phase table.
+type Table = TableOf[matrix.Value]
+
+// NewTable returns a float64 table with capacity for at least n keys.
 func NewTable(n int, loadFactor float64) *Table {
-	t := &Table{}
+	return NewTableOf[matrix.Value](n, loadFactor)
+}
+
+// NewTableOf returns a table over T with capacity for at least n keys.
+func NewTableOf[T matrix.Number](n int, loadFactor float64) *TableOf[T] {
+	t := &TableOf[T]{}
 	t.Grow(n, loadFactor)
 	return t
 }
 
 // Cap returns the active window size (a power of two).
-func (t *Table) Cap() int { return int(t.mask) + 1 }
+func (t *TableOf[T]) Cap() int { return int(t.mask) + 1 }
 
 // Len returns the number of distinct keys stored.
-func (t *Table) Len() int { return t.n }
+func (t *TableOf[T]) Len() int { return t.n }
 
 // Reset clears the table for reuse in O(1) by bumping the epoch.
-func (t *Table) Reset() {
+func (t *TableOf[T]) Reset() {
 	t.n = 0
 	t.epoch++
 	if t.epoch == 0 { // stamp wraparound: restore the invariant
@@ -108,11 +124,11 @@ func (t *Table) Reset() {
 
 // Grow clears the table and sets the active probe window to hold at
 // least n keys, enlarging storage only when needed.
-func (t *Table) Grow(n int, loadFactor float64) {
+func (t *TableOf[T]) Grow(n int, loadFactor float64) {
 	size := SizeFor(n, loadFactor)
 	if size > len(t.keys) {
 		t.keys = make([]matrix.Index, size)
-		t.vals = make([]matrix.Value, size)
+		t.vals = make([]T, size)
 		t.stamps = make([]uint32, size)
 		t.epoch = 0
 	}
@@ -120,9 +136,14 @@ func (t *Table) Grow(n int, loadFactor float64) {
 	t.Reset()
 }
 
-// Add inserts (r, v), accumulating v if r is already present
-// (lines 5-12 of Algorithm 5).
-func (t *Table) Add(r matrix.Index, v matrix.Value) {
+// Accum inserts (r, v) into t, accumulating v with += if r is already
+// present (lines 5-12 of Algorithm 5). It is the "+" fast path of
+// every hash kernel, a free function constrained to the arithmetic
+// types so each instantiation compiles to a branch-once inlined probe
+// loop — no dispatch per entry, no boolean case to branch around.
+//
+//spkadd:noalloc per-entry hot path of every hash kernel
+func Accum[T matrix.Arith](t *TableOf[T], r matrix.Index, v T) {
 	h := (hashMul * uint32(r)) & t.mask
 	for {
 		t.Probes++
@@ -141,14 +162,14 @@ func (t *Table) Add(r matrix.Index, v matrix.Value) {
 	}
 }
 
-// AddWith is Add under an arbitrary combine operation: it inserts
+// AddWith is Accum under an arbitrary combine operation: it inserts
 // (r, v) and, when r is already present, replaces the stored value
-// with combine(stored, v). Add is exactly AddWith with "+" inlined;
+// with combine(stored, v). Accum is exactly AddWith with "+" inlined;
 // the kernels select between them once per column, so the generic
 // path's indirect call is paid only by non-Plus monoids.
 //
 //spkadd:noalloc per-entry hot path of every hash kernel
-func (t *Table) AddWith(r matrix.Index, v matrix.Value, combine func(a, b matrix.Value) matrix.Value) {
+func (t *TableOf[T]) AddWith(r matrix.Index, v T, combine func(a, b T) T) {
 	h := (hashMul * uint32(r)) & t.mask
 	for {
 		t.Probes++
@@ -168,11 +189,12 @@ func (t *Table) AddWith(r matrix.Index, v matrix.Value, combine func(a, b matrix
 }
 
 // Get returns the accumulated value for r and whether r is present.
-func (t *Table) Get(r matrix.Index) (matrix.Value, bool) {
+func (t *TableOf[T]) Get(r matrix.Index) (T, bool) {
 	h := (hashMul * uint32(r)) & t.mask
 	for {
 		if t.stamps[h] != t.epoch {
-			return 0, false
+			var z T
+			return z, false
 		}
 		if t.keys[h] == r {
 			return t.vals[h], true
@@ -184,7 +206,7 @@ func (t *Table) Get(r matrix.Index) (matrix.Value, bool) {
 // AppendEntries appends all valid (row, value) pairs to rows/vals in
 // table order (lines 13-14 of Algorithm 5) and returns the extended
 // slices. Table order is not sorted; callers sort afterwards if needed.
-func (t *Table) AppendEntries(rows []matrix.Index, vals []matrix.Value) ([]matrix.Index, []matrix.Value) {
+func (t *TableOf[T]) AppendEntries(rows []matrix.Index, vals []T) ([]matrix.Index, []T) {
 	for h := 0; h <= int(t.mask); h++ {
 		if t.stamps[h] == t.epoch {
 			rows = append(rows, t.keys[h])
@@ -195,7 +217,9 @@ func (t *Table) AppendEntries(rows []matrix.Index, vals []matrix.Value) ([]matri
 }
 
 // Symbolic is the index-only table of Algorithm 6, used to count the
-// distinct row indices of an output column before allocation.
+// distinct row indices of an output column before allocation. It holds
+// no values at all, so it needs no type parameter: one symbolic table
+// serves every instantiation of the numeric kernels.
 type Symbolic struct {
 	keys   []matrix.Index
 	stamps []uint32

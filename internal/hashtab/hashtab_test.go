@@ -36,9 +36,9 @@ func TestSizeFor(t *testing.T) {
 
 func TestTableAccumulates(t *testing.T) {
 	tab := NewTable(10, 0.5)
-	tab.Add(5, 1.5)
-	tab.Add(7, 2)
-	tab.Add(5, 3)
+	Accum(tab, 5, 1.5)
+	Accum(tab, 7, 2)
+	Accum(tab, 5, 3)
 	if tab.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", tab.Len())
 	}
@@ -58,7 +58,7 @@ func TestTableCollisionsResolve(t *testing.T) {
 	tab := NewTable(4, 1.0)
 	keys := []matrix.Index{0, 4, 8, 12} // likely collide under mask
 	for i, k := range keys {
-		tab.Add(k, float64(i+1))
+		Accum(tab, k, float64(i+1))
 	}
 	for i, k := range keys {
 		if v, ok := tab.Get(k); !ok || v != float64(i+1) {
@@ -74,7 +74,7 @@ func TestAppendEntriesRoundTrip(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		r := matrix.Index(rng.Intn(50))
 		v := float64(rng.Intn(10))
-		tab.Add(r, v)
+		Accum(tab, r, v)
 		want[r] += v
 	}
 	rows, vals := tab.AppendEntries(nil, nil)
@@ -97,7 +97,7 @@ func TestAppendEntriesRoundTrip(t *testing.T) {
 
 func TestTableResetAndGrow(t *testing.T) {
 	tab := NewTable(8, 0.5)
-	tab.Add(1, 1)
+	Accum(tab, 1, 1)
 	tab.Reset()
 	if tab.Len() != 0 {
 		t.Error("Reset did not clear")
@@ -113,7 +113,7 @@ func TestTableResetAndGrow(t *testing.T) {
 	if tab.Cap() < 20_000 {
 		t.Errorf("Grow(10000) cap = %d", tab.Cap())
 	}
-	tab.Add(9999, 3)
+	Accum(tab, 9999, 3)
 	if v, _ := tab.Get(9999); v != 3 {
 		t.Error("table broken after Grow")
 	}
@@ -149,9 +149,9 @@ func TestQuickTableMatchesMap(t *testing.T) {
 			// Grow clears; rebuild from the map to mimic steady state.
 			tab.Reset()
 			for kr, kv := range want {
-				tab.Add(kr, kv)
+				Accum(tab, kr, kv)
 			}
-			tab.Add(r, v)
+			Accum(tab, r, v)
 			want[r] += v
 		}
 		if tab.Len() != len(want) {
@@ -171,12 +171,12 @@ func TestQuickTableMatchesMap(t *testing.T) {
 
 func TestProbeCounterMonotone(t *testing.T) {
 	tab := NewTable(16, 0.5)
-	tab.Add(1, 1)
+	Accum(tab, 1, 1)
 	if tab.Probes < 1 {
 		t.Error("probe counter not advancing")
 	}
 	p := tab.Probes
-	tab.Add(2, 1)
+	Accum(tab, 2, 1)
 	if tab.Probes <= p {
 		t.Error("probe counter not monotone")
 	}
@@ -192,7 +192,7 @@ func TestAddWithMatchesAdd(t *testing.T) {
 		r := matrix.Index(rng.Intn(100))
 		v := matrix.Value(rng.NormFloat64())
 		tab.AddWith(r, v, plus)
-		ref.Add(r, v)
+		Accum(ref, r, v)
 	}
 	if tab.Len() != ref.Len() {
 		t.Fatalf("Len = %d, want %d", tab.Len(), ref.Len())

@@ -5,11 +5,11 @@ package matrix
 // index (row ranges are located by binary search); the result has
 // sorted columns. Block is the distribution primitive of the simulated
 // sparse SUMMA: each process owns one block of each operand.
-func (a *CSC) Block(r0, r1, c0, c1 int) *CSC {
+func (a *CSCOf[T]) Block(r0, r1, c0, c1 int) *CSCOf[T] {
 	if r0 < 0 || c0 < 0 || r1 > a.Rows || c1 > a.Cols || r0 > r1 || c0 > c1 {
 		panic("matrix: Block range out of bounds")
 	}
-	out := NewCSC(r1-r0, c1-c0, 0)
+	out := NewCSCOf[T](r1-r0, c1-c0, 0)
 	for j := c0; j < c1; j++ {
 		rows, vals := a.ColRange(j, Index(r0), Index(r1))
 		for p := range rows {

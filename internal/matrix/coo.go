@@ -5,30 +5,39 @@ import (
 	"sort"
 )
 
-// COO is a sparse matrix in coordinate (triple) format. Entries may be
-// unordered and may contain duplicates; ToCSC merges duplicates by
-// summation, matching the usual assembly semantics (e.g. finite-element
-// assembly accumulates overlapping local contributions).
-type COO struct {
+// COOOf is a sparse matrix in coordinate (triple) format over element
+// type T. Entries may be unordered and may contain duplicates; ToCSC
+// merges duplicates by summation (bool: OR), matching the usual
+// assembly semantics (e.g. finite-element assembly accumulates
+// overlapping local contributions).
+type COOOf[T Number] struct {
 	Rows, Cols int
-	Entries    []Triple
+	Entries    []TripleOf[T]
 }
 
-// NewCOO returns an empty rows x cols coordinate matrix.
+// COO is the float64 coordinate matrix.
+type COO = COOOf[Value]
+
+// NewCOO returns an empty float64 rows x cols coordinate matrix.
 func NewCOO(rows, cols int) *COO {
-	return &COO{Rows: rows, Cols: cols}
+	return NewCOOOf[Value](rows, cols)
+}
+
+// NewCOOOf returns an empty rows x cols coordinate matrix over T.
+func NewCOOOf[T Number](rows, cols int) *COOOf[T] {
+	return &COOOf[T]{Rows: rows, Cols: cols}
 }
 
 // Append adds one entry. It does not check ranges; Validate does.
-func (c *COO) Append(i, j Index, v Value) {
-	c.Entries = append(c.Entries, Triple{Row: i, Col: j, Val: v})
+func (c *COOOf[T]) Append(i, j Index, v T) {
+	c.Entries = append(c.Entries, TripleOf[T]{Row: i, Col: j, Val: v})
 }
 
 // NNZ returns the number of stored triples (duplicates counted).
-func (c *COO) NNZ() int { return len(c.Entries) }
+func (c *COOOf[T]) NNZ() int { return len(c.Entries) }
 
 // Validate checks that all coordinates are in range.
-func (c *COO) Validate() error {
+func (c *COOOf[T]) Validate() error {
 	for p, t := range c.Entries {
 		if t.Row < 0 || int(t.Row) >= c.Rows || t.Col < 0 || int(t.Col) >= c.Cols {
 			return fmt.Errorf("%w: entry %d (%d,%d) out of range %dx%d", ErrInvalid, p, t.Row, t.Col, c.Rows, c.Cols)
@@ -38,7 +47,7 @@ func (c *COO) Validate() error {
 }
 
 // ToCSC converts to CSC with sorted columns, summing duplicates.
-func (c *COO) ToCSC() *CSC {
+func (c *COOOf[T]) ToCSC() *CSCOf[T] {
 	n := c.Cols
 	colCount := make([]int64, n+1)
 	for _, t := range c.Entries {
@@ -47,12 +56,12 @@ func (c *COO) ToCSC() *CSC {
 	for j := 0; j < n; j++ {
 		colCount[j+1] += colCount[j]
 	}
-	a := &CSC{
+	a := &CSCOf[T]{
 		Rows:   c.Rows,
 		Cols:   n,
 		ColPtr: colCount,
 		RowIdx: make([]Index, len(c.Entries)),
-		Val:    make([]Value, len(c.Entries)),
+		Val:    make([]T, len(c.Entries)),
 	}
 	next := append([]int64(nil), a.ColPtr[:n]...)
 	for _, t := range c.Entries {
@@ -64,15 +73,22 @@ func (c *COO) ToCSC() *CSC {
 	return a.SortColumns()
 }
 
-// FromTriples builds a sorted, duplicate-merged CSC directly.
+// FromTriples builds a sorted, duplicate-merged float64 CSC directly.
+// A plain function (not FromTriplesOf[Value]) so a nil triple slice
+// still resolves the element type.
 func FromTriples(rows, cols int, ts []Triple) *CSC {
-	c := &COO{Rows: rows, Cols: cols, Entries: ts}
+	return FromTriplesOf(rows, cols, ts)
+}
+
+// FromTriplesOf builds a sorted, duplicate-merged CSC directly.
+func FromTriplesOf[T Number](rows, cols int, ts []TripleOf[T]) *CSCOf[T] {
+	c := &COOOf[T]{Rows: rows, Cols: cols, Entries: ts}
 	return c.ToCSC()
 }
 
 // SortRowMajor sorts entries by (row, col); useful for deterministic
 // output and tests.
-func (c *COO) SortRowMajor() {
+func (c *COOOf[T]) SortRowMajor() {
 	sort.Slice(c.Entries, func(i, j int) bool {
 		a, b := c.Entries[i], c.Entries[j]
 		if a.Row != b.Row {

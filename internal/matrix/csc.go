@@ -6,51 +6,62 @@ import (
 	"sort"
 )
 
-// CSC is a sparse matrix in compressed sparse column format.
+// CSCOf is a sparse matrix in compressed sparse column format over
+// element type T.
 //
 // Column j occupies positions ColPtr[j]..ColPtr[j+1] of RowIdx and Val.
 // Columns may be sorted by row index or not; algorithms that require
 // sorted columns (2-way merge, heap) state so and can be checked with
 // IsColumnSorted. The zero value is an empty 0x0 matrix.
-type CSC struct {
+type CSCOf[T Number] struct {
 	Rows, Cols int
 	ColPtr     []int64 // length Cols+1, monotone non-decreasing
 	RowIdx     []Index // length NNZ
-	Val        []Value // length NNZ
+	Val        []T     // length NNZ
 }
 
-// NewCSC returns an empty rows x cols matrix with capacity for nnzCap
-// nonzeros.
+// CSC is the float64 CSC matrix, the paper's element type.
+type CSC = CSCOf[Value]
+
+// NewCSC returns an empty float64 rows x cols matrix with capacity for
+// nnzCap nonzeros.
 func NewCSC(rows, cols, nnzCap int) *CSC {
-	return &CSC{
+	return NewCSCOf[Value](rows, cols, nnzCap)
+}
+
+// NewCSCOf returns an empty rows x cols matrix over T with capacity
+// for nnzCap nonzeros.
+func NewCSCOf[T Number](rows, cols, nnzCap int) *CSCOf[T] {
+	return &CSCOf[T]{
 		Rows:   rows,
 		Cols:   cols,
 		ColPtr: make([]int64, cols+1),
 		RowIdx: make([]Index, 0, nnzCap),
-		Val:    make([]Value, 0, nnzCap),
+		Val:    make([]T, 0, nnzCap),
 	}
 }
 
 // NNZ returns the number of stored entries.
-func (a *CSC) NNZ() int { return len(a.RowIdx) }
+func (a *CSCOf[T]) NNZ() int { return len(a.RowIdx) }
 
 // ColNNZ returns the number of stored entries in column j.
-func (a *CSC) ColNNZ(j int) int { return int(a.ColPtr[j+1] - a.ColPtr[j]) }
+func (a *CSCOf[T]) ColNNZ(j int) int { return int(a.ColPtr[j+1] - a.ColPtr[j]) }
 
 // ColRows returns the row-index slice of column j (shared storage).
-func (a *CSC) ColRows(j int) []Index { return a.RowIdx[a.ColPtr[j]:a.ColPtr[j+1]] }
+func (a *CSCOf[T]) ColRows(j int) []Index { return a.RowIdx[a.ColPtr[j]:a.ColPtr[j+1]] }
 
 // ColVals returns the value slice of column j (shared storage).
-func (a *CSC) ColVals(j int) []Value { return a.Val[a.ColPtr[j]:a.ColPtr[j+1]] }
+func (a *CSCOf[T]) ColVals(j int) []T { return a.Val[a.ColPtr[j]:a.ColPtr[j+1]] }
 
-// At returns the value at (i, j), or 0 if no entry is stored there.
-// Columns need not be sorted; lookup is linear in the column length.
-func (a *CSC) At(i, j int) Value {
+// At returns the value at (i, j), or the zero of T if no entry is
+// stored there, summing duplicates (bool: OR). Columns need not be
+// sorted; lookup is linear in the column length.
+func (a *CSCOf[T]) At(i, j int) T {
 	rows, vals := a.ColRows(j), a.ColVals(j)
-	var s Value
+	var s T
 	for p, r := range rows {
 		if int(r) == i {
-			s += vals[p]
+			s = AddVal(s, vals[p])
 		}
 	}
 	return s
@@ -58,7 +69,7 @@ func (a *CSC) At(i, j int) Value {
 
 // Validate checks structural invariants: dimensions non-negative,
 // ColPtr monotone covering RowIdx/Val, and all row indices in range.
-func (a *CSC) Validate() error {
+func (a *CSCOf[T]) Validate() error {
 	if a.Rows < 0 || a.Cols < 0 {
 		return fmt.Errorf("%w: negative dimensions %dx%d", ErrInvalid, a.Rows, a.Cols)
 	}
@@ -89,7 +100,7 @@ func (a *CSC) Validate() error {
 
 // IsColumnSorted reports whether every column's row indices are in
 // strictly ascending order (i.e. sorted and duplicate-free).
-func (a *CSC) IsColumnSorted() bool {
+func (a *CSCOf[T]) IsColumnSorted() bool {
 	for j := 0; j < a.Cols; j++ {
 		rows := a.ColRows(j)
 		for p := 1; p < len(rows); p++ {
@@ -102,14 +113,14 @@ func (a *CSC) IsColumnSorted() bool {
 }
 
 // SortColumns sorts each column in place by ascending row index,
-// summing duplicate row indices into a single entry. It returns the
-// receiver for chaining.
-func (a *CSC) SortColumns() *CSC {
+// summing duplicate row indices into a single entry (bool: OR). It
+// returns the receiver for chaining.
+func (a *CSCOf[T]) SortColumns() *CSCOf[T] {
 	out := 0
 	newPtr := make([]int64, a.Cols+1)
 	for j := 0; j < a.Cols; j++ {
 		lo, hi := int(a.ColPtr[j]), int(a.ColPtr[j+1])
-		col := colSorter{rows: a.RowIdx[lo:hi], vals: a.Val[lo:hi]}
+		col := colSorter[T]{rows: a.RowIdx[lo:hi], vals: a.Val[lo:hi]}
 		sort.Sort(col)
 		// Compact duplicates, writing to position out (out <= lo always).
 		for p := lo; p < hi; {
@@ -117,7 +128,7 @@ func (a *CSC) SortColumns() *CSC {
 			v := a.Val[p]
 			p++
 			for p < hi && a.RowIdx[p] == r {
-				v += a.Val[p]
+				v = AddVal(v, a.Val[p])
 				p++
 			}
 			a.RowIdx[out] = r
@@ -132,26 +143,26 @@ func (a *CSC) SortColumns() *CSC {
 	return a
 }
 
-type colSorter struct {
+type colSorter[T Number] struct {
 	rows []Index
-	vals []Value
+	vals []T
 }
 
-func (c colSorter) Len() int           { return len(c.rows) }
-func (c colSorter) Less(i, j int) bool { return c.rows[i] < c.rows[j] }
-func (c colSorter) Swap(i, j int) {
+func (c colSorter[T]) Len() int           { return len(c.rows) }
+func (c colSorter[T]) Less(i, j int) bool { return c.rows[i] < c.rows[j] }
+func (c colSorter[T]) Swap(i, j int) {
 	c.rows[i], c.rows[j] = c.rows[j], c.rows[i]
 	c.vals[i], c.vals[j] = c.vals[j], c.vals[i]
 }
 
 // Clone returns a deep copy.
-func (a *CSC) Clone() *CSC {
-	b := &CSC{
+func (a *CSCOf[T]) Clone() *CSCOf[T] {
+	b := &CSCOf[T]{
 		Rows:   a.Rows,
 		Cols:   a.Cols,
 		ColPtr: append([]int64(nil), a.ColPtr...),
 		RowIdx: append([]Index(nil), a.RowIdx...),
-		Val:    append([]Value(nil), a.Val...),
+		Val:    append([]T(nil), a.Val...),
 	}
 	return b
 }
@@ -159,12 +170,14 @@ func (a *CSC) Clone() *CSC {
 // Equal reports whether a and b represent the same matrix, comparing
 // entries exactly. Columns are compared as sets, so entry order within
 // a column does not matter; duplicates must already be merged.
-func (a *CSC) Equal(b *CSC) bool {
+func (a *CSCOf[T]) Equal(b *CSCOf[T]) bool {
 	return a.EqualTol(b, 0)
 }
 
-// EqualTol is Equal with an absolute tolerance on values.
-func (a *CSC) EqualTol(b *CSC, tol float64) bool {
+// EqualTol is Equal with an absolute tolerance on values, compared in
+// float64 (ToFloat64; exact for every T narrower than 53 bits of
+// mantissa demand, and tol 0 degenerates to exact comparison).
+func (a *CSCOf[T]) EqualTol(b *CSCOf[T], tol float64) bool {
 	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
 		return false
 	}
@@ -176,7 +189,10 @@ func (a *CSC) EqualTol(b *CSC, tol float64) bool {
 		ar, av := sortedCol(a, j)
 		br, bv := sortedCol(b, j)
 		for p := range ar {
-			if ar[p] != br[p] || math.Abs(av[p]-bv[p]) > tol {
+			if ar[p] != br[p] {
+				return false
+			}
+			if av[p] != bv[p] && math.Abs(ToFloat64(av[p])-ToFloat64(bv[p])) > tol {
 				return false
 			}
 		}
@@ -184,55 +200,56 @@ func (a *CSC) EqualTol(b *CSC, tol float64) bool {
 	return true
 }
 
-func sortedCol(a *CSC, j int) ([]Index, []Value) {
+func sortedCol[T Number](a *CSCOf[T], j int) ([]Index, []T) {
 	rows, vals := a.ColRows(j), a.ColVals(j)
 	if sort.SliceIsSorted(rows, func(i, k int) bool { return rows[i] < rows[k] }) {
 		return rows, vals
 	}
 	r := append([]Index(nil), rows...)
-	v := append([]Value(nil), vals...)
-	sort.Sort(colSorter{rows: r, vals: v})
+	v := append([]T(nil), vals...)
+	sort.Sort(colSorter[T]{rows: r, vals: v})
 	return r, v
 }
 
 // ColRangeNNZ returns the number of entries of column j whose row index
 // lies in [r1, r2). The column must be sorted by row index; the count is
 // located with two binary searches as in the sliding-hash algorithm.
-func (a *CSC) ColRangeNNZ(j int, r1, r2 Index) int {
+func (a *CSCOf[T]) ColRangeNNZ(j int, r1, r2 Index) int {
 	lo, hi := a.colRange(j, r1, r2)
 	return hi - lo
 }
 
 // ColRange returns the (rows, vals) sub-slices of sorted column j
 // restricted to row indices in [r1, r2).
-func (a *CSC) ColRange(j int, r1, r2 Index) ([]Index, []Value) {
+func (a *CSCOf[T]) ColRange(j int, r1, r2 Index) ([]Index, []T) {
 	lo, hi := a.colRange(j, r1, r2)
 	base := int(a.ColPtr[j])
 	return a.RowIdx[base+lo : base+hi], a.Val[base+lo : base+hi]
 }
 
-func (a *CSC) colRange(j int, r1, r2 Index) (lo, hi int) {
+func (a *CSCOf[T]) colRange(j int, r1, r2 Index) (lo, hi int) {
 	rows := a.ColRows(j)
 	lo = sort.Search(len(rows), func(p int) bool { return rows[p] >= r1 })
 	hi = sort.Search(len(rows), func(p int) bool { return rows[p] >= r2 })
 	return lo, hi
 }
 
-// Scale multiplies every stored value by s, in place.
-func (a *CSC) Scale(s Value) *CSC {
+// Scale multiplies every stored value by s, in place (bool: AND).
+func (a *CSCOf[T]) Scale(s T) *CSCOf[T] {
 	for p := range a.Val {
-		a.Val[p] *= s
+		a.Val[p] = MulVal(a.Val[p], s)
 	}
 	return a
 }
 
-// DropZeros removes explicitly stored zeros, preserving entry order.
-func (a *CSC) DropZeros() *CSC {
+// DropZeros removes explicitly stored zeros (bool: stored false),
+// preserving entry order.
+func (a *CSCOf[T]) DropZeros() *CSCOf[T] {
 	out := 0
 	newPtr := make([]int64, a.Cols+1)
 	for j := 0; j < a.Cols; j++ {
 		for p := int(a.ColPtr[j]); p < int(a.ColPtr[j+1]); p++ {
-			if a.Val[p] != 0 {
+			if !IsZero(a.Val[p]) {
 				a.RowIdx[out] = a.RowIdx[p]
 				a.Val[out] = a.Val[p]
 				out++
@@ -247,12 +264,12 @@ func (a *CSC) DropZeros() *CSC {
 }
 
 // Triples returns all stored entries in column-major order.
-func (a *CSC) Triples() []Triple {
-	ts := make([]Triple, 0, a.NNZ())
+func (a *CSCOf[T]) Triples() []TripleOf[T] {
+	ts := make([]TripleOf[T], 0, a.NNZ())
 	for j := 0; j < a.Cols; j++ {
 		rows, vals := a.ColRows(j), a.ColVals(j)
 		for p := range rows {
-			ts = append(ts, Triple{Row: rows[p], Col: Index(j), Val: vals[p]})
+			ts = append(ts, TripleOf[T]{Row: rows[p], Col: Index(j), Val: vals[p]})
 		}
 	}
 	return ts
@@ -263,7 +280,7 @@ func (a *CSC) Triples() []Triple {
 // piece keeps the full row dimension and n/k of the columns, re-indexed
 // from 0). When widen is true each piece is returned as an m x ceil(n/k)
 // matrix; the last piece may have fewer populated columns.
-func (a *CSC) ColSplit(k int) []*CSC {
+func (a *CSCOf[T]) ColSplit(k int) []*CSCOf[T] {
 	if k <= 0 {
 		return nil
 	}
@@ -271,19 +288,19 @@ func (a *CSC) ColSplit(k int) []*CSC {
 	if width == 0 {
 		width = 1
 	}
-	pieces := make([]*CSC, 0, k)
+	pieces := make([]*CSCOf[T], 0, k)
 	for start := 0; start < a.Cols; start += width {
 		end := start + width
 		if end > a.Cols {
 			end = a.Cols
 		}
 		lo, hi := a.ColPtr[start], a.ColPtr[end]
-		p := &CSC{
+		p := &CSCOf[T]{
 			Rows:   a.Rows,
 			Cols:   width,
 			ColPtr: make([]int64, width+1),
 			RowIdx: append([]Index(nil), a.RowIdx[lo:hi]...),
-			Val:    append([]Value(nil), a.Val[lo:hi]...),
+			Val:    append([]T(nil), a.Val[lo:hi]...),
 		}
 		for j := start; j < end; j++ {
 			p.ColPtr[j-start+1] = a.ColPtr[j+1] - lo
@@ -294,7 +311,7 @@ func (a *CSC) ColSplit(k int) []*CSC {
 		pieces = append(pieces, p)
 	}
 	for len(pieces) < k {
-		pieces = append(pieces, NewCSC(a.Rows, width, 0))
+		pieces = append(pieces, NewCSCOf[T](a.Rows, width, 0))
 	}
 	return pieces
 }
@@ -307,7 +324,7 @@ func (a *CSC) ColSplit(k int) []*CSC {
 // or Block instead. ColView is the slicing primitive of the sharded
 // accumulation pool: Push carves each incoming matrix into per-shard
 // views without touching the nnz payload.
-func (a *CSC) ColView(c0, c1 int) *CSC {
+func (a *CSCOf[T]) ColView(c0, c1 int) *CSCOf[T] {
 	if c0 < 0 || c1 > a.Cols || c0 > c1 {
 		panic("matrix: ColView range out of bounds")
 	}
@@ -316,7 +333,7 @@ func (a *CSC) ColView(c0, c1 int) *CSC {
 	for j := range ptr {
 		ptr[j] = a.ColPtr[c0+j] - lo
 	}
-	return &CSC{
+	return &CSCOf[T]{
 		Rows:   a.Rows,
 		Cols:   c1 - c0,
 		ColPtr: ptr,
@@ -326,6 +343,6 @@ func (a *CSC) ColView(c0, c1 int) *CSC {
 }
 
 // String returns a short human-readable summary, not the full contents.
-func (a *CSC) String() string {
+func (a *CSCOf[T]) String() string {
 	return fmt.Sprintf("CSC{%dx%d, nnz=%d}", a.Rows, a.Cols, a.NNZ())
 }

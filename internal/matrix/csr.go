@@ -1,34 +1,38 @@
 package matrix
 
-// CSR is a sparse matrix in compressed sparse row format. The paper's
-// algorithms are described on CSC but apply symmetrically to CSR
-// (§II-A); the library provides CSR and transpose-style conversions so
-// row-major callers can use the same kernels.
-type CSR struct {
+// CSROf is a sparse matrix in compressed sparse row format over element
+// type T. The paper's algorithms are described on CSC but apply
+// symmetrically to CSR (§II-A); the library provides CSR and
+// transpose-style conversions so row-major callers can use the same
+// kernels.
+type CSROf[T Number] struct {
 	Rows, Cols int
 	RowPtr     []int64
 	ColIdx     []Index
-	Val        []Value
+	Val        []T
 }
 
+// CSR is the float64 CSR matrix.
+type CSR = CSROf[Value]
+
 // NNZ returns the number of stored entries.
-func (a *CSR) NNZ() int { return len(a.ColIdx) }
+func (a *CSROf[T]) NNZ() int { return len(a.ColIdx) }
 
 // RowCols returns the column-index slice of row i (shared storage).
-func (a *CSR) RowCols(i int) []Index { return a.ColIdx[a.RowPtr[i]:a.RowPtr[i+1]] }
+func (a *CSROf[T]) RowCols(i int) []Index { return a.ColIdx[a.RowPtr[i]:a.RowPtr[i+1]] }
 
 // RowVals returns the value slice of row i (shared storage).
-func (a *CSR) RowVals(i int) []Value { return a.Val[a.RowPtr[i]:a.RowPtr[i+1]] }
+func (a *CSROf[T]) RowVals(i int) []T { return a.Val[a.RowPtr[i]:a.RowPtr[i+1]] }
 
 // ToCSC converts to CSC; the result has sorted columns because rows are
 // visited in ascending order.
-func (a *CSR) ToCSC() *CSC {
-	out := &CSC{
+func (a *CSROf[T]) ToCSC() *CSCOf[T] {
+	out := &CSCOf[T]{
 		Rows:   a.Rows,
 		Cols:   a.Cols,
 		ColPtr: make([]int64, a.Cols+1),
 		RowIdx: make([]Index, a.NNZ()),
-		Val:    make([]Value, a.NNZ()),
+		Val:    make([]T, a.NNZ()),
 	}
 	for _, c := range a.ColIdx {
 		out.ColPtr[c+1]++
@@ -51,13 +55,13 @@ func (a *CSR) ToCSC() *CSC {
 
 // ToCSR converts a CSC matrix to CSR; the result has sorted rows when
 // the CSC columns are visited in ascending order (always true here).
-func (a *CSC) ToCSR() *CSR {
-	out := &CSR{
+func (a *CSCOf[T]) ToCSR() *CSROf[T] {
+	out := &CSROf[T]{
 		Rows:   a.Rows,
 		Cols:   a.Cols,
 		RowPtr: make([]int64, a.Rows+1),
 		ColIdx: make([]Index, a.NNZ()),
-		Val:    make([]Value, a.NNZ()),
+		Val:    make([]T, a.NNZ()),
 	}
 	for _, r := range a.RowIdx {
 		out.RowPtr[r+1]++
@@ -80,9 +84,9 @@ func (a *CSC) ToCSR() *CSR {
 
 // Transpose returns the transpose of a as a new CSC matrix with sorted
 // columns.
-func (a *CSC) Transpose() *CSC {
+func (a *CSCOf[T]) Transpose() *CSCOf[T] {
 	t := a.ToCSR()
-	return &CSC{
+	return &CSCOf[T]{
 		Rows:   t.Cols,
 		Cols:   t.Rows,
 		ColPtr: t.RowPtr,

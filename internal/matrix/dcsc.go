@@ -2,31 +2,34 @@ package matrix
 
 import "fmt"
 
-// DCSC is a doubly compressed sparse column matrix (Buluç & Gilbert):
-// only non-empty columns are stored, making the format suitable for
-// hypersparse matrices (nnz < number of columns), which arise
-// naturally as the per-process blocks of 2D-distributed matrices —
-// the very blocks the SUMMA experiments shard. The paper lists DCSC
-// among the formats its algorithms apply to (§II-A).
+// DCSCOf is a doubly compressed sparse column matrix (Buluç & Gilbert)
+// over element type T: only non-empty columns are stored, making the
+// format suitable for hypersparse matrices (nnz < number of columns),
+// which arise naturally as the per-process blocks of 2D-distributed
+// matrices — the very blocks the SUMMA experiments shard. The paper
+// lists DCSC among the formats its algorithms apply to (§II-A).
 //
 // ColID holds the ids of non-empty columns in ascending order; column
 // ColID[c] occupies positions ColPtr[c]..ColPtr[c+1] of RowIdx/Val.
-type DCSC struct {
+type DCSCOf[T Number] struct {
 	Rows, Cols int
 	ColID      []Index // non-empty column ids, strictly ascending
 	ColPtr     []int64 // len(ColID)+1
 	RowIdx     []Index
-	Val        []Value
+	Val        []T
 }
 
+// DCSC is the float64 doubly compressed matrix.
+type DCSC = DCSCOf[Value]
+
 // NNZ returns the number of stored entries.
-func (d *DCSC) NNZ() int { return len(d.RowIdx) }
+func (d *DCSCOf[T]) NNZ() int { return len(d.RowIdx) }
 
 // NZC returns the number of non-empty columns.
-func (d *DCSC) NZC() int { return len(d.ColID) }
+func (d *DCSCOf[T]) NZC() int { return len(d.ColID) }
 
 // Validate checks the structural invariants.
-func (d *DCSC) Validate() error {
+func (d *DCSCOf[T]) Validate() error {
 	if d.Rows < 0 || d.Cols < 0 {
 		return fmt.Errorf("%w: negative dimensions %dx%d", ErrInvalid, d.Rows, d.Cols)
 	}
@@ -68,12 +71,12 @@ func (d *DCSC) Validate() error {
 
 // ToDCSC compresses a CSC matrix, dropping empty columns from the
 // column index.
-func (a *CSC) ToDCSC() *DCSC {
-	d := &DCSC{
+func (a *CSCOf[T]) ToDCSC() *DCSCOf[T] {
+	d := &DCSCOf[T]{
 		Rows:   a.Rows,
 		Cols:   a.Cols,
 		RowIdx: append([]Index(nil), a.RowIdx...),
-		Val:    append([]Value(nil), a.Val...),
+		Val:    append([]T(nil), a.Val...),
 	}
 	d.ColPtr = append(d.ColPtr, 0)
 	for j := 0; j < a.Cols; j++ {
@@ -87,13 +90,13 @@ func (a *CSC) ToDCSC() *DCSC {
 }
 
 // ToCSC expands back to CSC (O(Cols) column pointers).
-func (d *DCSC) ToCSC() *CSC {
-	a := &CSC{
+func (d *DCSCOf[T]) ToCSC() *CSCOf[T] {
+	a := &CSCOf[T]{
 		Rows:   d.Rows,
 		Cols:   d.Cols,
 		ColPtr: make([]int64, d.Cols+1),
 		RowIdx: append([]Index(nil), d.RowIdx...),
-		Val:    append([]Value(nil), d.Val...),
+		Val:    append([]T(nil), d.Val...),
 	}
 	c := 0
 	for j := 0; j < d.Cols; j++ {

@@ -1,41 +1,51 @@
 package matrix
 
-// Dense is a small dense matrix used as a trivially-correct reference
-// implementation in tests and as the accumulator for reference addition
-// and multiplication. It is not intended for large inputs.
-type Dense struct {
+// DenseOf is a small dense matrix over element type T used as a
+// trivially-correct reference implementation in tests and as the
+// accumulator for reference addition and multiplication. It is not
+// intended for large inputs.
+type DenseOf[T Number] struct {
 	Rows, Cols int
-	Data       []Value // row-major
+	Data       []T // row-major
 }
 
-// NewDense returns a zeroed rows x cols dense matrix.
+// Dense is the float64 dense matrix.
+type Dense = DenseOf[Value]
+
+// NewDense returns a zeroed float64 rows x cols dense matrix.
 func NewDense(rows, cols int) *Dense {
-	return &Dense{Rows: rows, Cols: cols, Data: make([]Value, rows*cols)}
+	return NewDenseOf[Value](rows, cols)
+}
+
+// NewDenseOf returns a zeroed rows x cols dense matrix over T.
+func NewDenseOf[T Number](rows, cols int) *DenseOf[T] {
+	return &DenseOf[T]{Rows: rows, Cols: cols, Data: make([]T, rows*cols)}
 }
 
 // At returns the value at (i, j).
-func (d *Dense) At(i, j int) Value { return d.Data[i*d.Cols+j] }
+func (d *DenseOf[T]) At(i, j int) T { return d.Data[i*d.Cols+j] }
 
 // Set assigns the value at (i, j).
-func (d *Dense) Set(i, j int, v Value) { d.Data[i*d.Cols+j] = v }
+func (d *DenseOf[T]) Set(i, j int, v T) { d.Data[i*d.Cols+j] = v }
 
-// AddCSC accumulates a sparse matrix into d.
-func (d *Dense) AddCSC(a *CSC) *Dense {
+// AddCSC accumulates a sparse matrix into d (bool: OR).
+func (d *DenseOf[T]) AddCSC(a *CSCOf[T]) *DenseOf[T] {
 	for j := 0; j < a.Cols; j++ {
 		rows, vals := a.ColRows(j), a.ColVals(j)
 		for p := range rows {
-			d.Data[int(rows[p])*d.Cols+j] += vals[p]
+			q := int(rows[p])*d.Cols + j
+			d.Data[q] = AddVal(d.Data[q], vals[p])
 		}
 	}
 	return d
 }
 
 // ToCSC converts d to CSC, dropping zeros; columns come out sorted.
-func (d *Dense) ToCSC() *CSC {
-	out := NewCSC(d.Rows, d.Cols, 0)
+func (d *DenseOf[T]) ToCSC() *CSCOf[T] {
+	out := NewCSCOf[T](d.Rows, d.Cols, 0)
 	for j := 0; j < d.Cols; j++ {
 		for i := 0; i < d.Rows; i++ {
-			if v := d.Data[i*d.Cols+j]; v != 0 {
+			if v := d.Data[i*d.Cols+j]; !IsZero(v) {
 				out.RowIdx = append(out.RowIdx, Index(i))
 				out.Val = append(out.Val, v)
 			}
@@ -48,11 +58,11 @@ func (d *Dense) ToCSC() *CSC {
 // ReferenceAdd computes the sum of the given CSC matrices through a
 // dense accumulator. All inputs must share dimensions; it panics
 // otherwise (it is a test helper, not production API).
-func ReferenceAdd(as []*CSC) *CSC {
+func ReferenceAdd[T Number](as []*CSCOf[T]) *CSCOf[T] {
 	if len(as) == 0 {
-		return NewCSC(0, 0, 0)
+		return NewCSCOf[T](0, 0, 0)
 	}
-	d := NewDense(as[0].Rows, as[0].Cols)
+	d := NewDenseOf[T](as[0].Rows, as[0].Cols)
 	for _, a := range as {
 		if a.Rows != d.Rows || a.Cols != d.Cols {
 			panic("matrix: ReferenceAdd dimension mismatch")
@@ -62,12 +72,13 @@ func ReferenceAdd(as []*CSC) *CSC {
 	return d.ToCSC()
 }
 
-// ReferenceMul computes a*b through dense accumulation (test helper).
-func ReferenceMul(a, b *CSC) *CSC {
+// ReferenceMul computes a*b through dense accumulation (test helper;
+// bool multiplies as AND and accumulates as OR — the boolean semiring).
+func ReferenceMul[T Number](a, b *CSCOf[T]) *CSCOf[T] {
 	if a.Cols != b.Rows {
 		panic("matrix: ReferenceMul dimension mismatch")
 	}
-	d := NewDense(a.Rows, b.Cols)
+	d := NewDenseOf[T](a.Rows, b.Cols)
 	for j := 0; j < b.Cols; j++ {
 		brows, bvals := b.ColRows(j), b.ColVals(j)
 		for p := range brows {
@@ -75,7 +86,8 @@ func ReferenceMul(a, b *CSC) *CSC {
 			bv := bvals[p]
 			arows, avals := a.ColRows(kcol), a.ColVals(kcol)
 			for q := range arows {
-				d.Data[int(arows[q])*d.Cols+j] += avals[q] * bv
+				at := int(arows[q])*d.Cols + j
+				d.Data[at] = AddVal(d.Data[at], MulVal(avals[q], bv))
 			}
 		}
 	}

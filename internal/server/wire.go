@@ -22,7 +22,8 @@ import (
 //	8       4     rows
 //	12      4     cols
 //	16      4     nnz
-//	20      16*nnz  entries: row uint32, col uint32, val float64
+//	20      1     dtype   (0 = float64)
+//	21      16*nnz  entries: row uint32, col uint32, val float64
 //
 // Duplicate (row, col) entries are legal and sum on ingest, matching
 // COO assembly semantics everywhere else in the repo.
@@ -40,9 +41,17 @@ const wireVersion = 1
 
 // wireHeaderLen and wireEntryLen are the fixed frame dimensions.
 const (
-	wireHeaderLen = 20
+	wireHeaderLen = 21
 	wireEntryLen  = 16
 )
+
+// wireDtypeF64 is the only value dtype this build encodes or decodes:
+// packed float64, the original frame layout. The byte exists so future
+// builds can negotiate narrower element types (float32, int32, bool —
+// the in-memory kernels already support them) without a version bump;
+// a decoder that does not speak a dtype rejects it with ErrWireDtype
+// instead of misreading the entry bytes.
+const wireDtypeF64 = 0
 
 // MaxWireDim bounds rows and cols: indices travel as uint32 but the
 // in-memory matrix.Index is int32.
@@ -69,6 +78,9 @@ var (
 	// ErrWireRange: an entry's coordinates fall outside the declared
 	// dimensions.
 	ErrWireRange = fmt.Errorf("%w: entry out of range", ErrWire)
+	// ErrWireDtype: the frame declares a value dtype this build does
+	// not decode (only float64, dtype 0, is spoken today).
+	ErrWireDtype = fmt.Errorf("%w: unsupported value dtype", ErrWire)
 	// ErrWireTooLarge: the frame declares more entries than the
 	// decoder's cap. Not malformed — the admission layer's 413.
 	ErrWireTooLarge = fmt.Errorf("%w: frame exceeds the entry cap", ErrWire)
@@ -96,6 +108,9 @@ func DecodeDelta(data []byte, maxNNZ int) (*matrix.COO, error) {
 		return nil, fmt.Errorf("%w: %dx%d", ErrWireDims, rows, cols)
 	}
 	nnz := binary.LittleEndian.Uint32(data[16:])
+	if dt := data[20]; dt != wireDtypeF64 {
+		return nil, fmt.Errorf("%w: %d", ErrWireDtype, dt)
+	}
 	if maxNNZ > 0 && uint64(nnz) > uint64(maxNNZ) {
 		return nil, fmt.Errorf("%w: %d entries, cap %d", ErrWireTooLarge, nnz, maxNNZ)
 	}
@@ -160,6 +175,7 @@ func putHeader(buf []byte, rows, cols, nnz int) {
 	binary.LittleEndian.PutUint32(buf[8:], uint32(rows))
 	binary.LittleEndian.PutUint32(buf[12:], uint32(cols))
 	binary.LittleEndian.PutUint32(buf[16:], uint32(nnz))
+	buf[20] = wireDtypeF64
 }
 
 func putEntry(e []byte, r, c matrix.Index, v matrix.Value) {

@@ -79,6 +79,14 @@ func corrupt(frame []byte, off int, v uint32) []byte {
 	return out
 }
 
+// corruptByte returns a copy of frame with the single byte at off
+// overwritten — for the one-byte dtype field.
+func corruptByte(frame []byte, off int, v byte) []byte {
+	out := bytes.Clone(frame)
+	out[off] = v
+	return out
+}
+
 // TestWireDecodeErrors: every malformed-frame class returns its typed
 // error, and all of them wrap ErrWire.
 func TestWireDecodeErrors(t *testing.T) {
@@ -94,6 +102,8 @@ func TestWireDecodeErrors(t *testing.T) {
 		{"bad version", corrupt(good, 4, 2), ErrWireVersion},
 		{"zero rows", corrupt(good, 8, 0), ErrWireDims},
 		{"zero cols", corrupt(good, 12, 0), ErrWireDims},
+		{"bad dtype", corruptByte(good, 20, 1), ErrWireDtype},
+		{"dtype high bit", corruptByte(good, 20, 0xFF), ErrWireDtype},
 		{"rows over int32", corrupt(good, 8, 1<<31), ErrWireDims},
 		{"truncated body", good[:len(good)-1], ErrWireTruncated},
 		{"trailing bytes", append(bytes.Clone(good), 0), ErrWireTrailing},
@@ -146,6 +156,8 @@ func FuzzDecodeDelta(f *testing.F) {
 	f.Add(EncodeDelta(sampleCOO()))
 	f.Add(EncodeDelta(&matrix.COO{Rows: 1, Cols: 1}))
 	f.Add(corrupt(EncodeDelta(sampleCOO()), 16, 1<<30))
+	f.Add(corruptByte(EncodeDelta(sampleCOO()), 20, 1))
+	f.Add(corruptByte(EncodeDelta(sampleCOO()), 20, 0xFF))
 	f.Add(bytes.Repeat([]byte{0x53}, 64))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := DecodeDelta(data, 1<<16)

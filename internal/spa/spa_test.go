@@ -11,9 +11,9 @@ import (
 
 func TestAddAndGet(t *testing.T) {
 	s := New(10)
-	s.Add(3, 1)
-	s.Add(7, 2)
-	s.Add(3, 4)
+	Accum(s, 3, 1)
+	Accum(s, 7, 2)
+	Accum(s, 3, 4)
 	if s.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", s.Len())
 	}
@@ -28,7 +28,7 @@ func TestAddAndGet(t *testing.T) {
 func TestAppendSorted(t *testing.T) {
 	s := New(100)
 	for _, r := range []matrix.Index{42, 7, 99, 7, 0} {
-		s.Add(r, 1)
+		Accum(s, r, 1)
 	}
 	rows, vals := s.AppendSorted(nil, nil)
 	want := []matrix.Index{0, 7, 42, 99}
@@ -47,8 +47,8 @@ func TestAppendSorted(t *testing.T) {
 
 func TestClearIsSparse(t *testing.T) {
 	s := New(1000)
-	s.Add(5, 1)
-	s.Add(500, 2)
+	Accum(s, 5, 1)
+	Accum(s, 500, 2)
 	s.Clear()
 	if s.Len() != 0 {
 		t.Fatal("Clear did not empty the SPA")
@@ -57,7 +57,7 @@ func TestClearIsSparse(t *testing.T) {
 		t.Error("values survived Clear")
 	}
 	// Reuse after clear.
-	s.Add(5, 7)
+	Accum(s, 5, 7)
 	if s.Get(5) != 7 {
 		t.Error("SPA broken after Clear")
 	}
@@ -75,7 +75,7 @@ func TestQuickMatchesMap(t *testing.T) {
 		for i := 0; i < rng.Intn(400); i++ {
 			r := matrix.Index(rng.Intn(m))
 			v := float64(rng.Intn(9) - 4)
-			s.Add(r, v)
+			Accum(s, r, v)
 			want[r] += v
 		}
 		if s.Len() != len(want) {

@@ -141,7 +141,7 @@ func Mul(a, b *matrix.CSC, opt Options) (*matrix.CSC, error) {
 				bv := bvals[p]
 				arows, avals := a.ColRows(kcol), a.ColVals(kcol)
 				for q := range arows {
-					ws.tab.Add(arows[q], avals[q]*bv)
+					hashtab.Accum(ws.tab, arows[q], avals[q]*bv)
 				}
 			}
 			outRows := c.RowIdx[c.ColPtr[j]:c.ColPtr[j+1]]

@@ -211,12 +211,19 @@ type Signature struct {
 	Generic bool
 	// Threads is the resolved worker count.
 	Threads int
+	// Wide reports an element type wider than 4 bytes (float64/int64).
+	// Narrow types halve the value-array bandwidth and fit twice the
+	// entries per cache line, which shifts the hash-vs-sliding and
+	// engine crossovers — so wide and narrow calls must not share cost
+	// cells.
+	Wide bool
 }
 
 // Key quantizes the signature into its table key: log2 buckets for k,
 // d and threads, coarse threshold buckets for duplicate rate and skew,
-// and the two path bits. Bit 31 is always set so a valid key is never
-// 0 (the empty-slot marker).
+// and the three path bits (sortedness, generic combine, element
+// width). Bit 31 is always set so a valid key is never 0 (the
+// empty-slot marker).
 //
 //spkadd:noalloc
 func (s Signature) Key() uint32 {
@@ -235,6 +242,9 @@ func (s Signature) Key() uint32 {
 	}
 	if s.Generic {
 		key |= 1 << 15
+	}
+	if s.Wide {
+		key |= 1 << 16
 	}
 	return key | 1<<31
 }

@@ -42,6 +42,7 @@ func TestSignatureKeyQuantization(t *testing.T) {
 		"skew":    func(s *Signature) { s.MaxColNNZ = 4096 },
 		"sorted":  func(s *Signature) { s.Sorted = false },
 		"generic": func(s *Signature) { s.Generic = true },
+		"wide":    func(s *Signature) { s.Wide = true },
 		"threads": func(s *Signature) { s.Threads = 1 },
 	} {
 		m := base

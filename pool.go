@@ -64,3 +64,10 @@ type PoolOptions = core.PoolOptions
 func NewPool(rows, cols int, popt PoolOptions) *Pool {
 	return core.NewPool(rows, cols, popt)
 }
+
+// NewPoolOf is NewPool for any supported element type: a float32 pool
+// halves the value bytes each shard's reductions move, an int64 pool
+// counts exactly, a bool pool (Monoid: AnyFor) unions structure.
+func NewPoolOf[T Number](rows, cols int, popt PoolOptionsOf[T]) *PoolOf[T] {
+	return core.NewPoolOf[T](rows, cols, popt)
+}

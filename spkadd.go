@@ -32,6 +32,38 @@ type (
 	Value = matrix.Value
 )
 
+// Number is the constraint satisfied by every supported element type:
+// float32, float64, int32, int64 and bool. The float64 names above
+// are instantiations of the Of-suffixed generic forms below; a
+// narrower element type halves (float32/int32) or better (bool) the
+// value-array bandwidth of every kernel — see doc.go "Value types"
+// and `spkadd-bench -exp dtype`.
+type Number = matrix.Number
+
+// Generic forms of the core types. MatrixOf[float64] is exactly
+// Matrix; existing float64 code never needs these names.
+type (
+	// MatrixOf is a CSC sparse matrix over any supported element type.
+	MatrixOf[T Number] = matrix.CSCOf[T]
+	// CSROf is a compressed-sparse-row matrix over T.
+	CSROf[T Number] = matrix.CSROf[T]
+	// COOOf is a coordinate-format matrix over T.
+	COOOf[T Number] = matrix.COOOf[T]
+	// TripleOf is one (row, col, value) entry over T.
+	TripleOf[T Number] = matrix.TripleOf[T]
+	// OptionsOf configure an addition over T.
+	OptionsOf[T Number] = core.OptionsOf[T]
+	// MonoidOf is a combine monoid over T (see MonoidFor helpers).
+	MonoidOf[T Number] = ops.MonoidOf[T]
+	// AccumulatorOf is a streaming accumulator over T.
+	AccumulatorOf[T Number] = core.AccumulatorOf[T]
+	// PoolOf is a sharded streaming pool over T.
+	PoolOf[T Number] = core.PoolOf[T]
+	// PoolOptionsOf configure NewPoolOf.
+	PoolOptionsOf[T Number] = core.PoolOptionsOf[T]
+	// AdderOf is declared in adder.go.
+)
+
 // Algorithm selection, options and instrumentation for Add.
 type (
 	// Algorithm selects the SpKAdd implementation.
@@ -116,6 +148,30 @@ var (
 	// Count is occurrence frequency: how many inputs store the entry.
 	Count = ops.Count
 )
+
+// Per-type built-in monoids, the generic forms of the variables
+// above. Each returns the canonical shared instance for T — pointer
+// identity is what routes a nil/Plus monoid onto the specialized
+// inlined "+=" kernels, so always obtain built-ins through these
+// rather than constructing lookalike literals.
+
+// PlusFor returns T's addition monoid, nil for bool (booleans have no
+// "+"; use AnyFor).
+func PlusFor[T Number]() *MonoidOf[T] { return ops.PlusFor[T]() }
+
+// MinFor returns T's minimum monoid, nil for bool.
+func MinFor[T Number]() *MonoidOf[T] { return ops.MinFor[T]() }
+
+// MaxFor returns T's maximum monoid, nil for bool.
+func MaxFor[T Number]() *MonoidOf[T] { return ops.MaxFor[T]() }
+
+// AnyFor returns T's structural-union monoid: present anywhere →
+// true/1 in the output. The usual monoid for bool matrices
+// (reachability overlays; see examples/reach).
+func AnyFor[T Number]() *MonoidOf[T] { return ops.AnyFor[T]() }
+
+// CountFor returns T's occurrence-frequency monoid, nil for bool.
+func CountFor[T Number]() *MonoidOf[T] { return ops.CountFor[T]() }
 
 // Scheduling constants.
 const (
@@ -245,13 +301,16 @@ var (
 // Add computes the sum of the given matrices. All inputs must share
 // dimensions. The zero Options value selects the Auto algorithm with
 // GOMAXPROCS workers.
-func Add(as []*Matrix, opt Options) (*Matrix, error) {
+// Generic over the element type: Add(float32 matrices) runs float32
+// kernels end to end, halving value-array traffic; calls with
+// []*Matrix infer float64 exactly as before.
+func Add[T Number](as []*MatrixOf[T], opt OptionsOf[T]) (*MatrixOf[T], error) {
 	return core.Add(as, opt)
 }
 
 // AddTimed is Add, additionally reporting the wall-clock split between
 // the symbolic (output sizing) and numeric phases.
-func AddTimed(as []*Matrix, opt Options) (*Matrix, PhaseTimings, error) {
+func AddTimed[T Number](as []*MatrixOf[T], opt OptionsOf[T]) (*MatrixOf[T], PhaseTimings, error) {
 	return core.AddTimed(as, opt)
 }
 
@@ -259,7 +318,7 @@ func AddTimed(as []*Matrix, opt Options) (*Matrix, PhaseTimings, error) {
 // ctx at phase boundaries (before the symbolic pass, between passes,
 // after the numeric pass) and abandon the call with an error wrapping
 // ErrCanceled or ErrDeadline, leaving no partial result.
-func AddContext(ctx context.Context, as []*Matrix, opt Options) (*Matrix, error) {
+func AddContext[T Number](ctx context.Context, as []*MatrixOf[T], opt OptionsOf[T]) (*MatrixOf[T], error) {
 	return core.AddContext(ctx, as, opt)
 }
 
@@ -267,6 +326,11 @@ func AddContext(ctx context.Context, as []*Matrix, opt Options) (*Matrix, error)
 // coordinate entries (duplicates sum, as in finite-element assembly).
 func FromTriples(rows, cols int, ts []Triple) *Matrix {
 	return matrix.FromTriples(rows, cols, ts)
+}
+
+// FromTriplesOf is FromTriples for any supported element type.
+func FromTriplesOf[T Number](rows, cols int, ts []TripleOf[T]) *MatrixOf[T] {
+	return matrix.FromTriplesOf(rows, cols, ts)
 }
 
 // NewCOO returns an empty coordinate-format matrix for incremental
@@ -316,7 +380,9 @@ func RunSumma(a, b *Matrix, cfg SummaConfig) (*Matrix, SummaReport, error) {
 
 // AddCSR computes the sum of CSR matrices through zero-copy transposed
 // views (§II-A of the paper: the algorithms apply unchanged to CSR).
-func AddCSR(as []*CSR, opt Options) (*CSR, error) { return core.AddCSR(as, opt) }
+func AddCSR[T Number](as []*CSROf[T], opt OptionsOf[T]) (*CSROf[T], error) {
+	return core.AddCSR(as, opt)
+}
 
 // Accumulator performs streaming/batched SpKAdd under a memory budget
 // (the batching strategy of the paper's §V for inputs that arrive over
@@ -330,6 +396,11 @@ func NewAccumulator(rows, cols int, budgetBytes int64, opt Options) *Accumulator
 	return core.NewAccumulator(rows, cols, budgetBytes, opt)
 }
 
+// NewAccumulatorOf is NewAccumulator for any supported element type.
+func NewAccumulatorOf[T Number](rows, cols int, budgetBytes int64, opt OptionsOf[T]) *AccumulatorOf[T] {
+	return core.NewAccumulatorOf[T](rows, cols, budgetBytes, opt)
+}
+
 // DCSC is a doubly compressed sparse column matrix for hypersparse
 // blocks; convert with Matrix.ToDCSC and DCSC.ToCSC.
 type DCSC = matrix.DCSC
@@ -337,6 +408,6 @@ type DCSC = matrix.DCSC
 // AddScaled computes the weighted sum B = Σ coeffs[i]·A_i (e.g.
 // gradient averaging with coeffs = 1/k). Supported by the k-way
 // algorithms (Auto, Heap, SPA, Hash, SlidingHash).
-func AddScaled(as []*Matrix, coeffs []Value, opt Options) (*Matrix, error) {
+func AddScaled[T Number](as []*MatrixOf[T], coeffs []T, opt OptionsOf[T]) (*MatrixOf[T], error) {
 	return core.AddScaled(as, coeffs, opt)
 }
